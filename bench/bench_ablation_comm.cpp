@@ -1,0 +1,67 @@
+// Ablation of the Section IV design choices inside the NVSHMEM solver:
+//   read-only model (paper)  vs  naive Get-Update-Put with fences;
+//   r.in_degree poll cache   vs  gathering from every PE;
+//   O(log P) warp reduction  vs  O(P) loop summation.
+// All on a 4-GPU DGX-1 with the paper's 8 tasks/GPU.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace msptrsv;
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "Ablation: NVSHMEM communication-model design choices (Section IV).");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const bench::BenchContext ctx = bench::context_from(cli);
+
+  support::Table table({"Matrix", "Zerocopy (us)", "Naive GUP x",
+                        "Gather-all x", "Linear-red. x"});
+  std::vector<double> s_naive, s_all, s_linear;
+
+  for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
+    core::SolveOptions base;
+    base.backend = core::Backend::kMgZeroCopy;
+    base.machine = sim::Machine::dgx1(4);
+    const double zerocopy = bench::timed_solve_us(m, base);
+
+    core::SolveOptions naive = base;
+    naive.nvshmem.naive_get_update_put = true;
+    const double naive_us = bench::timed_solve_us(m, naive);
+
+    core::SolveOptions all = base;
+    all.nvshmem.gather_from_all_pes = true;
+    const double all_us = bench::timed_solve_us(m, all);
+
+    core::SolveOptions linear = base;
+    linear.nvshmem.linear_reduction = true;
+    const double linear_us = bench::timed_solve_us(m, linear);
+
+    s_naive.push_back(zerocopy / naive_us);
+    s_all.push_back(zerocopy / all_us);
+    s_linear.push_back(zerocopy / linear_us);
+
+    table.begin_row();
+    table.add_cell(m.suite.entry.name);
+    table.add_cell(zerocopy, 1);
+    table.add_cell(s_naive.back(), 2);
+    table.add_cell(s_all.back(), 2);
+    table.add_cell(s_linear.back(), 2);
+  }
+
+  table.add_separator();
+  table.begin_row();
+  table.add_cell("Avg. (geomean)");
+  table.add_cell("");
+  table.add_cell(bench::average_speedup(s_naive), 2);
+  table.add_cell(bench::average_speedup(s_all), 2);
+  table.add_cell(bench::average_speedup(s_linear), 2);
+
+  bench::print_table(
+      "Ablation -- alternative communication designs relative to the "
+      "read-only zero-copy model (values < 1 mean the alternative is "
+      "SLOWER; the paper's design should win everywhere):",
+      table, ctx.csv);
+  return 0;
+}

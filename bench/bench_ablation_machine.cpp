@@ -1,0 +1,103 @@
+// Machine-sensitivity ablation for the paper's closing observation
+// (Section VI-D): "the scalability of SpTRSV ... depends not only on the
+// dependency and parallelism metrics for a sparse matrix, but also on the
+// intra-node network design and the signaling technologies."
+//
+// Sweeps the interconnect of a hypothetical future node (link bandwidth and
+// per-hop latency) and the GPU's warp residency, and reports zero-copy
+// SpTRSV time on a fixed mid-range workload.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace msptrsv;
+
+namespace {
+
+double run_with(const bench::BenchMatrix& m, sim::Machine machine) {
+  core::SolveOptions o;
+  o.backend = core::Backend::kMgZeroCopy;
+  o.machine = std::move(machine);
+  o.tasks_per_gpu = 8;
+  return bench::timed_solve_us(m, o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "Machine ablation: zero-copy SpTRSV vs link bandwidth, hop latency "
+      "and warp residency on a 4-GPU all-to-all node.");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::BenchContext ctx = bench::context_from(cli);
+  if (ctx.matrix_names.empty()) {
+    ctx.matrix_names = {"belgium_osm", "dblp-2010", "nlpkkt160", "Wordnet3"};
+  }
+  const std::vector<bench::BenchMatrix> matrices = bench::load_matrices(ctx);
+
+  // --- link bandwidth sweep (per-pair GB/s) -------------------------------
+  {
+    support::Table t({"Matrix", "8 GB/s (us)", "25 GB/s x", "50 GB/s x",
+                      "200 GB/s x"});
+    for (const bench::BenchMatrix& m : matrices) {
+      const double base = run_with(m, sim::Machine::custom(4, 8.0));
+      t.begin_row();
+      t.add_cell(m.suite.entry.name);
+      t.add_cell(base, 1);
+      for (double bw : {25.0, 50.0, 200.0}) {
+        t.add_cell(base / run_with(m, sim::Machine::custom(4, bw)), 2);
+      }
+    }
+    bench::print_table(
+        "Ablation A -- link bandwidth (speedup over an 8 GB/s fabric):", t,
+        ctx.csv);
+  }
+
+  // --- hop latency sweep ----------------------------------------------------
+  {
+    support::Table t({"Matrix", "0.1us (us)", "0.3us x", "1us x", "3us x"});
+    for (const bench::BenchMatrix& m : matrices) {
+      auto at_latency = [&](double lat) {
+        sim::CostModel c;
+        c.hop_latency_us = lat;
+        return run_with(m, sim::Machine::custom(4, 25.0, c));
+      };
+      const double base = at_latency(0.1);
+      t.begin_row();
+      t.add_cell(m.suite.entry.name);
+      t.add_cell(base, 1);
+      for (double lat : {0.3, 1.0, 3.0}) {
+        t.add_cell(base / at_latency(lat), 2);
+      }
+    }
+    bench::print_table(
+        "Ablation B -- per-hop signaling latency (values < 1: slower; "
+        "deep matrices suffer most, matching the paper's latency-bound "
+        "analysis):",
+        t, ctx.csv);
+  }
+
+  // --- warp residency sweep -------------------------------------------------
+  {
+    support::Table t({"Matrix", "64 slots (us)", "192 x", "512 x", "2048 x"});
+    for (const bench::BenchMatrix& m : matrices) {
+      auto at_slots = [&](int slots) {
+        sim::CostModel c;
+        c.warp_slots_per_gpu = slots;
+        return run_with(m, sim::Machine::custom(4, 25.0, c));
+      };
+      const double base = at_slots(64);
+      t.begin_row();
+      t.add_cell(m.suite.entry.name);
+      t.add_cell(base, 1);
+      for (int slots : {192, 512, 2048}) {
+        t.add_cell(base / at_slots(slots), 2);
+      }
+    }
+    bench::print_table(
+        "Ablation C -- warp residency (wide matrices gain; chains do not):",
+        t, ctx.csv);
+  }
+  return 0;
+}

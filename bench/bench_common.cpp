@@ -1,0 +1,61 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/contracts.hpp"
+#include "support/stats.hpp"
+
+namespace msptrsv::bench {
+
+void add_common_options(support::CliParser& cli) {
+  cli.add_option("max-rows", "40000",
+                 "cap on generated matrix rows (suite analogs are scaled)");
+  cli.add_option("matrices", "",
+                 "comma-separated Table I subset (default: all)");
+  cli.add_option("csv", "false", "emit CSV after the table");
+}
+
+BenchContext context_from(const support::CliParser& cli) {
+  BenchContext ctx;
+  ctx.max_rows = static_cast<index_t>(cli.get_int("max-rows"));
+  ctx.matrix_names = cli.get_list("matrices");
+  ctx.csv = cli.get_bool("csv");
+  return ctx;
+}
+
+std::vector<BenchMatrix> load_matrices(const BenchContext& ctx) {
+  std::vector<BenchMatrix> out;
+  for (sparse::SuiteMatrix& sm :
+       sparse::generate_suite(ctx.max_rows, ctx.matrix_names)) {
+    BenchMatrix bm;
+    bm.b = sparse::gen_rhs_for_solution(
+        sm.lower, sparse::gen_solution(sm.lower.rows, 1234));
+    bm.suite = std::move(sm);
+    out.push_back(std::move(bm));
+  }
+  return out;
+}
+
+double timed_solve_us(const BenchMatrix& m, const core::SolveOptions& options) {
+  const core::SolveResult r = core::solve(m.suite.lower, m.b, options);
+  const value_t rel = core::relative_residual(m.suite.lower, r.x, m.b);
+  MSPTRSV_ENSURE(rel < 1e-9,
+                 "backend " + core::backend_name(options.backend) +
+                     " produced a wrong solution on " + m.suite.entry.name +
+                     " (relative residual " + std::to_string(rel) + ")");
+  return r.report.total_us();
+}
+
+void print_table(const std::string& caption, const support::Table& table,
+                 bool csv) {
+  std::printf("%s\n%s", caption.c_str(), table.to_string().c_str());
+  if (csv) std::printf("\nCSV:\n%s", table.to_csv().c_str());
+  std::printf("\n");
+}
+
+double average_speedup(const std::vector<double>& speedups) {
+  return support::geomean(speedups);
+}
+
+}  // namespace msptrsv::bench

@@ -1,0 +1,53 @@
+// Shared plumbing of the figure-regeneration benches: suite loading at a
+// configurable scale, solver invocation, and normalized-series printing.
+//
+// Every bench accepts:
+//   --max-rows N     cap on generated matrix size (default 40000; the
+//                    paper-scale structure metrics are preserved, see
+//                    sparse/suite.hpp)
+//   --matrices a,b   subset of Table I names (default: all 16)
+//   --csv            additionally emit CSV after the human-readable table
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace msptrsv::bench {
+
+struct BenchContext {
+  index_t max_rows = 40000;
+  std::vector<std::string> matrix_names;  // empty = whole suite
+  bool csv = false;
+};
+
+/// Registers the common flags on a parser.
+void add_common_options(support::CliParser& cli);
+
+/// Reads them back after parse().
+BenchContext context_from(const support::CliParser& cli);
+
+/// Generates the configured slice of the Table I suite (cached rhs too).
+struct BenchMatrix {
+  sparse::SuiteMatrix suite;
+  std::vector<value_t> b;
+};
+std::vector<BenchMatrix> load_matrices(const BenchContext& ctx);
+
+/// Runs one simulated configuration and returns analysis+solve time in us
+/// (the paper sums both phases). Also validates the solution against the
+/// serial reference and aborts loudly on mismatch -- a bench that prints
+/// numbers for wrong answers is worse than no bench.
+double timed_solve_us(const BenchMatrix& m, const core::SolveOptions& options);
+
+/// Renders the table (and optional CSV) to stdout with a caption.
+void print_table(const std::string& caption, const support::Table& table,
+                 bool csv);
+
+/// Geometric-mean label row helper: "Avg." in the paper's figures.
+double average_speedup(const std::vector<double>& speedups);
+
+}  // namespace msptrsv::bench

@@ -1,0 +1,64 @@
+// Figure 3: the unified-memory characterization. For the four
+// representative matrices, runs the Algorithm-2 solver on a DGX-1 with
+// 2, 4 and 8 GPUs and reports
+//   (a) page-fault counts normalized to the 2-GPU run, and
+//   (b) performance (1/time) normalized to the 2-GPU run.
+// Paper shape: faults GROW with GPU count (up to ~11.7x at 8 GPUs) and
+// performance DROPS -- except for the high-parallelism nlpkkt160.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace msptrsv;
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "Figure 3: page thrashing of SpTRSV with Unified Memory on DGX-1.");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::BenchContext ctx = bench::context_from(cli);
+  if (ctx.matrix_names.empty()) ctx.matrix_names = sparse::fig3_matrix_names();
+
+  support::Table faults({"Matrix", "Faults 2GPU", "4GPU (norm)", "8GPU (norm)"});
+  support::Table perf({"Matrix", "Time 2GPU (us)", "4GPU speedup",
+                       "8GPU speedup"});
+
+  for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
+    double time_us[3];
+    std::uint64_t fault_count[3];
+    const int gpu_counts[3] = {2, 4, 8};
+    for (int i = 0; i < 3; ++i) {
+      core::SolveOptions o;
+      o.backend = core::Backend::kMgUnified;
+      o.machine = sim::Machine::dgx1(gpu_counts[i]);
+      const core::SolveResult r = core::solve(m.suite.lower, m.b, o);
+      time_us[i] = r.report.total_us();
+      fault_count[i] = r.report.page_faults;
+    }
+    faults.begin_row();
+    faults.add_cell(m.suite.entry.name);
+    faults.add_cell(fault_count[0]);
+    faults.add_cell(static_cast<double>(fault_count[1]) /
+                        static_cast<double>(fault_count[0]), 2);
+    faults.add_cell(static_cast<double>(fault_count[2]) /
+                        static_cast<double>(fault_count[0]), 2);
+
+    perf.begin_row();
+    perf.add_cell(m.suite.entry.name);
+    perf.add_cell(time_us[0], 1);
+    perf.add_cell(time_us[0] / time_us[1], 2);
+    perf.add_cell(time_us[0] / time_us[2], 2);
+  }
+
+  bench::print_table(
+      "Figure 3a -- page-fault count, normalized to 2 GPUs (higher = more "
+      "thrashing):",
+      faults, ctx.csv);
+  bench::print_table(
+      "Figure 3b -- performance normalized to 2 GPUs (values < 1 mean MORE "
+      "GPUs run SLOWER):",
+      perf, ctx.csv);
+  std::printf("Paper shape: fault count grows 2->4->8 GPUs; performance "
+              "degrades except for the high-parallelism nlpkkt160.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 8: 4-GPU DGX-1 vs DGX-2, Unified vs Zerocopy, all normalized to
+// DGX-1-Unified. Paper shape: zero-copy improves ~3.53x on DGX-1 and
+// ~3.66x on DGX-2 -- nearly the same despite DGX-2's extra bandwidth,
+// because the zero-copy design already overlaps communication with
+// computation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace msptrsv;
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "Figure 8: SpTRSV on 4-GPU DGX-1 and DGX-2, normalized to "
+      "DGX-1-Unified.");
+  bench::add_common_options(cli);
+  cli.add_option("tasks-per-gpu", "8", "task-pool granularity");
+  if (!cli.parse(argc, argv)) return 0;
+  const bench::BenchContext ctx = bench::context_from(cli);
+  const int tasks = static_cast<int>(cli.get_int("tasks-per-gpu"));
+
+  support::Table table({"Matrix", "DGX1-Unified (us)", "DGX2-Unified x",
+                        "DGX1-Zerocopy x", "DGX2-Zerocopy x"});
+  std::vector<double> sp_u2, sp_z1, sp_z2;
+
+  auto run_one = [&](const bench::BenchMatrix& m, core::Backend b,
+                     sim::Machine machine) {
+    core::SolveOptions o;
+    o.backend = b;
+    o.machine = std::move(machine);
+    o.tasks_per_gpu = tasks;
+    return bench::timed_solve_us(m, o);
+  };
+
+  for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
+    const double d1u = run_one(m, core::Backend::kMgUnified, sim::Machine::dgx1(4));
+    const double d2u = run_one(m, core::Backend::kMgUnified, sim::Machine::dgx2(4));
+    const double d1z = run_one(m, core::Backend::kMgZeroCopy, sim::Machine::dgx1(4));
+    const double d2z = run_one(m, core::Backend::kMgZeroCopy, sim::Machine::dgx2(4));
+    sp_u2.push_back(d1u / d2u);
+    sp_z1.push_back(d1u / d1z);
+    sp_z2.push_back(d1u / d2z);
+
+    table.begin_row();
+    table.add_cell(m.suite.entry.name);
+    table.add_cell(d1u, 1);
+    table.add_cell(sp_u2.back(), 2);
+    table.add_cell(sp_z1.back(), 2);
+    table.add_cell(sp_z2.back(), 2);
+  }
+
+  table.add_separator();
+  table.begin_row();
+  table.add_cell("Avg. (geomean)");
+  table.add_cell("");
+  table.add_cell(bench::average_speedup(sp_u2), 2);
+  table.add_cell(bench::average_speedup(sp_z1), 2);
+  table.add_cell(bench::average_speedup(sp_z2), 2);
+
+  bench::print_table("Figure 8 -- DGX-1 vs DGX-2 with 4 GPUs (normalized to "
+                     "DGX-1-Unified):",
+                     table, ctx.csv);
+  std::printf("Paper reference: Zerocopy ~3.53x on DGX-1, ~3.66x on DGX-2 "
+              "(similar despite different interconnects).\n");
+  return 0;
+}

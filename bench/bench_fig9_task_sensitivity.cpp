@@ -1,0 +1,57 @@
+// Figure 9: sensitivity to tasks/GPU. Runs the zero-copy solver on a 4-GPU
+// DGX-1 with 4, 8, 16 and 32 tasks per GPU, normalized to the 4-task
+// configuration. Paper shape: finer tasks help (avg +22% at 16 vs 4; up to
+// +78%) but some matrices (webbase-1M) peak at 8 and then degrade --
+// the balance-vs-launch-overhead trade-off.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace msptrsv;
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "Figure 9: zero-copy SpTRSV vs tasks-per-GPU on a 4-GPU DGX-1, "
+      "normalized to 4 tasks/GPU.");
+  bench::add_common_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const bench::BenchContext ctx = bench::context_from(cli);
+
+  const int task_counts[4] = {4, 8, 16, 32};
+  support::Table table(
+      {"Matrix", "4 t/GPU (us)", "8 t/GPU x", "16 t/GPU x", "32 t/GPU x"});
+  std::vector<double> norm[4];
+
+  for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
+    double t[4];
+    for (int i = 0; i < 4; ++i) {
+      core::SolveOptions o;
+      o.backend = core::Backend::kMgZeroCopy;
+      o.machine = sim::Machine::dgx1(4);
+      o.tasks_per_gpu = task_counts[i];
+      t[i] = bench::timed_solve_us(m, o);
+    }
+    table.begin_row();
+    table.add_cell(m.suite.entry.name);
+    table.add_cell(t[0], 1);
+    for (int i = 1; i < 4; ++i) {
+      norm[i].push_back(t[0] / t[i]);
+      table.add_cell(t[0] / t[i], 2);
+    }
+  }
+
+  table.add_separator();
+  table.begin_row();
+  table.add_cell("Avg. (geomean)");
+  table.add_cell("");
+  for (int i = 1; i < 4; ++i) {
+    table.add_cell(bench::average_speedup(norm[i]), 2);
+  }
+
+  bench::print_table(
+      "Figure 9 -- normalized performance vs tasks per GPU (DGX-1, 4 GPUs):",
+      table, ctx.csv);
+  std::printf("Paper reference: 16 tasks/GPU ~1.22x over 4 on average (up to "
+              "1.78x); webbase-1M peaks at 8 tasks then degrades.\n");
+  return 0;
+}

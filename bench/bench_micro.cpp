@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) of the real host backends and the
+// hot substrate paths: these measure actual wall-clock on this machine,
+// complementing the simulated figure benches.
+#include <benchmark/benchmark.h>
+
+#include "core/msptrsv.hpp"
+
+using namespace msptrsv;
+
+namespace {
+
+const sparse::CscMatrix& bench_matrix() {
+  static const sparse::CscMatrix m =
+      sparse::gen_layered_dag(20000, 50, 120000, 0.5, 99);
+  return m;
+}
+
+const std::vector<value_t>& bench_rhs() {
+  static const std::vector<value_t> b = sparse::gen_rhs_for_solution(
+      bench_matrix(), sparse::gen_solution(bench_matrix().rows, 5));
+  return b;
+}
+
+void BM_SerialSolve(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_lower_serial(l, b));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_SerialSolve);
+
+void BM_CpuLevelSetSolve(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  const sparse::LevelAnalysis a = sparse::analyze_levels(l);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_lower_levelset_threads(l, b, a, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_CpuLevelSetSolve)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CpuSyncFreeSolve(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_lower_syncfree_threads(l, b, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_CpuSyncFreeSolve)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_LevelAnalysis(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::analyze_levels(l));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_LevelAnalysis);
+
+void BM_InDegreeCount(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::compute_in_degrees(l));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_InDegreeCount);
+
+void BM_LayeredDagGenerator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::gen_layered_dag(10000, 40, 60000, 0.5, 7));
+  }
+}
+BENCHMARK(BM_LayeredDagGenerator);
+
+void BM_SimulatedZerocopy4Gpu(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  core::SolveOptions o;
+  o.backend = core::Backend::kMgZeroCopy;
+  o.machine = sim::Machine::dgx1(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(l, b, o));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_SimulatedZerocopy4Gpu);
+
+void BM_CscTranspose(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::transpose(l));
+  }
+}
+BENCHMARK(BM_CscTranspose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Power-grid simulation scenario (one of the paper's motivating HPC
+// applications): solve the grid's admittance system Y v = i with an
+// ILU(0)-preconditioned Richardson iteration whose inner kernels are the
+// library's forward/backward triangular solves, running on the simulated
+// multi-GPU machine. SpTRSV dominates such solvers' runtime, which is why
+// its multi-GPU scaling matters.
+#include <cmath>
+#include <cstdio>
+
+#include "core/msptrsv.hpp"
+#include "support/rng.hpp"
+
+using namespace msptrsv;
+
+namespace {
+
+/// A synthetic power network: a service-area transmission mesh with a few
+/// long-range interconnection ties, yielding a diagonally dominant sparse
+/// admittance-like matrix.
+sparse::CsrMatrix build_grid_admittance(index_t buses, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  sparse::CooMatrix coo;
+  coo.rows = coo.cols = buses;
+  std::vector<double> diag(static_cast<std::size_t>(buses), 0.1);
+  auto add_branch = [&](index_t a, index_t b_bus, double admittance) {
+    coo.add(a, b_bus, -admittance);
+    coo.add(b_bus, a, -admittance);
+    diag[static_cast<std::size_t>(a)] += admittance;
+    diag[static_cast<std::size_t>(b_bus)] += admittance;
+  };
+  // Transmission backbone: buses laid out on a service-area mesh, each
+  // connected to its east and north neighbors (real grids have 2D area
+  // structure, which is also what gives the factor usable parallelism).
+  const index_t side = static_cast<index_t>(std::sqrt((double)buses));
+  for (index_t i = 0; i < buses; ++i) {
+    if ((i % side) + 1 < side && i + 1 < buses) {
+      add_branch(i, i + 1, rng.uniform_real(1.0, 4.0));
+    }
+    if (i + side < buses) add_branch(i, i + side, rng.uniform_real(1.0, 4.0));
+  }
+  // A few long-range interconnection ties.
+  for (index_t t = 0; t < buses / 50; ++t) {
+    const index_t a = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(buses)));
+    const index_t b_bus = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(buses)));
+    if (a != b_bus) add_branch(a, b_bus, rng.uniform_real(0.5, 2.0));
+  }
+  for (index_t i = 0; i < buses; ++i) coo.add(i, i, diag[static_cast<std::size_t>(i)]);
+  coo.normalize();
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+}  // namespace
+
+int main() {
+  const index_t buses = 20000;
+  std::printf("power grid: %d buses\n", buses);
+  const sparse::CsrMatrix y = build_grid_admittance(buses, 2024);
+  const sparse::CscMatrix y_csc = sparse::csc_from_csr(y);
+
+  // Factorize once (the paper uses MA48; we use ILU(0) -- see DESIGN.md).
+  const sparse::IluResult f = sparse::ilu0(y);
+  const sparse::LevelAnalysis analysis = sparse::analyze_levels(f.lower);
+  std::printf("L factor: nnz=%lld levels=%d parallelism=%.0f\n",
+              static_cast<long long>(f.lower.nnz()), analysis.num_levels,
+              analysis.parallelism_metric());
+
+  // Injection currents with a known bus-voltage profile.
+  const std::vector<value_t> v_true = sparse::gen_solution(buses, 5);
+  const std::vector<value_t> injections = sparse::multiply(y_csc, v_true);
+
+  // Preconditioned Richardson: v += (LU)^{-1} (i - Y v). Both triangular
+  // solves run through the zero-copy multi-GPU backend.
+  core::SolveOptions opt;
+  opt.backend = core::Backend::kMgZeroCopy;
+  opt.machine = sim::Machine::dgx1(4);
+  opt.tasks_per_gpu = 8;
+  opt.include_analysis = false;  // analysis is amortized over iterations
+
+  std::vector<value_t> v(static_cast<std::size_t>(buses), 0.0);
+  double sptrsv_us = 0.0;
+  int iters = 0;
+  value_t rel = 1.0;
+  for (; iters < 200 && rel > 1e-10; ++iters) {
+    const std::vector<value_t> yv = sparse::multiply(y_csc, v);
+    std::vector<value_t> r(static_cast<std::size_t>(buses));
+    value_t rnorm = 0.0, bnorm = 0.0;
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      r[k] = injections[k] - yv[k];
+      rnorm = std::max(rnorm, std::abs(r[k]));
+      bnorm = std::max(bnorm, std::abs(injections[k]));
+    }
+    rel = bnorm > 0 ? rnorm / bnorm : rnorm;
+    if (rel <= 1e-10) break;
+    const core::SolveResult fwd = core::solve(f.lower, r, opt);
+    const core::SolveResult bwd = core::solve_upper(f.upper, fwd.x, opt);
+    sptrsv_us += fwd.report.solve_us + bwd.report.solve_us;
+    for (std::size_t k = 0; k < v.size(); ++k) v[k] += bwd.x[k];
+  }
+
+  std::printf("converged to relative residual %.2e in %d iterations\n", rel,
+              iters);
+  std::printf("max bus-voltage error: %.2e\n",
+              core::max_relative_difference(v, v_true));
+  std::printf("simulated SpTRSV time across all iterations: %.1f us "
+              "(%.1f us per pair of solves)\n",
+              sptrsv_us, sptrsv_us / std::max(1, iters));
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "core/comm_nvshmem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msptrsv::core {
+
+NvshmemComm::NvshmemComm(sim::Interconnect& net, const sim::CostModel& cost,
+                         int num_pes, index_t n, NvshmemCommOptions options)
+    : cost_(cost), nv_(net, cost, num_pes), options_(options),
+      num_pes_(num_pes) {
+  // Collective symmetric allocation: s.left_sum and s.in_degree, full size
+  // on every PE (the read-only model's memory cost; ~10% of total in the
+  // paper's runs).
+  nv_.symmetric_alloc(static_cast<double>(n) * sizeof(value_t));
+  nv_.symmetric_alloc(static_cast<double>(n) * sizeof(index_t));
+  if (options_.naive_get_update_put) {
+    entry_available_.assign(static_cast<std::size_t>(n), 0.0);
+  }
+}
+
+UpdateTiming NvshmemComm::push_update(int src_gpu, int dst_gpu, index_t dep,
+                                      sim_time_t issue, bool /*is_final*/) {
+  if (src_gpu == dst_gpu) {
+    // d-array update: device-scope atomic pair observed by the local
+    // waiter after L2 propagation + half a poll iteration.
+    const sim_time_t done = issue + cost_.atomic_local_us;
+    return {done, done + cost_.local_visibility_us};
+  }
+  if (options_.naive_get_update_put) {
+    // Remote read-modify-write of the owner's heap entry: the writer's warp
+    // blocks through get + fence + put + fence, and the chain serializes
+    // against every other writer of the same entry (Fig. 4's restriction).
+    sim_time_t t =
+        std::max(issue, entry_available_[static_cast<std::size_t>(dep)]);
+    t = nv_.get(src_gpu, dst_gpu, sizeof(value_t) + sizeof(index_t), t);
+    t = nv_.fence(t);
+    t = nv_.put(src_gpu, dst_gpu, sizeof(value_t) + sizeof(index_t), t);
+    t = nv_.fence(t);
+    entry_available_[static_cast<std::size_t>(dep)] = t;
+    // The owner sees it on its next poll of its own memory (local read).
+    return {t, t + cost_.atomic_local_us};
+  }
+  // Read-only model: the writer updates its OWN s.left_sum[dep] and
+  // s.in_degree[dep] with device-scope atomics -- no remote traffic, no
+  // stall beyond the atomics themselves.
+  const sim_time_t written = issue + 2.0 * cost_.atomic_local_us;
+  // The dependent observes it on its next poll round: one uncontended
+  // fine-grained get from the writer PE.
+  return {written, written + nv_.poll_visibility_delay(dst_gpu, src_gpu)};
+}
+
+sim_time_t NvshmemComm::gather_before_solve(int gpu, index_t /*comp*/,
+                                            std::span<const int> remote_gpus,
+                                            sim_time_t start) {
+  if (options_.naive_get_update_put) {
+    // All state already lives at the owner: plain local reads.
+    return start + cost_.atomic_local_us;
+  }
+  std::vector<int> pes(remote_gpus.begin(), remote_gpus.end());
+  if (options_.gather_from_all_pes) {
+    pes.clear();
+    for (int pe = 0; pe < num_pes_; ++pe) {
+      if (pe != gpu) pes.push_back(pe);
+    }
+  }
+  if (pes.empty()) {
+    // No remote contributions: the r.in_degree cache skipped every PE and
+    // d-arrays hold everything.
+    return start + cost_.atomic_local_us;
+  }
+  // Final poll round confirming the in-degree, then the left_sum gather;
+  // both are warp-parallel gets combined by shuffle reduction.
+  sim_time_t t = nv_.gather_reduce(gpu, pes, sizeof(index_t), start);
+  t = nv_.gather_reduce(gpu, pes, sizeof(value_t), t);
+  if (options_.linear_reduction) {
+    // Replace the two log2 reductions by O(P) loop summation: charge the
+    // extra (P - log2(P)) shuffle-equivalent steps twice.
+    const double lanes = static_cast<double>(pes.size() + 1);
+    const double log_steps = std::ceil(std::log2(lanes));
+    t += 2.0 * std::max(0.0, lanes - log_steps) * cost_.shuffle_us;
+  }
+  return t;
+}
+
+void NvshmemComm::fill_report(sim::RunReport& report) const {
+  const sim::NvshmemStats& s = nv_.stats();
+  report.solver_name = options_.naive_get_update_put
+                           ? "sptrsv-nvshmem-naive"
+                           : "sptrsv-nvshmem";
+  report.nvshmem_gets = s.gets;
+  report.nvshmem_puts = s.puts;
+  report.nvshmem_fences = s.fences;
+  report.gather_reductions = s.gather_reductions;
+  report.nvshmem_bytes = s.bytes;
+}
+
+}  // namespace msptrsv::core

@@ -1,0 +1,67 @@
+// Communication policy of Algorithm 3: the zero-copy, read-only inter-GPU
+// communication model over NVSHMEM.
+//
+// Writers never touch remote memory: every PE accumulates its contributions
+// to s.in_degree / s.left_sum in its *own* symmetric heap with device-scope
+// atomics. A waiting component polls the still-active PEs with one-sided
+// gets (the r.in_degree cache skips PEs whose contribution count already
+// reached zero) and, on exit, gathers the left_sum partials warp-parallel
+// and combines them with an O(log P) __shfl_down_sync reduction.
+//
+// Two ablation switches reproduce the design alternatives the paper argues
+// against in Section IV:
+//  * naive_get_update_put: remote updates Get-Update-Put the *owner's* heap
+//    with fences, serializing every writer on the target entry (Fig. 4's
+//    "only one PE can operate on shared data");
+//  * gather_from_all_pes: the final gather reads every PE instead of only
+//    the PEs that contributed (no r.in_degree read-skipping).
+//  * linear_reduction: O(P) sequential summation instead of the O(log P)
+//    warp shuffle.
+#pragma once
+
+#include <vector>
+
+#include "core/mg_engine.hpp"
+#include "sim/nvshmem.hpp"
+
+namespace msptrsv::core {
+
+struct NvshmemCommOptions {
+  bool naive_get_update_put = false;
+  bool gather_from_all_pes = false;
+  bool linear_reduction = false;
+};
+
+class NvshmemComm final : public CommPolicy {
+ public:
+  NvshmemComm(sim::Interconnect& net, const sim::CostModel& cost, int num_pes,
+              index_t n, NvshmemCommOptions options = {});
+
+  std::string name() const override {
+    return options_.naive_get_update_put ? "nvshmem-naive" : "nvshmem-zerocopy";
+  }
+
+  UpdateTiming push_update(int src_gpu, int dst_gpu, index_t dep,
+                           sim_time_t issue, bool is_final) override;
+
+  sim_time_t gather_before_solve(int gpu, index_t comp,
+                                 std::span<const int> remote_gpus,
+                                 sim_time_t start) override;
+
+  void fill_report(sim::RunReport& report) const override;
+
+  const sim::NvshmemStats& nvshmem_stats() const { return nv_.stats(); }
+  /// Bytes of symmetric heap reserved on every PE (2 n-sized arrays).
+  double symmetric_heap_bytes() const { return nv_.symmetric_heap_bytes(); }
+
+ private:
+  const sim::CostModel& cost_;
+  sim::NvshmemModel nv_;
+  NvshmemCommOptions options_;
+  int num_pes_;
+  /// Per-entry serialization of the naive ablation's remote read-modify-
+  /// write chains (unused -- empty -- in the read-only model).
+  std::vector<sim_time_t> entry_available_;
+};
+
+}  // namespace msptrsv::core

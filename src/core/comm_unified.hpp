@@ -1,0 +1,43 @@
+// Communication policy of Algorithm 2: shared intermediate arrays
+// (s.in_degree, s.left_sum) in CUDA Unified Memory, system-wide atomics
+// for remote updates, device-local d-arrays for local ones.
+//
+// Under system-scope atomics a managed page is exclusively owned; every
+// remote update migrates the dependent's s-array pages to the writer, and
+// the dependent's busy-wait loop immediately pulls the in-degree page back.
+// That ping-pong -- two to three migrations per remote update -- is the
+// thrashing behaviour the paper characterizes in Section III/Fig. 3.
+#pragma once
+
+#include "core/mg_engine.hpp"
+#include "sim/unified_memory.hpp"
+
+namespace msptrsv::core {
+
+class UnifiedComm final : public CommPolicy {
+ public:
+  /// `n` is the component count (sizes both managed arrays).
+  UnifiedComm(sim::Interconnect& net, const sim::CostModel& cost, int num_gpus,
+              index_t n);
+
+  std::string name() const override { return "unified-memory"; }
+
+  UpdateTiming push_update(int src_gpu, int dst_gpu, index_t dep,
+                           sim_time_t issue, bool is_final) override;
+
+  sim_time_t gather_before_solve(int gpu, index_t comp,
+                                 std::span<const int> remote_gpus,
+                                 sim_time_t start) override;
+
+  void fill_report(sim::RunReport& report) const override;
+
+  const sim::UnifiedMemoryStats& memory_stats() const { return um_.stats(); }
+
+ private:
+  const sim::CostModel& cost_;
+  sim::UnifiedMemoryModel um_;
+  int in_degree_region_;
+  int left_sum_region_;
+};
+
+}  // namespace msptrsv::core

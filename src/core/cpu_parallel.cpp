@@ -1,0 +1,137 @@
+#include "core/cpu_parallel.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::core {
+
+namespace {
+
+int resolve_threads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : static_cast<int>(hw);
+}
+
+/// Lock-free add on a double via compare-exchange (the host-side analogue
+/// of atomicAdd(double*) on the GPU).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<value_t> solve_lower_levelset_threads(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    const sparse::LevelAnalysis& analysis, int num_threads) {
+  sparse::require_solvable_lower(lower);
+  MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
+                  "rhs length must match the matrix dimension");
+  MSPTRSV_REQUIRE(analysis.n == lower.rows,
+                  "analysis belongs to a different matrix");
+  const index_t n = lower.rows;
+  const int threads = resolve_threads(num_threads);
+
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  // Per-entry updates within one level can race on left_sum (two solved
+  // columns updating the same later row), hence atomics.
+  std::vector<std::atomic<double>> left_sum(static_cast<std::size_t>(n));
+  for (auto& v : left_sum) v.store(0.0, std::memory_order_relaxed);
+
+  std::barrier sync(threads);
+  auto worker = [&](int tid) {
+    for (index_t l = 0; l < analysis.num_levels; ++l) {
+      const offset_t begin = analysis.level_ptr[static_cast<std::size_t>(l)];
+      const offset_t end = analysis.level_ptr[static_cast<std::size_t>(l) + 1];
+      for (offset_t p = begin + tid; p < end; p += threads) {
+        const index_t i = analysis.order[static_cast<std::size_t>(p)];
+        const offset_t d = lower.col_ptr[i];
+        const value_t xi =
+            (b[static_cast<std::size_t>(i)] -
+             left_sum[static_cast<std::size_t>(i)].load(
+                 std::memory_order_acquire)) /
+            lower.val[d];
+        x[static_cast<std::size_t>(i)] = xi;
+        for (offset_t k = d + 1; k < lower.col_ptr[i + 1]; ++k) {
+          atomic_add(left_sum[static_cast<std::size_t>(lower.row_idx[k])],
+                     lower.val[k] * xi);
+        }
+      }
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& th : pool) th.join();
+  return x;
+}
+
+std::vector<value_t> solve_lower_syncfree_threads(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    int num_threads) {
+  sparse::require_solvable_lower(lower);
+  MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
+                  "rhs length must match the matrix dimension");
+  const index_t n = lower.rows;
+  const int threads = resolve_threads(num_threads);
+
+  // Pre-processing of the sync-free scheme: per-component in-degrees.
+  std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(n));
+  {
+    const std::vector<index_t> indeg = sparse::compute_in_degrees(lower);
+    for (index_t i = 0; i < n; ++i) {
+      pending[static_cast<std::size_t>(i)].store(
+          indeg[static_cast<std::size_t>(i)], std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  std::vector<std::atomic<double>> left_sum(static_cast<std::size_t>(n));
+  for (auto& v : left_sum) v.store(0.0, std::memory_order_relaxed);
+
+  // Ascending work claiming: thread-safe and deadlock-free (see header).
+  std::atomic<index_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const index_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      // Lock-wait phase.
+      while (pending[static_cast<std::size_t>(i)].load(
+                 std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+      }
+      // Solve-update phase.
+      const offset_t d = lower.col_ptr[i];
+      const value_t xi =
+          (b[static_cast<std::size_t>(i)] -
+           left_sum[static_cast<std::size_t>(i)].load(
+               std::memory_order_acquire)) /
+          lower.val[d];
+      x[static_cast<std::size_t>(i)] = xi;
+      for (offset_t k = d + 1; k < lower.col_ptr[i + 1]; ++k) {
+        const index_t rid = lower.row_idx[k];
+        atomic_add(left_sum[static_cast<std::size_t>(rid)], lower.val[k] * xi);
+        pending[static_cast<std::size_t>(rid)].fetch_sub(
+            1, std::memory_order_acq_rel);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return x;
+}
+
+}  // namespace msptrsv::core

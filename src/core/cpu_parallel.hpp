@@ -1,0 +1,36 @@
+// Real multi-threaded host backends.
+//
+// These are genuinely parallel implementations (std::thread + atomics), not
+// simulations: they validate the two parallelization strategies of
+// Section II under true races and feed the micro-benchmarks.
+//
+//  * level-set: one barrier per level, components of a level split across
+//    threads (Naumov's strategy);
+//  * sync-free: all components active from the start; a component spins on
+//    an atomic in-degree until its dependencies resolve (Liu's strategy).
+//    Threads claim components in ascending id order from a shared counter,
+//    which guarantees deadlock freedom: the smallest unsolved component is
+//    always already claimed and its dependencies are all solved.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/level_analysis.hpp"
+
+namespace msptrsv::core {
+
+/// Level-set parallel forward substitution. `num_threads <= 0` uses
+/// std::thread::hardware_concurrency(). The analysis is taken as input so
+/// callers amortize it over repeated solves (the preconditioner use case).
+std::vector<value_t> solve_lower_levelset_threads(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    const sparse::LevelAnalysis& analysis, int num_threads = 0);
+
+/// Synchronization-free parallel forward substitution.
+std::vector<value_t> solve_lower_syncfree_threads(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    int num_threads = 0);
+
+}  // namespace msptrsv::core

@@ -1,0 +1,33 @@
+// Simulated single-GPU level-set solver -- the cuSPARSE csrsv2() stand-in
+// the paper's Fig. 10 normalizes against (Naumov's level-scheduling: one
+// kernel + device synchronization per level).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/level_analysis.hpp"
+
+namespace msptrsv::core {
+
+struct LevelSetResult {
+  std::vector<value_t> x;
+  sim::RunReport report;
+};
+
+/// Executes the level-set schedule numerically (producing x) while costing
+/// it on one simulated GPU of `machine`:
+///   solve time = sum over levels of
+///     [per-level kernel-launch+sync overhead +
+///      level work spread over the GPU's warp slots]
+/// and analysis time = the level-set dependency-graph construction
+/// (substantially more expensive than the sync-free in-degree count, one of
+/// the paper's motivations for sync-free execution).
+LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
+                                        std::span<const value_t> b,
+                                        const sim::Machine& machine);
+
+}  // namespace msptrsv::core

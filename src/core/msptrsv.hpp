@@ -1,0 +1,45 @@
+// Umbrella header of the msptrsv library: multi-GPU zero-copy sparse
+// triangular solver (reproduction of Xie et al., ICPP 2021) plus the
+// sparse-matrix and multi-GPU-machine substrates it is built on.
+//
+// Typical use:
+//
+//   #include "core/msptrsv.hpp"
+//   using namespace msptrsv;
+//
+//   sparse::CscMatrix L = sparse::gen_layered_dag(1 << 16, 64, 1 << 18,
+//                                                 0.5, /*seed=*/42);
+//   std::vector<value_t> x_ref = sparse::gen_solution(L.rows, 1);
+//   std::vector<value_t> b = sparse::gen_rhs_for_solution(L, x_ref);
+//
+//   core::SolveOptions opt;
+//   opt.backend = core::Backend::kMgZeroCopy;
+//   opt.machine = sim::Machine::dgx1(4);
+//   opt.tasks_per_gpu = 8;
+//   core::SolveResult r = core::solve(L, b, opt);
+//   // r.x ~= x_ref; r.report has simulated time, traffic, faults, ...
+#pragma once
+
+#include "core/cpu_parallel.hpp"
+#include "core/levelset.hpp"
+#include "core/mg_engine.hpp"
+#include "core/reference.hpp"
+#include "core/residual.hpp"
+#include "core/solver.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+#include "sim/report.hpp"
+#include "sparse/factorization.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/level_analysis.hpp"
+#include "sparse/mmio.hpp"
+#include "sparse/partition.hpp"
+#include "sparse/suite.hpp"
+#include "sparse/triangular.hpp"
+
+namespace msptrsv {
+
+/// Library version, matching the CMake project version.
+inline constexpr const char* kVersion = "1.0.0";
+
+}  // namespace msptrsv

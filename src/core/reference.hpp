@@ -1,0 +1,32 @@
+// Serial reference solvers (the paper's Algorithm 1 and its backward
+// counterpart). Every parallel backend is validated against these.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace msptrsv::core {
+
+/// Forward substitution for Lx = b on a solvable lower-triangular CSC
+/// matrix (Algorithm 1: column sweep with a left-sum accumulator).
+std::vector<value_t> solve_lower_serial(const sparse::CscMatrix& lower,
+                                        std::span<const value_t> b);
+
+/// Backward substitution for Ux = b on an upper-triangular CSC matrix with
+/// a nonzero diagonal terminating each column.
+std::vector<value_t> solve_upper_serial(const sparse::CscMatrix& upper,
+                                        std::span<const value_t> b);
+
+/// Reduction of Ux = b to the lower-triangular form every parallel backend
+/// consumes: reverse-order both dimensions (L'(i,j) = U(n-1-i, n-1-j)),
+/// solve L'x' = b', undo the reversal. Exposed so callers can run backward
+/// substitution through any multi-GPU backend.
+sparse::CscMatrix reverse_upper_to_lower(const sparse::CscMatrix& upper);
+
+/// Reverses a vector (the rhs/solution transform that pairs with
+/// reverse_upper_to_lower).
+std::vector<value_t> reversed(std::span<const value_t> v);
+
+}  // namespace msptrsv::core

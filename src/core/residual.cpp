@@ -1,0 +1,44 @@
+#include "core/residual.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::core {
+
+value_t residual_inf_norm(const sparse::CscMatrix& a,
+                          std::span<const value_t> x,
+                          std::span<const value_t> b) {
+  MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(a.rows),
+                  "rhs length must match matrix rows");
+  const std::vector<value_t> ax = sparse::multiply(a, x);
+  value_t worst = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    worst = std::max(worst, std::abs(ax[i] - b[i]));
+  }
+  return worst;
+}
+
+value_t relative_residual(const sparse::CscMatrix& a,
+                          std::span<const value_t> x,
+                          std::span<const value_t> b) {
+  value_t bnorm = 0.0;
+  for (value_t v : b) bnorm = std::max(bnorm, std::abs(v));
+  const value_t r = residual_inf_norm(a, x, b);
+  if (bnorm == 0.0) return r == 0.0 ? 0.0 : r;
+  return r / bnorm;
+}
+
+value_t max_relative_difference(std::span<const value_t> x,
+                                std::span<const value_t> y) {
+  MSPTRSV_REQUIRE(x.size() == y.size(), "vectors must have equal length");
+  value_t worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const value_t denom = std::max<value_t>(1.0, std::abs(y[i]));
+    worst = std::max(worst, std::abs(x[i] - y[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace msptrsv::core

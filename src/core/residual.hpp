@@ -1,0 +1,25 @@
+// Solution-quality checks shared by tests, examples and benches.
+#pragma once
+
+#include <span>
+
+#include "sparse/csc.hpp"
+
+namespace msptrsv::core {
+
+/// max_i |(Ax - b)_i|.
+value_t residual_inf_norm(const sparse::CscMatrix& a,
+                          std::span<const value_t> x,
+                          std::span<const value_t> b);
+
+/// ||Ax - b||_inf / ||b||_inf (0/0 treated as 0).
+value_t relative_residual(const sparse::CscMatrix& a,
+                          std::span<const value_t> x,
+                          std::span<const value_t> b);
+
+/// max_i |x_i - y_i| / max(1, |y_i|): component-wise relative difference
+/// between a computed and a reference solution.
+value_t max_relative_difference(std::span<const value_t> x,
+                                std::span<const value_t> y);
+
+}  // namespace msptrsv::core

@@ -1,0 +1,155 @@
+#include "core/solver.hpp"
+
+#include <chrono>
+
+#include "core/comm_unified.hpp"
+#include "core/cpu_parallel.hpp"
+#include "core/levelset.hpp"
+#include "core/mg_engine.hpp"
+#include "core/reference.hpp"
+#include "sparse/level_analysis.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::core {
+
+std::string backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSerial: return "serial";
+    case Backend::kCpuLevelSet: return "cpu-levelset";
+    case Backend::kCpuSyncFree: return "cpu-syncfree";
+    case Backend::kGpuLevelSet: return "gpu-levelset(csrsv2)";
+    case Backend::kMgUnified: return "mg-unified";
+    case Backend::kMgUnifiedTask: return "mg-unified+task";
+    case Backend::kMgShmem: return "mg-shmem";
+    case Backend::kMgZeroCopy: return "mg-zerocopy";
+  }
+  return "unknown";
+}
+
+bool is_simulated(Backend b) {
+  switch (b) {
+    case Backend::kGpuLevelSet:
+    case Backend::kMgUnified:
+    case Backend::kMgUnifiedTask:
+    case Backend::kMgShmem:
+    case Backend::kMgZeroCopy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sparse::Partition partition_for(const SolveOptions& options, index_t n) {
+  const int gpus = options.machine.num_gpus();
+  switch (options.backend) {
+    case Backend::kMgUnified:
+    case Backend::kMgShmem:
+      return sparse::Partition::block(n, gpus);
+    case Backend::kMgUnifiedTask:
+    case Backend::kMgZeroCopy:
+      return sparse::Partition::round_robin_tasks(n, gpus,
+                                                  options.tasks_per_gpu);
+    default:
+      return sparse::Partition::block(n, 1);
+  }
+}
+
+namespace {
+
+SolveResult run_engine(const sparse::CscMatrix& lower,
+                       std::span<const value_t> b,
+                       const SolveOptions& options, bool unified) {
+  const sparse::Partition partition = partition_for(options, lower.rows);
+  sim::Interconnect net(options.machine.topology, options.machine.cost);
+  EngineOptions eng;
+  eng.include_analysis = options.include_analysis;
+
+  SolveResult out;
+  if (unified) {
+    UnifiedComm comm(net, options.machine.cost, partition.num_gpus(),
+                     lower.rows);
+    EngineResult r =
+        run_mg_engine(lower, b, partition, options.machine, net, comm, eng);
+    out.x = std::move(r.x);
+    out.report = std::move(r.report);
+  } else {
+    NvshmemComm comm(net, options.machine.cost, partition.num_gpus(),
+                     lower.rows, options.nvshmem);
+    EngineResult r =
+        run_mg_engine(lower, b, partition, options.machine, net, comm, eng);
+    out.x = std::move(r.x);
+    out.report = std::move(r.report);
+  }
+  out.report.solver_name = backend_name(options.backend);
+  return out;
+}
+
+}  // namespace
+
+SolveResult solve(const sparse::CscMatrix& lower, std::span<const value_t> b,
+                  const SolveOptions& options) {
+  switch (options.backend) {
+    case Backend::kSerial: {
+      SolveResult out;
+      const auto t0 = std::chrono::steady_clock::now();
+      out.x = solve_lower_serial(lower, b);
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      out.report.solver_name = backend_name(options.backend);
+      out.report.machine_name = "host";
+      return out;
+    }
+    case Backend::kCpuLevelSet: {
+      SolveResult out;
+      const sparse::LevelAnalysis analysis = sparse::analyze_levels(lower);
+      const auto t0 = std::chrono::steady_clock::now();
+      out.x = solve_lower_levelset_threads(lower, b, analysis,
+                                           options.cpu_threads);
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      out.report.solver_name = backend_name(options.backend);
+      out.report.machine_name = "host";
+      return out;
+    }
+    case Backend::kCpuSyncFree: {
+      SolveResult out;
+      const auto t0 = std::chrono::steady_clock::now();
+      out.x = solve_lower_syncfree_threads(lower, b, options.cpu_threads);
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      out.report.solver_name = backend_name(options.backend);
+      out.report.machine_name = "host";
+      return out;
+    }
+    case Backend::kGpuLevelSet: {
+      LevelSetResult r = solve_levelset_simulated(lower, b, options.machine);
+      SolveResult out;
+      out.x = std::move(r.x);
+      out.report = std::move(r.report);
+      return out;
+    }
+    case Backend::kMgUnified:
+    case Backend::kMgUnifiedTask:
+      return run_engine(lower, b, options, /*unified=*/true);
+    case Backend::kMgShmem:
+    case Backend::kMgZeroCopy:
+      return run_engine(lower, b, options, /*unified=*/false);
+  }
+  MSPTRSV_REQUIRE(false, "unhandled backend");
+  return {};
+}
+
+SolveResult solve_upper(const sparse::CscMatrix& upper,
+                        std::span<const value_t> b,
+                        const SolveOptions& options) {
+  const sparse::CscMatrix lower = reverse_upper_to_lower(upper);
+  const std::vector<value_t> rb = reversed(b);
+  SolveResult r = solve(lower, rb, options);
+  r.x = reversed(r.x);
+  return r;
+}
+
+}  // namespace msptrsv::core

@@ -1,0 +1,85 @@
+// Top-level SpTRSV interface: pick a backend, a machine, and solve.
+//
+// Backends map one-to-one onto the design points of the paper's Fig. 7
+// plus the host baselines:
+//   kSerial         Algorithm 1 (host reference)
+//   kCpuLevelSet    real-thread level-set (Naumov on the host)
+//   kCpuSyncFree    real-thread sync-free (Liu on the host)
+//   kGpuLevelSet    simulated cuSPARSE csrsv2 (Fig. 10 baseline)
+//   kMgUnified      "4GPU-Unified":      Algorithm 2, block distribution
+//   kMgUnifiedTask  "4GPU-Unified+task": Algorithm 2 + task pool
+//   kMgShmem        "4GPU-Shmem":        Algorithm 3, block distribution
+//   kMgZeroCopy     "4GPU-Zerocopy":     Algorithm 3 + task pool
+//
+// kMgZeroCopy with machine.num_gpus()==1 degenerates to the single-GPU
+// sync-free solver (no remote traffic, one task stream).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/comm_nvshmem.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/partition.hpp"
+
+namespace msptrsv::core {
+
+enum class Backend {
+  kSerial,
+  kCpuLevelSet,
+  kCpuSyncFree,
+  kGpuLevelSet,
+  kMgUnified,
+  kMgUnifiedTask,
+  kMgShmem,
+  kMgZeroCopy,
+};
+
+/// Human-readable backend name (used in reports and bench tables).
+std::string backend_name(Backend b);
+
+/// True for the backends that run on the simulated machine.
+bool is_simulated(Backend b);
+
+struct SolveOptions {
+  Backend backend = Backend::kMgZeroCopy;
+  /// Machine model for the simulated backends.
+  sim::Machine machine = sim::Machine::dgx1(4);
+  /// Tasks per GPU for the task-pool backends (Section V; the paper's
+  /// default configuration is 8).
+  int tasks_per_gpu = 8;
+  /// Thread count for the real host backends (0 = hardware concurrency).
+  int cpu_threads = 0;
+  /// NVSHMEM design ablations (Section IV alternatives).
+  NvshmemCommOptions nvshmem;
+  /// Include the analysis phase in reported simulated time.
+  bool include_analysis = true;
+};
+
+struct SolveResult {
+  std::vector<value_t> x;
+  /// Filled by simulated backends; solver/machine names always set.
+  sim::RunReport report;
+  /// Wall-clock seconds for the real host backends (0 for simulated).
+  double wall_seconds = 0.0;
+};
+
+/// Solves lower * x = b with the configured backend.
+SolveResult solve(const sparse::CscMatrix& lower, std::span<const value_t> b,
+                  const SolveOptions& options);
+
+/// Backward substitution: solves upper * x = b by reducing to the lower
+/// form (see reference.hpp) and dispatching to the same backend.
+SolveResult solve_upper(const sparse::CscMatrix& upper,
+                        std::span<const value_t> b,
+                        const SolveOptions& options);
+
+/// The partition a backend/options pair implies for a given n (exposed for
+/// footprint estimation and tests).
+sparse::Partition partition_for(const SolveOptions& options, index_t n);
+
+}  // namespace msptrsv::core

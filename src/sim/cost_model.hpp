@@ -1,0 +1,100 @@
+// Calibration constants of the machine model.
+//
+// Every constant is a *time* (microseconds) or a *rate* with a documented
+// physical counterpart on the V100/DGX systems the paper evaluates. The
+// reproduction targets relative shapes, so what matters is the ratios:
+// a unified-memory page fault is ~10^1 us while an NVSHMEM fine-grained get
+// is ~10^0 us and a device-scope atomic is ~10^-2 us -- three orders of
+// magnitude that drive every result in the paper.
+#pragma once
+
+#include "support/types.hpp"
+
+namespace msptrsv::sim {
+
+struct CostModel {
+  // --- compute -----------------------------------------------------------
+  /// Solver warps concurrently resident per GPU. A V100 has 80 SMs x 64
+  /// warp slots; the sync-free solver keeps a fraction of them active.
+  int warp_slots_per_gpu = 192;
+  /// Fixed cost of solving one component (division + bookkeeping).
+  sim_time_t solve_base_us = 0.06;
+  /// Per-nonzero cost of the update fan-out in the solved column.
+  sim_time_t solve_per_nnz_us = 0.0035;
+  /// Device-scope atomic add/incr (L2-resident), issue-to-retire.
+  sim_time_t atomic_local_us = 0.01;
+  /// Latency until a *local* dependent's busy-wait loop observes a
+  /// device-scope update: L2 propagation plus half a poll iteration.
+  /// Measured sync-free solvers show ~1-2 us per dependency level even on
+  /// one GPU; this constant is why csrsv2's ~4-10 us per-level barrier
+  /// loses on deep matrices but not by orders of magnitude.
+  sim_time_t local_visibility_us = 1.2;
+  /// Issue cost of a *system-scope* atomic to managed memory (the warp
+  /// proceeds once the request is queued to the fabric; the page-level
+  /// migration cost lands on the page timeline, not the producer).
+  sim_time_t atomic_system_us = 0.8;
+
+  // --- kernels -----------------------------------------------------------
+  /// Host-side kernel launch overhead (one per task in the task model).
+  sim_time_t kernel_launch_us = 6.0;
+  /// Per-level kernel + synchronization cost of the level-set baseline
+  /// (cuSPARSE csrsv2-style execution).
+  sim_time_t level_sync_us = 4.0;
+
+  // --- unified memory ----------------------------------------------------
+  /// Migration granule. The driver adapts between 4 KiB and 2 MiB; for the
+  /// scattered single-word atomics of SpTRSV's intermediate arrays it stays
+  /// at the minimum granule, which also keeps the page-level parallelism of
+  /// the scaled-down suite analogs representative of the paper-scale runs.
+  double page_bytes = 4096.0;
+  /// GPU page-fault service time (fault + TLB shootdown + map update);
+  /// measured 10-40 us on Volta-class parts depending on batching.
+  sim_time_t page_fault_us = 25.0;
+  /// Driver thrashing mitigation: a page whose migrations come back to
+  /// back -- more than um_pin_threshold bounces, each within
+  /// um_storm_window_us of the previous -- is pinned where it is, and
+  /// other processors are served through direct remote (peer) mappings ...
+  int um_pin_threshold = 3;
+  sim_time_t um_storm_window_us = 40.0;
+  /// ... or whose lifetime migration count exceeds this cap (slow but
+  /// persistent alternation; the driver throttles migration volume too).
+  int um_bounce_cap = 12;
+  /// ... until the pin expires and migrate-on-write (and hence the thrash
+  /// cycle) resumes. Rate-based detection is why the wide-and-shallow
+  /// nlpkkt160 (a synchronized bounce storm the driver catches instantly)
+  /// keeps scaling under Unified Memory in Fig. 3 while deep matrices,
+  /// whose pages alternate slowly as the wavefront passes, churn forever.
+  sim_time_t um_pin_duration_us = 500.0;
+  /// One direct access to a thrashing-mitigated page (no migration). The
+  /// driver maps such pages into *host* sysmem, so every access -- read or
+  /// system-scope atomic -- crosses PCIe: distinctly slower than an NVLink
+  /// peer access, which is why mitigated Unified Memory still trails the
+  /// NVSHMEM design even once the fault storm subsides.
+  sim_time_t remote_access_us = 6.0;
+
+  // --- nvshmem -----------------------------------------------------------
+  /// Initiation overhead of a GPU-initiated one-sided get/put.
+  sim_time_t get_overhead_us = 0.6;
+  /// Extra latency per NVLink hop on the route.
+  sim_time_t hop_latency_us = 0.3;
+  /// One __shfl_down_sync step of the warp-level reduction.
+  sim_time_t shuffle_us = 0.04;
+  /// Busy-wait loop iteration period of the lock-wait phase.
+  sim_time_t poll_quantum_us = 0.3;
+  /// nvshmem_fence / nvshmem_quiet (used by the naive Get-Update-Put
+  /// ablation; the read-only model never pays it).
+  sim_time_t fence_us = 1.2;
+
+  // --- host --------------------------------------------------------------
+  /// PCIe gen3 x16 effective bandwidth, for spills in the capacity model.
+  double pcie_bw_gbs = 12.0;
+
+  // --- analysis phase ----------------------------------------------------
+  /// Per-nonzero cost of the in-degree counting kernel (streaming atomics).
+  sim_time_t indegree_per_nnz_us = 0.0008;
+};
+
+/// Bytes per microsecond for a GB/s figure (1 GB/s = 1000 B/us).
+inline double bytes_per_us(double gbs) { return gbs * 1000.0; }
+
+}  // namespace msptrsv::sim

@@ -1,0 +1,57 @@
+// Time-accounting layer over a Topology.
+//
+// Each link is a serially reusable resource: concurrent messages over the
+// same link queue behind each other (bandwidth contention), while messages
+// on disjoint links proceed in parallel. This is what makes the model
+// sensitive to topology -- DGX-1 2-hop routes and shared links congest,
+// DGX-2 ports do not until a GPU saturates its own port.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/topology.hpp"
+#include "support/types.hpp"
+
+namespace msptrsv::sim {
+
+struct LinkStats {
+  double bytes = 0.0;
+  std::uint64_t messages = 0;
+  sim_time_t busy_us = 0.0;
+};
+
+class Interconnect {
+ public:
+  Interconnect(const Topology& topo, const CostModel& cost);
+
+  /// Books a message of `bytes` from src to dst entering the network at
+  /// `now`; returns its delivery time. The transfer seizes every link on
+  /// the route (store-and-forward at message granularity) and advances the
+  /// links' next-free times, so later messages contend realistically.
+  sim_time_t transfer(int src, int dst, double bytes, sim_time_t now);
+
+  /// Contention-free estimate of the same message (no booking). Used for
+  /// poll-loop visibility where charging every iteration would be
+  /// unphysically pessimistic (polls coalesce in hardware).
+  sim_time_t uncontended_latency(int src, int dst, double bytes) const;
+
+  const Topology& topology() const { return topo_; }
+  const LinkStats& link_stats(int link_id) const;
+  const std::vector<LinkStats>& all_link_stats() const { return stats_; }
+
+  double total_bytes() const;
+  std::uint64_t total_messages() const;
+
+  /// Resets occupancy and statistics (a fresh run on the same machine).
+  void reset();
+
+ private:
+  const Topology& topo_;
+  const CostModel& cost_;
+  std::vector<sim_time_t> next_free_;
+  std::vector<LinkStats> stats_;
+};
+
+}  // namespace msptrsv::sim

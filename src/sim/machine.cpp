@@ -1,0 +1,29 @@
+#include "sim/machine.hpp"
+
+namespace msptrsv::sim {
+
+Machine Machine::dgx1(int num_gpus, CostModel cost) {
+  Machine m;
+  m.name = "DGX-1x" + std::to_string(num_gpus);
+  m.topology = Topology::dgx1(num_gpus);
+  m.cost = cost;
+  return m;
+}
+
+Machine Machine::dgx2(int num_gpus, CostModel cost) {
+  Machine m;
+  m.name = "DGX-2x" + std::to_string(num_gpus);
+  m.topology = Topology::dgx2(num_gpus);
+  m.cost = cost;
+  return m;
+}
+
+Machine Machine::custom(int num_gpus, double link_gbs, CostModel cost) {
+  Machine m;
+  m.name = "custom-x" + std::to_string(num_gpus);
+  m.topology = Topology::all_to_all(num_gpus, link_gbs);
+  m.cost = cost;
+  return m;
+}
+
+}  // namespace msptrsv::sim

@@ -1,0 +1,38 @@
+// A simulated multi-GPU node: device specs + topology + cost model.
+//
+// Machines are cheap value objects; solvers instantiate the stateful pieces
+// (Interconnect, UnifiedMemoryModel, NvshmemModel) per run.
+#pragma once
+
+#include <string>
+
+#include "sim/cost_model.hpp"
+#include "sim/topology.hpp"
+
+namespace msptrsv::sim {
+
+struct GpuSpec {
+  /// V100-SXM2 16 GB.
+  double memory_bytes = 16.0 * 1024.0 * 1024.0 * 1024.0;
+};
+
+struct Machine {
+  std::string name;
+  Topology topology;
+  CostModel cost;
+  GpuSpec gpu;
+
+  int num_gpus() const { return topology.num_gpus(); }
+
+  /// NVIDIA V100-DGX-1 with the first `num_gpus` GPUs (<= 8). The paper's
+  /// NVSHMEM runs use <= 4 (the fully P2P-connected quad).
+  static Machine dgx1(int num_gpus, CostModel cost = {});
+
+  /// NVIDIA V100-DGX-2 with `num_gpus` <= 16 (all-to-all NVSwitch).
+  static Machine dgx2(int num_gpus, CostModel cost = {});
+
+  /// Custom uniform all-to-all machine for sensitivity studies.
+  static Machine custom(int num_gpus, double link_gbs, CostModel cost = {});
+};
+
+}  // namespace msptrsv::sim

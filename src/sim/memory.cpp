@@ -1,0 +1,74 @@
+#include "sim/memory.hpp"
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+
+MemoryTracker::MemoryTracker(int num_devices, double capacity_bytes)
+    : capacity_(capacity_bytes) {
+  MSPTRSV_REQUIRE(num_devices >= 1, "need at least one device");
+  MSPTRSV_REQUIRE(capacity_bytes > 0.0, "capacity must be positive");
+  used_.assign(static_cast<std::size_t>(num_devices), 0.0);
+}
+
+void MemoryTracker::allocate(int device, double bytes,
+                             const std::string& label) {
+  MSPTRSV_REQUIRE(device >= 0 && device < num_devices(),
+                  "device id out of range");
+  MSPTRSV_REQUIRE(bytes >= 0.0, "allocation size must be non-negative");
+  MSPTRSV_REQUIRE(
+      used_[static_cast<std::size_t>(device)] + bytes <= capacity_,
+      "out of device memory on GPU " + std::to_string(device) + " for '" +
+          label + "': need " + std::to_string(bytes) + " B, headroom " +
+          std::to_string(headroom_bytes(device)) + " B");
+  used_[static_cast<std::size_t>(device)] += bytes;
+  log_.emplace_back(label + "@gpu" + std::to_string(device), bytes);
+}
+
+bool MemoryTracker::would_fit(int device, double bytes) const {
+  MSPTRSV_REQUIRE(device >= 0 && device < num_devices(),
+                  "device id out of range");
+  return used_[static_cast<std::size_t>(device)] + bytes <= capacity_;
+}
+
+void MemoryTracker::release(int device, double bytes) {
+  MSPTRSV_REQUIRE(device >= 0 && device < num_devices(),
+                  "device id out of range");
+  MSPTRSV_REQUIRE(used_[static_cast<std::size_t>(device)] >= bytes,
+                  "releasing more memory than allocated");
+  used_[static_cast<std::size_t>(device)] -= bytes;
+}
+
+double MemoryTracker::used_bytes(int device) const {
+  MSPTRSV_REQUIRE(device >= 0 && device < num_devices(),
+                  "device id out of range");
+  return used_[static_cast<std::size_t>(device)];
+}
+
+double MemoryTracker::headroom_bytes(int device) const {
+  return capacity_ - used_bytes(device);
+}
+
+std::string MemoryTracker::summary() const {
+  std::ostringstream os;
+  for (int d = 0; d < num_devices(); ++d) {
+    os << "GPU " << d << ": "
+       << used_bytes(d) / (1024.0 * 1024.0) << " MiB / "
+       << capacity_ / (1024.0 * 1024.0) << " MiB\n";
+  }
+  return os.str();
+}
+
+int min_gpus_for_footprint(double bytes_total, double replicated_bytes,
+                           double capacity_bytes, int max_gpus) {
+  MSPTRSV_REQUIRE(capacity_bytes > 0.0 && max_gpus >= 1,
+                  "capacity and GPU count must be positive");
+  for (int g = 1; g <= max_gpus; ++g) {
+    if (bytes_total / g + replicated_bytes <= capacity_bytes) return g;
+  }
+  return max_gpus + 1;
+}
+
+}  // namespace msptrsv::sim

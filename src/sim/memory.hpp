@@ -1,0 +1,50 @@
+// Per-device memory capacity accounting.
+//
+// The paper's motivation is out-of-memory execution: matrices whose working
+// set exceeds one 16 GB V100 must be partitioned across GPUs. This tracker
+// validates that a chosen distribution fits, and reports how many GPUs a
+// workload needs -- the capacity side of the out-of-core experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace msptrsv::sim {
+
+class MemoryTracker {
+ public:
+  /// One tracker per GPU, each with `capacity_bytes` of device memory.
+  MemoryTracker(int num_devices, double capacity_bytes);
+
+  /// Registers an allocation; throws PreconditionError when the device
+  /// would exceed capacity (the simulated cudaMalloc failure).
+  void allocate(int device, double bytes, const std::string& label);
+
+  /// Checks whether an allocation would fit without performing it.
+  bool would_fit(int device, double bytes) const;
+
+  void release(int device, double bytes);
+
+  double used_bytes(int device) const;
+  double capacity_bytes() const { return capacity_; }
+  double headroom_bytes(int device) const;
+  int num_devices() const { return static_cast<int>(used_.size()); }
+
+  /// Human-readable per-device usage summary.
+  std::string summary() const;
+
+ private:
+  double capacity_;
+  std::vector<double> used_;
+  std::vector<std::pair<std::string, double>> log_;
+};
+
+/// Convenience: smallest GPU count (1..max_gpus) for which `bytes_total`
+/// split evenly plus `replicated_bytes` per GPU fits; returns max_gpus+1
+/// when even the largest configuration cannot hold it.
+int min_gpus_for_footprint(double bytes_total, double replicated_bytes,
+                           double capacity_bytes, int max_gpus);
+
+}  // namespace msptrsv::sim

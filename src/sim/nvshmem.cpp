@@ -1,0 +1,74 @@
+#include "sim/nvshmem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+
+NvshmemModel::NvshmemModel(Interconnect& net, const CostModel& cost,
+                           int num_pes)
+    : net_(net), cost_(cost), num_pes_(num_pes) {
+  MSPTRSV_REQUIRE(num_pes >= 1, "need at least one PE");
+}
+
+double NvshmemModel::symmetric_alloc(double bytes) {
+  MSPTRSV_REQUIRE(bytes >= 0.0, "allocation size must be non-negative");
+  const double offset = heap_bytes_;
+  heap_bytes_ += bytes;
+  return offset;
+}
+
+sim_time_t NvshmemModel::get(int local_pe, int remote_pe, double bytes,
+                             sim_time_t now) {
+  MSPTRSV_REQUIRE(local_pe >= 0 && local_pe < num_pes_, "PE id out of range");
+  MSPTRSV_REQUIRE(remote_pe >= 0 && remote_pe < num_pes_, "PE id out of range");
+  stats_.gets += 1;
+  stats_.bytes += bytes;
+  if (local_pe == remote_pe) return now + cost_.atomic_local_us;
+  // One-sided read: data flows remote -> local.
+  return net_.transfer(remote_pe, local_pe, bytes, now + cost_.get_overhead_us);
+}
+
+sim_time_t NvshmemModel::put(int local_pe, int remote_pe, double bytes,
+                             sim_time_t now) {
+  MSPTRSV_REQUIRE(local_pe >= 0 && local_pe < num_pes_, "PE id out of range");
+  MSPTRSV_REQUIRE(remote_pe >= 0 && remote_pe < num_pes_, "PE id out of range");
+  stats_.puts += 1;
+  stats_.bytes += bytes;
+  if (local_pe == remote_pe) return now + cost_.atomic_local_us;
+  return net_.transfer(local_pe, remote_pe, bytes, now + cost_.get_overhead_us);
+}
+
+sim_time_t NvshmemModel::fence(sim_time_t now) {
+  stats_.fences += 1;
+  return now + cost_.fence_us;
+}
+
+sim_time_t NvshmemModel::gather_reduce(int local_pe,
+                                       std::span<const int> remote_pes,
+                                       double bytes_each, sim_time_t now) {
+  stats_.gather_reductions += 1;
+  sim_time_t done = now;
+  int lanes = 1;  // the local contribution occupies one lane
+  for (int pe : remote_pes) {
+    if (pe == local_pe) continue;
+    ++lanes;
+    done = std::max(done, get(local_pe, pe, bytes_each, now));
+  }
+  const int steps =
+      lanes > 1 ? static_cast<int>(std::ceil(std::log2(lanes))) : 0;
+  return done + steps * cost_.shuffle_us;
+}
+
+sim_time_t NvshmemModel::poll_visibility_delay(int local_pe,
+                                               int remote_pe) const {
+  if (local_pe == remote_pe) return cost_.atomic_local_us;
+  // Half a poll period (expected wait for the next loop iteration) plus an
+  // uncontended small get.
+  return 0.5 * cost_.poll_quantum_us + cost_.get_overhead_us +
+         net_.uncontended_latency(remote_pe, local_pe, sizeof(index_t));
+}
+
+}  // namespace msptrsv::sim

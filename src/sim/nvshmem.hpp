@@ -1,0 +1,69 @@
+// NVSHMEM / PGAS behaviour model (Section IV).
+//
+// Each GPU is a processing element (PE) owning a symmetric heap. Data on
+// the heap is remotely readable with GPU-initiated one-sided get (and
+// writable with put), with hop-dependent latency and link-serialized
+// bandwidth. The warp-parallel gather + __shfl_down_sync reduction of the
+// paper's read-only communication model is provided as one operation so
+// its O(log P) combining cost is modelled faithfully.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/interconnect.hpp"
+#include "support/types.hpp"
+
+namespace msptrsv::sim {
+
+struct NvshmemStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gather_reductions = 0;
+  std::uint64_t fences = 0;
+  double bytes = 0.0;
+};
+
+class NvshmemModel {
+ public:
+  NvshmemModel(Interconnect& net, const CostModel& cost, int num_pes);
+
+  int num_pes() const { return num_pes_; }
+
+  /// Collective symmetric allocation: every PE reserves `bytes`.
+  /// Bookkeeping only (capacity is enforced by MemoryTracker); returns the
+  /// per-PE heap offset of the new object.
+  double symmetric_alloc(double bytes);
+  double symmetric_heap_bytes() const { return heap_bytes_; }
+
+  /// One-sided read of `bytes` from `remote_pe`'s heap into `local_pe`,
+  /// issued at `now`. Books the links; returns completion time.
+  sim_time_t get(int local_pe, int remote_pe, double bytes, sim_time_t now);
+
+  /// One-sided write (used by the naive Get-Update-Put ablation).
+  sim_time_t put(int local_pe, int remote_pe, double bytes, sim_time_t now);
+
+  /// Ordering fence between one-sided ops (naive ablation only).
+  sim_time_t fence(sim_time_t now);
+
+  /// The read-only model's gather: one warp lane issues a get to each PE in
+  /// `remote_pes` in parallel, then a warp-level reduction combines the
+  /// lanes in ceil(log2(lanes)) shuffle steps. Returns completion time.
+  sim_time_t gather_reduce(int local_pe, std::span<const int> remote_pes,
+                           double bytes_each, sim_time_t now);
+
+  /// Contention-free estimate of a single small get (poll visibility).
+  sim_time_t poll_visibility_delay(int local_pe, int remote_pe) const;
+
+  const NvshmemStats& stats() const { return stats_; }
+
+ private:
+  Interconnect& net_;
+  const CostModel& cost_;
+  int num_pes_;
+  double heap_bytes_ = 0.0;
+  NvshmemStats stats_;
+};
+
+}  // namespace msptrsv::sim

@@ -1,0 +1,63 @@
+// Run report: everything a simulated solve tells you besides the answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace msptrsv::sim {
+
+struct RunReport {
+  std::string solver_name;
+  std::string machine_name;
+  int num_gpus = 1;
+
+  /// Total simulated time of the solver phase.
+  sim_time_t solve_us = 0.0;
+  /// Simulated time of the preprocessing (in-degree / level analysis).
+  sim_time_t analysis_us = 0.0;
+  sim_time_t total_us() const { return solve_us + analysis_us; }
+
+  /// Per-GPU busy time of warp slots (computation only).
+  std::vector<sim_time_t> busy_us_per_gpu;
+
+  /// Dependency-update traffic classification.
+  std::uint64_t local_updates = 0;
+  std::uint64_t remote_updates = 0;
+
+  /// Unified-memory counters (zero for NVSHMEM runs).
+  std::uint64_t page_faults = 0;
+  std::uint64_t page_migrations = 0;
+  double page_migrated_bytes = 0.0;
+  std::vector<std::uint64_t> page_faults_per_gpu;
+  /// Thrashing-mitigation counters (driver pins, peer-mapped accesses).
+  std::uint64_t page_pins = 0;
+  std::uint64_t direct_remote_accesses = 0;
+
+  /// NVSHMEM counters (zero for unified-memory runs).
+  std::uint64_t nvshmem_gets = 0;
+  std::uint64_t nvshmem_puts = 0;
+  std::uint64_t nvshmem_fences = 0;
+  std::uint64_t gather_reductions = 0;
+  double nvshmem_bytes = 0.0;
+
+  /// Interconnect totals.
+  double link_bytes = 0.0;
+  std::uint64_t link_messages = 0;
+
+  /// Kernel launches issued (1 per task per GPU in the task model).
+  std::uint64_t kernel_launches = 0;
+
+  /// max/mean of per-GPU busy time; 1.0 is perfectly balanced.
+  double load_imbalance() const;
+  /// Mean per-GPU busy warp-time divided by the makespan: the average
+  /// number of concurrently active warps per GPU (can exceed 1; the
+  /// paper's "utilization of GPUs" up to warp_slots_per_gpu).
+  double utilization() const;
+
+  std::string summary() const;
+};
+
+}  // namespace msptrsv::sim

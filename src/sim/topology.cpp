@@ -1,0 +1,187 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <queue>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+
+namespace {
+
+struct Edge {
+  int a, b;
+  int lanes;  // 1 = single NVLink (25 GB/s/dir), 2 = double (50 GB/s/dir)
+};
+
+/// Published NVLink wiring of the DGX-1V hybrid cube-mesh: two fully
+/// connected quads plus the four cube cross-edges; each GPU uses exactly
+/// six NVLink2 lanes.
+constexpr std::array<Edge, 16> kDgx1Edges = {{
+    {0, 1, 1}, {0, 2, 1}, {0, 3, 2}, {0, 4, 2},
+    {1, 2, 2}, {1, 3, 1}, {1, 5, 2},
+    {2, 3, 2}, {2, 6, 1},
+    {3, 7, 1},
+    {4, 5, 1}, {4, 6, 1}, {4, 7, 2},
+    {5, 6, 2}, {5, 7, 1},
+    {6, 7, 2},
+}};
+
+constexpr double kNvlink2LaneGbs = 25.0;
+/// Effective per-GPU NVSwitch port bandwidth (6 lanes, ~100+ GB/s achieved;
+/// the paper quotes "around 100GB/s per node").
+constexpr double kNvswitchPortGbs = 120.0;
+
+}  // namespace
+
+Topology Topology::dgx1(int num_gpus) {
+  MSPTRSV_REQUIRE(num_gpus >= 1 && num_gpus <= 8,
+                  "DGX-1 hosts between 1 and 8 GPUs");
+  Topology t;
+  t.kind_ = TopologyKind::kPointToPoint;
+  t.name_ = "DGX-1";
+  t.num_gpus_ = num_gpus;
+  for (const Edge& e : kDgx1Edges) {
+    if (e.a >= num_gpus || e.b >= num_gpus) continue;
+    const double bw = kNvlink2LaneGbs * e.lanes;
+    t.links_.push_back({e.a, e.b, bw});
+    t.links_.push_back({e.b, e.a, bw});
+  }
+  t.build_routes();
+  return t;
+}
+
+Topology Topology::dgx2(int num_gpus) {
+  MSPTRSV_REQUIRE(num_gpus >= 1 && num_gpus <= 16,
+                  "DGX-2 hosts between 1 and 16 GPUs");
+  Topology t;
+  t.kind_ = TopologyKind::kSwitched;
+  t.name_ = "DGX-2";
+  t.num_gpus_ = num_gpus;
+  // Link 2g   = egress port of GPU g,
+  // link 2g+1 = ingress port of GPU g.
+  for (int g = 0; g < num_gpus; ++g) {
+    t.links_.push_back({g, -1, kNvswitchPortGbs});
+    t.links_.push_back({-1, g, kNvswitchPortGbs});
+  }
+  t.build_routes();
+  return t;
+}
+
+Topology Topology::all_to_all(int num_gpus, double bw_gbs) {
+  MSPTRSV_REQUIRE(num_gpus >= 1, "need at least one GPU");
+  MSPTRSV_REQUIRE(bw_gbs > 0.0, "bandwidth must be positive");
+  Topology t;
+  t.kind_ = TopologyKind::kPointToPoint;
+  t.name_ = "all-to-all";
+  t.num_gpus_ = num_gpus;
+  for (int a = 0; a < num_gpus; ++a) {
+    for (int b = a + 1; b < num_gpus; ++b) {
+      t.links_.push_back({a, b, bw_gbs});
+      t.links_.push_back({b, a, bw_gbs});
+    }
+  }
+  t.build_routes();
+  return t;
+}
+
+void Topology::build_routes() {
+  routes_.assign(static_cast<std::size_t>(num_gpus_) * num_gpus_, {});
+  if (kind_ == TopologyKind::kSwitched) {
+    for (int s = 0; s < num_gpus_; ++s) {
+      for (int d = 0; d < num_gpus_; ++d) {
+        if (s == d) continue;
+        routes_[static_cast<std::size_t>(s) * num_gpus_ + d] = {2 * s,
+                                                                2 * d + 1};
+      }
+    }
+    return;
+  }
+
+  // Min-hop routing with deterministic tie-breaking: prefer the path whose
+  // bottleneck bandwidth is highest, then the lowest intermediate ids.
+  // BFS per source over the directed link graph.
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(num_gpus_));
+  for (int id = 0; id < num_links(); ++id) {
+    out[static_cast<std::size_t>(links_[static_cast<std::size_t>(id)].src)]
+        .push_back(id);
+  }
+  for (auto& v : out) {
+    std::sort(v.begin(), v.end(), [&](int x, int y) {
+      const LinkSpec& lx = links_[static_cast<std::size_t>(x)];
+      const LinkSpec& ly = links_[static_cast<std::size_t>(y)];
+      if (lx.bw_gbs != ly.bw_gbs) return lx.bw_gbs > ly.bw_gbs;
+      return lx.dst < ly.dst;
+    });
+  }
+
+  for (int s = 0; s < num_gpus_; ++s) {
+    std::vector<int> dist(static_cast<std::size_t>(num_gpus_),
+                          std::numeric_limits<int>::max());
+    std::vector<int> via_link(static_cast<std::size_t>(num_gpus_), -1);
+    std::queue<int> bfs;
+    dist[static_cast<std::size_t>(s)] = 0;
+    bfs.push(s);
+    while (!bfs.empty()) {
+      const int u = bfs.front();
+      bfs.pop();
+      for (int id : out[static_cast<std::size_t>(u)]) {
+        const int v = links_[static_cast<std::size_t>(id)].dst;
+        if (dist[static_cast<std::size_t>(v)] >
+            dist[static_cast<std::size_t>(u)] + 1) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          via_link[static_cast<std::size_t>(v)] = id;
+          bfs.push(v);
+        }
+      }
+    }
+    for (int d = 0; d < num_gpus_; ++d) {
+      if (d == s) continue;
+      MSPTRSV_ENSURE(via_link[static_cast<std::size_t>(d)] >= 0,
+                     "disconnected topology: no route between GPUs " +
+                         std::to_string(s) + " and " + std::to_string(d));
+      std::vector<int> path;
+      for (int v = d; v != s;) {
+        const int id = via_link[static_cast<std::size_t>(v)];
+        path.push_back(id);
+        v = links_[static_cast<std::size_t>(id)].src;
+      }
+      std::reverse(path.begin(), path.end());
+      routes_[static_cast<std::size_t>(s) * num_gpus_ + d] = std::move(path);
+    }
+  }
+}
+
+const std::vector<int>& Topology::route(int src, int dst) const {
+  MSPTRSV_REQUIRE(src >= 0 && src < num_gpus_ && dst >= 0 && dst < num_gpus_,
+                  "GPU id out of range");
+  MSPTRSV_REQUIRE(src != dst, "no route from a GPU to itself");
+  return routes_[static_cast<std::size_t>(src) * num_gpus_ + dst];
+}
+
+int Topology::hops(int src, int dst) const {
+  if (kind_ == TopologyKind::kSwitched) return 1;
+  return static_cast<int>(route(src, dst).size());
+}
+
+double Topology::route_bandwidth_gbs(int src, int dst) const {
+  double bw = std::numeric_limits<double>::max();
+  for (int id : route(src, dst)) {
+    bw = std::min(bw, links_[static_cast<std::size_t>(id)].bw_gbs);
+  }
+  return bw;
+}
+
+double Topology::active_bandwidth_gbs(int gpu) const {
+  MSPTRSV_REQUIRE(gpu >= 0 && gpu < num_gpus_, "GPU id out of range");
+  double bw = 0.0;
+  for (const LinkSpec& l : links_) {
+    if (l.src == gpu) bw += l.bw_gbs;
+  }
+  return bw;
+}
+
+}  // namespace msptrsv::sim

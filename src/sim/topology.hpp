@@ -1,0 +1,83 @@
+// Interconnect topologies of the evaluation platforms.
+//
+// DGX-1 (V100): 8 GPUs in the hybrid cube-mesh -- two fully connected
+// quads {0..3} and {4..7} with cross links 0-4, 1-5, 2-6, 3-7; NVLink2
+// pairs are single (25 GB/s/dir) or double (50 GB/s/dir) per the published
+// wiring. Non-adjacent pairs route over two hops.
+//
+// DGX-2 (V100): 16 GPUs all-to-all through NVSwitch; modelled as one
+// ingress and one egress port per GPU (the switch fabric itself is
+// non-blocking), so per-GPU bandwidth is *constant* in the GPU count --
+// the property behind the flatter scaling of Fig. 10b.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace msptrsv::sim {
+
+enum class TopologyKind {
+  kPointToPoint,  ///< explicit GPU-GPU links (DGX-1)
+  kSwitched,      ///< per-GPU ports into a non-blocking switch (DGX-2)
+};
+
+/// A directed bandwidth resource: either a physical NVLink bundle (point to
+/// point) or a switch port (switched).
+struct LinkSpec {
+  int src = -1;        ///< source GPU (or port owner for switched)
+  int dst = -1;        ///< destination GPU (-1 for an egress port)
+  double bw_gbs = 0.0; ///< bandwidth in GB/s per direction
+};
+
+class Topology {
+ public:
+  /// Empty topology (0 GPUs); assign a builder's result before use.
+  Topology() = default;
+
+  /// DGX-1 hybrid cube-mesh restricted to the first `num_gpus` GPUs
+  /// (1 <= num_gpus <= 8). The first four GPUs form a fully connected quad,
+  /// matching the paper's "up to 4 GPUs that are fully connected".
+  static Topology dgx1(int num_gpus);
+
+  /// DGX-2 NVSwitch all-to-all (1 <= num_gpus <= 16).
+  static Topology dgx2(int num_gpus);
+
+  /// Uniform custom all-to-all point-to-point network (testing / studies).
+  static Topology all_to_all(int num_gpus, double bw_gbs);
+
+  TopologyKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  int num_gpus() const { return num_gpus_; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const LinkSpec& link(int id) const { return links_[static_cast<std::size_t>(id)]; }
+  const std::vector<LinkSpec>& links() const { return links_; }
+
+  /// Ordered link ids a message from src to dst traverses. Point-to-point:
+  /// the (possibly multi-hop) min-hop path; switched: {egress(src),
+  /// ingress(dst)}. Requires src != dst.
+  const std::vector<int>& route(int src, int dst) const;
+
+  /// Number of GPU-to-GPU hops on the route (switched counts as 1).
+  int hops(int src, int dst) const;
+
+  /// Min link bandwidth along the route (the bottleneck for one message).
+  double route_bandwidth_gbs(int src, int dst) const;
+
+  /// Sum of bandwidth of links incident to a GPU (the paper's "active
+  /// communication bandwidth per GPU" that grows with DGX-1 GPU count).
+  double active_bandwidth_gbs(int gpu) const;
+
+ private:
+  void build_routes();
+
+  TopologyKind kind_ = TopologyKind::kPointToPoint;
+  std::string name_;
+  int num_gpus_ = 0;
+  std::vector<LinkSpec> links_;
+  /// routes_[src * num_gpus + dst]
+  std::vector<std::vector<int>> routes_;
+};
+
+}  // namespace msptrsv::sim

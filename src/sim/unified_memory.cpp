@@ -1,0 +1,152 @@
+#include "sim/unified_memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+
+UnifiedMemoryModel::UnifiedMemoryModel(Interconnect& net, const CostModel& cost,
+                                       int num_gpus)
+    : net_(net), cost_(cost), num_gpus_(num_gpus) {
+  MSPTRSV_REQUIRE(num_gpus >= 1, "need at least one GPU");
+  stats_.faults_per_gpu.assign(static_cast<std::size_t>(num_gpus), 0);
+}
+
+int UnifiedMemoryModel::create_region(index_t entries, double entry_bytes) {
+  MSPTRSV_REQUIRE(entries > 0, "region must have entries");
+  MSPTRSV_REQUIRE(entry_bytes > 0.0, "entry size must be positive");
+  Region r;
+  r.entries = entries;
+  r.entry_bytes = entry_bytes;
+  const index_t by_bytes = std::max<index_t>(
+      1, static_cast<index_t>(cost_.page_bytes / entry_bytes));
+  const index_t by_ratio = std::max<index_t>(16, entries / 1024);
+  r.entries_per_page = std::min(by_bytes, by_ratio);
+  const index_t pages =
+      (entries + r.entries_per_page - 1) / r.entries_per_page;
+  r.pages.assign(static_cast<std::size_t>(pages), Page{});
+  regions_.push_back(std::move(r));
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+UnifiedMemoryModel::Page& UnifiedMemoryModel::page_for(int region,
+                                                       index_t entry) {
+  MSPTRSV_REQUIRE(region >= 0 &&
+                      region < static_cast<int>(regions_.size()),
+                  "region handle out of range");
+  Region& r = regions_[static_cast<std::size_t>(region)];
+  MSPTRSV_REQUIRE(entry >= 0 && entry < r.entries, "entry out of range");
+  return r.pages[static_cast<std::size_t>(entry / r.entries_per_page)];
+}
+
+sim_time_t UnifiedMemoryModel::direct_remote(const Page& p, int gpu,
+                                             double bytes, sim_time_t t) {
+  stats_.direct_remote_accesses += 1;
+  return t + cost_.remote_access_us +
+         net_.uncontended_latency(p.owner, gpu, bytes);
+}
+
+sim_time_t UnifiedMemoryModel::access(int region, index_t entry, int gpu,
+                                      sim_time_t now) {
+  MSPTRSV_REQUIRE(gpu >= 0 && gpu < num_gpus_, "gpu id out of range");
+  Page& p = page_for(region, entry);
+  if (p.owner == -1) {
+    // First touch: demand population, no migration booked.
+    p.owner = gpu;
+    return now;
+  }
+  if (p.owner != gpu) {
+    if (now < p.pinned_until) {
+      // Thrashing mitigation active: served via the peer mapping.
+      return direct_remote(p, gpu, sizeof(value_t), now);
+    }
+    if (p.bounce_streak >= cost_.um_pin_threshold ||
+        p.total_bounces >= cost_.um_bounce_cap) {
+      // Back-to-back bounces (a storm) or persistent slow alternation:
+      // the driver gives up migrating this page for a while; pages that
+      // keep proving thrashy stay remote-mapped for good.
+      const bool volume = p.total_bounces >= cost_.um_bounce_cap;
+      p.pinned_until =
+          now + cost_.um_pin_duration_us * (volume ? 8.0 : 1.0);
+      p.bounce_streak = 0;
+      stats_.pins += 1;
+      return direct_remote(p, gpu, sizeof(value_t), now);
+    }
+    // Fault: service latency plus migrating one page across the fabric.
+    // NOTE on serialization: the engine emits page accesses in component-
+    // readiness order, not global time order, so a hard per-page timeline
+    // would let causally later events delay earlier ones (and feed back
+    // explosively). Migration cost is therefore charged per access --
+    // latency to the accessor, bytes to the links -- while *rate* limits
+    // come from the pin heuristics and the poll interval.
+    stats_.faults += 1;
+    stats_.faults_per_gpu[static_cast<std::size_t>(gpu)] += 1;
+    stats_.migrations += 1;
+    stats_.migrated_bytes += cost_.page_bytes;
+    p.bounce_streak = (now - p.last_bounce < cost_.um_storm_window_us)
+                          ? p.bounce_streak + 1
+                          : 0;
+    p.last_bounce = now;
+    p.total_bounces += 1;
+    const sim_time_t arrived =
+        net_.transfer(p.owner, gpu, cost_.page_bytes, now) +
+        cost_.page_fault_us;
+    p.owner = gpu;
+    p.available = arrived;
+    return arrived;
+  }
+  return now;
+}
+
+sim_time_t UnifiedMemoryModel::poll_read(int region, index_t entry, int gpu,
+                                         sim_time_t now) {
+  MSPTRSV_REQUIRE(gpu >= 0 && gpu < num_gpus_, "gpu id out of range");
+  Page& p = page_for(region, entry);
+  if (p.owner == gpu || p.owner == -1) {
+    return access(region, entry, gpu, now);
+  }
+  if (now < p.pinned_until) {
+    // Pinned at the writer: the poll reads through the peer mapping.
+    return direct_remote(p, gpu, sizeof(value_t), now);
+  }
+  if (std::abs(now - p.last_pull) < cost_.page_fault_us) {
+    // A pull is in flight or just completed: ride it (polls cannot fault
+    // faster than the driver serves faults).
+    return std::max(now, p.last_pull) + cost_.page_fault_us;
+  }
+  const sim_time_t arrived = access(region, entry, gpu, now);
+  p.last_pull = arrived;
+  return arrived;
+}
+
+sim_time_t UnifiedMemoryModel::poll_visibility(int region, index_t entry,
+                                               int gpu, sim_time_t now) const {
+  MSPTRSV_REQUIRE(gpu >= 0 && gpu < num_gpus_, "gpu id out of range");
+  MSPTRSV_REQUIRE(region >= 0 && region < static_cast<int>(regions_.size()),
+                  "region handle out of range");
+  const Region& r = regions_[static_cast<std::size_t>(region)];
+  MSPTRSV_REQUIRE(entry >= 0 && entry < r.entries, "entry out of range");
+  const Page& p = r.pages[static_cast<std::size_t>(entry / r.entries_per_page)];
+  if (p.owner == gpu || p.owner == -1) return now;
+  if (now < p.pinned_until) {
+    return now + cost_.remote_access_us +
+           net_.uncontended_latency(p.owner, gpu, r.entry_bytes);
+  }
+  // The dependent's poll loop pulls the page about once per fault-service
+  // interval, so content landing at `now` is observed within one interval
+  // plus the migration itself.
+  return now + 1.5 * cost_.page_fault_us +
+         net_.uncontended_latency(p.owner, gpu, cost_.page_bytes);
+}
+
+int UnifiedMemoryModel::owner_of(int region, index_t entry) const {
+  MSPTRSV_REQUIRE(region >= 0 && region < static_cast<int>(regions_.size()),
+                  "region handle out of range");
+  const Region& r = regions_[static_cast<std::size_t>(region)];
+  MSPTRSV_REQUIRE(entry >= 0 && entry < r.entries, "entry out of range");
+  return r.pages[static_cast<std::size_t>(entry / r.entries_per_page)].owner;
+}
+
+}  // namespace msptrsv::sim

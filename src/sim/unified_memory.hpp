@@ -1,0 +1,111 @@
+// CUDA Unified Memory behaviour model (Section III).
+//
+// Managed regions are arrays of fixed-size entries spread over migration
+// granules (see create_region for sizing). A granule is exclusively
+// resident on one GPU; an access from another GPU faults, migrates it over
+// the interconnect, and pays the fault-service latency. This is the
+// mechanism behind the paper's Fig. 3: system-wide atomics on s.in_degree /
+// s.left_sum from many GPUs make the shared pages bounce.
+//
+// The model includes the driver's thrashing mitigation: pages that bounce
+// back-to-back (a storm) or keep alternating are pinned in place for a
+// while and served through direct remote (host) mappings -- cheaper than
+// faulting but slower than NVLink peer access. Rate-based detection is why
+// the wide-and-shallow nlpkkt160 keeps scaling under Unified Memory while
+// deep matrices churn (Fig. 3b).
+//
+// First-touch establishes residency for free (demand population), matching
+// cudaMallocManaged + first-access semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/interconnect.hpp"
+#include "support/types.hpp"
+
+namespace msptrsv::sim {
+
+struct UnifiedMemoryStats {
+  std::uint64_t faults = 0;
+  std::uint64_t migrations = 0;
+  double migrated_bytes = 0.0;
+  std::vector<std::uint64_t> faults_per_gpu;
+  /// Accesses served through the thrashing-mitigation peer mapping.
+  std::uint64_t direct_remote_accesses = 0;
+  /// Times the driver pinned a thrashing page.
+  std::uint64_t pins = 0;
+};
+
+class UnifiedMemoryModel {
+ public:
+  UnifiedMemoryModel(Interconnect& net, const CostModel& cost, int num_gpus);
+
+  /// Declares a managed array of `entries` elements of `entry_bytes` each.
+  /// Returns the region handle used by access().
+  ///
+  /// Granule sizing: contention granules are capped at page_bytes but also
+  /// scaled so that a region splits into at least ~1024 granules. At paper
+  /// scale (n ~ 10^6, 4-8 B entries) this reproduces the real 4 KiB
+  /// fault granule exactly; for the scaled-down suite analogs it preserves
+  /// the paper-scale ratio of granules to array length, which is what the
+  /// contention behaviour depends on.
+  int create_region(index_t entries, double entry_bytes);
+
+  /// Times one access (read or atomic update -- both take exclusive
+  /// ownership under system-scope atomics) to `entry` of `region` from
+  /// `gpu`, starting no earlier than `now`. Returns the time at which the
+  /// access completes; page faults and migrations are booked on the
+  /// interconnect and counted.
+  sim_time_t access(int region, index_t entry, int gpu, sim_time_t now);
+
+  /// A busy-wait reader on `gpu`: the poll loop re-acquires a remotely held
+  /// page at most once per fault-service interval (polls cannot fault
+  /// faster than the driver serves faults), so consecutive rate-limited
+  /// polls ride the most recent migration instead of forcing new ones.
+  /// Returns the time at which `gpu` can read the entry's current content.
+  sim_time_t poll_read(int region, index_t entry, int gpu, sim_time_t now);
+
+  /// Estimate (no booking) of when a busy-wait reader on `gpu` would next
+  /// observe content that lands on the page at `now`: immediately when the
+  /// page is local, otherwise with its next rate-limited pull plus one
+  /// uncontended migration.
+  sim_time_t poll_visibility(int region, index_t entry, int gpu,
+                             sim_time_t now) const;
+
+  /// Owner GPU of the page holding `entry`, or -1 if untouched.
+  int owner_of(int region, index_t entry) const;
+
+  const UnifiedMemoryStats& stats() const { return stats_; }
+
+ private:
+  struct Page {
+    int owner = -1;               // -1: not yet populated (first touch free)
+    sim_time_t available = 0.0;   // page is usable from this time on
+    sim_time_t last_pull = -1e30; // most recent poll-induced migration
+    sim_time_t pinned_until = -1e30;  // thrashing mitigation window
+    sim_time_t last_bounce = -1e30;   // previous migration time
+    int bounce_streak = 0;        // consecutive rapid migrations
+    int total_bounces = 0;        // lifetime migration count
+  };
+
+  /// Direct remote access over the peer mapping (thrashing-mitigated page).
+  sim_time_t direct_remote(const Page& p, int gpu, double bytes,
+                           sim_time_t t);
+  struct Region {
+    index_t entries = 0;
+    double entry_bytes = 0.0;
+    index_t entries_per_page = 0;
+    std::vector<Page> pages;
+  };
+
+  Page& page_for(int region, index_t entry);
+
+  Interconnect& net_;
+  const CostModel& cost_;
+  int num_gpus_;
+  std::vector<Region> regions_;
+  UnifiedMemoryStats stats_;
+};
+
+}  // namespace msptrsv::sim

@@ -1,0 +1,36 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+
+void CooMatrix::normalize() {
+  validate();
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.col != b.col) return a.col < b.col;
+              return a.row < b.row;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (out > 0 && entries[out - 1].row == entries[i].row &&
+        entries[out - 1].col == entries[i].col) {
+      entries[out - 1].value += entries[i].value;
+    } else {
+      entries[out++] = entries[i];
+    }
+  }
+  entries.resize(out);
+}
+
+void CooMatrix::validate() const {
+  MSPTRSV_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dimensions");
+  for (const Triplet& t : entries) {
+    MSPTRSV_REQUIRE(t.row >= 0 && t.row < rows, "COO row index out of range");
+    MSPTRSV_REQUIRE(t.col >= 0 && t.col < cols, "COO col index out of range");
+  }
+}
+
+}  // namespace msptrsv::sparse

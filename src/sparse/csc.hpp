@@ -1,0 +1,54 @@
+// Compressed Sparse Column matrix -- the storage format of the paper
+// (Section II: L is stored in CSC; `val[col_ptr[i]]` is the diagonal when
+// rows are sorted within each column).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "support/types.hpp"
+
+namespace msptrsv::sparse {
+
+struct CscMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  /// Size cols+1; column j occupies [col_ptr[j], col_ptr[j+1]).
+  std::vector<offset_t> col_ptr;
+  /// Row index of each nonzero, sorted ascending within a column.
+  std::vector<index_t> row_idx;
+  /// Value of each nonzero.
+  std::vector<value_t> val;
+
+  offset_t nnz() const { return static_cast<offset_t>(row_idx.size()); }
+  bool is_square() const { return rows == cols; }
+
+  /// View of the row indices of column j.
+  std::span<const index_t> column_rows(index_t j) const;
+  /// View of the values of column j.
+  std::span<const value_t> column_values(index_t j) const;
+
+  /// Structural sanity: monotone col_ptr, in-range sorted unique rows.
+  /// Throws InvariantError on violation.
+  void validate() const;
+};
+
+/// Builds a CSC matrix from (possibly unsorted, duplicated) triplets.
+CscMatrix csc_from_coo(CooMatrix coo);
+
+/// Converts back to triplets (used by I/O and tests).
+CooMatrix coo_from_csc(const CscMatrix& m);
+
+/// Structural + numerical transpose. The transpose of a CSC matrix is its
+/// CSR representation with rows/cols swapped; this returns a proper CSC.
+CscMatrix transpose(const CscMatrix& m);
+
+/// True when both matrices have identical structure and values.
+bool identical(const CscMatrix& a, const CscMatrix& b);
+
+/// y = A * x (dense vector). Used to manufacture right-hand sides and to
+/// verify solutions.
+std::vector<value_t> multiply(const CscMatrix& a, std::span<const value_t> x);
+
+}  // namespace msptrsv::sparse

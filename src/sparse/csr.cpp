@@ -1,0 +1,64 @@
+#include "sparse/csr.hpp"
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+
+std::span<const index_t> CsrMatrix::row_cols(index_t i) const {
+  MSPTRSV_REQUIRE(i >= 0 && i < rows, "row index out of range");
+  return {col_idx.data() + row_ptr[i],
+          static_cast<std::size_t>(row_ptr[i + 1] - row_ptr[i])};
+}
+
+std::span<const value_t> CsrMatrix::row_values(index_t i) const {
+  MSPTRSV_REQUIRE(i >= 0 && i < rows, "row index out of range");
+  return {val.data() + row_ptr[i],
+          static_cast<std::size_t>(row_ptr[i + 1] - row_ptr[i])};
+}
+
+void CsrMatrix::validate() const {
+  MSPTRSV_ENSURE(rows >= 0 && cols >= 0, "negative dimensions");
+  MSPTRSV_ENSURE(row_ptr.size() == static_cast<std::size_t>(rows) + 1,
+                 "row_ptr must have rows+1 entries");
+  MSPTRSV_ENSURE(row_ptr.front() == 0, "row_ptr must start at 0");
+  MSPTRSV_ENSURE(row_ptr.back() == nnz(), "row_ptr must end at nnz");
+  MSPTRSV_ENSURE(col_idx.size() == val.size(), "col_idx/val size mismatch");
+  for (index_t i = 0; i < rows; ++i) {
+    MSPTRSV_ENSURE(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
+    for (offset_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      MSPTRSV_ENSURE(col_idx[k] >= 0 && col_idx[k] < cols,
+                     "col index out of range");
+      if (k > row_ptr[i]) {
+        MSPTRSV_ENSURE(col_idx[k - 1] < col_idx[k],
+                       "cols must be sorted and unique within a row");
+      }
+    }
+  }
+}
+
+CsrMatrix csr_from_csc(const CscMatrix& m) {
+  // A CSR view of m is the CSC of its transpose with dims swapped back.
+  const CscMatrix t = transpose(m);
+  CsrMatrix r;
+  r.rows = m.rows;
+  r.cols = m.cols;
+  r.row_ptr = t.col_ptr;
+  r.col_idx = t.row_idx;
+  r.val = t.val;
+  r.validate();
+  return r;
+}
+
+CscMatrix csc_from_csr(const CsrMatrix& m) {
+  CscMatrix as_csc;  // interpret CSR arrays as the CSC of the transpose
+  as_csc.rows = m.cols;
+  as_csc.cols = m.rows;
+  as_csc.col_ptr = m.row_ptr;
+  as_csc.row_idx = m.col_idx;
+  as_csc.val = m.val;
+  return transpose(as_csc);
+}
+
+CsrMatrix csr_from_coo(CooMatrix coo) { return csr_from_csc(csc_from_coo(std::move(coo))); }
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,176 @@
+#include "sparse/factorization.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+
+namespace {
+
+/// Returns the position of the diagonal entry in each row; requires it to
+/// be structurally present.
+std::vector<offset_t> diagonal_positions(const CsrMatrix& a) {
+  std::vector<offset_t> diag(static_cast<std::size_t>(a.rows), -1);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] == i) {
+        diag[static_cast<std::size_t>(i)] = k;
+        break;
+      }
+    }
+    MSPTRSV_REQUIRE(diag[static_cast<std::size_t>(i)] >= 0,
+                    "ILU(0)/IC(0) requires a structurally full diagonal (row " +
+                        std::to_string(i) + ")");
+  }
+  return diag;
+}
+
+}  // namespace
+
+IluResult ilu0(const CsrMatrix& a, value_t pivot_floor) {
+  MSPTRSV_REQUIRE(a.is_square(), "ILU(0) requires a square matrix");
+  a.validate();
+  MSPTRSV_REQUIRE(pivot_floor > 0.0, "pivot_floor must be positive");
+
+  CsrMatrix f = a;  // factor in place on the pattern of a (IKJ variant)
+  const std::vector<offset_t> diag = diagonal_positions(f);
+
+  // Scatter buffer: position of column j in the current row, or -1.
+  std::vector<offset_t> pos(static_cast<std::size_t>(f.cols), -1);
+  for (index_t i = 0; i < f.rows; ++i) {
+    for (offset_t k = f.row_ptr[i]; k < f.row_ptr[i + 1]; ++k) {
+      pos[static_cast<std::size_t>(f.col_idx[k])] = k;
+    }
+    // Eliminate with every previous row k that appears in row i.
+    for (offset_t kk = f.row_ptr[i]; kk < f.row_ptr[i + 1]; ++kk) {
+      const index_t k = f.col_idx[kk];
+      if (k >= i) break;
+      value_t pivot = f.val[diag[static_cast<std::size_t>(k)]];
+      if (std::abs(pivot) < pivot_floor) {
+        pivot = pivot < 0 ? -pivot_floor : pivot_floor;
+      }
+      const value_t lik = f.val[kk] / pivot;
+      f.val[kk] = lik;
+      // Subtract lik * row_k restricted to the pattern of row i.
+      for (offset_t kj = diag[static_cast<std::size_t>(k)] + 1;
+           kj < f.row_ptr[k + 1]; ++kj) {
+        const offset_t p = pos[static_cast<std::size_t>(f.col_idx[kj])];
+        if (p >= 0) f.val[p] -= lik * f.val[kj];
+      }
+    }
+    for (offset_t k = f.row_ptr[i]; k < f.row_ptr[i + 1]; ++k) {
+      pos[static_cast<std::size_t>(f.col_idx[k])] = -1;
+    }
+    // Guard the pivot of row i for subsequent eliminations.
+    value_t& piv = f.val[diag[static_cast<std::size_t>(i)]];
+    if (std::abs(piv) < pivot_floor) piv = piv < 0 ? -pivot_floor : pivot_floor;
+  }
+
+  // Split into unit-lower L and upper U.
+  CooMatrix lo, up;
+  lo.rows = lo.cols = f.rows;
+  up.rows = up.cols = f.rows;
+  for (index_t i = 0; i < f.rows; ++i) {
+    lo.add(i, i, 1.0);
+    for (offset_t k = f.row_ptr[i]; k < f.row_ptr[i + 1]; ++k) {
+      const index_t j = f.col_idx[k];
+      if (j < i) lo.add(i, j, f.val[k]);
+      else up.add(i, j, f.val[k]);
+    }
+  }
+  IluResult out{csc_from_coo(std::move(lo)), csc_from_coo(std::move(up))};
+  require_solvable_lower(out.lower);
+  return out;
+}
+
+CscMatrix ic0(const CsrMatrix& a, value_t pivot_floor) {
+  MSPTRSV_REQUIRE(a.is_square(), "IC(0) requires a square matrix");
+  a.validate();
+  MSPTRSV_REQUIRE(pivot_floor > 0.0, "pivot_floor must be positive");
+
+  // Work on the lower-triangular pattern row by row:
+  //   L(i,j) = (A(i,j) - sum_k L(i,k) L(j,k)) / L(j,j),  k < j on pattern
+  //   L(i,i) = sqrt(A(i,i) - sum_k L(i,k)^2)
+  const index_t n = a.rows;
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(n));
+  std::vector<std::vector<value_t>> vals(static_cast<std::size_t>(n));
+
+  // Dense scatter of row j of L for the dot products.
+  std::vector<value_t> dense(static_cast<std::size_t>(n), 0.0);
+
+  for (index_t i = 0; i < n; ++i) {
+    auto& ci = cols[static_cast<std::size_t>(i)];
+    auto& vi = vals[static_cast<std::size_t>(i)];
+    value_t aii = 0.0;
+    // Gather the lower-triangular pattern of row i of A.
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const index_t j = a.col_idx[k];
+      if (j < i) {
+        ci.push_back(j);
+        vi.push_back(a.val[k]);
+      } else if (j == i) {
+        aii = a.val[k];
+      }
+    }
+    // Scatter row i (accumulating) and run the eliminations in column order
+    // (a.col_idx is sorted, so ci is sorted).
+    for (std::size_t t = 0; t < ci.size(); ++t) {
+      const index_t j = ci[t];
+      // dot(L_i, L_j) over the pattern of row j (columns < j).
+      const auto& cj = cols[static_cast<std::size_t>(j)];
+      const auto& vj = vals[static_cast<std::size_t>(j)];
+      value_t sum = vi[t];
+      // dense[] currently holds row i entries for columns < j.
+      for (std::size_t s = 0; s + 1 < cj.size() + 1 && s < cj.size(); ++s) {
+        if (cj[s] < j) sum -= dense[static_cast<std::size_t>(cj[s])] * vj[s];
+      }
+      const value_t ljj = vj.empty() ? pivot_floor : vj.back();  // diag is last
+      value_t lij = sum / (std::abs(ljj) < pivot_floor ? pivot_floor : ljj);
+      vi[t] = lij;
+      dense[static_cast<std::size_t>(j)] = lij;
+    }
+    // Diagonal.
+    value_t d = aii;
+    for (value_t v : vi) d -= v * v;
+    d = d > pivot_floor ? std::sqrt(d) : std::sqrt(pivot_floor);
+    ci.push_back(i);
+    vi.push_back(d);
+    // Clear scatter.
+    for (std::size_t t = 0; t + 1 < ci.size(); ++t) {
+      dense[static_cast<std::size_t>(ci[t])] = 0.0;
+    }
+  }
+
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < cols[static_cast<std::size_t>(i)].size(); ++t) {
+      coo.add(i, cols[static_cast<std::size_t>(i)][t],
+              vals[static_cast<std::size_t>(i)][t]);
+    }
+  }
+  CscMatrix out = csc_from_coo(std::move(coo));
+  require_solvable_lower(out);
+  return out;
+}
+
+CscMatrix lower_factor_of(const CscMatrix& a) {
+  MSPTRSV_REQUIRE(a.is_square(), "lower_factor_of requires a square matrix");
+  // Ensure a structurally full diagonal before factorizing.
+  CooMatrix coo = coo_from_csc(a);
+  std::vector<bool> has_diag(static_cast<std::size_t>(a.cols), false);
+  for (const Triplet& t : coo.entries) {
+    if (t.row == t.col) has_diag[static_cast<std::size_t>(t.col)] = true;
+  }
+  for (index_t j = 0; j < a.cols; ++j) {
+    if (!has_diag[static_cast<std::size_t>(j)]) coo.add(j, j, 1.0);
+  }
+  const CsrMatrix csr = csr_from_csc(csc_from_coo(std::move(coo)));
+  IluResult f = ilu0(csr);
+  return std::move(f.lower);
+}
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,69 @@
+#include "sparse/level_analysis.hpp"
+
+#include <algorithm>
+
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+
+std::vector<index_t> compute_in_degrees(const CscMatrix& lower) {
+  require_solvable_lower(lower);
+  std::vector<index_t> indeg(static_cast<std::size_t>(lower.rows), 0);
+  for (index_t j = 0; j < lower.cols; ++j) {
+    // Skip the diagonal entry (first in the column by invariant).
+    for (offset_t k = lower.col_ptr[j] + 1; k < lower.col_ptr[j + 1]; ++k) {
+      indeg[static_cast<std::size_t>(lower.row_idx[k])]++;
+    }
+  }
+  return indeg;
+}
+
+LevelAnalysis analyze_levels(const CscMatrix& lower) {
+  require_solvable_lower(lower);
+  LevelAnalysis a;
+  a.n = lower.rows;
+  a.nnz = lower.nnz();
+  a.in_degree = compute_in_degrees(lower);
+  a.level_of.assign(static_cast<std::size_t>(a.n), 0);
+
+  // Columns are processed in ascending order; every dependency j of
+  // component i satisfies j < i, so one forward sweep computes the longest
+  // path to each node.
+  for (index_t j = 0; j < lower.cols; ++j) {
+    const index_t lj = a.level_of[static_cast<std::size_t>(j)];
+    for (offset_t k = lower.col_ptr[j] + 1; k < lower.col_ptr[j + 1]; ++k) {
+      index_t& li = a.level_of[static_cast<std::size_t>(lower.row_idx[k])];
+      li = std::max(li, static_cast<index_t>(lj + 1));
+    }
+  }
+
+  a.num_levels = 0;
+  for (index_t l : a.level_of) a.num_levels = std::max(a.num_levels, l);
+  if (a.n > 0) a.num_levels += 1;
+
+  // Counting sort into level buckets keeps ids ascending within a level.
+  a.level_ptr.assign(static_cast<std::size_t>(a.num_levels) + 1, 0);
+  for (index_t l : a.level_of) a.level_ptr[static_cast<std::size_t>(l) + 1]++;
+  for (index_t l = 0; l < a.num_levels; ++l) {
+    a.level_ptr[static_cast<std::size_t>(l) + 1] +=
+        a.level_ptr[static_cast<std::size_t>(l)];
+  }
+  a.order.resize(static_cast<std::size_t>(a.n));
+  std::vector<offset_t> cursor(a.level_ptr.begin(), a.level_ptr.end() - 1);
+  for (index_t i = 0; i < a.n; ++i) {
+    a.order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(a.level_of[static_cast<std::size_t>(i)])]++)] = i;
+  }
+
+  for (index_t l = 0; l < a.num_levels; ++l) {
+    const offset_t width = a.level_ptr[static_cast<std::size_t>(l) + 1] -
+                           a.level_ptr[static_cast<std::size_t>(l)];
+    a.max_level_width =
+        std::max(a.max_level_width, static_cast<index_t>(width));
+    MSPTRSV_ENSURE(width > 0, "empty level set produced by analysis");
+  }
+  return a;
+}
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,55 @@
+// Dependency analysis of a lower-triangular factor.
+//
+// Computes the level sets of Section II-B (components within a level are
+// mutually independent), the per-component in-degrees used by the
+// synchronization-free solvers, and the two matrix metrics the paper's
+// scalability study is built on (Section VI-D):
+//   dependency  = nnz / n          (average dependencies per component)
+//   parallelism = n / #levels      (average components solvable in parallel)
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace msptrsv::sparse {
+
+struct LevelAnalysis {
+  index_t n = 0;
+  offset_t nnz = 0;
+
+  /// level[i]: the earliest parallel step in which component i can solve.
+  std::vector<index_t> level_of;
+  /// Number of level sets (length of the critical path in components).
+  index_t num_levels = 0;
+  /// Components grouped by level: level l occupies
+  /// [level_ptr[l], level_ptr[l+1]) in `order`, sorted ascending by id.
+  std::vector<offset_t> level_ptr;
+  std::vector<index_t> order;
+
+  /// in_degree[i]: number of strict-lower nonzeros in row i, i.e. how many
+  /// predecessor updates component i must observe before it can solve.
+  std::vector<index_t> in_degree;
+
+  /// Largest / average level population.
+  index_t max_level_width = 0;
+
+  double dependency_metric() const {
+    return n == 0 ? 0.0 : static_cast<double>(nnz) / static_cast<double>(n);
+  }
+  double parallelism_metric() const {
+    return num_levels == 0
+               ? 0.0
+               : static_cast<double>(n) / static_cast<double>(num_levels);
+  }
+};
+
+/// Runs the analysis. Requires a solvable lower-triangular CSC input
+/// (see require_solvable_lower). Cost: O(n + nnz).
+LevelAnalysis analyze_levels(const CscMatrix& lower);
+
+/// Just the in-degree vector (the cheap preprocessing pass of the
+/// sync-free algorithm, Section II-C), without level construction.
+std::vector<index_t> compute_in_degrees(const CscMatrix& lower);
+
+}  // namespace msptrsv::sparse

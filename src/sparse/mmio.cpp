@@ -1,0 +1,143 @@
+#include "sparse/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+struct Header {
+  enum class Field { kReal, kInteger, kPattern };
+  enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
+  Field field = Field::kReal;
+  Symmetry symmetry = Symmetry::kGeneral;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream is(line);
+  std::string banner, object, format, field, symmetry;
+  is >> banner >> object >> format >> field >> symmetry;
+  MSPTRSV_REQUIRE(banner == "%%MatrixMarket",
+                  "not a Matrix Market file (missing %%MatrixMarket banner)");
+  MSPTRSV_REQUIRE(to_lower(object) == "matrix",
+                  "unsupported Matrix Market object: " + object);
+  MSPTRSV_REQUIRE(to_lower(format) == "coordinate",
+                  "only the coordinate (sparse) format is supported");
+  Header h;
+  const std::string f = to_lower(field);
+  if (f == "real") h.field = Header::Field::kReal;
+  else if (f == "integer") h.field = Header::Field::kInteger;
+  else if (f == "pattern") h.field = Header::Field::kPattern;
+  else MSPTRSV_REQUIRE(false, "unsupported Matrix Market field: " + field);
+  const std::string s = to_lower(symmetry);
+  if (s == "general") h.symmetry = Header::Symmetry::kGeneral;
+  else if (s == "symmetric") h.symmetry = Header::Symmetry::kSymmetric;
+  else if (s == "skew-symmetric") h.symmetry = Header::Symmetry::kSkewSymmetric;
+  else MSPTRSV_REQUIRE(false, "unsupported Matrix Market symmetry: " + symmetry);
+  return h;
+}
+
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  long line_no = 0;
+  MSPTRSV_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty input");
+  ++line_no;
+  const Header header = parse_header(line);
+
+  // Skip comments and blank lines until the size line.
+  for (;;) {
+    MSPTRSV_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                    "missing size line");
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    break;
+  }
+
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, declared_nnz = 0;
+  size_line >> rows >> cols >> declared_nnz;
+  MSPTRSV_REQUIRE(!size_line.fail(),
+                  "malformed size line at line " + std::to_string(line_no));
+  MSPTRSV_REQUIRE(rows > 0 && cols > 0 && declared_nnz >= 0,
+                  "non-positive dimensions at line " + std::to_string(line_no));
+
+  CooMatrix coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  coo.entries.reserve(static_cast<std::size_t>(declared_nnz));
+
+  long long seen = 0;
+  while (seen < declared_nnz) {
+    MSPTRSV_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                    "unexpected end of file: expected " +
+                        std::to_string(declared_nnz) + " entries, got " +
+                        std::to_string(seen));
+    ++line_no;
+    if (line.empty() || line[0] == '%' ||
+        line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    std::istringstream es(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    es >> r >> c;
+    if (header.field != Header::Field::kPattern) es >> v;
+    MSPTRSV_REQUIRE(!es.fail(),
+                    "malformed entry at line " + std::to_string(line_no));
+    MSPTRSV_REQUIRE(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                    "index out of range at line " + std::to_string(line_no));
+    const index_t ri = static_cast<index_t>(r - 1);
+    const index_t ci = static_cast<index_t>(c - 1);
+    coo.add(ri, ci, v);
+    if (header.symmetry != Header::Symmetry::kGeneral && ri != ci) {
+      const double mirrored =
+          header.symmetry == Header::Symmetry::kSkewSymmetric ? -v : v;
+      coo.add(ci, ri, mirrored);
+    }
+    ++seen;
+  }
+  return coo;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  MSPTRSV_REQUIRE(in.good(), "cannot open Matrix Market file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CscMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by msptrsv\n";
+  out << m.rows << ' ' << m.cols << ' ' << m.nnz() << '\n';
+  char buf[64];
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (offset_t k = m.col_ptr[j]; k < m.col_ptr[j + 1]; ++k) {
+      std::snprintf(buf, sizeof(buf), "%d %d %.17g\n", m.row_idx[k] + 1, j + 1,
+                    m.val[k]);
+      out << buf;
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& m) {
+  std::ofstream out(path);
+  MSPTRSV_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, m);
+  MSPTRSV_ENSURE(out.good(), "write failed for " + path);
+}
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,140 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+#include "support/stats.hpp"
+
+namespace msptrsv::sparse {
+
+Partition Partition::block(index_t n, int num_gpus) {
+  return round_robin_tasks(n, num_gpus, 1);
+}
+
+Partition Partition::round_robin_tasks(index_t n, int num_gpus,
+                                       int tasks_per_gpu) {
+  MSPTRSV_REQUIRE(n > 0, "cannot partition an empty system");
+  MSPTRSV_REQUIRE(num_gpus >= 1, "need at least one GPU");
+  MSPTRSV_REQUIRE(tasks_per_gpu >= 1, "need at least one task per GPU");
+  Partition p;
+  p.n_ = n;
+  p.num_gpus_ = num_gpus;
+  p.tasks_per_gpu_ = tasks_per_gpu;
+
+  const int total_tasks =
+      std::min<int>(static_cast<int>(n), num_gpus * tasks_per_gpu);
+  std::vector<int> launch_seq(static_cast<std::size_t>(num_gpus), 0);
+  for (int t = 0; t < total_tasks; ++t) {
+    TaskRange r;
+    r.begin = static_cast<index_t>(
+        (static_cast<std::int64_t>(n) * t) / total_tasks);
+    r.end = static_cast<index_t>(
+        (static_cast<std::int64_t>(n) * (t + 1)) / total_tasks);
+    r.gpu = t % num_gpus;
+    r.seq_on_gpu = launch_seq[static_cast<std::size_t>(r.gpu)]++;
+    p.tasks_.push_back(r);
+  }
+  p.finalize();
+  return p;
+}
+
+void Partition::finalize() {
+  task_of_.assign(static_cast<std::size_t>(n_), 0);
+  per_gpu_.assign(static_cast<std::size_t>(num_gpus_), 0);
+  for (int t = 0; t < num_tasks(); ++t) {
+    const TaskRange& r = tasks_[static_cast<std::size_t>(t)];
+    MSPTRSV_ENSURE(r.begin <= r.end && r.end <= n_, "bad task range");
+    for (index_t i = r.begin; i < r.end; ++i) {
+      task_of_[static_cast<std::size_t>(i)] = t;
+    }
+    per_gpu_[static_cast<std::size_t>(r.gpu)] += r.size();
+  }
+  index_t covered = 0;
+  for (index_t c : per_gpu_) covered += c;
+  MSPTRSV_ENSURE(covered == n_, "tasks must cover every component exactly once");
+}
+
+const TaskRange& Partition::task(int t) const {
+  MSPTRSV_REQUIRE(t >= 0 && t < num_tasks(), "task index out of range");
+  return tasks_[static_cast<std::size_t>(t)];
+}
+
+int Partition::owner_of(index_t comp) const {
+  MSPTRSV_REQUIRE(comp >= 0 && comp < n_, "component index out of range");
+  return tasks_[static_cast<std::size_t>(task_of_[static_cast<std::size_t>(comp)])].gpu;
+}
+
+int Partition::task_of(index_t comp) const {
+  MSPTRSV_REQUIRE(comp >= 0 && comp < n_, "component index out of range");
+  return task_of_[static_cast<std::size_t>(comp)];
+}
+
+index_t Partition::components_on(int gpu) const {
+  MSPTRSV_REQUIRE(gpu >= 0 && gpu < num_gpus_, "gpu index out of range");
+  return per_gpu_[static_cast<std::size_t>(gpu)];
+}
+
+offset_t Partition::count_remote_updates(const CscMatrix& lower) const {
+  MSPTRSV_REQUIRE(lower.rows == n_, "partition/matrix size mismatch");
+  offset_t remote = 0;
+  for (index_t j = 0; j < lower.cols; ++j) {
+    const int col_owner = owner_of(j);
+    for (offset_t k = lower.col_ptr[j]; k < lower.col_ptr[j + 1]; ++k) {
+      const index_t i = lower.row_idx[k];
+      if (i != j && owner_of(i) != col_owner) ++remote;
+    }
+  }
+  return remote;
+}
+
+double Partition::component_imbalance() const {
+  std::vector<double> counts(per_gpu_.begin(), per_gpu_.end());
+  return support::imbalance_factor(counts);
+}
+
+FootprintEstimate estimate_footprint(const CscMatrix& lower,
+                                     const Partition& p, StateLayout layout,
+                                     double rows_scale, double nnz_scale) {
+  MSPTRSV_REQUIRE(rows_scale >= 1.0 && nnz_scale >= 1.0,
+                  "scales inflate toward paper sizes, so must be >= 1");
+  const double n = static_cast<double>(p.n()) * rows_scale;
+  const int g = p.num_gpus();
+  FootprintEstimate est;
+  est.bytes_per_gpu.assign(static_cast<std::size_t>(g), 0.0);
+
+  // Per-GPU nonzero counts of the owned columns.
+  std::vector<double> nnz_per_gpu(static_cast<std::size_t>(g), 0.0);
+  for (index_t j = 0; j < lower.cols; ++j) {
+    nnz_per_gpu[static_cast<std::size_t>(p.owner_of(j))] +=
+        static_cast<double>(lower.col_ptr[j + 1] - lower.col_ptr[j]);
+  }
+
+  for (int d = 0; d < g; ++d) {
+    const double local_rows =
+        static_cast<double>(p.components_on(d)) * rows_scale;
+    const double local_nnz = nnz_per_gpu[static_cast<std::size_t>(d)] * nnz_scale;
+    double bytes = 0.0;
+    bytes += local_nnz * (sizeof(index_t) + sizeof(value_t));  // row_idx + val
+    bytes += local_rows * sizeof(offset_t);                    // col_ptr slice
+    bytes += local_rows * sizeof(value_t) * 2;                 // b and x slices
+    bytes += local_rows * (sizeof(value_t) + sizeof(index_t)); // d.left_sum/d.in_degree
+    if (layout == StateLayout::kSymmetricHeap) {
+      // Every PE allocates full n-sized s.left_sum + s.in_degree.
+      const double replicated = n * (sizeof(value_t) + sizeof(index_t));
+      bytes += replicated;
+      est.replicated_state_bytes += replicated;
+    }
+    est.bytes_per_gpu[static_cast<std::size_t>(d)] = bytes;
+    est.total_bytes += bytes;
+  }
+  if (layout == StateLayout::kUnifiedManaged) {
+    // One shared copy of the managed arrays, attributed evenly.
+    const double managed = n * (sizeof(value_t) + sizeof(index_t));
+    est.replicated_state_bytes = managed;
+    est.total_bytes += managed;
+    for (double& b : est.bytes_per_gpu) b += managed / g;
+  }
+  return est;
+}
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,91 @@
+// Component-to-GPU distribution (Sections III and V).
+//
+// The baseline distribution partitions components/columns/rhs into one
+// contiguous block per GPU in ascending order -- which makes inter-GPU
+// dependencies unidirectional and starves large-id GPUs. The task model
+// divides components into equally sized component-tasks and deals tasks to
+// GPUs round-robin; each task later becomes one kernel launch.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace msptrsv::sparse {
+
+struct TaskRange {
+  index_t begin = 0;  ///< first component id in the task
+  index_t end = 0;    ///< one past the last component id
+  int gpu = 0;        ///< owning GPU / PE
+  int seq_on_gpu = 0; ///< launch order of this task on its GPU
+
+  index_t size() const { return end - begin; }
+};
+
+class Partition {
+ public:
+  /// Baseline distribution: one contiguous block per GPU (equivalent to
+  /// round_robin_tasks with tasks_per_gpu == 1).
+  static Partition block(index_t n, int num_gpus);
+
+  /// Section V task model: num_gpus*tasks_per_gpu equal component-tasks,
+  /// task t owned by GPU (t mod num_gpus).
+  static Partition round_robin_tasks(index_t n, int num_gpus,
+                                     int tasks_per_gpu);
+
+  index_t n() const { return n_; }
+  int num_gpus() const { return num_gpus_; }
+  int tasks_per_gpu() const { return tasks_per_gpu_; }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+
+  const std::vector<TaskRange>& tasks() const { return tasks_; }
+  const TaskRange& task(int t) const;
+
+  int owner_of(index_t comp) const;
+  int task_of(index_t comp) const;
+  /// Component count assigned to a GPU.
+  index_t components_on(int gpu) const;
+
+  /// Number of matrix nonzeros whose update crosses a GPU boundary
+  /// (column owner != row owner) -- the communication volume driver.
+  offset_t count_remote_updates(const CscMatrix& lower) const;
+
+  /// Max/mean component count across GPUs (1.0 = perfectly even).
+  double component_imbalance() const;
+
+ private:
+  Partition() = default;
+  void finalize();
+
+  index_t n_ = 0;
+  int num_gpus_ = 1;
+  int tasks_per_gpu_ = 1;
+  std::vector<TaskRange> tasks_;
+  std::vector<int> task_of_;       // per component
+  std::vector<index_t> per_gpu_;   // component counts
+};
+
+/// Per-GPU memory footprint estimate in bytes for a given backend, used by
+/// the capacity model (out-of-core experiments). `replicated_state_bytes`
+/// covers the n-sized symmetric-heap arrays every PE allocates in the
+/// NVSHMEM design (the paper reports ~10% overhead from these).
+struct FootprintEstimate {
+  std::vector<double> bytes_per_gpu;
+  double replicated_state_bytes = 0.0;
+  double total_bytes = 0.0;
+};
+
+enum class StateLayout {
+  kUnifiedManaged,   ///< shared n-sized arrays live in managed memory
+  kSymmetricHeap,    ///< every PE holds n-sized s.in_degree / s.left_sum
+};
+
+/// Estimates bytes per GPU when distributing `lower` (CSC slices + rhs +
+/// solution + intermediate arrays) under `p`. `rows_scale`/`nnz_scale`
+/// inflate the estimate to paper-scale sizes for scaled-down analogs.
+FootprintEstimate estimate_footprint(const CscMatrix& lower,
+                                     const Partition& p, StateLayout layout,
+                                     double rows_scale = 1.0,
+                                     double nnz_scale = 1.0);
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,117 @@
+#include "sparse/triangular.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+
+bool is_lower_triangular(const CscMatrix& m) {
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (offset_t k = m.col_ptr[j]; k < m.col_ptr[j + 1]; ++k) {
+      if (m.row_idx[k] < j) return false;
+    }
+  }
+  return true;
+}
+
+bool is_upper_triangular(const CscMatrix& m) {
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (offset_t k = m.col_ptr[j]; k < m.col_ptr[j + 1]; ++k) {
+      if (m.row_idx[k] > j) return false;
+    }
+  }
+  return true;
+}
+
+bool has_nonsingular_diagonal(const CscMatrix& m) {
+  if (!m.is_square()) return false;
+  for (index_t j = 0; j < m.cols; ++j) {
+    bool found = false;
+    for (offset_t k = m.col_ptr[j]; k < m.col_ptr[j + 1]; ++k) {
+      if (m.row_idx[k] == j) {
+        found = m.val[k] != 0.0;
+        break;
+      }
+      if (m.row_idx[k] > j) break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+void require_solvable_lower(const CscMatrix& m) {
+  MSPTRSV_REQUIRE(m.is_square(), "triangular solve requires a square matrix");
+  m.validate();
+  for (index_t j = 0; j < m.cols; ++j) {
+    MSPTRSV_REQUIRE(m.col_ptr[j] < m.col_ptr[j + 1],
+                    "column " + std::to_string(j) + " is empty (singular)");
+    MSPTRSV_REQUIRE(m.row_idx[m.col_ptr[j]] == j,
+                    "column " + std::to_string(j) +
+                        " must start with its diagonal entry");
+    MSPTRSV_REQUIRE(m.val[m.col_ptr[j]] != 0.0,
+                    "zero diagonal at column " + std::to_string(j));
+  }
+}
+
+namespace {
+CscMatrix filter_triangle(const CscMatrix& m, bool lower, bool unit_diagonal,
+                          value_t diagonal_fill) {
+  MSPTRSV_REQUIRE(m.is_square(), "triangle extraction requires a square matrix");
+  CooMatrix coo;
+  coo.rows = m.rows;
+  coo.cols = m.cols;
+  std::vector<bool> has_diag(static_cast<std::size_t>(m.cols), false);
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (offset_t k = m.col_ptr[j]; k < m.col_ptr[j + 1]; ++k) {
+      const index_t i = m.row_idx[k];
+      const bool keep = lower ? (i >= j) : (i <= j);
+      if (!keep) continue;
+      if (i == j) {
+        has_diag[static_cast<std::size_t>(j)] = true;
+        coo.add(i, j, unit_diagonal ? 1.0 : (m.val[k] != 0.0 ? m.val[k]
+                                                             : diagonal_fill));
+      } else {
+        coo.add(i, j, m.val[k]);
+      }
+    }
+  }
+  for (index_t j = 0; j < m.cols; ++j) {
+    if (!has_diag[static_cast<std::size_t>(j)]) {
+      const value_t d = unit_diagonal ? 1.0 : diagonal_fill;
+      if (d != 0.0) coo.add(j, j, d);
+    }
+  }
+  return csc_from_coo(std::move(coo));
+}
+}  // namespace
+
+CscMatrix lower_triangle_of(const CscMatrix& m, bool unit_diagonal,
+                            value_t diagonal_fill) {
+  return filter_triangle(m, /*lower=*/true, unit_diagonal, diagonal_fill);
+}
+
+CscMatrix upper_triangle_of(const CscMatrix& m, bool unit_diagonal,
+                            value_t diagonal_fill) {
+  return filter_triangle(m, /*lower=*/false, unit_diagonal, diagonal_fill);
+}
+
+CscMatrix mirror_to_upper(const CscMatrix& lower) {
+  MSPTRSV_REQUIRE(is_lower_triangular(lower),
+                  "mirror_to_upper expects a lower-triangular input");
+  const index_t n = lower.rows;
+  CooMatrix coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (index_t j = 0; j < lower.cols; ++j) {
+    for (offset_t k = lower.col_ptr[j]; k < lower.col_ptr[j + 1]; ++k) {
+      // (i, j) with i >= j maps to (n-1-i, n-1-j)' = row n-1-i <= col n-1-j.
+      coo.add(n - 1 - lower.row_idx[k], n - 1 - j, lower.val[k]);
+    }
+  }
+  CscMatrix out = csc_from_coo(std::move(coo));
+  MSPTRSV_ENSURE(is_upper_triangular(out), "mirror produced a non-upper matrix");
+  return out;
+}
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,43 @@
+// Triangular-matrix utilities: predicates, extraction and the invariants the
+// solvers rely on (every column's first entry is the diagonal).
+#pragma once
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace msptrsv::sparse {
+
+/// True when every nonzero satisfies row >= col.
+bool is_lower_triangular(const CscMatrix& m);
+
+/// True when every nonzero satisfies row <= col.
+bool is_upper_triangular(const CscMatrix& m);
+
+/// True when every diagonal entry is present and nonzero (required for a
+/// nonsingular triangular solve).
+bool has_nonsingular_diagonal(const CscMatrix& m);
+
+/// Validates the exact shape the solvers consume: square, lower triangular,
+/// sorted rows per column, and a nonzero diagonal leading every column
+/// (so val[col_ptr[j]] == L(j,j), as in the paper's Algorithm 1 line 20).
+/// Throws PreconditionError with a specific message otherwise.
+void require_solvable_lower(const CscMatrix& m);
+
+/// Extracts the lower triangle of a square matrix. When `unit_diagonal` is
+/// true the diagonal is replaced by ones; otherwise missing or zero diagonal
+/// entries are replaced by `diagonal_fill` to keep the factor nonsingular
+/// (0 keeps them absent and require_solvable_lower will then reject).
+CscMatrix lower_triangle_of(const CscMatrix& m, bool unit_diagonal = false,
+                            value_t diagonal_fill = 0.0);
+
+/// Extracts the strict upper triangle plus diagonal (for backward
+/// substitution and for L/U splits of ILU factors).
+CscMatrix upper_triangle_of(const CscMatrix& m, bool unit_diagonal = false,
+                            value_t diagonal_fill = 0.0);
+
+/// Mirrors a lower-triangular matrix into an upper-triangular one with the
+/// same sparsity shape (structural reversal i,j -> n-1-j, n-1-i). Used to
+/// exercise backward substitution on workloads generated as lower factors.
+CscMatrix mirror_to_upper(const CscMatrix& lower);
+
+}  // namespace msptrsv::sparse

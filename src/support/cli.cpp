@@ -1,0 +1,118 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::support {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  MSPTRSV_REQUIRE(!name.empty() && name[0] != '-',
+                  "option names are registered without leading dashes");
+  MSPTRSV_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, help, std::nullopt};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    MSPTRSV_REQUIRE(arg.rfind("--", 0) == 0,
+                    "unexpected positional argument: " + arg + "\n" +
+                        help_text());
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    MSPTRSV_REQUIRE(it != options_.end(),
+                    "unknown flag --" + arg + "\n" + help_text());
+    if (!has_value) {
+      // `--flag value` if the next token is not itself a flag, else boolean.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name) const {
+  auto it = options_.find(name);
+  MSPTRSV_REQUIRE(it != options_.end(), "option was never registered: " + name);
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Option& o = find(name);
+  return o.value.value_or(o.default_value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  MSPTRSV_REQUIRE(pos == v.size(), "--" + name + " expects an integer, got " + v);
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  MSPTRSV_REQUIRE(pos == v.size(), "--" + name + " expects a number, got " + v);
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  MSPTRSV_REQUIRE(false, "--" + name + " expects a boolean, got " + v);
+  return false;  // unreachable
+}
+
+std::vector<std::string> CliParser::get_list(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : v) {
+    if (ch == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.default_value.empty()) os << " (default: " << opt.default_value << ")";
+    os << "\n      " << opt.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace msptrsv::support

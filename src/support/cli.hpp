@@ -1,0 +1,53 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+//
+// Supported syntax:  --name=value | --name value | --flag (boolean true).
+// Unknown flags raise a PreconditionError listing the registered options, so
+// every binary gets a usable --help for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msptrsv::support {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers an option. `default_value` is returned when the flag is
+  /// absent. Registration must happen before parse().
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text printed
+  /// to stdout); callers should then exit 0.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors. Each requires the option to have been registered.
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list accessor (empty string -> empty vector).
+  std::vector<std::string> get_list(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+  const Option& find(const std::string& name) const;
+
+  std::string summary_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace msptrsv::support

@@ -1,0 +1,63 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines (I.6/I.8).
+//
+// MSPTRSV_REQUIRE  -- precondition on the caller; violation is a usage bug.
+// MSPTRSV_ENSURE   -- postcondition / internal invariant; violation is a
+//                     library bug.
+//
+// Both throw (rather than abort) so that tests can assert on violations and
+// long-running benchmark drivers can report the offending input.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace msptrsv::support {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant or postcondition fails.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void raise_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void raise_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace msptrsv::support
+
+#define MSPTRSV_REQUIRE(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::msptrsv::support::detail::raise_precondition(#expr, __FILE__,    \
+                                                     __LINE__, (msg));   \
+    }                                                                    \
+  } while (false)
+
+#define MSPTRSV_ENSURE(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::msptrsv::support::detail::raise_invariant(#expr, __FILE__,       \
+                                                  __LINE__, (msg));      \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,83 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace msptrsv::support {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  // Expand the user seed; xoshiro must not be seeded with all zeros.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  MSPTRSV_REQUIRE(bound > 0, "next_below requires a positive bound");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Xoshiro256::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MSPTRSV_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Xoshiro256::uniform01() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform_real(double lo, double hi) {
+  MSPTRSV_REQUIRE(lo <= hi, "uniform_real requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Xoshiro256::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Xoshiro256::geometric(double p) {
+  MSPTRSV_REQUIRE(p > 0.0 && p <= 1.0, "geometric requires p in (0,1]");
+  if (p >= 1.0) return 0;
+  const double u = uniform01();
+  // Inverse CDF; u == 0 maps to 0 skips.
+  return static_cast<std::uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+Xoshiro256 Xoshiro256::fork() { return Xoshiro256(next()); }
+
+}  // namespace msptrsv::support

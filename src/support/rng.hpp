@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (matrix generators, workload
+// synthesis) draws from these engines so that builds are reproducible
+// bit-for-bit across platforms; std::mt19937 distributions are not
+// cross-platform stable, so we implement the distributions we need.
+#pragma once
+
+#include <cstdint>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::support {
+
+/// splitmix64 -- used to expand a single seed into stream seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Requires bound > 0. Uses rejection sampling so
+  /// the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Geometric-ish "skip" used by sparse samplers: number of failures before
+  /// the first success of probability p (p in (0, 1]).
+  std::uint64_t geometric(double p);
+
+  /// Fork an independent stream (seeded from this stream's output).
+  Xoshiro256 fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace msptrsv::support

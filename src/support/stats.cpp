@@ -1,0 +1,58 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::support {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    MSPTRSV_REQUIRE(x > 0.0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double min_of(std::span<const double> xs) {
+  MSPTRSV_REQUIRE(!xs.empty(), "min_of requires a non-empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  MSPTRSV_REQUIRE(!xs.empty(), "max_of requires a non-empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double imbalance_factor(std::span<const double> busy) {
+  if (busy.empty()) return 1.0;
+  const double m = mean(busy);
+  if (m <= 0.0) return 1.0;
+  return max_of(busy) / m;
+}
+
+double coeff_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+}  // namespace msptrsv::support

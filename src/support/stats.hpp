@@ -1,0 +1,30 @@
+// Small summary-statistics helpers shared by benches and reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace msptrsv::support {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; requires all values > 0. The paper reports "average
+/// speedup" which, for ratios, we take as the geometric mean (and also
+/// expose the arithmetic mean where the paper plainly averages).
+double geomean(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Load-imbalance factor of per-worker busy times: max/mean. 1.0 is a
+/// perfectly balanced run; larger is worse.
+double imbalance_factor(std::span<const double> busy);
+
+/// Coefficient of variation (stddev/mean); 0 when mean is 0.
+double coeff_of_variation(std::span<const double> xs);
+
+}  // namespace msptrsv::support

@@ -1,0 +1,131 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::support {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MSPTRSV_REQUIRE(!headers_.empty(), "a table needs at least one column");
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_.front() = Align::kLeft;
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+  MSPTRSV_REQUIRE(alignment.size() == headers_.size(),
+                  "alignment vector must match column count");
+  alignment_ = std::move(alignment);
+}
+
+void Table::begin_row() { rows_.push_back(Row{}); }
+
+void Table::add_cell(std::string text) {
+  MSPTRSV_REQUIRE(!rows_.empty() && !rows_.back().separator,
+                  "call begin_row before add_cell");
+  MSPTRSV_REQUIRE(rows_.back().cells.size() < headers_.size(),
+                  "row already has a cell for every column");
+  rows_.back().cells.push_back(std::move(text));
+}
+
+void Table::add_cell(const char* text) { add_cell(std::string(text)); }
+void Table::add_cell(double v, int precision) {
+  add_cell(format_double(v, precision));
+}
+void Table::add_cell(std::int64_t v) { add_cell(std::to_string(v)); }
+void Table::add_cell(std::uint64_t v) { add_cell(std::to_string(v)); }
+void Table::add_cell(int v) { add_cell(std::to_string(v)); }
+
+void Table::add_separator() {
+  Row r;
+  r.separator = true;
+  rows_.push_back(std::move(r));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                       std::size_t c) {
+    const std::size_t pad = width[c] - text.size();
+    if (alignment_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+
+  auto emit_separator = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "+" : "-+") << std::string(width[c] + 1, '-');
+    }
+    os << "-+\n";
+  };
+
+  std::ostringstream os;
+  emit_separator(os);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    emit_cell(os, headers_[c], c);
+    os << " |";
+  }
+  os << '\n';
+  emit_separator(os);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_separator(os);
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << ' ';
+      emit_cell(os, c < row.cells.size() ? row.cells[c] : std::string(), c);
+      os << " |";
+    }
+    os << '\n';
+  }
+  emit_separator(os);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace msptrsv::support

@@ -1,0 +1,66 @@
+// Minimal ASCII table renderer used by the benchmark harness to print the
+// paper's tables/figures as aligned rows (the "same rows/series the paper
+// reports").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msptrsv::support {
+
+enum class Align { kLeft, kRight };
+
+/// A column-aligned text table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering pads every column to its widest cell.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets per-column alignment (default: first column left, rest right).
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Starts a new row. Subsequent add_cell calls fill it left to right.
+  void begin_row();
+
+  void add_cell(std::string text);
+  void add_cell(const char* text);
+  /// Formats v with `precision` digits after the decimal point.
+  void add_cell(double v, int precision = 2);
+  void add_cell(std::int64_t v);
+  void add_cell(std::uint64_t v);
+  void add_cell(int v);
+
+  /// Convenience: begin_row + cells from a pack.
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    begin_row();
+    (add_cell(std::forward<Cells>(cells)), ...);
+  }
+
+  /// Adds a horizontal separator line at the current position.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table, including a header separator.
+  std::string to_string() const;
+
+  /// Renders as comma-separated values (for scripts to consume).
+  std::string to_csv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given precision (shared by Table and ad-hoc
+/// benchmark output).
+std::string format_double(double v, int precision);
+
+}  // namespace msptrsv::support

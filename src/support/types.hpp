@@ -1,0 +1,21 @@
+// Fundamental scalar type aliases shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace msptrsv {
+
+/// Row/column index. 32-bit is sufficient for every matrix in the paper's
+/// suite once the two web graphs are scaled to fit a single node.
+using index_t = std::int32_t;
+
+/// Offsets into nonzero arrays (can exceed 2^31 for very dense inputs).
+using offset_t = std::int64_t;
+
+/// Matrix/vector element type. The paper solves in double precision.
+using value_t = double;
+
+/// Simulated time in microseconds (all sim cost constants use this unit).
+using sim_time_t = double;
+
+}  // namespace msptrsv

@@ -1,0 +1,157 @@
+// Property sweeps over the engine: monotonicity in cost constants, GPU
+// counts and task granularity; conservation of update counts; and backward
+// substitution through every simulated backend.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/msptrsv.hpp"
+
+namespace msptrsv {
+namespace {
+
+sparse::CscMatrix property_matrix() {
+  return sparse::gen_layered_dag(12000, 48, 60000, 0.4, 1234);
+}
+
+core::SolveResult run(const sparse::CscMatrix& l,
+                      const std::vector<value_t>& b, core::Backend backend,
+                      sim::Machine machine, int tasks = 8) {
+  core::SolveOptions o;
+  o.backend = backend;
+  o.machine = std::move(machine);
+  o.tasks_per_gpu = tasks;
+  return core::solve(l, b, o);
+}
+
+TEST(EngineProperties, CheaperLaunchNeverSlowsTheTaskPool) {
+  const sparse::CscMatrix l = property_matrix();
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 1));
+  sim::CostModel cheap;
+  cheap.kernel_launch_us = 0.5;
+  sim::CostModel expensive;
+  expensive.kernel_launch_us = 60.0;
+  const auto fast = run(l, b, core::Backend::kMgZeroCopy,
+                        sim::Machine::dgx1(4, cheap), 32);
+  const auto slow = run(l, b, core::Backend::kMgZeroCopy,
+                        sim::Machine::dgx1(4, expensive), 32);
+  EXPECT_LT(fast.report.solve_us, slow.report.solve_us);
+}
+
+TEST(EngineProperties, HigherFaultLatencyHurtsUnifiedOnly) {
+  const sparse::CscMatrix l = property_matrix();
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 2));
+  sim::CostModel fast_fault;
+  fast_fault.page_fault_us = 5.0;
+  sim::CostModel slow_fault;
+  slow_fault.page_fault_us = 60.0;
+  const auto u_fast = run(l, b, core::Backend::kMgUnified,
+                          sim::Machine::dgx1(4, fast_fault));
+  const auto u_slow = run(l, b, core::Backend::kMgUnified,
+                          sim::Machine::dgx1(4, slow_fault));
+  EXPECT_LT(u_fast.report.solve_us, u_slow.report.solve_us);
+  // The NVSHMEM design never touches managed memory: invariant to it.
+  const auto z_fast = run(l, b, core::Backend::kMgZeroCopy,
+                          sim::Machine::dgx1(4, fast_fault));
+  const auto z_slow = run(l, b, core::Backend::kMgZeroCopy,
+                          sim::Machine::dgx1(4, slow_fault));
+  EXPECT_DOUBLE_EQ(z_fast.report.solve_us, z_slow.report.solve_us);
+}
+
+TEST(EngineProperties, UpdateCountsConservedAcrossConfigurations) {
+  const sparse::CscMatrix l = property_matrix();
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 3));
+  const std::uint64_t edges = static_cast<std::uint64_t>(l.nnz() - l.rows);
+  for (int gpus : {1, 2, 4, 8}) {
+    for (core::Backend be :
+         {core::Backend::kMgUnified, core::Backend::kMgZeroCopy}) {
+      const auto r = run(l, b, be, sim::Machine::dgx1(gpus));
+      EXPECT_EQ(r.report.local_updates + r.report.remote_updates, edges)
+          << core::backend_name(be) << " x" << gpus;
+    }
+  }
+}
+
+TEST(EngineProperties, BusyTimeBoundedBySlotsTimesMakespan) {
+  const sparse::CscMatrix l = property_matrix();
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 4));
+  const sim::Machine m = sim::Machine::dgx1(4);
+  const auto r = run(l, b, core::Backend::kMgZeroCopy, m);
+  for (double busy : r.report.busy_us_per_gpu) {
+    EXPECT_LE(busy, (r.report.solve_us + 1e-6) * m.cost.warp_slots_per_gpu);
+    EXPECT_GE(busy, 0.0);
+  }
+}
+
+TEST(EngineProperties, MakespanAtLeastCriticalPathCompute) {
+  // No schedule can beat the dependency chain's raw compute time.
+  const sparse::CscMatrix l = sparse::gen_chain(3000);
+  const std::vector<value_t> b(3000, 1.0);
+  const sim::Machine m = sim::Machine::dgx1(4);
+  const auto r = run(l, b, core::Backend::kMgZeroCopy, m);
+  EXPECT_GE(r.report.solve_us, 3000.0 * m.cost.solve_base_us);
+}
+
+class GpuCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuCountSweep, EveryConfigurationSolvesCorrectly) {
+  const int gpus = GetParam();
+  const sparse::CscMatrix l = property_matrix();
+  const std::vector<value_t> x_ref = sparse::gen_solution(l.rows, 5);
+  const std::vector<value_t> b = sparse::gen_rhs_for_solution(l, x_ref);
+  for (core::Backend be : {core::Backend::kMgUnified,
+                           core::Backend::kMgShmem,
+                           core::Backend::kMgZeroCopy}) {
+    const auto r = run(l, b, be, sim::Machine::dgx1(gpus));
+    EXPECT_LT(core::max_relative_difference(r.x, x_ref), 1e-9)
+        << core::backend_name(be) << " on " << gpus << " GPUs";
+  }
+  // DGX-2 up to 16.
+  const auto r16 = run(l, b, core::Backend::kMgZeroCopy,
+                       sim::Machine::dgx2(std::min(16, gpus * 2)));
+  EXPECT_LT(core::max_relative_difference(r16.x, x_ref), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToEight, GpuCountSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class TaskGranularitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskGranularitySweep, SolvesCorrectlyAndLaunchesMatchTaskCount) {
+  const int tasks = GetParam();
+  const sparse::CscMatrix l = property_matrix();
+  const std::vector<value_t> x_ref = sparse::gen_solution(l.rows, 6);
+  const std::vector<value_t> b = sparse::gen_rhs_for_solution(l, x_ref);
+  const auto r =
+      run(l, b, core::Backend::kMgZeroCopy, sim::Machine::dgx1(4), tasks);
+  EXPECT_LT(core::max_relative_difference(r.x, x_ref), 1e-9);
+  EXPECT_EQ(r.report.kernel_launches, static_cast<std::uint64_t>(4 * tasks));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, TaskGranularitySweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+TEST(EngineProperties, BackwardSubstitutionThroughEverySimulatedBackend) {
+  const sparse::CscMatrix lower = sparse::gen_layered_dag(5000, 25, 25000, 0.5, 7);
+  const sparse::CscMatrix upper = sparse::mirror_to_upper(lower);
+  const std::vector<value_t> x_ref = sparse::gen_solution(upper.rows, 8);
+  const std::vector<value_t> b = sparse::multiply(upper, x_ref);
+  for (core::Backend be :
+       {core::Backend::kGpuLevelSet, core::Backend::kMgUnified,
+        core::Backend::kMgUnifiedTask, core::Backend::kMgShmem,
+        core::Backend::kMgZeroCopy}) {
+    core::SolveOptions o;
+    o.backend = be;
+    o.machine = sim::Machine::dgx1(be == core::Backend::kGpuLevelSet ? 1 : 4);
+    const core::SolveResult r = core::solve_upper(upper, b, o);
+    EXPECT_LT(core::max_relative_difference(r.x, x_ref), 1e-9)
+        << core::backend_name(be);
+  }
+}
+
+}  // namespace
+}  // namespace msptrsv

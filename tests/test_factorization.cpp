@@ -1,0 +1,133 @@
+// ILU(0) / IC(0) factorizations (the MA48 substitution).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reference.hpp"
+#include "core/residual.hpp"
+#include "sparse/factorization.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace msptrsv::sparse {
+namespace {
+
+/// 2D Poisson matrix (SPD, diagonally dominant) as CSR.
+CsrMatrix poisson2d(index_t nx, index_t ny) {
+  CooMatrix coo;
+  const index_t n = nx * ny;
+  coo.rows = coo.cols = n;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      coo.add(i, i, 4.0);
+      if (x > 0) { coo.add(i, i - 1, -1.0); coo.add(i - 1, i, -1.0); }
+      if (y > 0) { coo.add(i, i - nx, -1.0); coo.add(i - nx, i, -1.0); }
+    }
+  }
+  CooMatrix dedup = coo;
+  dedup.normalize();
+  return csr_from_coo(std::move(dedup));
+}
+
+TEST(Ilu0, ExactForTriangularInput) {
+  // ILU(0) of an already-lower-triangular matrix is exact: L*U == A.
+  const CscMatrix lo = gen_random_lower(120, 4.0, 5);
+  const IluResult f = ilu0(csr_from_csc(lo));
+  // U should be diagonal here and L*U reproduce A exactly on the pattern.
+  EXPECT_TRUE(is_lower_triangular(f.lower));
+  EXPECT_TRUE(is_upper_triangular(f.upper));
+  // Check A ~= L*U by applying both to a vector.
+  const std::vector<value_t> x = gen_solution(lo.rows, 3);
+  const std::vector<value_t> ux = multiply(f.upper, x);
+  const std::vector<value_t> lux = multiply(f.lower, ux);
+  const std::vector<value_t> ax = multiply(lo, x);
+  for (std::size_t i = 0; i < lux.size(); ++i) {
+    EXPECT_NEAR(lux[i], ax[i], 1e-10 * (1.0 + std::abs(ax[i])));
+  }
+}
+
+TEST(Ilu0, NoFillInPreservesPattern) {
+  const CsrMatrix a = poisson2d(12, 12);
+  const IluResult f = ilu0(a);
+  // nnz(L) + nnz(U) == nnz(A) + n (unit diagonal stored in L).
+  EXPECT_EQ(f.lower.nnz() + f.upper.nnz(), a.nnz() + a.rows);
+}
+
+TEST(Ilu0, FactorsAreSolvable) {
+  const CsrMatrix a = poisson2d(16, 16);
+  const IluResult f = ilu0(a);
+  EXPECT_NO_THROW(require_solvable_lower(f.lower));
+  // Unit diagonal on L.
+  for (index_t j = 0; j < f.lower.cols; ++j) {
+    EXPECT_DOUBLE_EQ(f.lower.val[f.lower.col_ptr[j]], 1.0);
+  }
+}
+
+TEST(Ilu0, PreconditionerReducesResidual) {
+  // For the Poisson matrix ILU(0) is a strong preconditioner: one
+  // application of (LU)^-1 should shrink the residual of Ax=b.
+  const CsrMatrix a = poisson2d(10, 10);
+  const CscMatrix a_csc = csc_from_csr(a);
+  const IluResult f = ilu0(a);
+
+  const std::vector<value_t> x_true = gen_solution(a.rows, 7);
+  const std::vector<value_t> b = multiply(a_csc, x_true);
+
+  // x0 = 0; r0 = b; x1 = (LU)^{-1} b.
+  const std::vector<value_t> y = core::solve_lower_serial(f.lower, b);
+  const std::vector<value_t> x1 = core::solve_upper_serial(f.upper, y);
+
+  const value_t r1 = core::residual_inf_norm(a_csc, x1, b);
+  value_t b_norm = 0.0;
+  for (value_t v : b) b_norm = std::max(b_norm, std::abs(v));
+  EXPECT_LT(r1, 0.5 * b_norm);
+}
+
+TEST(Ilu0, RejectsMissingDiagonal) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);
+  EXPECT_THROW(ilu0(csr_from_coo(std::move(coo))), support::PreconditionError);
+}
+
+TEST(Ic0, FactorReproducesSpdMatrixOnPattern) {
+  const CsrMatrix a = poisson2d(8, 8);
+  const CscMatrix l = ic0(a);
+  EXPECT_TRUE(is_lower_triangular(l));
+  require_solvable_lower(l);
+  // For the Poisson matrix IC(0) is close to exact Cholesky; check
+  // A x ~= L (L^T x).
+  const CscMatrix lt = transpose(l);
+  const std::vector<value_t> x = gen_solution(a.rows, 11);
+  const std::vector<value_t> ltx = multiply(lt, x);
+  const std::vector<value_t> llx = multiply(l, ltx);
+  const std::vector<value_t> ax = multiply(csc_from_csr(a), x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    worst = std::max(worst, std::abs(ax[i] - llx[i]));
+  }
+  EXPECT_LT(worst, 0.75);  // no-fill approximation error stays bounded
+}
+
+TEST(LowerFactorOf, ProducesSolvableFactorFromGeneralMatrix) {
+  // A general square matrix with full diagonal.
+  CooMatrix coo;
+  coo.rows = coo.cols = 50;
+  support::Xoshiro256 rng(5);
+  for (index_t i = 0; i < 50; ++i) {
+    coo.add(i, i, 4.0 + rng.uniform01());
+    for (int e = 0; e < 3; ++e) {
+      const index_t j = static_cast<index_t>(rng.next_below(50));
+      if (j != i) coo.add(i, j, rng.uniform_real(-0.5, 0.5));
+    }
+  }
+  const CscMatrix l = lower_factor_of(csc_from_coo(std::move(coo)));
+  EXPECT_NO_THROW(require_solvable_lower(l));
+}
+
+}  // namespace
+}  // namespace msptrsv::sparse

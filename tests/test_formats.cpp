@@ -1,0 +1,138 @@
+// Sparse format substrate: COO normalization, CSC/CSR construction,
+// conversions, transpose, SpMV.
+#include <gtest/gtest.h>
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+namespace {
+
+TEST(Coo, NormalizeSortsAndSumsDuplicates) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 3;
+  coo.add(2, 1, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(2, 1, 3.0);
+  coo.normalize();
+  ASSERT_EQ(coo.entries.size(), 2u);
+  EXPECT_EQ(coo.entries[0].row, 0);
+  EXPECT_DOUBLE_EQ(coo.entries[1].value, 4.0);
+}
+
+TEST(Coo, ValidateRejectsOutOfRange) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.add(2, 0, 1.0);
+  EXPECT_THROW(coo.validate(), support::PreconditionError);
+}
+
+TEST(Csc, FromCooBuildsSortedColumns) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 3;
+  coo.add(2, 0, 3.0);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 2.0);
+  const CscMatrix m = csc_from_coo(std::move(coo));
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.col_ptr[0], 0);
+  EXPECT_EQ(m.col_ptr[1], 2);
+  EXPECT_EQ(m.row_idx[0], 0);
+  EXPECT_EQ(m.row_idx[1], 2);
+}
+
+TEST(Csc, ColumnViewsMatchArrays) {
+  const CscMatrix m = gen_banded(50, 3, 0.8, 5);
+  for (index_t j = 0; j < m.cols; ++j) {
+    const auto rows = m.column_rows(j);
+    const auto vals = m.column_values(j);
+    ASSERT_EQ(rows.size(), vals.size());
+    ASSERT_EQ(static_cast<offset_t>(rows.size()),
+              m.col_ptr[j + 1] - m.col_ptr[j]);
+    if (!rows.empty()) {
+      EXPECT_EQ(rows[0], j);  // diagonal first
+    }
+  }
+}
+
+TEST(Csc, RoundTripThroughCoo) {
+  const CscMatrix m = gen_random_lower(200, 4.0, 9);
+  const CscMatrix again = csc_from_coo(coo_from_csc(m));
+  EXPECT_TRUE(identical(m, again));
+}
+
+TEST(Csc, TransposeIsInvolution) {
+  const CscMatrix m = gen_random_lower(150, 5.0, 3);
+  EXPECT_TRUE(identical(m, transpose(transpose(m))));
+}
+
+TEST(Csc, TransposeSwapsEntries) {
+  CooMatrix coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.add(1, 2, 7.0);
+  coo.add(0, 0, 1.0);
+  const CscMatrix t = transpose(csc_from_coo(std::move(coo)));
+  EXPECT_EQ(t.rows, 3);
+  EXPECT_EQ(t.cols, 2);
+  // (1,2) becomes (2,1).
+  EXPECT_EQ(t.row_idx[t.col_ptr[1]], 2);
+  EXPECT_DOUBLE_EQ(t.val[t.col_ptr[1]], 7.0);
+}
+
+TEST(Csc, MultiplyMatchesDenseComputation) {
+  const CscMatrix m = gen_banded(40, 4, 0.7, 21);
+  std::vector<value_t> x(40);
+  for (int i = 0; i < 40; ++i) x[static_cast<std::size_t>(i)] = 0.1 * i - 2.0;
+  const std::vector<value_t> y = multiply(m, x);
+  // Dense check.
+  std::vector<value_t> expect(40, 0.0);
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (offset_t k = m.col_ptr[j]; k < m.col_ptr[j + 1]; ++k) {
+      expect[static_cast<std::size_t>(m.row_idx[k])] +=
+          m.val[k] * x[static_cast<std::size_t>(j)];
+    }
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                expect[static_cast<std::size_t>(i)], 1e-14);
+  }
+}
+
+TEST(Csc, MultiplyRejectsWrongLength) {
+  const CscMatrix m = gen_diagonal(5);
+  std::vector<value_t> x(4, 1.0);
+  EXPECT_THROW(multiply(m, x), support::PreconditionError);
+}
+
+TEST(Csr, RoundTripWithCsc) {
+  const CscMatrix m = gen_random_lower(180, 6.0, 31);
+  const CsrMatrix r = csr_from_csc(m);
+  r.validate();
+  const CscMatrix back = csc_from_csr(r);
+  EXPECT_TRUE(identical(m, back));
+}
+
+TEST(Csr, RowViewsSortedAndInRange) {
+  const CsrMatrix r = csr_from_csc(gen_rmat_lower(8, 800, 77));
+  for (index_t i = 0; i < r.rows; ++i) {
+    const auto cols = r.row_cols(i);
+    for (std::size_t k = 1; k < cols.size(); ++k) {
+      EXPECT_LT(cols[k - 1], cols[k]);
+    }
+  }
+}
+
+TEST(Csr, ValidateCatchesUnsortedColumns) {
+  CsrMatrix r;
+  r.rows = r.cols = 2;
+  r.row_ptr = {0, 2, 2};
+  r.col_idx = {1, 0};  // unsorted within row 0
+  r.val = {1.0, 2.0};
+  EXPECT_THROW(r.validate(), support::InvariantError);
+}
+
+}  // namespace
+}  // namespace msptrsv::sparse

@@ -1,0 +1,118 @@
+// Workload generators: shape, determinism, conditioning, nnz targeting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/generators.hpp"
+#include "sparse/level_analysis.hpp"
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+namespace {
+
+TEST(Generators, AllAreDeterministicInSeed) {
+  EXPECT_TRUE(identical(gen_banded(200, 5, 0.5, 42), gen_banded(200, 5, 0.5, 42)));
+  EXPECT_TRUE(identical(gen_random_lower(200, 4.0, 42),
+                        gen_random_lower(200, 4.0, 42)));
+  EXPECT_TRUE(identical(gen_layered_dag(500, 10, 2500, 0.5, 42),
+                        gen_layered_dag(500, 10, 2500, 0.5, 42)));
+  EXPECT_TRUE(identical(gen_rmat_lower(8, 600, 42), gen_rmat_lower(8, 600, 42)));
+}
+
+TEST(Generators, SeedsChangeStructureOrValues) {
+  EXPECT_FALSE(identical(gen_random_lower(200, 4.0, 1),
+                         gen_random_lower(200, 4.0, 2)));
+}
+
+TEST(Generators, LayeredDagApproximatesNnzTarget) {
+  const offset_t target = 30000;
+  const CscMatrix m = gen_layered_dag(5000, 50, target, 0.5, 7);
+  EXPECT_GT(m.nnz(), target * 7 / 10);
+  EXPECT_LT(m.nnz(), target * 13 / 10);
+}
+
+TEST(Generators, LayeredDagRejectsBadArguments) {
+  EXPECT_THROW(gen_layered_dag(10, 11, 50, 0.5, 1), support::PreconditionError);
+  EXPECT_THROW(gen_layered_dag(10, 0, 50, 0.5, 1), support::PreconditionError);
+  EXPECT_THROW(gen_layered_dag(10, 2, 50, 1.5, 1), support::PreconditionError);
+}
+
+TEST(Generators, LayeredDagLocalityShortensDependencySpans) {
+  auto mean_span = [](const CscMatrix& m) {
+    double total = 0.0;
+    offset_t count = 0;
+    for (index_t j = 0; j < m.cols; ++j) {
+      for (offset_t k = m.col_ptr[j] + 1; k < m.col_ptr[j + 1]; ++k) {
+        total += std::abs(static_cast<double>(m.row_idx[k]) - j);
+        ++count;
+      }
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+  };
+  const double local = mean_span(gen_layered_dag(4000, 40, 20000, 0.95, 5));
+  const double scattered = mean_span(gen_layered_dag(4000, 40, 20000, 0.0, 5));
+  EXPECT_LT(local, 0.6 * scattered);
+}
+
+TEST(Generators, BandedRespectsBandwidth) {
+  const index_t bw = 7;
+  const CscMatrix m = gen_banded(300, bw, 0.8, 9);
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (offset_t k = m.col_ptr[j]; k < m.col_ptr[j + 1]; ++k) {
+      EXPECT_LE(m.row_idx[k] - j, bw);
+    }
+  }
+}
+
+TEST(Generators, RandomLowerHitsAverageDegree) {
+  const CscMatrix m = gen_random_lower(5000, 6.0, 13);
+  const double avg = static_cast<double>(m.nnz() - m.rows) / m.rows;
+  EXPECT_NEAR(avg, 6.0, 0.8);
+}
+
+TEST(Generators, Grid3dStructure) {
+  const CscMatrix m = gen_grid3d_lower(5, 4, 3);
+  EXPECT_EQ(m.rows, 60);
+  // interior cell count check via nnz: n + edges along each axis
+  const offset_t expected = 60 + (4 * 4 * 3) + (5 * 3 * 3) + (5 * 4 * 2);
+  EXPECT_EQ(m.nnz(), expected);
+  const LevelAnalysis a = analyze_levels(m);
+  EXPECT_EQ(a.num_levels, 5 + 4 + 3 - 2);
+}
+
+TEST(Generators, RmatProducesSkewedInDegrees) {
+  const CscMatrix m = gen_rmat_lower(11, 8000, 3);
+  const std::vector<index_t> indeg = compute_in_degrees(m);
+  index_t max_deg = 0;
+  for (index_t d : indeg) max_deg = std::max(max_deg, d);
+  const double avg = static_cast<double>(m.nnz() - m.rows) / m.rows;
+  // Power-law-ish: max in-degree far above the average.
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * avg);
+}
+
+TEST(Generators, ValuesAreDiagonallyDominantEnough) {
+  // Forward substitution on generated matrices must stay well conditioned:
+  // |diag| >= 1 and row off-diagonal sums bounded by ~1.
+  const CscMatrix m = gen_layered_dag(2000, 30, 12000, 0.3, 21);
+  std::vector<double> row_offdiag(static_cast<std::size_t>(m.rows), 0.0);
+  for (index_t j = 0; j < m.cols; ++j) {
+    EXPECT_GE(std::abs(m.val[m.col_ptr[j]]), 1.0);
+    for (offset_t k = m.col_ptr[j] + 1; k < m.col_ptr[j + 1]; ++k) {
+      row_offdiag[static_cast<std::size_t>(m.row_idx[k])] += std::abs(m.val[k]);
+    }
+  }
+  for (double s : row_offdiag) EXPECT_LE(s, 1.5);
+}
+
+TEST(Generators, SolutionHelperRoundTrip) {
+  const CscMatrix m = gen_banded(400, 6, 0.6, 5);
+  const std::vector<value_t> x = gen_solution(m.rows, 9);
+  EXPECT_EQ(x.size(), 400u);
+  for (value_t v : x) EXPECT_GE(std::abs(v), 1e-3);
+  const std::vector<value_t> b = gen_rhs_for_solution(m, x);
+  EXPECT_EQ(b.size(), 400u);
+}
+
+}  // namespace
+}  // namespace msptrsv::sparse

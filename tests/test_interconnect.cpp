@@ -1,0 +1,98 @@
+// Interconnect timing and accounting.
+#include <gtest/gtest.h>
+
+#include "sim/interconnect.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+namespace {
+
+TEST(Interconnect, TransferPaysLatencyAndSerialization) {
+  const Topology t = Topology::dgx1(2);
+  const CostModel cost;
+  Interconnect net(t, cost);
+  // 0-1 is a single 25 GB/s link: 25000 bytes take 1 us + 1 hop latency.
+  const sim_time_t done = net.transfer(0, 1, 25000.0, 10.0);
+  EXPECT_NEAR(done, 10.0 + 1.0 + cost.hop_latency_us, 1e-9);
+}
+
+TEST(Interconnect, TwoHopRouteCostsTwoLatencies) {
+  const Topology t = Topology::dgx1(8);
+  const CostModel cost;
+  Interconnect net(t, cost);
+  const sim_time_t one = net.transfer(0, 4, 100.0, 0.0);   // direct
+  const sim_time_t two = net.transfer(0, 5, 100.0, 0.0);   // 2 hops
+  EXPECT_GT(two, one);
+  EXPECT_NEAR(two - one,
+              cost.hop_latency_us - 100.0 / bytes_per_us(50.0) +
+                  100.0 / bytes_per_us(25.0),
+              1e-6);
+}
+
+TEST(Interconnect, LocalTransferIsFree) {
+  const Topology t = Topology::dgx1(4);
+  const CostModel cost;
+  Interconnect net(t, cost);
+  EXPECT_DOUBLE_EQ(net.transfer(2, 2, 1e9, 5.0), 5.0);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(Interconnect, StatsAccumulatePerLink) {
+  const Topology t = Topology::dgx1(2);
+  const CostModel cost;
+  Interconnect net(t, cost);
+  net.transfer(0, 1, 1000.0, 0.0);
+  net.transfer(0, 1, 500.0, 0.0);
+  net.transfer(1, 0, 200.0, 0.0);
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 1700.0);
+  EXPECT_EQ(net.total_messages(), 3u);
+  // Directional: the 0->1 link carries 1500 bytes.
+  double max_link_bytes = 0.0;
+  for (const LinkStats& s : net.all_link_stats()) {
+    max_link_bytes = std::max(max_link_bytes, s.bytes);
+  }
+  EXPECT_DOUBLE_EQ(max_link_bytes, 1500.0);
+}
+
+TEST(Interconnect, UncontendedLatencyMatchesTransferTiming) {
+  const Topology t = Topology::dgx2(8);
+  const CostModel cost;
+  Interconnect net(t, cost);
+  const sim_time_t est = net.uncontended_latency(3, 6, 4096.0);
+  const sim_time_t real = net.transfer(3, 6, 4096.0, 0.0);
+  EXPECT_NEAR(est, real, 1e-9);
+}
+
+TEST(Interconnect, ResetClearsStats) {
+  const Topology t = Topology::dgx1(4);
+  const CostModel cost;
+  Interconnect net(t, cost);
+  net.transfer(0, 1, 1000.0, 0.0);
+  net.reset();
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 0.0);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(Interconnect, NegativeBytesRejected) {
+  const Topology t = Topology::dgx1(2);
+  const CostModel cost;
+  Interconnect net(t, cost);
+  EXPECT_THROW(net.transfer(0, 1, -1.0, 0.0), support::PreconditionError);
+}
+
+TEST(Interconnect, Dgx2SlightlySlowerLatencyButFasterBandwidthThanDgx1) {
+  const CostModel cost;
+  const Topology d1 = Topology::dgx1(4);
+  const Topology d2 = Topology::dgx2(4);
+  Interconnect n1(d1, cost), n2(d2, cost);
+  // Small message: DGX-2 pays two port traversals (switch) vs one direct
+  // NVLink hop on the DGX-1 quad.
+  EXPECT_GT(n2.uncontended_latency(0, 1, 8.0),
+            n1.uncontended_latency(0, 1, 8.0));
+  // Large message: DGX-2's fat ports win.
+  EXPECT_LT(n2.uncontended_latency(0, 1, 4.0e6),
+            n1.uncontended_latency(0, 1, 4.0e6));
+}
+
+}  // namespace
+}  // namespace msptrsv::sim

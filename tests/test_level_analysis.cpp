@@ -1,0 +1,99 @@
+// Level-set analysis: levels, in-degrees, and the paper's two structure
+// metrics (dependency = nnz/n, parallelism = n/#levels).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sparse/generators.hpp"
+#include "sparse/level_analysis.hpp"
+
+namespace msptrsv::sparse {
+namespace {
+
+TEST(LevelAnalysis, DiagonalIsOneLevel) {
+  const LevelAnalysis a = analyze_levels(gen_diagonal(100));
+  EXPECT_EQ(a.num_levels, 1);
+  EXPECT_EQ(a.max_level_width, 100);
+  EXPECT_DOUBLE_EQ(a.parallelism_metric(), 100.0);
+}
+
+TEST(LevelAnalysis, ChainHasNLevels) {
+  const LevelAnalysis a = analyze_levels(gen_chain(64));
+  EXPECT_EQ(a.num_levels, 64);
+  EXPECT_EQ(a.max_level_width, 1);
+  EXPECT_DOUBLE_EQ(a.parallelism_metric(), 1.0);
+}
+
+TEST(LevelAnalysis, Grid2dHasWavefrontLevels) {
+  // Dependencies on west and south neighbors: #levels = nx + ny - 1.
+  const LevelAnalysis a = analyze_levels(gen_grid2d_lower(13, 9));
+  EXPECT_EQ(a.num_levels, 13 + 9 - 1);
+}
+
+TEST(LevelAnalysis, KnownSmallDag) {
+  // Figure 1(a)'s example: x0 ready; x1,x3,x5 depend on x0; etc. Use a
+  // hand-built matrix: edges 0->1, 0->3, 1->2, 3->4.
+  CooMatrix coo;
+  coo.rows = coo.cols = 5;
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, 2.0);
+  coo.add(1, 0, 1.0);
+  coo.add(3, 0, 1.0);
+  coo.add(2, 1, 1.0);
+  coo.add(4, 3, 1.0);
+  const LevelAnalysis a = analyze_levels(csc_from_coo(std::move(coo)));
+  EXPECT_EQ(a.num_levels, 3);
+  EXPECT_EQ(a.level_of[0], 0);
+  EXPECT_EQ(a.level_of[1], 1);
+  EXPECT_EQ(a.level_of[3], 1);
+  EXPECT_EQ(a.level_of[2], 2);
+  EXPECT_EQ(a.level_of[4], 2);
+}
+
+TEST(LevelAnalysis, InDegreesSumToOffDiagonalNnz) {
+  const CscMatrix m = gen_layered_dag(800, 25, 4800, 0.4, 7);
+  const std::vector<index_t> indeg = compute_in_degrees(m);
+  const offset_t sum = std::accumulate(indeg.begin(), indeg.end(), offset_t{0});
+  EXPECT_EQ(sum, m.nnz() - m.rows);
+}
+
+TEST(LevelAnalysis, LevelPtrPartitionsAllComponents) {
+  const CscMatrix m = gen_rmat_lower(9, 2000, 3);
+  const LevelAnalysis a = analyze_levels(m);
+  EXPECT_EQ(a.level_ptr.front(), 0);
+  EXPECT_EQ(a.level_ptr.back(), static_cast<offset_t>(m.rows));
+  // Every component appears exactly once in `order`.
+  std::vector<bool> seen(static_cast<std::size_t>(m.rows), false);
+  for (index_t c : a.order) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(c)]);
+    seen[static_cast<std::size_t>(c)] = true;
+  }
+}
+
+TEST(LevelAnalysis, LevelRespectsAllDependencies) {
+  const CscMatrix m = gen_random_lower(400, 5.0, 11);
+  const LevelAnalysis a = analyze_levels(m);
+  for (index_t j = 0; j < m.cols; ++j) {
+    for (offset_t k = m.col_ptr[j] + 1; k < m.col_ptr[j + 1]; ++k) {
+      EXPECT_LT(a.level_of[static_cast<std::size_t>(j)],
+                a.level_of[static_cast<std::size_t>(m.row_idx[k])]);
+    }
+  }
+}
+
+TEST(LevelAnalysis, LayeredDagHitsExactTargets) {
+  for (index_t levels : {1, 2, 7, 40, 200}) {
+    const CscMatrix m = gen_layered_dag(2000, levels, 9000, 0.5, 17);
+    const LevelAnalysis a = analyze_levels(m);
+    EXPECT_EQ(a.num_levels, levels) << "levels=" << levels;
+  }
+}
+
+TEST(LevelAnalysis, DependencyMetricMatchesDefinition) {
+  const CscMatrix m = gen_banded(500, 6, 0.5, 23);
+  const LevelAnalysis a = analyze_levels(m);
+  EXPECT_DOUBLE_EQ(a.dependency_metric(),
+                   static_cast<double>(m.nnz()) / m.rows);
+}
+
+}  // namespace
+}  // namespace msptrsv::sparse

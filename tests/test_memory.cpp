@@ -1,0 +1,62 @@
+// Device memory capacity tracking (the out-of-core side of the paper).
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+TEST(MemoryTracker, AllocationsAccumulate) {
+  MemoryTracker mem(2, 16.0 * kGiB);
+  mem.allocate(0, 4.0 * kGiB, "matrix");
+  mem.allocate(0, 1.0 * kGiB, "vectors");
+  EXPECT_DOUBLE_EQ(mem.used_bytes(0), 5.0 * kGiB);
+  EXPECT_DOUBLE_EQ(mem.used_bytes(1), 0.0);
+  EXPECT_DOUBLE_EQ(mem.headroom_bytes(0), 11.0 * kGiB);
+}
+
+TEST(MemoryTracker, OverflowThrowsLikeCudaMalloc) {
+  MemoryTracker mem(1, 16.0 * kGiB);
+  mem.allocate(0, 15.0 * kGiB, "big");
+  EXPECT_FALSE(mem.would_fit(0, 2.0 * kGiB));
+  EXPECT_TRUE(mem.would_fit(0, 0.5 * kGiB));
+  EXPECT_THROW(mem.allocate(0, 2.0 * kGiB, "too much"),
+               support::PreconditionError);
+}
+
+TEST(MemoryTracker, ReleaseReturnsHeadroom) {
+  MemoryTracker mem(1, 8.0 * kGiB);
+  mem.allocate(0, 6.0 * kGiB, "x");
+  mem.release(0, 4.0 * kGiB);
+  EXPECT_DOUBLE_EQ(mem.used_bytes(0), 2.0 * kGiB);
+  EXPECT_THROW(mem.release(0, 3.0 * kGiB), support::PreconditionError);
+}
+
+TEST(MemoryTracker, SummaryMentionsEveryDevice) {
+  MemoryTracker mem(3, kGiB);
+  const std::string s = mem.summary();
+  EXPECT_NE(s.find("GPU 0"), std::string::npos);
+  EXPECT_NE(s.find("GPU 2"), std::string::npos);
+}
+
+TEST(MinGpus, SmallWorkloadFitsOneGpu) {
+  EXPECT_EQ(min_gpus_for_footprint(4.0 * kGiB, 0.5 * kGiB, 16.0 * kGiB, 8), 1);
+}
+
+TEST(MinGpus, OutOfCoreWorkloadNeedsMultipleGpus) {
+  // 40 GiB of partitioned data + 1 GiB replicated per GPU on 16 GiB parts:
+  // 40/g + 1 <= 16  =>  g >= 2.67  =>  3 GPUs.
+  EXPECT_EQ(min_gpus_for_footprint(40.0 * kGiB, 1.0 * kGiB, 16.0 * kGiB, 8), 3);
+}
+
+TEST(MinGpus, ReplicationCanMakeItInfeasible) {
+  // Replicated state alone exceeds capacity: no GPU count helps.
+  EXPECT_EQ(min_gpus_for_footprint(1.0 * kGiB, 20.0 * kGiB, 16.0 * kGiB, 16),
+            17);
+}
+
+}  // namespace
+}  // namespace msptrsv::sim

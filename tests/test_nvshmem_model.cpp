@@ -1,0 +1,109 @@
+// NVSHMEM/PGAS model: symmetric heap, one-sided ops, gather-reduce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/nvshmem.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+namespace {
+
+struct NvFixture {
+  Topology topo = Topology::dgx1(4);
+  CostModel cost;
+  Interconnect net{topo, cost};
+  NvshmemModel nv{net, cost, 4};
+};
+
+TEST(Nvshmem, SymmetricAllocationAccumulatesPerPe) {
+  NvFixture f;
+  EXPECT_DOUBLE_EQ(f.nv.symmetric_alloc(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.nv.symmetric_alloc(500.0), 1000.0);
+  EXPECT_DOUBLE_EQ(f.nv.symmetric_heap_bytes(), 1500.0);
+}
+
+TEST(Nvshmem, GetPaysOverheadAndWire) {
+  NvFixture f;
+  const sim_time_t t = f.nv.get(0, 1, 8.0, 100.0);
+  EXPECT_GE(t, 100.0 + f.cost.get_overhead_us + f.cost.hop_latency_us);
+  EXPECT_EQ(f.nv.stats().gets, 1u);
+  EXPECT_GT(f.net.total_bytes(), 0.0);
+}
+
+TEST(Nvshmem, LocalGetIsCheap) {
+  NvFixture f;
+  const sim_time_t t = f.nv.get(2, 2, 8.0, 10.0);
+  EXPECT_NEAR(t, 10.0 + f.cost.atomic_local_us, 1e-9);
+  EXPECT_DOUBLE_EQ(f.net.total_bytes(), 0.0);
+}
+
+TEST(Nvshmem, PutMirrorsGetDirection) {
+  NvFixture f;
+  f.nv.put(0, 3, 8.0, 0.0);
+  // Data flows local -> remote for put: the 0->3 route carries the bytes.
+  double bytes_on_0_to_3 = 0.0;
+  for (int id = 0; id < f.topo.num_links(); ++id) {
+    const LinkSpec& l = f.topo.link(id);
+    if (l.src == 0 && l.dst == 3) bytes_on_0_to_3 += f.net.link_stats(id).bytes;
+  }
+  EXPECT_DOUBLE_EQ(bytes_on_0_to_3, 8.0);
+}
+
+TEST(Nvshmem, FenceCostsAndCounts) {
+  NvFixture f;
+  const sim_time_t t = f.nv.fence(10.0);
+  EXPECT_DOUBLE_EQ(t, 10.0 + f.cost.fence_us);
+  EXPECT_EQ(f.nv.stats().fences, 1u);
+}
+
+TEST(Nvshmem, GatherReduceIsParallelAcrossPes) {
+  NvFixture f;
+  const std::vector<int> all = {1, 2, 3};
+  const sim_time_t gather3 = f.nv.gather_reduce(0, all, 4.0, 0.0);
+  Interconnect net2(f.topo, f.cost);
+  NvshmemModel nv2(net2, f.cost, 4);
+  const std::vector<int> one = {1};
+  const sim_time_t gather1 = nv2.gather_reduce(0, one, 4.0, 0.0);
+  // Lanes issue in parallel: gathering from 3 PEs costs at most one extra
+  // reduction step over gathering from 1, not 3x.
+  EXPECT_LT(gather3, 2.0 * gather1);
+  EXPECT_EQ(f.nv.stats().gather_reductions, 1u);
+  EXPECT_EQ(f.nv.stats().gets, 3u);
+}
+
+TEST(Nvshmem, GatherReduceUsesLogReduction) {
+  // Completion difference between 2 lanes and 4 lanes on a uniform network
+  // is exactly one shuffle step.
+  const Topology topo = Topology::all_to_all(8, 25.0);
+  const CostModel cost;
+  Interconnect netA(topo, cost), netB(topo, cost);
+  NvshmemModel a(netA, cost, 8), b(netB, cost, 8);
+  const std::vector<int> one = {1};            // 2 lanes -> 1 step
+  const std::vector<int> three = {1, 2, 3};    // 4 lanes -> 2 steps
+  const sim_time_t ta = a.gather_reduce(0, one, 4.0, 0.0);
+  const sim_time_t tb = b.gather_reduce(0, three, 4.0, 0.0);
+  EXPECT_NEAR(tb - ta, cost.shuffle_us, 1e-9);
+}
+
+TEST(Nvshmem, PollVisibilityDelayOrdersWithDistance) {
+  const CostModel cost;
+  const Topology topo = Topology::dgx1(8);
+  Interconnect net(topo, cost);
+  NvshmemModel nv(net, cost, 8);
+  // Local observation is cheapest; 2-hop remote costs more than 1-hop.
+  const sim_time_t local = nv.poll_visibility_delay(0, 0);
+  const sim_time_t near = nv.poll_visibility_delay(0, 4);   // direct link
+  const sim_time_t far = nv.poll_visibility_delay(0, 5);    // 2 hops
+  EXPECT_LT(local, near);
+  EXPECT_LT(near, far);
+}
+
+TEST(Nvshmem, PeBoundsChecked) {
+  NvFixture f;
+  EXPECT_THROW(f.nv.get(0, 4, 8.0, 0.0), support::PreconditionError);
+  EXPECT_THROW(f.nv.put(-1, 0, 8.0, 0.0), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace msptrsv::sim

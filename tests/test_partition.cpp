@@ -1,0 +1,122 @@
+// Component distribution: block partition, round-robin task pool, remote
+// update counting, and memory footprint estimation.
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/partition.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+namespace {
+
+TEST(Partition, BlockCoversEveryComponentOnce) {
+  const Partition p = Partition::block(1003, 4);
+  index_t total = 0;
+  for (int g = 0; g < 4; ++g) total += p.components_on(g);
+  EXPECT_EQ(total, 1003);
+  EXPECT_EQ(p.num_tasks(), 4);
+  // Ownership is contiguous ascending.
+  EXPECT_EQ(p.owner_of(0), 0);
+  EXPECT_EQ(p.owner_of(1002), 3);
+  for (index_t i = 1; i < 1003; ++i) {
+    EXPECT_GE(p.owner_of(i), p.owner_of(i - 1));
+  }
+}
+
+TEST(Partition, RoundRobinDealsTasksCyclically) {
+  const Partition p = Partition::round_robin_tasks(1200, 3, 4);
+  EXPECT_EQ(p.num_tasks(), 12);
+  for (int t = 0; t < 12; ++t) {
+    EXPECT_EQ(p.task(t).gpu, t % 3);
+    EXPECT_EQ(p.task(t).seq_on_gpu, t / 3);
+  }
+}
+
+TEST(Partition, TasksAreEquallySized) {
+  const Partition p = Partition::round_robin_tasks(1000, 4, 8);
+  for (int t = 0; t < p.num_tasks(); ++t) {
+    const index_t sz = p.task(t).size();
+    EXPECT_GE(sz, 1000 / 32);
+    EXPECT_LE(sz, 1000 / 32 + 1);
+  }
+}
+
+TEST(Partition, ComponentBalanceIsNearPerfect) {
+  const Partition block = Partition::block(99991, 8);
+  EXPECT_LT(block.component_imbalance(), 1.001);
+  const Partition rr = Partition::round_robin_tasks(99991, 8, 16);
+  EXPECT_LT(rr.component_imbalance(), 1.001);
+}
+
+TEST(Partition, MoreTasksThanComponentsClamps) {
+  const Partition p = Partition::round_robin_tasks(5, 4, 8);
+  EXPECT_EQ(p.num_tasks(), 5);
+  index_t total = 0;
+  for (int g = 0; g < 4; ++g) total += p.components_on(g);
+  EXPECT_EQ(total, 5);
+}
+
+TEST(Partition, SingleGpuOwnsEverything) {
+  const Partition p = Partition::block(100, 1);
+  for (index_t i = 0; i < 100; ++i) EXPECT_EQ(p.owner_of(i), 0);
+}
+
+TEST(Partition, RejectsBadArguments) {
+  EXPECT_THROW(Partition::block(0, 2), support::PreconditionError);
+  EXPECT_THROW(Partition::block(10, 0), support::PreconditionError);
+  EXPECT_THROW(Partition::round_robin_tasks(10, 2, 0),
+               support::PreconditionError);
+}
+
+TEST(Partition, RemoteUpdateCountIsZeroOnOneGpu) {
+  const CscMatrix m = gen_layered_dag(2000, 20, 10000, 0.3, 3);
+  EXPECT_EQ(Partition::block(m.rows, 1).count_remote_updates(m), 0);
+}
+
+TEST(Partition, RoundRobinTasksIncreaseRemoteUpdates) {
+  // Splitting locality-heavy structure round-robin crosses GPU boundaries
+  // far more often than contiguous blocks -- the task model's cost side.
+  const CscMatrix m = gen_layered_dag(8000, 40, 40000, 0.9, 7);
+  const offset_t block = Partition::block(m.rows, 4).count_remote_updates(m);
+  const offset_t rr =
+      Partition::round_robin_tasks(m.rows, 4, 16).count_remote_updates(m);
+  EXPECT_GT(rr, block);
+}
+
+TEST(Partition, RemoteUpdatesGrowWithGpuCount) {
+  const CscMatrix m = gen_layered_dag(8000, 40, 40000, 0.5, 9);
+  const offset_t g2 = Partition::block(m.rows, 2).count_remote_updates(m);
+  const offset_t g4 = Partition::block(m.rows, 4).count_remote_updates(m);
+  const offset_t g8 = Partition::block(m.rows, 8).count_remote_updates(m);
+  EXPECT_LT(g2, g4);
+  EXPECT_LT(g4, g8);
+}
+
+TEST(Footprint, SymmetricHeapReplicatesStateOnEveryPe) {
+  const CscMatrix m = gen_layered_dag(4000, 20, 20000, 0.5, 5);
+  const Partition p = Partition::block(m.rows, 4);
+  const FootprintEstimate shmem =
+      estimate_footprint(m, p, StateLayout::kSymmetricHeap);
+  const FootprintEstimate unified =
+      estimate_footprint(m, p, StateLayout::kUnifiedManaged);
+  // 4 PEs replicate the n-sized arrays; managed memory holds one copy.
+  EXPECT_NEAR(shmem.replicated_state_bytes,
+              4.0 * unified.replicated_state_bytes, 1.0);
+  EXPECT_GT(shmem.total_bytes, unified.total_bytes);
+}
+
+TEST(Footprint, ScalesInflateTowardPaperSizes) {
+  const CscMatrix m = gen_layered_dag(4000, 20, 20000, 0.5, 5);
+  const Partition p = Partition::block(m.rows, 4);
+  const FootprintEstimate base =
+      estimate_footprint(m, p, StateLayout::kSymmetricHeap);
+  const FootprintEstimate scaled =
+      estimate_footprint(m, p, StateLayout::kSymmetricHeap, 100.0, 120.0);
+  EXPECT_GT(scaled.total_bytes, 90.0 * base.total_bytes);
+  EXPECT_THROW(
+      estimate_footprint(m, p, StateLayout::kSymmetricHeap, 0.5, 1.0),
+      support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace msptrsv::sparse

@@ -1,0 +1,94 @@
+// The Table I synthetic suite: paper statistics, scaling rules, metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/suite.hpp"
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+namespace {
+
+TEST(Suite, HasAllSixteenEntries) {
+  EXPECT_EQ(table1_entries().size(), 16u);
+}
+
+TEST(Suite, ParallelismColumnIsConsistentWithRowsAndLevels) {
+  // rows / levels should be within 25% of the published parallelism for
+  // every (typo-corrected) entry.
+  for (const SuiteEntry& e : table1_entries()) {
+    const double computed =
+        static_cast<double>(e.paper_rows) / e.paper_levels;
+    EXPECT_NEAR(computed / e.paper_parallelism, 1.0, 0.25) << e.name;
+  }
+}
+
+TEST(Suite, FindEntryByName) {
+  EXPECT_EQ(find_entry("dc2").paper_levels, 14);
+  EXPECT_THROW(find_entry("not-a-matrix"), support::PreconditionError);
+}
+
+TEST(Suite, SmallMatricesGenerateAtFullScale) {
+  const SuiteMatrix m = generate_suite_matrix("powersim", 100000);
+  EXPECT_DOUBLE_EQ(m.scale, 1.0);
+  EXPECT_EQ(m.lower.rows, m.entry.paper_rows);
+  EXPECT_EQ(m.analysis.num_levels, m.entry.paper_levels);
+  // nnz within 30% of the paper's.
+  EXPECT_NEAR(static_cast<double>(m.lower.nnz()) / m.entry.paper_nnz, 1.0, 0.3);
+}
+
+TEST(Suite, LargeMatricesScaleDownPreservingDependency) {
+  const SuiteMatrix m = generate_suite_matrix("twitter7", 20000);
+  EXPECT_EQ(m.lower.rows, 20000);
+  EXPECT_LT(m.scale, 0.001);
+  const double paper_dep = static_cast<double>(m.entry.paper_nnz) /
+                           m.entry.paper_rows;
+  EXPECT_NEAR(m.analysis.dependency_metric() / paper_dep, 1.0, 0.35);
+}
+
+TEST(Suite, ScaledMatricesKeepLevelCountWhenFeasible) {
+  // belgium_osm: 631 levels; at 20000 rows that is ~31 per level >= 4,
+  // so the level count must be preserved exactly.
+  const SuiteMatrix m = generate_suite_matrix("belgium_osm", 20000);
+  EXPECT_EQ(m.analysis.num_levels, 631);
+}
+
+TEST(Suite, ExtremeParallelismFallsBackToRatio) {
+  // nlpkkt160 has 2 levels; preserved trivially.
+  const SuiteMatrix m = generate_suite_matrix("nlpkkt160", 10000);
+  EXPECT_EQ(m.analysis.num_levels, 2);
+}
+
+TEST(Suite, AllMatricesAreSolvable) {
+  for (const SuiteMatrix& m : generate_suite(4000)) {
+    EXPECT_NO_THROW(require_solvable_lower(m.lower)) << m.entry.name;
+    EXPECT_GT(m.analysis.num_levels, 0) << m.entry.name;
+  }
+}
+
+TEST(Suite, GenerationIsDeterministic) {
+  const SuiteMatrix a = generate_suite_matrix("Wordnet3", 30000);
+  const SuiteMatrix b = generate_suite_matrix("Wordnet3", 30000);
+  EXPECT_TRUE(identical(a.lower, b.lower));
+}
+
+TEST(Suite, Fig3AndFig10SubsetsExist) {
+  for (const std::string& n : fig3_matrix_names()) {
+    EXPECT_NO_THROW(find_entry(n));
+  }
+  for (const std::string& n : fig10_matrix_names()) {
+    EXPECT_NO_THROW(find_entry(n));
+  }
+  EXPECT_EQ(fig3_matrix_names().size(), 4u);
+  EXPECT_EQ(fig10_matrix_names().size(), 5u);
+}
+
+TEST(Suite, OutOfCoreFlagsMatchPaper) {
+  EXPECT_TRUE(find_entry("twitter7").out_of_core);
+  EXPECT_TRUE(find_entry("uk-2005").out_of_core);
+  EXPECT_FALSE(find_entry("powersim").out_of_core);
+}
+
+}  // namespace
+}  // namespace msptrsv::sparse

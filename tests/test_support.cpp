@@ -1,0 +1,180 @@
+// Support utilities: RNG determinism and distributions, tables, stats, CLI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/cli.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace msptrsv::support {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZeroBound) {
+  Xoshiro256 rng(7);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Xoshiro256 rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(11);
+  double mean = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  EXPECT_NEAR(mean / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Xoshiro256 rng(17);
+  const double p = 0.25;
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += static_cast<double>(rng.geometric(p));
+  // E[failures before first success] = (1-p)/p = 3.
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 c = a.fork();
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Stats, MeanAndGeomean) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), PreconditionError);
+}
+
+TEST(Stats, ImbalanceFactor) {
+  const std::vector<double> balanced = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(imbalance_factor(balanced), 1.0);
+  const std::vector<double> skewed = {1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance_factor(skewed), 2.0);
+}
+
+TEST(Stats, StddevAndCoV) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+  EXPECT_NEAR(coeff_of_variation(xs), 0.4, 1e-12);
+}
+
+TEST(Table, RendersAlignedColumnsAndSeparators) {
+  Table t({"Name", "Value"});
+  t.add_row("alpha", 1);
+  t.add_separator();
+  t.add_row("b", 23);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| b     |    23 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row("x,y", "say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.begin_row();
+  t.add_cell("one");
+  EXPECT_THROW(t.add_cell("two"), PreconditionError);
+}
+
+TEST(Cli, ParsesAllSupportedSyntaxes) {
+  CliParser cli("test");
+  cli.add_option("alpha", "0", "an int");
+  cli.add_option("beta", "x", "a string");
+  cli.add_option("flag", "false", "a bool");
+  const char* argv[] = {"prog", "--alpha=5", "--beta", "hello", "--flag"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("alpha"), 5);
+  EXPECT_EQ(cli.get_string("beta"), "hello");
+  EXPECT_TRUE(cli.get_bool("flag"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("test");
+  cli.add_option("gamma", "2.5", "a double");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("gamma"), 2.5);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), PreconditionError);
+}
+
+TEST(Cli, ListParsing) {
+  CliParser cli("test");
+  cli.add_option("names", "", "csv list");
+  const char* argv[] = {"prog", "--names=a,b,c"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto list = cli.get_list("names");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "a");
+  EXPECT_EQ(list[2], "c");
+}
+
+TEST(Contracts, MacrosThrowTypedErrors) {
+  EXPECT_THROW(MSPTRSV_REQUIRE(false, "msg"), PreconditionError);
+  EXPECT_THROW(MSPTRSV_ENSURE(false, "msg"), InvariantError);
+  EXPECT_NO_THROW(MSPTRSV_REQUIRE(true, "msg"));
+}
+
+}  // namespace
+}  // namespace msptrsv::support

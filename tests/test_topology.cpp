@@ -1,0 +1,120 @@
+// Interconnect topologies: DGX-1 cube-mesh wiring, DGX-2 switch, routing.
+#include <gtest/gtest.h>
+
+#include "sim/topology.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sim {
+namespace {
+
+TEST(Topology, Dgx1EveryGpuHasSixNvlinkLanes) {
+  const Topology t = Topology::dgx1(8);
+  for (int g = 0; g < 8; ++g) {
+    // 25 GB/s per lane: outgoing bandwidth of 6 lanes = 150 GB/s.
+    EXPECT_DOUBLE_EQ(t.active_bandwidth_gbs(g), 150.0) << "gpu " << g;
+  }
+}
+
+TEST(Topology, Dgx1LinksAreSymmetric) {
+  const Topology t = Topology::dgx1(8);
+  for (const LinkSpec& l : t.links()) {
+    bool found = false;
+    for (const LinkSpec& r : t.links()) {
+      if (r.src == l.dst && r.dst == l.src && r.bw_gbs == l.bw_gbs) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Topology, Dgx1FirstQuadIsFullyConnected) {
+  // The paper's NVSHMEM runs use up to 4 GPUs "that are fully connected".
+  const Topology t = Topology::dgx1(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_EQ(t.hops(a, b), 1);
+      }
+    }
+  }
+}
+
+TEST(Topology, Dgx1CrossQuadPairsNeedTwoHops) {
+  const Topology t = Topology::dgx1(8);
+  // 0-5 has no direct link (0 connects to 4 across the cube, not 5).
+  EXPECT_EQ(t.hops(0, 5), 2);
+  EXPECT_EQ(t.hops(1, 6), 2);
+  // Cube cross-edges are direct.
+  EXPECT_EQ(t.hops(0, 4), 1);
+  EXPECT_EQ(t.hops(3, 7), 1);
+}
+
+TEST(Topology, Dgx1DoubleLinksHaveDoubleBandwidth) {
+  const Topology t = Topology::dgx1(8);
+  EXPECT_DOUBLE_EQ(t.route_bandwidth_gbs(0, 3), 50.0);  // double link
+  EXPECT_DOUBLE_EQ(t.route_bandwidth_gbs(0, 1), 25.0);  // single link
+}
+
+TEST(Topology, Dgx1ActiveBandwidthGrowsWithGpuCount) {
+  // The paper's explanation for DGX-1 scaling (Section VI-D).
+  const double bw2 = Topology::dgx1(2).active_bandwidth_gbs(0);
+  const double bw4 = Topology::dgx1(4).active_bandwidth_gbs(0);
+  const double bw8 = Topology::dgx1(8).active_bandwidth_gbs(0);
+  EXPECT_LT(bw2, bw4);
+  EXPECT_LT(bw4, bw8);
+}
+
+TEST(Topology, Dgx2IsSingleHopAllToAll) {
+  const Topology t = Topology::dgx2(16);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(t.hops(a, b), 1);
+      EXPECT_EQ(t.route(a, b).size(), 2u);  // egress + ingress port
+    }
+  }
+}
+
+TEST(Topology, Dgx2PerGpuBandwidthConstantInGpuCount) {
+  EXPECT_DOUBLE_EQ(Topology::dgx2(4).active_bandwidth_gbs(0),
+                   Topology::dgx2(16).active_bandwidth_gbs(0));
+}
+
+TEST(Topology, RoutesAreValidLinkChains) {
+  const Topology t = Topology::dgx1(8);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      const std::vector<int>& route = t.route(a, b);
+      ASSERT_FALSE(route.empty());
+      EXPECT_EQ(t.link(route.front()).src, a);
+      EXPECT_EQ(t.link(route.back()).dst, b);
+      for (std::size_t k = 1; k < route.size(); ++k) {
+        EXPECT_EQ(t.link(route[k - 1]).dst, t.link(route[k]).src);
+      }
+    }
+  }
+}
+
+TEST(Topology, SelfRouteRejected) {
+  const Topology t = Topology::dgx1(2);
+  EXPECT_THROW(t.route(0, 0), support::PreconditionError);
+}
+
+TEST(Topology, BoundsChecked) {
+  EXPECT_THROW(Topology::dgx1(9), support::PreconditionError);
+  EXPECT_THROW(Topology::dgx2(17), support::PreconditionError);
+  EXPECT_THROW(Topology::dgx1(0), support::PreconditionError);
+}
+
+TEST(Topology, AllToAllCustomBandwidth) {
+  const Topology t = Topology::all_to_all(5, 40.0);
+  EXPECT_EQ(t.num_links(), 5 * 4);
+  EXPECT_DOUBLE_EQ(t.route_bandwidth_gbs(1, 3), 40.0);
+  EXPECT_EQ(t.hops(1, 3), 1);
+}
+
+}  // namespace
+}  // namespace msptrsv::sim

@@ -1,0 +1,112 @@
+// Triangular predicates, extraction and the solver-shape contract.
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::sparse {
+namespace {
+
+TEST(Triangular, GeneratorOutputsAreLower) {
+  EXPECT_TRUE(is_lower_triangular(gen_chain(50)));
+  EXPECT_TRUE(is_lower_triangular(gen_banded(100, 4, 0.5, 1)));
+  EXPECT_TRUE(is_lower_triangular(gen_layered_dag(500, 20, 2500, 0.5, 2)));
+  EXPECT_FALSE(is_upper_triangular(gen_chain(50)));
+}
+
+TEST(Triangular, DiagonalIsBoth) {
+  const CscMatrix d = gen_diagonal(10);
+  EXPECT_TRUE(is_lower_triangular(d));
+  EXPECT_TRUE(is_upper_triangular(d));
+}
+
+TEST(Triangular, NonsingularDiagonalDetection) {
+  EXPECT_TRUE(has_nonsingular_diagonal(gen_random_lower(80, 3.0, 4)));
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);  // missing (1,1)
+  EXPECT_FALSE(has_nonsingular_diagonal(csc_from_coo(std::move(coo))));
+}
+
+TEST(Triangular, RequireSolvableAcceptsGeneratorOutput) {
+  EXPECT_NO_THROW(require_solvable_lower(gen_grid2d_lower(10, 10)));
+}
+
+TEST(Triangular, RequireSolvableRejectsNonSquare) {
+  CooMatrix coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(1, 2, 1.0);
+  EXPECT_THROW(require_solvable_lower(csc_from_coo(std::move(coo))),
+               support::PreconditionError);
+}
+
+TEST(Triangular, RequireSolvableRejectsZeroDiagonal) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 0.0);
+  EXPECT_THROW(require_solvable_lower(csc_from_coo(std::move(coo))),
+               support::PreconditionError);
+}
+
+TEST(Triangular, LowerTriangleExtraction) {
+  // Full 3x3 matrix.
+  CooMatrix coo;
+  coo.rows = coo.cols = 3;
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) coo.add(i, j, 1.0 + i * 3 + j);
+  }
+  const CscMatrix full = csc_from_coo(std::move(coo));
+  const CscMatrix lo = lower_triangle_of(full);
+  EXPECT_TRUE(is_lower_triangular(lo));
+  EXPECT_EQ(lo.nnz(), 6);  // 3 diag + 3 strict lower
+  const CscMatrix up = upper_triangle_of(full);
+  EXPECT_TRUE(is_upper_triangular(up));
+  EXPECT_EQ(up.nnz(), 6);
+}
+
+TEST(Triangular, UnitDiagonalOptionReplacesValues) {
+  const CscMatrix src = gen_random_lower(40, 3.0, 8);
+  const CscMatrix unit = lower_triangle_of(src, /*unit_diagonal=*/true);
+  for (index_t j = 0; j < unit.cols; ++j) {
+    EXPECT_DOUBLE_EQ(unit.val[unit.col_ptr[j]], 1.0);
+  }
+}
+
+TEST(Triangular, DiagonalFillRepairsMissingDiagonal) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 3;
+  coo.add(0, 0, 1.0);
+  coo.add(2, 0, 1.0);  // rows 1,2 have no diagonal
+  const CscMatrix fixed =
+      lower_triangle_of(csc_from_coo(std::move(coo)), false, 9.0);
+  EXPECT_NO_THROW(require_solvable_lower(fixed));
+  EXPECT_DOUBLE_EQ(fixed.val[fixed.col_ptr[1]], 9.0);
+}
+
+TEST(Triangular, MirrorToUpperPreservesStructureSize) {
+  const CscMatrix lo = gen_layered_dag(200, 10, 800, 0.4, 5);
+  const CscMatrix up = mirror_to_upper(lo);
+  EXPECT_TRUE(is_upper_triangular(up));
+  EXPECT_EQ(up.nnz(), lo.nnz());
+  // The mirrored diagonal is a permutation of the original diagonal.
+  double diag_sum_lo = 0.0, diag_sum_up = 0.0;
+  for (index_t j = 0; j < lo.cols; ++j) diag_sum_lo += lo.val[lo.col_ptr[j]];
+  for (index_t j = 0; j < up.cols; ++j) {
+    diag_sum_up += up.val[up.col_ptr[j + 1] - 1];
+  }
+  EXPECT_NEAR(diag_sum_lo, diag_sum_up, 1e-9);
+}
+
+TEST(Triangular, MirrorRejectsUpperInput) {
+  const CscMatrix up = mirror_to_upper(gen_chain(10));
+  EXPECT_THROW(mirror_to_upper(up), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace msptrsv::sparse
