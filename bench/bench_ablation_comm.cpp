@@ -21,8 +21,7 @@ int main(int argc, char** argv) {
   std::vector<double> s_naive, s_all, s_linear;
 
   for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
-    core::SolveOptions base;
-    base.backend = core::Backend::kMgZeroCopy;
+    core::SolveOptions base = bench::options_for_backend("mg-zerocopy");
     base.machine = sim::Machine::dgx1(4);
     const double zerocopy = bench::timed_solve_us(m, base);
 

@@ -14,9 +14,9 @@ using namespace msptrsv;
 
 namespace {
 
-double run_with(const bench::BenchMatrix& m, sim::Machine machine) {
-  core::SolveOptions o;
-  o.backend = core::Backend::kMgZeroCopy;
+double run_with(const bench::BenchMatrix& m, const core::SolveOptions& base,
+                sim::Machine machine) {
+  core::SolveOptions o = base;
   o.machine = std::move(machine);
   o.tasks_per_gpu = 8;
   return bench::timed_solve_us(m, o);
@@ -29,8 +29,18 @@ int main(int argc, char** argv) {
       "Machine ablation: zero-copy SpTRSV vs link bandwidth, hop latency "
       "and warp residency on a 4-GPU all-to-all node.");
   bench::add_common_options(cli);
+  bench::add_backend_option(cli, "mg-zerocopy");
   if (!cli.parse(argc, argv)) return 0;
   bench::BenchContext ctx = bench::context_from(cli);
+  const core::SolveOptions base = bench::backend_options_from(cli);
+  if (!core::registry::entry_of(base.backend).multi_gpu) {
+    std::fprintf(stderr,
+                 "backend '%s' does not run on the simulated multi-GPU "
+                 "machine; this ablation sweeps machine parameters and "
+                 "needs one of the mg-* backends\n",
+                 core::backend_name(base.backend).c_str());
+    return 2;
+  }
   if (ctx.matrix_names.empty()) {
     ctx.matrix_names = {"belgium_osm", "dblp-2010", "nlpkkt160", "Wordnet3"};
   }
@@ -41,12 +51,12 @@ int main(int argc, char** argv) {
     support::Table t({"Matrix", "8 GB/s (us)", "25 GB/s x", "50 GB/s x",
                       "200 GB/s x"});
     for (const bench::BenchMatrix& m : matrices) {
-      const double base = run_with(m, sim::Machine::custom(4, 8.0));
+      const double t0 = run_with(m, base, sim::Machine::custom(4, 8.0));
       t.begin_row();
       t.add_cell(m.suite.entry.name);
-      t.add_cell(base, 1);
+      t.add_cell(t0, 1);
       for (double bw : {25.0, 50.0, 200.0}) {
-        t.add_cell(base / run_with(m, sim::Machine::custom(4, bw)), 2);
+        t.add_cell(t0 / run_with(m, base, sim::Machine::custom(4, bw)), 2);
       }
     }
     bench::print_table(
@@ -61,14 +71,14 @@ int main(int argc, char** argv) {
       auto at_latency = [&](double lat) {
         sim::CostModel c;
         c.hop_latency_us = lat;
-        return run_with(m, sim::Machine::custom(4, 25.0, c));
+        return run_with(m, base, sim::Machine::custom(4, 25.0, c));
       };
-      const double base = at_latency(0.1);
+      const double t0 = at_latency(0.1);
       t.begin_row();
       t.add_cell(m.suite.entry.name);
-      t.add_cell(base, 1);
+      t.add_cell(t0, 1);
       for (double lat : {0.3, 1.0, 3.0}) {
-        t.add_cell(base / at_latency(lat), 2);
+        t.add_cell(t0 / at_latency(lat), 2);
       }
     }
     bench::print_table(
@@ -85,14 +95,14 @@ int main(int argc, char** argv) {
       auto at_slots = [&](int slots) {
         sim::CostModel c;
         c.warp_slots_per_gpu = slots;
-        return run_with(m, sim::Machine::custom(4, 25.0, c));
+        return run_with(m, base, sim::Machine::custom(4, 25.0, c));
       };
-      const double base = at_slots(64);
+      const double t0 = at_slots(64);
       t.begin_row();
       t.add_cell(m.suite.entry.name);
-      t.add_cell(base, 1);
+      t.add_cell(t0, 1);
       for (int slots : {192, 512, 2048}) {
-        t.add_cell(base / at_slots(slots), 2);
+        t.add_cell(t0 / at_slots(slots), 2);
       }
     }
     bench::print_table(

@@ -37,6 +37,25 @@ std::vector<BenchMatrix> load_matrices(const BenchContext& ctx) {
   return out;
 }
 
+core::SolveOptions options_for_backend(const std::string& key) {
+  const core::Expected<core::SolveOptions> opt = core::registry::options_for(key);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "%s\n", opt.message().c_str());
+    std::exit(2);
+  }
+  return opt.value();
+}
+
+void add_backend_option(support::CliParser& cli,
+                        const std::string& default_key) {
+  cli.add_option("backend", default_key,
+                 "solver backend (" + core::registry::backend_keys() + ")");
+}
+
+core::SolveOptions backend_options_from(const support::CliParser& cli) {
+  return options_for_backend(cli.get_string("backend"));
+}
+
 double timed_solve_us(const BenchMatrix& m, const core::SolveOptions& options) {
   const core::SolveResult r = core::solve(m.suite.lower, m.b, options);
   const value_t rel = core::relative_residual(m.suite.lower, r.x, m.b);
@@ -46,6 +65,7 @@ double timed_solve_us(const BenchMatrix& m, const core::SolveOptions& options) {
                      " (relative residual " + std::to_string(rel) + ")");
   return r.report.total_us();
 }
+
 
 void print_table(const std::string& caption, const support::Table& table,
                  bool csv) {

@@ -37,10 +37,24 @@ struct BenchMatrix {
 };
 std::vector<BenchMatrix> load_matrices(const BenchContext& ctx);
 
+/// Resolves a registry key into that backend's default SolveOptions. The
+/// benches pick their design points by key -- no binary carries its own
+/// backend switch statement. Unknown keys print the catalogue to stderr
+/// and exit(2).
+core::SolveOptions options_for_backend(const std::string& key);
+
+/// Registers a --backend flag (help text lists the registry catalogue).
+void add_backend_option(support::CliParser& cli,
+                        const std::string& default_key);
+/// Reads --backend back into that backend's default SolveOptions.
+core::SolveOptions backend_options_from(const support::CliParser& cli);
+
 /// Runs one simulated configuration and returns analysis+solve time in us
 /// (the paper sums both phases). Also validates the solution against the
 /// serial reference and aborts loudly on mismatch -- a bench that prints
 /// numbers for wrong answers is worse than no bench.
+/// (For plan-vs-one-shot amortization numbers see bench_micro's
+/// BM_OneShotSolve_* / BM_PlanSolve_* pairs.)
 double timed_solve_us(const BenchMatrix& m, const core::SolveOptions& options);
 
 /// Renders the table (and optional CSV) to stdout with a caption.

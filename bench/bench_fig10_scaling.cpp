@@ -24,8 +24,7 @@ void run_machine_sweep(const std::vector<bench::BenchMatrix>& matrices,
   std::vector<std::vector<double>> speedups(gpu_counts.size());
 
   for (const bench::BenchMatrix& m : matrices) {
-    core::SolveOptions base;
-    base.backend = core::Backend::kGpuLevelSet;
+    core::SolveOptions base = bench::options_for_backend("gpu-levelset");
     base.machine = dgx2 ? sim::Machine::dgx2(1) : sim::Machine::dgx1(1);
     // csrsv2 comparisons conventionally time the solve phase; its (heavy)
     // analysis phase is reported separately by the library.
@@ -37,8 +36,7 @@ void run_machine_sweep(const std::vector<bench::BenchMatrix>& matrices,
     table.add_cell(csrsv2_us, 1);
     for (std::size_t i = 0; i < gpu_counts.size(); ++i) {
       const int g = gpu_counts[i];
-      core::SolveOptions o;
-      o.backend = core::Backend::kMgZeroCopy;
+      core::SolveOptions o = bench::options_for_backend("mg-zerocopy");
       o.machine = dgx2 ? sim::Machine::dgx2(g) : sim::Machine::dgx1(g);
       o.tasks_per_gpu = std::max(1, total_tasks / g);
       const double t = bench::timed_solve_us(m, o);

@@ -28,8 +28,7 @@ int main(int argc, char** argv) {
     std::uint64_t fault_count[3];
     const int gpu_counts[3] = {2, 4, 8};
     for (int i = 0; i < 3; ++i) {
-      core::SolveOptions o;
-      o.backend = core::Backend::kMgUnified;
+      core::SolveOptions o = bench::options_for_backend("mg-unified");
       o.machine = sim::Machine::dgx1(gpu_counts[i]);
       const core::SolveResult r = core::solve(m.suite.lower, m.b, o);
       time_us[i] = r.report.total_us();

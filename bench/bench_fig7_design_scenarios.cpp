@@ -24,9 +24,8 @@ int main(int argc, char** argv) {
   const int tasks = static_cast<int>(cli.get_int("tasks-per-gpu"));
 
   const sim::Machine dgx1 = sim::Machine::dgx1(4);
-  auto options_for = [&](core::Backend b) {
-    core::SolveOptions o;
-    o.backend = b;
+  auto options_for = [&](const std::string& key) {
+    core::SolveOptions o = bench::options_for_backend(key);
     o.machine = dgx1;
     o.tasks_per_gpu = tasks;
     return o;
@@ -38,13 +37,13 @@ int main(int argc, char** argv) {
 
   for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
     const double unified =
-        bench::timed_solve_us(m, options_for(core::Backend::kMgUnified));
+        bench::timed_solve_us(m, options_for("mg-unified"));
     const double unified_task =
-        bench::timed_solve_us(m, options_for(core::Backend::kMgUnifiedTask));
+        bench::timed_solve_us(m, options_for("mg-unified-task"));
     const double shmem =
-        bench::timed_solve_us(m, options_for(core::Backend::kMgShmem));
+        bench::timed_solve_us(m, options_for("mg-shmem"));
     const double zerocopy =
-        bench::timed_solve_us(m, options_for(core::Backend::kMgZeroCopy));
+        bench::timed_solve_us(m, options_for("mg-zerocopy"));
 
     sp_task.push_back(unified / unified_task);
     sp_shmem.push_back(unified / shmem);

@@ -23,20 +23,19 @@ int main(int argc, char** argv) {
                         "DGX1-Zerocopy x", "DGX2-Zerocopy x"});
   std::vector<double> sp_u2, sp_z1, sp_z2;
 
-  auto run_one = [&](const bench::BenchMatrix& m, core::Backend b,
+  auto run_one = [&](const bench::BenchMatrix& m, const std::string& key,
                      sim::Machine machine) {
-    core::SolveOptions o;
-    o.backend = b;
+    core::SolveOptions o = bench::options_for_backend(key);
     o.machine = std::move(machine);
     o.tasks_per_gpu = tasks;
     return bench::timed_solve_us(m, o);
   };
 
   for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
-    const double d1u = run_one(m, core::Backend::kMgUnified, sim::Machine::dgx1(4));
-    const double d2u = run_one(m, core::Backend::kMgUnified, sim::Machine::dgx2(4));
-    const double d1z = run_one(m, core::Backend::kMgZeroCopy, sim::Machine::dgx1(4));
-    const double d2z = run_one(m, core::Backend::kMgZeroCopy, sim::Machine::dgx2(4));
+    const double d1u = run_one(m, "mg-unified", sim::Machine::dgx1(4));
+    const double d2u = run_one(m, "mg-unified", sim::Machine::dgx2(4));
+    const double d1z = run_one(m, "mg-zerocopy", sim::Machine::dgx1(4));
+    const double d2z = run_one(m, "mg-zerocopy", sim::Machine::dgx2(4));
     sp_u2.push_back(d1u / d2u);
     sp_z1.push_back(d1u / d1z);
     sp_z2.push_back(d1u / d2z);

@@ -25,8 +25,7 @@ int main(int argc, char** argv) {
   for (const bench::BenchMatrix& m : bench::load_matrices(ctx)) {
     double t[4];
     for (int i = 0; i < 4; ++i) {
-      core::SolveOptions o;
-      o.backend = core::Backend::kMgZeroCopy;
+      core::SolveOptions o = bench::options_for_backend("mg-zerocopy");
       o.machine = sim::Machine::dgx1(4);
       o.tasks_per_gpu = task_counts[i];
       t[i] = bench::timed_solve_us(m, o);

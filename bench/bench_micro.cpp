@@ -84,15 +84,101 @@ BENCHMARK(BM_LayeredDagGenerator);
 void BM_SimulatedZerocopy4Gpu(benchmark::State& state) {
   const auto& l = bench_matrix();
   const auto& b = bench_rhs();
-  core::SolveOptions o;
-  o.backend = core::Backend::kMgZeroCopy;
-  o.machine = sim::Machine::dgx1(4);
+  const core::SolveOptions o =
+      core::registry::options_for("mg-zerocopy").value();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::solve(l, b, o));
   }
   state.SetItemsProcessed(state.iterations() * l.nnz());
 }
 BENCHMARK(BM_SimulatedZerocopy4Gpu);
+
+// ---- one-shot vs plan: the amortization the phase-split API exists for.
+// The one-shot path re-runs validation + analysis every call; the plan
+// path pays them once in analyze() and each iteration below is a pure
+// solve. Per-iteration time must drop for the plan variants.
+
+void BM_OneShotSolve_CpuSyncFree(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  core::SolveOptions o = core::registry::options_for("cpu-syncfree").value();
+  o.cpu_threads = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(l, b, o));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_OneShotSolve_CpuSyncFree);
+
+void BM_PlanSolve_CpuSyncFree(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  core::SolveOptions o = core::registry::options_for("cpu-syncfree").value();
+  o.cpu_threads = 2;
+  const core::SolverPlan plan = core::SolverPlan::analyze(l, o).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.solve(b));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_PlanSolve_CpuSyncFree);
+
+void BM_OneShotSolve_Serial(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  const core::SolveOptions o = core::registry::options_for("serial").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(l, b, o));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_OneShotSolve_Serial);
+
+void BM_PlanSolve_Serial(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  const core::SolverPlan plan =
+      core::SolverPlan::analyze(l, core::registry::options_for("serial").value())
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.solve(b));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_PlanSolve_Serial);
+
+void BM_PlanSolve_Zerocopy(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  const core::SolverPlan plan =
+      core::SolverPlan::analyze(
+          l, core::registry::options_for("mg-zerocopy").value())
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.solve(b));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_PlanSolve_Zerocopy);
+
+void BM_PlanSolveBatch8_Serial(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const index_t num_rhs = 8;
+  std::vector<value_t> batch;
+  for (index_t j = 0; j < num_rhs; ++j) {
+    const std::vector<value_t> b = sparse::gen_rhs_for_solution(
+        l, sparse::gen_solution(l.rows, 100 + static_cast<std::uint64_t>(j)));
+    batch.insert(batch.end(), b.begin(), b.end());
+  }
+  const core::SolverPlan plan =
+      core::SolverPlan::analyze(l, core::registry::options_for("serial").value())
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.solve_batch(batch, num_rhs));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz() * num_rhs);
+}
+BENCHMARK(BM_PlanSolveBatch8_Serial);
 
 void BM_CscTranspose(benchmark::State& state) {
   const auto& l = bench_matrix();

@@ -54,8 +54,7 @@ void plan_and_solve(const std::string& name, index_t analog_rows) {
       m.lower, sparse::gen_solution(m.lower.rows, 3));
   for (int g : {chosen, 8}) {
     if (g > machine.num_gpus()) continue;
-    core::SolveOptions opt;
-    opt.backend = core::Backend::kMgZeroCopy;
+    core::SolveOptions opt = core::registry::options_for("mg-zerocopy").value();
     opt.machine = sim::Machine::dgx1(g);
     opt.tasks_per_gpu = 8;
     const core::SolveResult r = core::solve(m.lower, b, opt);
@@ -66,8 +65,9 @@ void plan_and_solve(const std::string& name, index_t analog_rows) {
                 static_cast<unsigned long long>(r.report.remote_updates),
                 r.report.link_bytes / (1024.0 * 1024.0));
     if (g == chosen && g > 1) {
-      core::SolveOptions um = opt;
-      um.backend = core::Backend::kMgUnified;
+      core::SolveOptions um = core::registry::options_for("mg-unified").value();
+      um.machine = opt.machine;
+      um.tasks_per_gpu = opt.tasks_per_gpu;
       const core::SolveResult ur = core::solve(m.lower, b, um);
       std::printf("  unified-memory baseline:   %9.1f us  (%llu page faults)"
                   "  -> zero-copy %.2fx\n",

@@ -29,24 +29,19 @@ int main() {
       {"DGX-2 x16", sim::Machine::dgx2(16)},
       {"slow-fabric x4", sim::Machine::custom(4, 8.0)},
   };
-  const core::Backend backends[] = {
-      core::Backend::kMgUnified,
-      core::Backend::kMgShmem,
-      core::Backend::kMgZeroCopy,
-  };
+  const char* backend_keys[] = {"mg-unified", "mg-shmem", "mg-zerocopy"};
 
   support::Table table({"Machine", "Backend", "Time (us)", "Imbalance",
                         "NVLink MiB", "Faults", "Gets"});
   for (const MachineChoice& mc : machines) {
-    for (core::Backend be : backends) {
-      core::SolveOptions opt;
-      opt.backend = be;
+    for (const char* key : backend_keys) {
+      core::SolveOptions opt = core::registry::options_for(key).value();
       opt.machine = mc.machine;
       opt.tasks_per_gpu = 8;
       const core::SolveResult r = core::solve(L, b, opt);
       table.begin_row();
       table.add_cell(mc.label);
-      table.add_cell(core::backend_name(be));
+      table.add_cell(core::backend_name(opt.backend));
       table.add_cell(r.report.total_us(), 1);
       table.add_cell(r.report.load_imbalance(), 2);
       table.add_cell(r.report.link_bytes / (1024.0 * 1024.0), 2);
@@ -58,12 +53,10 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
 
   // Single-GPU baselines for context.
-  core::SolveOptions ls;
-  ls.backend = core::Backend::kGpuLevelSet;
-  ls.machine = sim::Machine::dgx1(1);
+  core::SolveOptions ls = core::registry::options_for("gpu-levelset").value();
   const core::SolveResult rl = core::solve(L, b, ls);
-  core::SolveOptions sf = ls;
-  sf.backend = core::Backend::kMgZeroCopy;
+  core::SolveOptions sf = core::registry::options_for("mg-zerocopy").value();
+  sf.machine = sim::Machine::dgx1(1);
   sf.tasks_per_gpu = 1;
   const core::SolveResult rs = core::solve(L, b, sf);
   std::printf("single-GPU level-set (csrsv2): %.1f us; single-GPU sync-free: "

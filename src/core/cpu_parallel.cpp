@@ -31,8 +31,9 @@ void atomic_add(std::atomic<double>& target, double delta) {
 
 std::vector<value_t> solve_lower_levelset_threads(
     const sparse::CscMatrix& lower, std::span<const value_t> b,
-    const sparse::LevelAnalysis& analysis, int num_threads) {
-  sparse::require_solvable_lower(lower);
+    const sparse::LevelAnalysis& analysis, int num_threads,
+    bool prevalidated) {
+  if (!prevalidated) sparse::require_solvable_lower(lower);
   MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
                   "rhs length must match the matrix dimension");
   MSPTRSV_REQUIRE(analysis.n == lower.rows,
@@ -79,20 +80,29 @@ std::vector<value_t> solve_lower_levelset_threads(
 std::vector<value_t> solve_lower_syncfree_threads(
     const sparse::CscMatrix& lower, std::span<const value_t> b,
     int num_threads) {
-  sparse::require_solvable_lower(lower);
+  // Pre-processing of the sync-free scheme: per-component in-degrees
+  // (compute_in_degrees also validates the input).
+  return solve_lower_syncfree_threads(lower, b,
+                                      sparse::compute_in_degrees(lower),
+                                      num_threads);
+}
+
+std::vector<value_t> solve_lower_syncfree_threads(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    std::span<const index_t> in_degrees, int num_threads) {
   MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
                   "rhs length must match the matrix dimension");
+  MSPTRSV_REQUIRE(in_degrees.size() == static_cast<std::size_t>(lower.rows),
+                  "in-degrees sized for a different matrix");
   const index_t n = lower.rows;
   const int threads = resolve_threads(num_threads);
 
-  // Pre-processing of the sync-free scheme: per-component in-degrees.
+  // The countdown is consumed by the solve, so it is per-solve state either
+  // way; the reuse path only skips the analysis passes over the structure.
   std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(n));
-  {
-    const std::vector<index_t> indeg = sparse::compute_in_degrees(lower);
-    for (index_t i = 0; i < n; ++i) {
-      pending[static_cast<std::size_t>(i)].store(
-          indeg[static_cast<std::size_t>(i)], std::memory_order_relaxed);
-    }
+  for (index_t i = 0; i < n; ++i) {
+    pending[static_cast<std::size_t>(i)].store(
+        in_degrees[static_cast<std::size_t>(i)], std::memory_order_relaxed);
   }
 
   std::vector<value_t> x(static_cast<std::size_t>(n));

@@ -24,13 +24,24 @@ namespace msptrsv::core {
 /// Level-set parallel forward substitution. `num_threads <= 0` uses
 /// std::thread::hardware_concurrency(). The analysis is taken as input so
 /// callers amortize it over repeated solves (the preconditioner use case).
+/// `prevalidated` skips the per-solve input revalidation when the caller
+/// already established the solvable-lower invariants at analysis time.
 std::vector<value_t> solve_lower_levelset_threads(
     const sparse::CscMatrix& lower, std::span<const value_t> b,
-    const sparse::LevelAnalysis& analysis, int num_threads = 0);
+    const sparse::LevelAnalysis& analysis, int num_threads = 0,
+    bool prevalidated = false);
 
-/// Synchronization-free parallel forward substitution.
+/// Synchronization-free parallel forward substitution. Validates the input
+/// and recomputes the in-degree preprocessing on every call.
 std::vector<value_t> solve_lower_syncfree_threads(
     const sparse::CscMatrix& lower, std::span<const value_t> b,
     int num_threads = 0);
+
+/// Reuse form of the sync-free solver: consumes precomputed in-degrees
+/// (sparse::compute_in_degrees) and skips revalidation -- the amortized
+/// path SolverPlan executes on every solve after one analyze().
+std::vector<value_t> solve_lower_syncfree_threads(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    std::span<const index_t> in_degrees, int num_threads = 0);
 
 }  // namespace msptrsv::core

@@ -7,16 +7,37 @@
 
 namespace msptrsv::core {
 
+sim_time_t levelset_analysis_us(const sparse::CscMatrix& lower,
+                                const sim::CostModel& cost) {
+  // Analysis phase: level construction makes several passes over the
+  // structure (in-degree count + topological bucketing); 3x the streaming
+  // in-degree kernel is a conservative model of csrsv2_analysis.
+  return 3.0 * cost.indegree_per_nnz_us * static_cast<double>(lower.nnz());
+}
+
 LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
                                         std::span<const value_t> b,
                                         const sim::Machine& machine) {
   const sparse::LevelAnalysis analysis = sparse::analyze_levels(lower);
+  return solve_levelset_simulated(lower, b, machine, analysis,
+                                  /*charge_analysis=*/true);
+}
+
+LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
+                                        std::span<const value_t> b,
+                                        const sim::Machine& machine,
+                                        const sparse::LevelAnalysis& analysis,
+                                        bool charge_analysis) {
+  MSPTRSV_REQUIRE(analysis.n == lower.rows,
+                  "level analysis belongs to a different matrix");
+  MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
+                  "rhs length must match the matrix dimension");
   const sim::CostModel& cost = machine.cost;
 
   LevelSetResult out;
   // Numerics: the level order is a topological order, so the plain column
   // sweep produces the identical values the scheduled kernel would.
-  out.x = solve_lower_serial(lower, b);
+  out.x = solve_lower_serial_prevalidated(lower, b);
 
   sim::RunReport& r = out.report;
   r.solver_name = "levelset(csrsv2)";
@@ -24,11 +45,7 @@ LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
   r.num_gpus = 1;
   r.busy_us_per_gpu.assign(1, 0.0);
 
-  // Analysis phase: level construction makes several passes over the
-  // structure (in-degree count + topological bucketing); 3x the streaming
-  // in-degree kernel is a conservative model of csrsv2_analysis.
-  r.analysis_us =
-      3.0 * cost.indegree_per_nnz_us * static_cast<double>(lower.nnz());
+  if (charge_analysis) r.analysis_us = levelset_analysis_us(lower, cost);
 
   const int slots = cost.warp_slots_per_gpu;
   for (index_t l = 0; l < analysis.num_levels; ++l) {

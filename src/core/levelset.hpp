@@ -30,4 +30,19 @@ LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
                                         std::span<const value_t> b,
                                         const sim::Machine& machine);
 
+/// Reuse form: executes against a precomputed level analysis (the csrsv2
+/// analyze/solve split). No revalidation; the analysis phase is charged to
+/// the report only when `charge_analysis` is set -- SolverPlan charges it
+/// once at analyze() time instead.
+LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
+                                        std::span<const value_t> b,
+                                        const sim::Machine& machine,
+                                        const sparse::LevelAnalysis& analysis,
+                                        bool charge_analysis);
+
+/// Simulated cost of the csrsv2_analysis-style level construction (several
+/// passes over the structure; see the implementation note).
+sim_time_t levelset_analysis_us(const sparse::CscMatrix& lower,
+                                const sim::CostModel& cost);
+
 }  // namespace msptrsv::core

@@ -40,12 +40,28 @@ struct Event {
 
 }  // namespace
 
+sim_time_t engine_analysis_us(const sparse::CscMatrix& lower,
+                              const sparse::Partition& partition,
+                              const sim::CostModel& cost) {
+  std::vector<double> nnz_per_gpu(
+      static_cast<std::size_t>(partition.num_gpus()), 0.0);
+  for (index_t j = 0; j < lower.rows; ++j) {
+    nnz_per_gpu[static_cast<std::size_t>(partition.owner_of(j))] +=
+        static_cast<double>(lower.col_ptr[j + 1] - lower.col_ptr[j]);
+  }
+  double worst = 0.0;
+  for (double w : nnz_per_gpu) {
+    worst = std::max(worst, w * cost.indegree_per_nnz_us);
+  }
+  return worst;
+}
+
 EngineResult run_mg_engine(const sparse::CscMatrix& lower,
                            std::span<const value_t> b,
                            const sparse::Partition& partition,
                            const sim::Machine& machine, sim::Interconnect& net,
                            CommPolicy& comm, const EngineOptions& opts) {
-  sparse::require_solvable_lower(lower);
+  if (opts.in_degrees == nullptr) sparse::require_solvable_lower(lower);
   MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
                   "rhs length must match the matrix dimension");
   MSPTRSV_REQUIRE(partition.n() == lower.rows,
@@ -67,19 +83,16 @@ EngineResult run_mg_engine(const sparse::CscMatrix& lower,
 
   // ---- analysis phase (in-degree count, local per GPU, no inter-GPU
   // traffic in the NVSHMEM design; the unified design has the same
-  // streaming cost shape) --------------------------------------------------
-  std::vector<index_t> remaining = sparse::compute_in_degrees(lower);
+  // streaming cost shape). A plan-provided in-degree vector replaces the
+  // recomputation; the countdown copy is per-solve state either way. -------
+  MSPTRSV_REQUIRE(opts.in_degrees == nullptr ||
+                      opts.in_degrees->size() == static_cast<std::size_t>(n),
+                  "precomputed in-degrees sized for a different matrix");
+  std::vector<index_t> remaining = opts.in_degrees
+                                       ? *opts.in_degrees
+                                       : sparse::compute_in_degrees(lower);
   if (opts.include_analysis) {
-    std::vector<double> nnz_per_gpu(static_cast<std::size_t>(num_gpus), 0.0);
-    for (index_t j = 0; j < n; ++j) {
-      nnz_per_gpu[static_cast<std::size_t>(partition.owner_of(j))] +=
-          static_cast<double>(lower.col_ptr[j + 1] - lower.col_ptr[j]);
-    }
-    double worst = 0.0;
-    for (double w : nnz_per_gpu) {
-      worst = std::max(worst, w * cost.indegree_per_nnz_us);
-    }
-    rep.analysis_us = worst;
+    rep.analysis_us = engine_analysis_us(lower, partition, cost);
   }
 
   // ---- dispatch lists and kernel launches ---------------------------------

@@ -73,6 +73,12 @@ struct EngineOptions {
   /// Include the in-degree preprocessing phase in the report (the paper
   /// sums analysis + solve for its designs).
   bool include_analysis = true;
+  /// Precomputed per-component in-degrees (the output of the analysis
+  /// phase, sparse::compute_in_degrees). When set the engine copies them
+  /// instead of recomputing, and skips input revalidation: the analysis
+  /// that produced them already established the solvable-lower invariants.
+  /// This is the reuse path of SolverPlan (analyze once, solve many).
+  const std::vector<index_t>* in_degrees = nullptr;
 };
 
 struct EngineResult {
@@ -87,5 +93,13 @@ EngineResult run_mg_engine(const sparse::CscMatrix& lower,
                            const sparse::Partition& partition,
                            const sim::Machine& machine, sim::Interconnect& net,
                            CommPolicy& comm, const EngineOptions& opts = {});
+
+/// Simulated cost of the in-degree preprocessing pass under `partition`:
+/// every GPU streams its own columns in parallel, so the slowest GPU bounds
+/// the phase. Exposed so SolverPlan can charge the analysis phase once and
+/// reuse its output across solves.
+sim_time_t engine_analysis_us(const sparse::CscMatrix& lower,
+                              const sparse::Partition& partition,
+                              const sim::CostModel& cost);
 
 }  // namespace msptrsv::core

@@ -12,20 +12,23 @@
 //   std::vector<value_t> x_ref = sparse::gen_solution(L.rows, 1);
 //   std::vector<value_t> b = sparse::gen_rhs_for_solution(L, x_ref);
 //
-//   core::SolveOptions opt;
-//   opt.backend = core::Backend::kMgZeroCopy;
-//   opt.machine = sim::Machine::dgx1(4);
-//   opt.tasks_per_gpu = 8;
-//   core::SolveResult r = core::solve(L, b, opt);
-//   // r.x ~= x_ref; r.report has simulated time, traffic, faults, ...
+//   core::SolveOptions opt =
+//       core::registry::default_options(core::Backend::kMgZeroCopy);
+//   auto plan = core::SolverPlan::analyze(L, opt);   // analysis paid once
+//   auto r = plan->solve(b);                          // reusable solves
+//   // r->x ~= x_ref; r->report has simulated time, traffic, faults, ...
+//   // one-shot: core::SolveResult r1 = core::solve(L, b, opt);
 #pragma once
 
 #include "core/cpu_parallel.hpp"
 #include "core/levelset.hpp"
 #include "core/mg_engine.hpp"
+#include "core/plan.hpp"
 #include "core/reference.hpp"
+#include "core/registry.hpp"
 #include "core/residual.hpp"
 #include "core/solver.hpp"
+#include "core/status.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory.hpp"
 #include "sim/report.hpp"

@@ -1,0 +1,409 @@
+#include "core/plan.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "core/comm_nvshmem.hpp"
+#include "core/comm_unified.hpp"
+#include "core/cpu_parallel.hpp"
+#include "core/levelset.hpp"
+#include "core/mg_engine.hpp"
+#include "core/reference.hpp"
+#include "sparse/level_analysis.hpp"
+#include "sparse/triangular.hpp"
+#include "support/contracts.hpp"
+
+namespace msptrsv::core {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+double seconds_since(steady_clock::time_point t0) {
+  return std::chrono::duration<double>(steady_clock::now() - t0).count();
+}
+
+/// Structural reversal U(i,j) -> L(n-1-i, n-1-j) without the throwing
+/// validation of reverse_upper_to_lower: the plan diagnoses the result
+/// through the status channel instead.
+sparse::CscMatrix reverse_upper_unchecked(const sparse::CscMatrix& upper) {
+  const index_t n = upper.rows;
+  sparse::CooMatrix coo;
+  coo.rows = coo.cols = n;
+  for (index_t j = 0; j < upper.cols; ++j) {
+    for (offset_t k = upper.col_ptr[j]; k < upper.col_ptr[j + 1]; ++k) {
+      coo.add(n - 1 - upper.row_idx[k], n - 1 - j, upper.val[k]);
+    }
+  }
+  return sparse::csc_from_coo(std::move(coo));
+}
+
+bool backend_is_multi_gpu(Backend b) {
+  switch (b) {
+    case Backend::kMgUnified:
+    case Backend::kMgUnifiedTask:
+    case Backend::kMgShmem:
+    case Backend::kMgZeroCopy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+struct SolverPlan::State {
+  /// Owned factor storage. Borrowed plans (analyze_borrowed) leave it
+  /// empty and point `lower` at the caller's matrix instead.
+  sparse::CscMatrix storage;
+  /// The lower-triangular factor solves execute against; always non-null
+  /// on a constructed plan.
+  const sparse::CscMatrix* lower = nullptr;
+  SolveOptions options;
+  bool upper = false;
+  std::optional<sparse::Partition> partition;
+  std::vector<index_t> in_degrees;
+  std::optional<sparse::LevelAnalysis> levels;
+  sim_time_t analysis_us = 0.0;
+  double analysis_seconds = 0.0;
+};
+
+SolverPlan::SolverPlan(std::shared_ptr<const State> state)
+    : state_(std::move(state)) {}
+
+/// The shared symbolic phase: `st` arrives with `options` and `lower` set;
+/// everything else is derived here. Returns the same (now fully built)
+/// state, or the SolveStatus describing the rejected input.
+Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
+    std::shared_ptr<State> st) {
+  using Result = Expected<std::shared_ptr<State>>;
+  const auto t0 = steady_clock::now();
+  const sparse::CscMatrix& lower = *st->lower;
+  const SolveOptions& options = st->options;
+
+  if (options.tasks_per_gpu < 1) {
+    return Result(SolveStatus::kInvalidOptions,
+                  "tasks_per_gpu must be >= 1 (got " +
+                      std::to_string(options.tasks_per_gpu) + ")");
+  }
+  if (options.machine.num_gpus() < 1) {
+    return Result(SolveStatus::kInvalidOptions,
+                  "machine must have at least one GPU");
+  }
+  if (backend_is_multi_gpu(options.backend) &&
+      options.machine.num_gpus() > 32) {
+    return Result(SolveStatus::kInvalidOptions,
+                  "multi-GPU engine supports at most 32 GPUs (got " +
+                      std::to_string(options.machine.num_gpus()) + ")");
+  }
+  if (lower.rows != lower.cols) {
+    return Result(SolveStatus::kNotTriangular,
+                  "triangular solve requires a square matrix (" +
+                      std::to_string(lower.rows) + "x" +
+                      std::to_string(lower.cols) + ")");
+  }
+  if (lower.rows == 0) {
+    // A 0x0 system is vacuously solvable by every backend: the plan
+    // short-circuits (no partition, no analysis state) and run_lower
+    // returns the empty solution.
+    st->analysis_seconds = seconds_since(t0);
+    return Result(std::move(st));
+  }
+  {
+    const sparse::SolvableDiagnosis diag =
+        sparse::diagnose_solvable_lower(lower);
+    if (!diag.solvable) {
+      return Result(diag.singular ? SolveStatus::kSingularDiagonal
+                                  : SolveStatus::kNotTriangular,
+                    diag.detail);
+    }
+  }
+
+  // Only the multi-GPU engines consume a partition; host/single-GPU plans
+  // compute one on demand in partition()/footprint() instead of paying an
+  // O(n) build per plan (and per legacy one-shot solve).
+  if (backend_is_multi_gpu(options.backend)) {
+    st->partition = partition_for(options, lower.rows);
+  }
+
+  // The diagnosis above already established the solvable-lower invariants,
+  // so the derived analyses skip their own validation pass.
+  switch (options.backend) {
+    case Backend::kSerial:
+      break;
+    case Backend::kCpuLevelSet:
+      st->levels = sparse::analyze_levels(lower, /*validate=*/false);
+      break;
+    case Backend::kCpuSyncFree:
+      st->in_degrees = sparse::compute_in_degrees(lower, /*validate=*/false);
+      break;
+    case Backend::kGpuLevelSet:
+      st->levels = sparse::analyze_levels(lower, /*validate=*/false);
+      st->analysis_us = levelset_analysis_us(lower, options.machine.cost);
+      break;
+    case Backend::kMgUnified:
+    case Backend::kMgUnifiedTask:
+    case Backend::kMgShmem:
+    case Backend::kMgZeroCopy:
+      st->in_degrees = sparse::compute_in_degrees(lower, /*validate=*/false);
+      st->analysis_us =
+          engine_analysis_us(lower, *st->partition, options.machine.cost);
+      break;
+    default:
+      return Result(SolveStatus::kUnknownBackend,
+                    "unrecognized backend enumerator");
+  }
+
+  st->analysis_seconds = seconds_since(t0);
+  return Result(std::move(st));
+}
+
+Expected<SolverPlan> SolverPlan::analyze(sparse::CscMatrix lower,
+                                         SolveOptions options) {
+  auto st = std::make_shared<State>();
+  st->options = std::move(options);
+  st->storage = std::move(lower);
+  st->lower = &st->storage;
+  Expected<std::shared_ptr<State>> built = analyze_state(std::move(st));
+  if (!built.ok()) return Expected<SolverPlan>(built.error());
+  return SolverPlan(std::move(built.value()));
+}
+
+Expected<SolverPlan> SolverPlan::analyze_borrowed(
+    const sparse::CscMatrix& lower, SolveOptions options) {
+  auto st = std::make_shared<State>();
+  st->options = std::move(options);
+  st->lower = &lower;
+  Expected<std::shared_ptr<State>> built = analyze_state(std::move(st));
+  if (!built.ok()) return Expected<SolverPlan>(built.error());
+  return SolverPlan(std::move(built.value()));
+}
+
+Expected<SolverPlan> SolverPlan::analyze_upper(sparse::CscMatrix upper,
+                                               SolveOptions options) {
+  if (!upper.is_square()) {
+    return Expected<SolverPlan>(
+        SolveStatus::kNotTriangular,
+        "triangular solve requires a square matrix (" +
+            std::to_string(upper.rows) + "x" + std::to_string(upper.cols) +
+            ")");
+  }
+  try {
+    upper.validate();
+  } catch (const std::exception& e) {
+    return Expected<SolverPlan>(
+        SolveStatus::kNotTriangular,
+        std::string("malformed CSC structure: ") + e.what());
+  }
+  if (!sparse::is_upper_triangular(upper)) {
+    return Expected<SolverPlan>(SolveStatus::kNotTriangular,
+                                "matrix has entries below the diagonal (not "
+                                "upper triangular)");
+  }
+  // Diagnose the diagonal on the caller's matrix so error messages name
+  // the caller's column indices, not their mirrored images in the
+  // reversed factor (rows are sorted, so the diagonal terminates each
+  // column of a solvable upper factor).
+  for (index_t j = 0; j < upper.cols; ++j) {
+    const offset_t last = upper.col_ptr[j + 1] - 1;
+    if (upper.col_ptr[j] > last || upper.row_idx[last] != j) {
+      return Expected<SolverPlan>(
+          SolveStatus::kSingularDiagonal,
+          "column " + std::to_string(j) +
+              " is missing its diagonal entry (singular)");
+    }
+    if (upper.val[last] == 0.0) {
+      return Expected<SolverPlan>(SolveStatus::kSingularDiagonal,
+                                  "zero diagonal at column " +
+                                      std::to_string(j) + " (singular)");
+    }
+  }
+
+  const auto t0 = steady_clock::now();
+  auto st = std::make_shared<State>();
+  st->options = std::move(options);
+  st->storage = reverse_upper_unchecked(upper);
+  st->lower = &st->storage;
+  Expected<std::shared_ptr<State>> built = analyze_state(std::move(st));
+  if (!built.ok()) return Expected<SolverPlan>(built.error());
+  // The reversal is analysis-phase work: fold its wall time into the
+  // plan's one-time charge and mark the plan as an upper solve.
+  built.value()->upper = true;
+  built.value()->analysis_seconds = seconds_since(t0);
+  return SolverPlan(std::move(built.value()));
+}
+
+SolveResult SolverPlan::run_lower(std::span<const value_t> b) const {
+  const State& st = *state_;
+  const sparse::CscMatrix& lower = *st.lower;
+  SolveResult out;
+  if (lower.rows == 0) {
+    // Vacuous system: every backend returns the empty solution for free.
+    out.report.solver_name = backend_name(st.options.backend);
+    out.report.machine_name =
+        is_simulated(st.options.backend) ? st.options.machine.name : "host";
+    return out;
+  }
+  switch (st.options.backend) {
+    case Backend::kSerial: {
+      const auto t0 = steady_clock::now();
+      out.x = solve_lower_serial_prevalidated(lower, b);
+      out.wall_seconds = seconds_since(t0);
+      out.report.solver_name = backend_name(st.options.backend);
+      out.report.machine_name = "host";
+      break;
+    }
+    case Backend::kCpuLevelSet: {
+      const auto t0 = steady_clock::now();
+      out.x = solve_lower_levelset_threads(lower, b, *st.levels,
+                                           st.options.cpu_threads,
+                                           /*prevalidated=*/true);
+      out.wall_seconds = seconds_since(t0);
+      out.report.solver_name = backend_name(st.options.backend);
+      out.report.machine_name = "host";
+      break;
+    }
+    case Backend::kCpuSyncFree: {
+      const auto t0 = steady_clock::now();
+      out.x = solve_lower_syncfree_threads(lower, b, st.in_degrees,
+                                           st.options.cpu_threads);
+      out.wall_seconds = seconds_since(t0);
+      out.report.solver_name = backend_name(st.options.backend);
+      out.report.machine_name = "host";
+      break;
+    }
+    case Backend::kGpuLevelSet: {
+      LevelSetResult r =
+          solve_levelset_simulated(lower, b, st.options.machine, *st.levels,
+                                   /*charge_analysis=*/false);
+      out.x = std::move(r.x);
+      out.report = std::move(r.report);
+      break;
+    }
+    case Backend::kMgUnified:
+    case Backend::kMgUnifiedTask:
+    case Backend::kMgShmem:
+    case Backend::kMgZeroCopy: {
+      const bool unified = st.options.backend == Backend::kMgUnified ||
+                           st.options.backend == Backend::kMgUnifiedTask;
+      sim::Interconnect net(st.options.machine.topology,
+                            st.options.machine.cost);
+      EngineOptions eng;
+      eng.include_analysis = false;  // charged once by the plan
+      eng.in_degrees = &st.in_degrees;
+      EngineResult r = [&] {
+        if (unified) {
+          UnifiedComm comm(net, st.options.machine.cost,
+                           st.partition->num_gpus(), lower.rows);
+          return run_mg_engine(lower, b, *st.partition, st.options.machine,
+                               net, comm, eng);
+        }
+        NvshmemComm comm(net, st.options.machine.cost, st.partition->num_gpus(),
+                         lower.rows, st.options.nvshmem);
+        return run_mg_engine(lower, b, *st.partition, st.options.machine, net,
+                             comm, eng);
+      }();
+      out.x = std::move(r.x);
+      out.report = std::move(r.report);
+      out.report.solver_name = backend_name(st.options.backend);
+      break;
+    }
+  }
+  out.report.num_rhs = 1;
+  out.report.max_solve_us = out.report.solve_us;
+  return out;
+}
+
+SolveResult SolverPlan::run_one(std::span<const value_t> b) const {
+  if (!state_->upper) return run_lower(b);
+  // Backward substitution executes on the reversed factor; the O(n) vector
+  // transforms stay outside the timed regions (run_lower times only the
+  // backend execution).
+  const std::vector<value_t> rb = reversed(b);
+  SolveResult r = run_lower(rb);
+  r.x = reversed(r.x);
+  return r;
+}
+
+Expected<SolveResult> SolverPlan::solve(std::span<const value_t> b) const {
+  if (b.size() != static_cast<std::size_t>(rows())) {
+    return Expected<SolveResult>(
+        SolveStatus::kShapeMismatch,
+        "rhs length " + std::to_string(b.size()) +
+            " does not match the matrix dimension " + std::to_string(rows()));
+  }
+  return run_one(b);
+}
+
+Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
+                                              index_t num_rhs) const {
+  if (num_rhs < 1) {
+    return Expected<SolveResult>(
+        SolveStatus::kShapeMismatch,
+        "num_rhs must be >= 1 (got " + std::to_string(num_rhs) + ")");
+  }
+  const std::size_t n = static_cast<std::size_t>(rows());
+  const std::size_t expected = n * static_cast<std::size_t>(num_rhs);
+  if (rhs.size() != expected) {
+    return Expected<SolveResult>(
+        SolveStatus::kShapeMismatch,
+        "batch of " + std::to_string(num_rhs) + " rhs requires " +
+            std::to_string(expected) + " values (column-major), got " +
+            std::to_string(rhs.size()));
+  }
+
+  SolveResult out;
+  out.x.reserve(expected);
+  for (index_t j = 0; j < num_rhs; ++j) {
+    SolveResult r = run_one(rhs.subspan(static_cast<std::size_t>(j) * n, n));
+    out.x.insert(out.x.end(), r.x.begin(), r.x.end());
+    out.wall_seconds += r.wall_seconds;
+    if (j == 0) {
+      out.report = std::move(r.report);
+    } else {
+      out.report.accumulate(r.report);
+    }
+  }
+  return out;
+}
+
+index_t SolverPlan::rows() const { return state_->lower->rows; }
+
+bool SolverPlan::is_upper() const { return state_->upper; }
+
+const SolveOptions& SolverPlan::options() const { return state_->options; }
+
+const sparse::CscMatrix& SolverPlan::factor() const { return *state_->lower; }
+
+sparse::Partition SolverPlan::partition() const {
+  MSPTRSV_REQUIRE(rows() > 0, "an empty (0x0) plan has no partition");
+  if (state_->partition.has_value()) return *state_->partition;
+  return partition_for(state_->options, rows());
+}
+
+std::span<const index_t> SolverPlan::in_degrees() const {
+  return state_->in_degrees;
+}
+
+const sparse::LevelAnalysis* SolverPlan::level_analysis() const {
+  return state_->levels ? &*state_->levels : nullptr;
+}
+
+sim_time_t SolverPlan::analysis_us() const { return state_->analysis_us; }
+
+double SolverPlan::analysis_seconds() const {
+  return state_->analysis_seconds;
+}
+
+sparse::FootprintEstimate SolverPlan::footprint() const {
+  if (rows() == 0) return {};  // empty plan
+  const Backend b = state_->options.backend;
+  const sparse::StateLayout layout =
+      (b == Backend::kMgShmem || b == Backend::kMgZeroCopy)
+          ? sparse::StateLayout::kSymmetricHeap
+          : sparse::StateLayout::kUnifiedManaged;
+  return sparse::estimate_footprint(*state_->lower, partition(), layout);
+}
+
+}  // namespace msptrsv::core

@@ -1,0 +1,113 @@
+// The phase-split solver API: analyze once, solve many times.
+//
+// SpTRSV is almost never a one-off: it runs inside iterative methods and
+// preconditioner applications, where the same factor is solved against a
+// new right-hand side every iteration. The symbolic work -- input
+// validation, level analysis, partitioning, per-component in-degrees,
+// comm-policy sizing -- depends only on the matrix structure, so it must be
+// paid once and amortized (the cuSPARSE csrsv2 analyze/solve split; the
+// inspector-executor model).
+//
+//   auto plan = core::SolverPlan::analyze(L, options);     // symbolic phase
+//   if (!plan.ok()) { /* plan.status(), plan.message() */ }
+//   auto r1 = plan->solve(b1);                             // numeric phase
+//   auto r2 = plan->solve(b2);                             // ... no re-analysis
+//   auto rb = plan->solve_batch(B, k);                     // k rhs, column-major
+//
+// Reports from plan solves charge the analysis phase exactly once: the
+// per-solve RunReport carries analysis_us == 0 and the plan exposes the
+// one-time charge via analysis_us() / analysis_seconds(). The legacy
+// one-shot core::solve() wrapper folds the charge back into its report.
+//
+// User-input errors (shape mismatch, non-triangular input, singular
+// diagonal, bad options) come back through the Expected/SolveStatus channel
+// instead of thrown contract violations.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/solver.hpp"
+#include "core/status.hpp"
+#include "sparse/level_analysis.hpp"
+#include "sparse/partition.hpp"
+
+namespace msptrsv::core {
+
+class SolverPlan {
+ public:
+  /// Symbolic phase for a lower-triangular factor: validates the input,
+  /// builds the partition and the backend's analysis state, and captures
+  /// the matrix (pass an rvalue to avoid the copy). A 0x0 system is
+  /// vacuously solvable (the plan short-circuits). Errors:
+  /// kNotTriangular, kSingularDiagonal, kInvalidOptions.
+  static Expected<SolverPlan> analyze(sparse::CscMatrix lower,
+                                      SolveOptions options);
+
+  /// As analyze() but WITHOUT taking ownership: the plan keeps a reference
+  /// to `lower`, which must outlive the plan (the cuSPARSE handle
+  /// contract). Use when the factor is large and already owned elsewhere;
+  /// the one-shot core::solve wrappers use this for their throwaway plans.
+  static Expected<SolverPlan> analyze_borrowed(const sparse::CscMatrix& lower,
+                                               SolveOptions options);
+
+  /// Symbolic phase for an upper-triangular factor (backward substitution).
+  /// The reduction to lower form (reference.hpp) is performed HERE, once,
+  /// so repeated solves pay only an O(n) vector reversal -- and so the
+  /// transform never pollutes per-solve timings.
+  static Expected<SolverPlan> analyze_upper(sparse::CscMatrix upper,
+                                            SolveOptions options);
+
+  /// Numeric phase: solves against the cached analysis. No re-analysis, no
+  /// revalidation of the matrix; only the rhs length is checked
+  /// (kShapeMismatch). The result's report has analysis_us == 0.
+  Expected<SolveResult> solve(std::span<const value_t> b) const;
+
+  /// Batched numeric phase: `rhs` holds `num_rhs` right-hand sides of
+  /// length rows() each, column-major (rhs[j*n + i] is entry i of rhs j).
+  /// The solution uses the same layout. The report accumulates all
+  /// right-hand sides (report.num_rhs == num_rhs; solve_us sums, while
+  /// max_solve_us tracks the slowest single solve).
+  Expected<SolveResult> solve_batch(std::span<const value_t> rhs,
+                                    index_t num_rhs) const;
+
+  index_t rows() const;
+  /// True for plans built by analyze_upper.
+  bool is_upper() const;
+  const SolveOptions& options() const;
+  /// The lower-triangular factor solves execute against (for upper plans:
+  /// the reversed form).
+  const sparse::CscMatrix& factor() const;
+  /// The component-to-GPU distribution this backend/options pair implies
+  /// (cached for the multi-GPU backends, derived on demand otherwise).
+  /// Requires a non-empty plan (a 0x0 system has no partition).
+  sparse::Partition partition() const;
+  /// Per-component in-degrees (empty for backends that do not use them).
+  std::span<const index_t> in_degrees() const;
+  /// Level-set analysis (null for backends that do not use it).
+  const sparse::LevelAnalysis* level_analysis() const;
+
+  /// One-time simulated analysis charge (0 for the real host backends).
+  sim_time_t analysis_us() const;
+  /// Host wall-clock seconds spent inside analyze().
+  double analysis_seconds() const;
+
+  /// Per-GPU memory sizing under this plan's partition and the backend's
+  /// state layout (symmetric heap for the NVSHMEM designs, managed arrays
+  /// otherwise) -- the comm-policy/capacity sizing captured at analysis.
+  sparse::FootprintEstimate footprint() const;
+
+ private:
+  struct State;
+  explicit SolverPlan(std::shared_ptr<const State> state);
+
+  static Expected<std::shared_ptr<State>> analyze_state(
+      std::shared_ptr<State> st);
+
+  SolveResult run_lower(std::span<const value_t> b) const;
+  SolveResult run_one(std::span<const value_t> b) const;
+
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace msptrsv::core

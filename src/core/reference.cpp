@@ -12,6 +12,11 @@ std::vector<value_t> solve_lower_serial(const sparse::CscMatrix& lower,
   sparse::require_solvable_lower(lower);
   MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
                   "rhs length must match the matrix dimension");
+  return solve_lower_serial_prevalidated(lower, b);
+}
+
+std::vector<value_t> solve_lower_serial_prevalidated(
+    const sparse::CscMatrix& lower, std::span<const value_t> b) {
   const index_t n = lower.rows;
   std::vector<value_t> x(static_cast<std::size_t>(n));
   std::vector<value_t> left_sum(static_cast<std::size_t>(n), 0.0);

@@ -14,6 +14,12 @@ namespace msptrsv::core {
 std::vector<value_t> solve_lower_serial(const sparse::CscMatrix& lower,
                                         std::span<const value_t> b);
 
+/// As solve_lower_serial but with no input validation: the caller has
+/// already established the solvable-lower invariants and the rhs length
+/// (e.g. SolverPlan::analyze). This is the reusable-execution form.
+std::vector<value_t> solve_lower_serial_prevalidated(
+    const sparse::CscMatrix& lower, std::span<const value_t> b);
+
 /// Backward substitution for Ux = b on an upper-triangular CSC matrix with
 /// a nonzero diagonal terminating each column.
 std::vector<value_t> solve_upper_serial(const sparse::CscMatrix& upper,

@@ -1,0 +1,97 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace msptrsv::core::registry {
+
+namespace {
+
+constexpr std::array<BackendEntry, 8> kBackends{{
+    {Backend::kSerial, "serial",
+     "host reference, Algorithm 1 column sweep", false, false},
+    {Backend::kCpuLevelSet, "cpu-levelset",
+     "real-thread level-set (Naumov on the host)", false, false},
+    {Backend::kCpuSyncFree, "cpu-syncfree",
+     "real-thread sync-free (Liu on the host)", false, false},
+    {Backend::kGpuLevelSet, "gpu-levelset",
+     "simulated cuSPARSE csrsv2 level-set baseline", true, false},
+    {Backend::kMgUnified, "mg-unified",
+     "Algorithm 2: Unified Memory, block distribution", true, true},
+    {Backend::kMgUnifiedTask, "mg-unified-task",
+     "Algorithm 2 + round-robin task pool", true, true},
+    {Backend::kMgShmem, "mg-shmem",
+     "Algorithm 3: NVSHMEM read-only, block distribution", true, true},
+    {Backend::kMgZeroCopy, "mg-zerocopy",
+     "Algorithm 3 + task pool (the paper's design)", true, true},
+}};
+
+std::string lower_key(std::string_view key) {
+  std::string out(key);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::span<const BackendEntry> backends() { return kBackends; }
+
+const BackendEntry& entry_of(Backend b) {
+  for (const BackendEntry& e : kBackends) {
+    if (e.backend == b) return e;
+  }
+  // Unreachable for valid enumerators; fall back to the reference design.
+  return kBackends.front();
+}
+
+Expected<Backend> parse_backend(std::string_view key) {
+  const std::string k = lower_key(key);
+  for (const BackendEntry& e : kBackends) {
+    if (k == e.key) return e.backend;
+  }
+  // Display names from backend_name() and common shorthand.
+  if (k == "gpu-levelset(csrsv2)" || k == "csrsv2" || k == "levelset") {
+    return Backend::kGpuLevelSet;
+  }
+  if (k == "mg-unified+task" || k == "unified-task" || k == "unified+task") {
+    return Backend::kMgUnifiedTask;
+  }
+  if (k == "unified") return Backend::kMgUnified;
+  if (k == "shmem") return Backend::kMgShmem;
+  if (k == "zerocopy" || k == "zero-copy") return Backend::kMgZeroCopy;
+  if (k == "syncfree") return Backend::kCpuSyncFree;
+  return Expected<Backend>(SolveStatus::kUnknownBackend,
+                           "unknown backend '" + std::string(key) +
+                               "'; known backends: " + backend_keys());
+}
+
+SolveOptions default_options(Backend b) {
+  SolveOptions opt;
+  opt.backend = b;
+  const BackendEntry& e = entry_of(b);
+  // The paper's reference configuration: multi-GPU designs on a 4-GPU
+  // DGX-1 with 8 tasks/GPU; everything else on a single GPU / the host.
+  opt.machine = e.multi_gpu ? sim::Machine::dgx1(4) : sim::Machine::dgx1(1);
+  opt.tasks_per_gpu = 8;
+  return opt;
+}
+
+Expected<SolveOptions> options_for(std::string_view key) {
+  Expected<Backend> b = parse_backend(key);
+  if (!b.ok()) return Expected<SolveOptions>(b.error());
+  return default_options(b.value());
+}
+
+std::string backend_keys() {
+  std::string out;
+  for (const BackendEntry& e : kBackends) {
+    if (!out.empty()) out += ", ";
+    out += e.key;
+  }
+  return out;
+}
+
+}  // namespace msptrsv::core::registry

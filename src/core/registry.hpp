@@ -1,0 +1,58 @@
+// String-keyed backend registry.
+//
+// Every bench/example binary used to hand-roll its own Backend dispatch;
+// the registry centralizes the key -> backend mapping, per-backend default
+// SolveOptions, and the catalogue used for --help text and report tables.
+//
+//   auto b = registry::parse_backend("mg-zerocopy");      // Expected<Backend>
+//   core::SolveOptions opt = registry::default_options(b.value());
+//   for (const auto& e : registry::backends()) { ... }    // the catalogue
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/solver.hpp"
+#include "core/status.hpp"
+
+namespace msptrsv::core::registry {
+
+struct BackendEntry {
+  Backend backend;
+  /// Canonical CLI/config key ("mg-zerocopy").
+  const char* key;
+  /// One-line description for --help and docs.
+  const char* summary;
+  /// Runs on the simulated machine (vs real host threads).
+  bool simulated;
+  /// Distributes components across multiple simulated GPUs.
+  bool multi_gpu;
+};
+
+/// The full catalogue, one entry per Backend enumerator, in enum order.
+std::span<const BackendEntry> backends();
+
+/// Catalogue entry for a backend (never null: every enumerator is listed).
+const BackendEntry& entry_of(Backend b);
+
+/// Resolves a key to a backend. Case-insensitive; accepts the canonical
+/// keys, the display names produced by backend_name(), and a few common
+/// short aliases ("zerocopy", "unified", "csrsv2", ...). Unknown keys come
+/// back as SolveStatus::kUnknownBackend with a message listing the
+/// canonical keys.
+Expected<Backend> parse_backend(std::string_view key);
+
+/// Factory of per-backend default SolveOptions: the paper's reference
+/// configuration for each design point (4-GPU DGX-1 + 8 tasks/GPU for the
+/// multi-GPU designs, single-GPU machine for the host/single-GPU ones).
+SolveOptions default_options(Backend b);
+
+/// parse_backend + default_options in one step (the common bench path).
+Expected<SolveOptions> options_for(std::string_view key);
+
+/// Comma-separated canonical key list ("serial, cpu-levelset, ...") for
+/// help text and error messages.
+std::string backend_keys();
+
+}  // namespace msptrsv::core::registry

@@ -1,13 +1,6 @@
 #include "core/solver.hpp"
 
-#include <chrono>
-
-#include "core/comm_unified.hpp"
-#include "core/cpu_parallel.hpp"
-#include "core/levelset.hpp"
-#include "core/mg_engine.hpp"
-#include "core/reference.hpp"
-#include "sparse/level_analysis.hpp"
+#include "core/plan.hpp"
 #include "support/contracts.hpp"
 
 namespace msptrsv::core {
@@ -56,31 +49,17 @@ sparse::Partition partition_for(const SolveOptions& options, index_t n) {
 
 namespace {
 
-SolveResult run_engine(const sparse::CscMatrix& lower,
-                       std::span<const value_t> b,
-                       const SolveOptions& options, bool unified) {
-  const sparse::Partition partition = partition_for(options, lower.rows);
-  sim::Interconnect net(options.machine.topology, options.machine.cost);
-  EngineOptions eng;
-  eng.include_analysis = options.include_analysis;
-
-  SolveResult out;
-  if (unified) {
-    UnifiedComm comm(net, options.machine.cost, partition.num_gpus(),
-                     lower.rows);
-    EngineResult r =
-        run_mg_engine(lower, b, partition, options.machine, net, comm, eng);
-    out.x = std::move(r.x);
-    out.report = std::move(r.report);
-  } else {
-    NvshmemComm comm(net, options.machine.cost, partition.num_gpus(),
-                     lower.rows, options.nvshmem);
-    EngineResult r =
-        run_mg_engine(lower, b, partition, options.machine, net, comm, eng);
-    out.x = std::move(r.x);
-    out.report = std::move(r.report);
+// The one-shot wrappers run a throwaway plan. They keep the historical
+// throwing contract (PreconditionError on bad input) so existing call
+// sites migrate to the status channel at their own pace, and they fold the
+// plan's one-time analysis charge back into the single report.
+SolveResult solve_via_plan(Expected<SolverPlan> plan,
+                           std::span<const value_t> b,
+                           const SolveOptions& options) {
+  SolveResult out = plan.value().solve(b).value();
+  if (options.include_analysis) {
+    out.report.analysis_us = plan.value().analysis_us();
   }
-  out.report.solver_name = backend_name(options.backend);
   return out;
 }
 
@@ -88,68 +67,16 @@ SolveResult run_engine(const sparse::CscMatrix& lower,
 
 SolveResult solve(const sparse::CscMatrix& lower, std::span<const value_t> b,
                   const SolveOptions& options) {
-  switch (options.backend) {
-    case Backend::kSerial: {
-      SolveResult out;
-      const auto t0 = std::chrono::steady_clock::now();
-      out.x = solve_lower_serial(lower, b);
-      out.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      out.report.solver_name = backend_name(options.backend);
-      out.report.machine_name = "host";
-      return out;
-    }
-    case Backend::kCpuLevelSet: {
-      SolveResult out;
-      const sparse::LevelAnalysis analysis = sparse::analyze_levels(lower);
-      const auto t0 = std::chrono::steady_clock::now();
-      out.x = solve_lower_levelset_threads(lower, b, analysis,
-                                           options.cpu_threads);
-      out.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      out.report.solver_name = backend_name(options.backend);
-      out.report.machine_name = "host";
-      return out;
-    }
-    case Backend::kCpuSyncFree: {
-      SolveResult out;
-      const auto t0 = std::chrono::steady_clock::now();
-      out.x = solve_lower_syncfree_threads(lower, b, options.cpu_threads);
-      out.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      out.report.solver_name = backend_name(options.backend);
-      out.report.machine_name = "host";
-      return out;
-    }
-    case Backend::kGpuLevelSet: {
-      LevelSetResult r = solve_levelset_simulated(lower, b, options.machine);
-      SolveResult out;
-      out.x = std::move(r.x);
-      out.report = std::move(r.report);
-      return out;
-    }
-    case Backend::kMgUnified:
-    case Backend::kMgUnifiedTask:
-      return run_engine(lower, b, options, /*unified=*/true);
-    case Backend::kMgShmem:
-    case Backend::kMgZeroCopy:
-      return run_engine(lower, b, options, /*unified=*/false);
-  }
-  MSPTRSV_REQUIRE(false, "unhandled backend");
-  return {};
+  // Borrowed: the throwaway plan never outlives this call, so the matrix
+  // is not copied (the pre-plan one-shot path made no copy either).
+  return solve_via_plan(SolverPlan::analyze_borrowed(lower, options), b,
+                        options);
 }
 
 SolveResult solve_upper(const sparse::CscMatrix& upper,
                         std::span<const value_t> b,
                         const SolveOptions& options) {
-  const sparse::CscMatrix lower = reverse_upper_to_lower(upper);
-  const std::vector<value_t> rb = reversed(b);
-  SolveResult r = solve(lower, rb, options);
-  r.x = reversed(r.x);
-  return r;
+  return solve_via_plan(SolverPlan::analyze_upper(upper, options), b, options);
 }
 
 }  // namespace msptrsv::core

@@ -68,12 +68,19 @@ struct SolveResult {
   double wall_seconds = 0.0;
 };
 
-/// Solves lower * x = b with the configured backend.
+/// One-shot convenience: solves lower * x = b with the configured backend.
+/// Thin wrapper over a throwaway SolverPlan (core/plan.hpp) -- it re-runs
+/// the analysis phase on every call, so repeated solves against the same
+/// factor should build a plan instead. Throws PreconditionError on invalid
+/// input (the plan API reports the same conditions as SolveStatus values).
 SolveResult solve(const sparse::CscMatrix& lower, std::span<const value_t> b,
                   const SolveOptions& options);
 
-/// Backward substitution: solves upper * x = b by reducing to the lower
-/// form (see reference.hpp) and dispatching to the same backend.
+/// One-shot backward substitution: solves upper * x = b by reducing to the
+/// lower form (see reference.hpp) and dispatching to the same backend. The
+/// reduction happens in the (untimed) analysis phase; wall_seconds and
+/// report timings cover only backend execution. Prefer
+/// SolverPlan::analyze_upper for repeated solves.
 SolveResult solve_upper(const sparse::CscMatrix& upper,
                         std::span<const value_t> b,
                         const SolveOptions& options);

@@ -1,0 +1,117 @@
+// Error channel of the phase-split solver API.
+//
+// User-input mistakes (wrong rhs length, a non-triangular matrix, an
+// unknown backend key) are *expected* conditions in a long-running service:
+// they must come back as values the caller can branch on, not as thrown
+// contract violations. SolverPlan/registry functions therefore return
+// Expected<T>; MSPTRSV_REQUIRE stays reserved for internal invariants and
+// for the legacy free-function wrappers (which translate a bad status back
+// into the PreconditionError their callers historically caught).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::core {
+
+enum class SolveStatus {
+  kOk = 0,
+  /// rhs/batch dimensions disagree with the matrix (b.size() != n, batch
+  /// stride mismatch, num_rhs < 1).
+  kShapeMismatch,
+  /// The input is not a (structurally valid) triangular matrix of the
+  /// orientation the call expects -- includes non-square inputs.
+  kNotTriangular,
+  /// A diagonal entry is missing or zero: the factor is singular.
+  kSingularDiagonal,
+  /// A backend key did not resolve against the registry.
+  kUnknownBackend,
+  /// SolveOptions are inconsistent (tasks_per_gpu < 1, more partition GPUs
+  /// than the machine has, ...).
+  kInvalidOptions,
+  /// A library bug surfaced through the status channel.
+  kInternalError,
+};
+
+constexpr std::string_view to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kShapeMismatch: return "shape-mismatch";
+    case SolveStatus::kNotTriangular: return "not-triangular";
+    case SolveStatus::kSingularDiagonal: return "singular-diagonal";
+    case SolveStatus::kUnknownBackend: return "unknown-backend";
+    case SolveStatus::kInvalidOptions: return "invalid-options";
+    case SolveStatus::kInternalError: return "internal-error";
+  }
+  return "unknown-status";
+}
+
+/// The error half of an Expected: a status code plus a human-readable
+/// diagnostic naming the offending input.
+struct SolveError {
+  SolveStatus status = SolveStatus::kInternalError;
+  std::string message;
+};
+
+/// Minimal expected-style result carrier (std::expected arrives in C++23;
+/// the toolchain baseline is C++20). Holds either a T or a SolveError.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Expected(SolveStatus status, std::string message)
+      : payload_(SolveError{status, std::move(message)}) {}
+  Expected(SolveError error) : payload_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+  explicit operator bool() const { return ok(); }
+
+  SolveStatus status() const {
+    return ok() ? SolveStatus::kOk : std::get<SolveError>(payload_).status;
+  }
+  /// Empty string when ok().
+  const std::string& message() const {
+    static const std::string empty;
+    return ok() ? empty : std::get<SolveError>(payload_).message;
+  }
+  /// The error half; requires !ok().
+  const SolveError& error() const { return std::get<SolveError>(payload_); }
+
+  /// Accessors require ok(); a violation is a PreconditionError carrying the
+  /// original diagnostic, which is exactly what the legacy throwing
+  /// wrappers want to propagate.
+  T& value() & {
+    require_ok();
+    return std::get<T>(payload_);
+  }
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(payload_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      const SolveError& e = std::get<SolveError>(payload_);
+      throw support::PreconditionError(std::string(to_string(e.status)) +
+                                       ": " + e.message);
+    }
+  }
+
+  std::variant<T, SolveError> payload_;
+};
+
+}  // namespace msptrsv::core

@@ -14,11 +14,21 @@ struct RunReport {
   std::string machine_name;
   int num_gpus = 1;
 
-  /// Total simulated time of the solver phase.
+  /// Total simulated time of the solver phase. For a batched solve this is
+  /// the sum over all right-hand sides.
   sim_time_t solve_us = 0.0;
   /// Simulated time of the preprocessing (in-degree / level analysis).
+  /// Under the phase-split API this is charged exactly once: a
+  /// SolverPlan's per-solve reports carry 0 here and the plan owns the
+  /// analysis charge; the one-shot wrappers fold it back in.
   sim_time_t analysis_us = 0.0;
   sim_time_t total_us() const { return solve_us + analysis_us; }
+
+  /// Right-hand sides this report covers (> 1 for solve_batch).
+  int num_rhs = 1;
+  /// Simulated time of the slowest single solve in a batch (== solve_us
+  /// when num_rhs == 1).
+  sim_time_t max_solve_us = 0.0;
 
   /// Per-GPU busy time of warp slots (computation only).
   std::vector<sim_time_t> busy_us_per_gpu;
@@ -49,6 +59,10 @@ struct RunReport {
 
   /// Kernel launches issued (1 per task per GPU in the task model).
   std::uint64_t kernel_launches = 0;
+
+  /// Folds another solve's report into this one (batched execution):
+  /// times and traffic counters add; names/num_gpus must already agree.
+  void accumulate(const RunReport& other);
 
   /// max/mean of per-GPU busy time; 1.0 is perfectly balanced.
   double load_imbalance() const;

@@ -7,8 +7,9 @@
 
 namespace msptrsv::sparse {
 
-std::vector<index_t> compute_in_degrees(const CscMatrix& lower) {
-  require_solvable_lower(lower);
+std::vector<index_t> compute_in_degrees(const CscMatrix& lower,
+                                        bool validate) {
+  if (validate) require_solvable_lower(lower);
   std::vector<index_t> indeg(static_cast<std::size_t>(lower.rows), 0);
   for (index_t j = 0; j < lower.cols; ++j) {
     // Skip the diagonal entry (first in the column by invariant).
@@ -19,12 +20,13 @@ std::vector<index_t> compute_in_degrees(const CscMatrix& lower) {
   return indeg;
 }
 
-LevelAnalysis analyze_levels(const CscMatrix& lower) {
-  require_solvable_lower(lower);
+LevelAnalysis analyze_levels(const CscMatrix& lower, bool validate) {
+  if (validate) require_solvable_lower(lower);
   LevelAnalysis a;
   a.n = lower.rows;
   a.nnz = lower.nnz();
-  a.in_degree = compute_in_degrees(lower);
+  // Validation (if requested) already ran above; don't pay it twice.
+  a.in_degree = compute_in_degrees(lower, /*validate=*/false);
   a.level_of.assign(static_cast<std::size_t>(a.n), 0);
 
   // Columns are processed in ascending order; every dependency j of

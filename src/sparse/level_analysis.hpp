@@ -45,11 +45,14 @@ struct LevelAnalysis {
 };
 
 /// Runs the analysis. Requires a solvable lower-triangular CSC input
-/// (see require_solvable_lower). Cost: O(n + nnz).
-LevelAnalysis analyze_levels(const CscMatrix& lower);
+/// (see require_solvable_lower); pass `validate = false` when the caller
+/// has already established that (e.g. SolverPlan's analysis phase) to skip
+/// the redundant O(nnz) validation pass. Cost: O(n + nnz).
+LevelAnalysis analyze_levels(const CscMatrix& lower, bool validate = true);
 
 /// Just the in-degree vector (the cheap preprocessing pass of the
 /// sync-free algorithm, Section II-C), without level construction.
-std::vector<index_t> compute_in_degrees(const CscMatrix& lower);
+std::vector<index_t> compute_in_degrees(const CscMatrix& lower,
+                                        bool validate = true);
 
 }  // namespace msptrsv::sparse

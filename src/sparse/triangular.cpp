@@ -40,6 +40,41 @@ bool has_nonsingular_diagonal(const CscMatrix& m) {
   return true;
 }
 
+SolvableDiagnosis diagnose_solvable_lower(const CscMatrix& m) {
+  SolvableDiagnosis d;
+  auto fail = [&](bool singular, std::string detail) {
+    d.solvable = false;
+    d.singular = singular;
+    d.detail = std::move(detail);
+    return d;
+  };
+  if (!m.is_square()) {
+    return fail(false, "triangular solve requires a square matrix (" +
+                           std::to_string(m.rows) + "x" +
+                           std::to_string(m.cols) + ")");
+  }
+  try {
+    m.validate();
+  } catch (const std::exception& e) {
+    return fail(false, std::string("malformed CSC structure: ") + e.what());
+  }
+  if (!is_lower_triangular(m)) {
+    return fail(false, "matrix has entries above the diagonal (not lower "
+                       "triangular)");
+  }
+  for (index_t j = 0; j < m.cols; ++j) {
+    if (m.col_ptr[j] >= m.col_ptr[j + 1] || m.row_idx[m.col_ptr[j]] != j) {
+      return fail(true, "column " + std::to_string(j) +
+                            " is missing its diagonal entry (singular)");
+    }
+    if (m.val[m.col_ptr[j]] == 0.0) {
+      return fail(true, "zero diagonal at column " + std::to_string(j) +
+                            " (singular)");
+    }
+  }
+  return d;
+}
+
 void require_solvable_lower(const CscMatrix& m) {
   MSPTRSV_REQUIRE(m.is_square(), "triangular solve requires a square matrix");
   m.validate();

@@ -2,6 +2,8 @@
 // solvers rely on (every column's first entry is the diagonal).
 #pragma once
 
+#include <string>
+
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 
@@ -22,6 +24,18 @@ bool has_nonsingular_diagonal(const CscMatrix& m);
 /// (so val[col_ptr[j]] == L(j,j), as in the paper's Algorithm 1 line 20).
 /// Throws PreconditionError with a specific message otherwise.
 void require_solvable_lower(const CscMatrix& m);
+
+/// Non-throwing counterpart of require_solvable_lower, used by the
+/// status-returning plan API to report user input errors as values.
+struct SolvableDiagnosis {
+  bool solvable = true;
+  /// True when the only violation is a missing/zero diagonal (a singular
+  /// factor) on an otherwise well-formed lower-triangular matrix.
+  bool singular = false;
+  /// Human-readable description of the first violation; empty if solvable.
+  std::string detail;
+};
+SolvableDiagnosis diagnose_solvable_lower(const CscMatrix& m);
 
 /// Extracts the lower triangle of a square matrix. When `unit_diagonal` is
 /// true the diagonal is replaced by ones; otherwise missing or zero diagonal

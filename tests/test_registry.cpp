@@ -1,0 +1,90 @@
+// The backend registry: the catalogue must cover every Backend enumerator
+// with a unique key, keys and display names must parse back, defaults must
+// match each design point's reference configuration, and unknown keys must
+// come back as kUnknownBackend through the status channel.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/msptrsv.hpp"
+
+namespace msptrsv {
+namespace {
+
+namespace registry = core::registry;
+
+TEST(Registry, CatalogueCoversEveryBackendWithUniqueKeys) {
+  ASSERT_EQ(registry::backends().size(), 8u);
+  std::set<std::string> keys;
+  std::set<core::Backend> seen;
+  for (const registry::BackendEntry& e : registry::backends()) {
+    EXPECT_TRUE(keys.insert(e.key).second) << "duplicate key " << e.key;
+    EXPECT_TRUE(seen.insert(e.backend).second);
+    EXPECT_EQ(registry::entry_of(e.backend).key, std::string(e.key));
+    EXPECT_EQ(e.simulated, core::is_simulated(e.backend));
+  }
+}
+
+TEST(Registry, CanonicalKeysParseRoundTrip) {
+  for (const registry::BackendEntry& e : registry::backends()) {
+    const auto parsed = registry::parse_backend(e.key);
+    ASSERT_TRUE(parsed.ok()) << e.key;
+    EXPECT_EQ(parsed.value(), e.backend);
+  }
+}
+
+TEST(Registry, ParsingIsCaseInsensitive) {
+  const auto parsed = registry::parse_backend("MG-ZeroCopy");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), core::Backend::kMgZeroCopy);
+}
+
+TEST(Registry, DisplayNamesParseToo) {
+  for (const registry::BackendEntry& e : registry::backends()) {
+    const auto parsed = registry::parse_backend(core::backend_name(e.backend));
+    ASSERT_TRUE(parsed.ok()) << core::backend_name(e.backend);
+    EXPECT_EQ(parsed.value(), e.backend);
+  }
+}
+
+TEST(Registry, UnknownKeyReportsStatusWithCatalogue) {
+  const auto parsed = registry::parse_backend("not-a-backend");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status(), core::SolveStatus::kUnknownBackend);
+  EXPECT_NE(parsed.message().find("mg-zerocopy"), std::string::npos);
+  // value() on an error escalates to the legacy throwing contract.
+  EXPECT_THROW(parsed.value(), support::PreconditionError);
+}
+
+TEST(Registry, DefaultOptionsMatchReferenceConfigurations) {
+  for (const registry::BackendEntry& e : registry::backends()) {
+    const core::SolveOptions opt = registry::default_options(e.backend);
+    EXPECT_EQ(opt.backend, e.backend);
+    EXPECT_EQ(opt.machine.num_gpus(), e.multi_gpu ? 4 : 1) << e.key;
+    EXPECT_EQ(opt.tasks_per_gpu, 8);
+  }
+}
+
+TEST(Registry, OptionsForResolvesKeyOrReportsError) {
+  const auto opt = registry::options_for("mg-unified-task");
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt.value().backend, core::Backend::kMgUnifiedTask);
+
+  EXPECT_EQ(registry::options_for("nope").status(),
+            core::SolveStatus::kUnknownBackend);
+}
+
+TEST(Registry, EveryBackendDefaultConfigurationSolves) {
+  const sparse::CscMatrix l = sparse::gen_layered_dag(400, 10, 2000, 0.5, 3);
+  const std::vector<value_t> x_ref = sparse::gen_solution(l.rows, 17);
+  const std::vector<value_t> b = sparse::gen_rhs_for_solution(l, x_ref);
+  for (const registry::BackendEntry& e : registry::backends()) {
+    const core::SolveResult r =
+        core::solve(l, b, registry::default_options(e.backend));
+    EXPECT_LT(core::max_relative_difference(r.x, x_ref), 1e-9) << e.key;
+  }
+}
+
+}  // namespace
+}  // namespace msptrsv
