@@ -1,7 +1,18 @@
 // Micro-benchmarks (google-benchmark) of the real host backends and the
 // hot substrate paths: these measure actual wall-clock on this machine,
 // complementing the simulated figure benches.
+//
+// On top of the google-benchmark cases, main() runs the fused-vs-looped
+// solve_batch comparison (1/4/16 rhs across representative backends) and
+// writes it to BENCH_batch.json (override with MSPTRSV_BENCH_JSON) so
+// future PRs can track the amortization trajectory machine-readably.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/msptrsv.hpp"
 
@@ -188,6 +199,166 @@ void BM_CscTranspose(benchmark::State& state) {
 }
 BENCHMARK(BM_CscTranspose);
 
+// ---- fused vs looped solve_batch: the tentpole amortization. ---------------
+// One dependency resolution + one structure sweep per batch (fused) against
+// num_rhs independent solves (looped). Host backends run on the persistent
+// plan workspace either way, so the delta isolates the fusion itself.
+
+const std::vector<value_t>& batch16() {
+  static const std::vector<value_t> batch = [] {
+    const auto& l = bench_matrix();
+    std::vector<value_t> out;
+    for (index_t j = 0; j < 16; ++j) {
+      const std::vector<value_t> b = sparse::gen_rhs_for_solution(
+          l, sparse::gen_solution(l.rows, 500 + static_cast<std::uint64_t>(j)));
+      out.insert(out.end(), b.begin(), b.end());
+    }
+    return out;
+  }();
+  return batch;
+}
+
+core::SolverPlan batch_plan(const std::string& key, bool fused) {
+  core::SolveOptions o = core::registry::options_for(key).value();
+  o.cpu_threads = 2;
+  o.fuse_batch = fused;
+  return core::SolverPlan::analyze(bench_matrix(), o).value();
+}
+
+void BM_SolveBatch(benchmark::State& state, const char* key, bool fused) {
+  const auto plan = batch_plan(key, fused);
+  const index_t k = static_cast<index_t>(state.range(0));
+  const auto batch = std::span<const value_t>(batch16())
+                         .first(static_cast<std::size_t>(k * plan.rows()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.solve_batch(batch, k));
+  }
+  state.SetItemsProcessed(state.iterations() * bench_matrix().nnz() * k);
+}
+BENCHMARK_CAPTURE(BM_SolveBatch, Fused_CpuLevelSet, "cpu-levelset", true)
+    ->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_SolveBatch, Looped_CpuLevelSet, "cpu-levelset", false)
+    ->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_SolveBatch, Fused_CpuSyncFree, "cpu-syncfree", true)
+    ->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_SolveBatch, Looped_CpuSyncFree, "cpu-syncfree", false)
+    ->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_SolveBatch, Fused_Serial, "serial", true)
+    ->Arg(1)->Arg(4)->Arg(16);
+
+// Plan re-solve on the persistent workspace (the "no thread spawn, no O(n)
+// zeroing per call" acceptance check -- compare against the PR 1 numbers
+// of BM_PlanSolve_CpuSyncFree / the one-shot variants above).
+void BM_PlanSolve_CpuLevelSet(benchmark::State& state) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  core::SolveOptions o = core::registry::options_for("cpu-levelset").value();
+  o.cpu_threads = 2;
+  const core::SolverPlan plan = core::SolverPlan::analyze(l, o).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.solve(b));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK(BM_PlanSolve_CpuLevelSet);
+
+// ---- BENCH_batch.json ------------------------------------------------------
+
+struct BatchCase {
+  std::string backend;
+  index_t num_rhs;
+  double looped_per_rhs_us;
+  double fused_per_rhs_us;
+  const char* unit;  // "wall" (host) or "sim" (simulated machine)
+};
+
+/// Per-batch metric in us: simulated backends report deterministic
+/// simulated time (one run suffices); host backends take the best wall
+/// time over a few repetitions.
+double batch_metric_us(const core::SolverPlan& plan,
+                       std::span<const value_t> batch, index_t k) {
+  if (core::is_simulated(plan.options().backend)) {
+    return plan.solve_batch(batch, k).value().report.solve_us;
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = plan.solve_batch(batch, k);
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (!r.ok()) {
+      std::fprintf(stderr, "batch solve failed: %s\n", r.message().c_str());
+      std::exit(3);
+    }
+    best = std::min(best, us);
+  }
+  return best;
+}
+
+int write_batch_json() {
+  const char* path_env = std::getenv("MSPTRSV_BENCH_JSON");
+  const std::string path = path_env ? path_env : "BENCH_batch.json";
+  const auto& l = bench_matrix();
+
+  std::vector<BatchCase> cases;
+  for (const char* key : {"serial", "cpu-levelset", "cpu-syncfree",
+                          "gpu-levelset", "mg-zerocopy"}) {
+    const core::SolverPlan fused = batch_plan(key, true);
+    const core::SolverPlan looped = batch_plan(key, false);
+    const bool sim = core::is_simulated(fused.options().backend);
+    for (index_t k : {1, 4, 16}) {
+      const auto batch = std::span<const value_t>(batch16())
+                             .first(static_cast<std::size_t>(k) *
+                                    static_cast<std::size_t>(l.rows));
+      BatchCase c;
+      c.backend = key;
+      c.num_rhs = k;
+      c.looped_per_rhs_us = batch_metric_us(looped, batch, k) / k;
+      c.fused_per_rhs_us = batch_metric_us(fused, batch, k) / k;
+      c.unit = sim ? "sim" : "wall";
+      cases.push_back(c);
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 3;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"solve_batch fused vs looped\",\n"
+               "  \"matrix\": {\"rows\": %d, \"nnz\": %lld},\n"
+               "  \"cpu_threads\": 2,\n  \"cases\": [\n",
+               l.rows, static_cast<long long>(l.nnz()));
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BatchCase& c = cases[i];
+    std::fprintf(
+        f,
+        "    {\"backend\": \"%s\", \"num_rhs\": %d, \"unit\": \"%s\", "
+        "\"looped_per_rhs_us\": %.3f, \"fused_per_rhs_us\": %.3f, "
+        "\"speedup\": %.3f}%s\n",
+        c.backend.c_str(), c.num_rhs, c.unit, c.looped_per_rhs_us,
+        c.fused_per_rhs_us, c.looped_per_rhs_us / c.fused_per_rhs_us,
+        i + 1 < cases.size() ? "," : "");
+    std::printf("BENCH_batch %-13s rhs=%-2d  looped %9.1f us/rhs  fused "
+                "%9.1f us/rhs  speedup %.2fx (%s)\n",
+                c.backend.c_str(), c.num_rhs, c.looped_per_rhs_us,
+                c.fused_per_rhs_us, c.looped_per_rhs_us / c.fused_per_rhs_us,
+                c.unit);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_batch_json();
+}

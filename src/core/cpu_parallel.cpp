@@ -1,7 +1,6 @@
 #include "core/cpu_parallel.hpp"
 
 #include <atomic>
-#include <barrier>
 #include <thread>
 
 #include "sparse/triangular.hpp"
@@ -11,23 +10,123 @@ namespace msptrsv::core {
 
 namespace {
 
-int resolve_threads(int num_threads) {
-  if (num_threads > 0) return num_threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 2 : static_cast<int>(hw);
-}
-
-/// Lock-free add on a double via compare-exchange (the host-side analogue
-/// of atomicAdd(double*) on the GPU).
-void atomic_add(std::atomic<double>& target, double delta) {
-  double observed = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(observed, observed + delta,
-                                       std::memory_order_acq_rel,
-                                       std::memory_order_relaxed)) {
+/// Gathers component i's solution for every rhs by PULLING the final x
+/// entries of its dependencies through the row form (ascending column
+/// order: deterministic regardless of thread count or batch width). The
+/// diagonal terminates row i of a solvable lower factor.
+inline void gather_and_solve(const sparse::CsrMatrix& rows, index_t i,
+                             std::span<const value_t> b, std::size_t num_rhs,
+                             std::size_t n, value_t* acc,
+                             std::span<value_t> x) {
+  const offset_t rb = rows.row_ptr[static_cast<std::size_t>(i)];
+  const offset_t re = rows.row_ptr[static_cast<std::size_t>(i) + 1];
+  const value_t diag = rows.val[static_cast<std::size_t>(re - 1)];
+  for (std::size_t r = 0; r < num_rhs; ++r) acc[r] = 0.0;
+  for (offset_t e = rb; e < re - 1; ++e) {
+    const std::size_t c =
+        static_cast<std::size_t>(rows.col_idx[static_cast<std::size_t>(e)]);
+    const value_t lv = rows.val[static_cast<std::size_t>(e)];
+    for (std::size_t r = 0; r < num_rhs; ++r) {
+      acc[r] += lv * x[r * n + c];
+    }
+  }
+  for (std::size_t r = 0; r < num_rhs; ++r) {
+    x[r * n + static_cast<std::size_t>(i)] =
+        (b[r * n + static_cast<std::size_t>(i)] - acc[r]) / diag;
   }
 }
 
 }  // namespace
+
+void solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
+                                std::span<const value_t> b, index_t num_rhs,
+                                const sparse::LevelAnalysis& analysis,
+                                SolveWorkspace& ws, std::span<value_t> x) {
+  const index_t n = row_form.rows;
+  const std::size_t un = static_cast<std::size_t>(n);
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(b.size() == un * static_cast<std::size_t>(num_rhs) &&
+                      x.size() == b.size(),
+                  "batch must be column-major n x num_rhs");
+  MSPTRSV_REQUIRE(analysis.n == n, "analysis belongs to a different matrix");
+
+  const int threads = ws.threads();
+  std::barrier<>& sync = ws.level_barrier();
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  // Workspace-owned per-thread accumulators: nothing allocates (or can
+  // throw) inside the parallel region once the batch width has been seen.
+  value_t* scratch = ws.gather_scratch(num_rhs);
+  const std::size_t stride = ws.gather_stride();
+
+  ws.pool().run([&](int tid) {
+    value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
+    for (index_t l = 0; l < analysis.num_levels; ++l) {
+      const offset_t begin = analysis.level_ptr[static_cast<std::size_t>(l)];
+      const offset_t end = analysis.level_ptr[static_cast<std::size_t>(l) + 1];
+      for (offset_t p = begin + tid; p < end; p += threads) {
+        // Every dependency sits in an earlier level, already final behind
+        // the barrier; ONE barrier wave resolves the whole batch.
+        gather_and_solve(row_form,
+                         analysis.order[static_cast<std::size_t>(p)], b, k, un,
+                         acc, x);
+      }
+      sync.arrive_and_wait();
+    }
+  });
+}
+
+void solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
+                                const sparse::CsrMatrix& row_form,
+                                std::span<const value_t> b, index_t num_rhs,
+                                std::span<const index_t> in_degrees,
+                                SolveWorkspace& ws, std::span<value_t> x) {
+  const index_t n = lower.rows;
+  const std::size_t un = static_cast<std::size_t>(n);
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(b.size() == un * static_cast<std::size_t>(num_rhs) &&
+                      x.size() == b.size(),
+                  "batch must be column-major n x num_rhs");
+  MSPTRSV_REQUIRE(row_form.rows == n && in_degrees.size() == un,
+                  "row form / in-degrees sized for a different matrix");
+
+  std::atomic<std::uint64_t>* delivered = ws.delivered(n);
+  // Generation tagging replaces the per-solve countdown copy: each batch
+  // delivers exactly in_degree(i) updates to component i (one per incoming
+  // edge, regardless of num_rhs), so in generation g the ready target is
+  // g * in_degree(i) and the counters are never reset.
+  const std::uint64_t generation = ws.begin_generation();
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  value_t* scratch = ws.gather_scratch(num_rhs);
+  const std::size_t stride = ws.gather_stride();
+
+  // Ascending work claiming: thread-safe and deadlock-free (see header).
+  std::atomic<index_t> next{0};
+  ws.pool().run([&](int tid) {
+    value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
+    for (;;) {
+      const index_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      // Lock-wait phase: ONE spin per component per batch. The acquire
+      // load pairs with the producers' delivery increments, making their
+      // final x entries visible to the gather below.
+      const std::uint64_t target =
+          generation *
+          static_cast<std::uint64_t>(in_degrees[static_cast<std::size_t>(i)]);
+      while (delivered[static_cast<std::size_t>(i)].load(
+                 std::memory_order_acquire) < target) {
+        std::this_thread::yield();
+      }
+      gather_and_solve(row_form, i, b, k, un, acc, x);
+      // Delivery fan-out down column i: one increment per edge per batch
+      // (the x stores above must be visible first, hence release).
+      const offset_t d = lower.col_ptr[i];
+      for (offset_t e = d + 1; e < lower.col_ptr[i + 1]; ++e) {
+        delivered[static_cast<std::size_t>(lower.row_idx[e])].fetch_add(
+            1, std::memory_order_acq_rel);
+      }
+    }
+  });
+}
 
 std::vector<value_t> solve_lower_levelset_threads(
     const sparse::CscMatrix& lower, std::span<const value_t> b,
@@ -36,44 +135,10 @@ std::vector<value_t> solve_lower_levelset_threads(
   if (!prevalidated) sparse::require_solvable_lower(lower);
   MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
                   "rhs length must match the matrix dimension");
-  MSPTRSV_REQUIRE(analysis.n == lower.rows,
-                  "analysis belongs to a different matrix");
-  const index_t n = lower.rows;
-  const int threads = resolve_threads(num_threads);
-
-  std::vector<value_t> x(static_cast<std::size_t>(n));
-  // Per-entry updates within one level can race on left_sum (two solved
-  // columns updating the same later row), hence atomics.
-  std::vector<std::atomic<double>> left_sum(static_cast<std::size_t>(n));
-  for (auto& v : left_sum) v.store(0.0, std::memory_order_relaxed);
-
-  std::barrier sync(threads);
-  auto worker = [&](int tid) {
-    for (index_t l = 0; l < analysis.num_levels; ++l) {
-      const offset_t begin = analysis.level_ptr[static_cast<std::size_t>(l)];
-      const offset_t end = analysis.level_ptr[static_cast<std::size_t>(l) + 1];
-      for (offset_t p = begin + tid; p < end; p += threads) {
-        const index_t i = analysis.order[static_cast<std::size_t>(p)];
-        const offset_t d = lower.col_ptr[i];
-        const value_t xi =
-            (b[static_cast<std::size_t>(i)] -
-             left_sum[static_cast<std::size_t>(i)].load(
-                 std::memory_order_acquire)) /
-            lower.val[d];
-        x[static_cast<std::size_t>(i)] = xi;
-        for (offset_t k = d + 1; k < lower.col_ptr[i + 1]; ++k) {
-          atomic_add(left_sum[static_cast<std::size_t>(lower.row_idx[k])],
-                     lower.val[k] * xi);
-        }
-      }
-      sync.arrive_and_wait();
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-  for (auto& th : pool) th.join();
+  const sparse::CsrMatrix rows = sparse::csr_from_csc(lower);
+  SolveWorkspace ws(resolve_cpu_threads(num_threads));
+  std::vector<value_t> x(static_cast<std::size_t>(lower.rows));
+  solve_lower_levelset_fused(rows, b, 1, analysis, ws, x);
   return x;
 }
 
@@ -92,55 +157,10 @@ std::vector<value_t> solve_lower_syncfree_threads(
     std::span<const index_t> in_degrees, int num_threads) {
   MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
                   "rhs length must match the matrix dimension");
-  MSPTRSV_REQUIRE(in_degrees.size() == static_cast<std::size_t>(lower.rows),
-                  "in-degrees sized for a different matrix");
-  const index_t n = lower.rows;
-  const int threads = resolve_threads(num_threads);
-
-  // The countdown is consumed by the solve, so it is per-solve state either
-  // way; the reuse path only skips the analysis passes over the structure.
-  std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(n));
-  for (index_t i = 0; i < n; ++i) {
-    pending[static_cast<std::size_t>(i)].store(
-        in_degrees[static_cast<std::size_t>(i)], std::memory_order_relaxed);
-  }
-
-  std::vector<value_t> x(static_cast<std::size_t>(n));
-  std::vector<std::atomic<double>> left_sum(static_cast<std::size_t>(n));
-  for (auto& v : left_sum) v.store(0.0, std::memory_order_relaxed);
-
-  // Ascending work claiming: thread-safe and deadlock-free (see header).
-  std::atomic<index_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const index_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      // Lock-wait phase.
-      while (pending[static_cast<std::size_t>(i)].load(
-                 std::memory_order_acquire) != 0) {
-        std::this_thread::yield();
-      }
-      // Solve-update phase.
-      const offset_t d = lower.col_ptr[i];
-      const value_t xi =
-          (b[static_cast<std::size_t>(i)] -
-           left_sum[static_cast<std::size_t>(i)].load(
-               std::memory_order_acquire)) /
-          lower.val[d];
-      x[static_cast<std::size_t>(i)] = xi;
-      for (offset_t k = d + 1; k < lower.col_ptr[i + 1]; ++k) {
-        const index_t rid = lower.row_idx[k];
-        atomic_add(left_sum[static_cast<std::size_t>(rid)], lower.val[k] * xi);
-        pending[static_cast<std::size_t>(rid)].fetch_sub(
-            1, std::memory_order_acq_rel);
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  const sparse::CsrMatrix rows = sparse::csr_from_csc(lower);
+  SolveWorkspace ws(resolve_cpu_threads(num_threads));
+  std::vector<value_t> x(static_cast<std::size_t>(lower.rows));
+  solve_lower_syncfree_fused(lower, rows, b, 1, in_degrees, ws, x);
   return x;
 }
 

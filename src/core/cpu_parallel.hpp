@@ -7,25 +7,69 @@
 //  * level-set: one barrier per level, components of a level split across
 //    threads (Naumov's strategy);
 //  * sync-free: all components active from the start; a component spins on
-//    an atomic in-degree until its dependencies resolve (Liu's strategy).
+//    its delivery counter until its dependencies resolve (Liu's strategy).
 //    Threads claim components in ascending id order from a shared counter,
 //    which guarantees deadlock freedom: the smallest unsolved component is
 //    always already claimed and its dependencies are all solved.
+//
+// Execution is PULL-based (the host analogue of the paper's read-only
+// NVSHMEM gather, Algorithm 3): when a component's dependencies are known
+// resolved -- by the level barrier or by its delivery counter -- it gathers
+// its left-sum directly from the already-final x entries of its
+// dependencies through a row-form (CSR) view of the factor cached at
+// analysis time. Producers never push partial sums into shared
+// accumulators, so the value path has no atomics at all; the only atomic
+// traffic is the sync-free per-edge delivery increment, and that is paid
+// once per edge per BATCH. A pleasant corollary: the per-rhs summation
+// order is the ascending-column row order, independent of thread count and
+// of the batch width, so fused and looped results agree bit-for-bit.
+//
+// The fused kernels solve all `num_rhs` right-hand sides of a batch in one
+// dependency resolution and one sweep over the structure, with the
+// per-component inner loop running over the RHS dimension. They run on a
+// leased SolveWorkspace: persistent threads (no spawn/join per solve) and
+// generation-tagged delivery counters (no O(n) scratch zeroing per solve)
+// -- see workspace.hpp. The legacy *_threads entry points below wrap them
+// with a throwaway workspace + row form for callers outside the plan API.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
 #include "sparse/level_analysis.hpp"
 
 namespace msptrsv::core {
+
+/// Fused level-set forward substitution for `num_rhs` right-hand sides.
+/// `row_form` is the CSR view of the lower factor
+/// (sparse::csr_from_csc(lower)); `b` and `x` are column-major
+/// n x num_rhs (entry i of rhs r at [r*n + i]); `x` must be sized
+/// n*num_rhs. No input validation: the caller (SolverPlan) established
+/// the solvable-lower invariants at analysis time.
+void solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
+                                std::span<const value_t> b, index_t num_rhs,
+                                const sparse::LevelAnalysis& analysis,
+                                SolveWorkspace& ws, std::span<value_t> x);
+
+/// Fused synchronization-free forward substitution; same batch layout and
+/// workspace contract as solve_lower_levelset_fused. `lower` supplies the
+/// column structure for the delivery fan-out, `row_form` the gather view.
+void solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
+                                const sparse::CsrMatrix& row_form,
+                                std::span<const value_t> b, index_t num_rhs,
+                                std::span<const index_t> in_degrees,
+                                SolveWorkspace& ws, std::span<value_t> x);
 
 /// Level-set parallel forward substitution. `num_threads <= 0` uses
 /// std::thread::hardware_concurrency(). The analysis is taken as input so
 /// callers amortize it over repeated solves (the preconditioner use case).
 /// `prevalidated` skips the per-solve input revalidation when the caller
 /// already established the solvable-lower invariants at analysis time.
+/// One-shot form: builds (and discards) a workspace and a row-form view
+/// per call -- plans reuse both.
 std::vector<value_t> solve_lower_levelset_threads(
     const sparse::CscMatrix& lower, std::span<const value_t> b,
     const sparse::LevelAnalysis& analysis, int num_threads = 0,
@@ -38,8 +82,8 @@ std::vector<value_t> solve_lower_syncfree_threads(
     int num_threads = 0);
 
 /// Reuse form of the sync-free solver: consumes precomputed in-degrees
-/// (sparse::compute_in_degrees) and skips revalidation -- the amortized
-/// path SolverPlan executes on every solve after one analyze().
+/// (sparse::compute_in_degrees) and skips revalidation. Still builds a
+/// throwaway workspace + row form per call; SolverPlan reuses both.
 std::vector<value_t> solve_lower_syncfree_threads(
     const sparse::CscMatrix& lower, std::span<const value_t> b,
     std::span<const index_t> in_degrees, int num_threads = 0);

@@ -28,24 +28,38 @@ LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
                                         const sim::Machine& machine,
                                         const sparse::LevelAnalysis& analysis,
                                         bool charge_analysis) {
+  LevelSetResult out =
+      solve_levelset_simulated_batch(lower, b, 1, machine, analysis);
+  if (charge_analysis) {
+    out.report.analysis_us = levelset_analysis_us(lower, machine.cost);
+  }
+  return out;
+}
+
+LevelSetResult solve_levelset_simulated_batch(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    index_t num_rhs, const sim::Machine& machine,
+    const sparse::LevelAnalysis& analysis) {
   MSPTRSV_REQUIRE(analysis.n == lower.rows,
                   "level analysis belongs to a different matrix");
-  MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
-                  "rhs length must match the matrix dimension");
+  MSPTRSV_REQUIRE(num_rhs >= 1 &&
+                      b.size() == static_cast<std::size_t>(lower.rows) *
+                                      static_cast<std::size_t>(num_rhs),
+                  "batch must be column-major n x num_rhs");
   const sim::CostModel& cost = machine.cost;
+  const double k = static_cast<double>(num_rhs);
 
   LevelSetResult out;
   // Numerics: the level order is a topological order, so the plain column
-  // sweep produces the identical values the scheduled kernel would.
-  out.x = solve_lower_serial_prevalidated(lower, b);
+  // sweep produces the identical values the scheduled kernel would (per
+  // rhs, in the same operation order as a single-rhs solve).
+  out.x = solve_lower_serial_fused(lower, b, num_rhs);
 
   sim::RunReport& r = out.report;
   r.solver_name = "levelset(csrsv2)";
   r.machine_name = machine.name;
   r.num_gpus = 1;
   r.busy_us_per_gpu.assign(1, 0.0);
-
-  if (charge_analysis) r.analysis_us = levelset_analysis_us(lower, cost);
 
   const int slots = cost.warp_slots_per_gpu;
   for (index_t l = 0; l < analysis.num_levels; ++l) {
@@ -57,17 +71,21 @@ LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
       const index_t i = analysis.order[static_cast<std::size_t>(p)];
       const double nnz_col =
           static_cast<double>(lower.col_ptr[i + 1] - lower.col_ptr[i] - 1);
-      const double c = cost.solve_base_us + cost.solve_per_nnz_us * nnz_col;
+      // Fused batch: the warp activation (solve_base) is paid once per
+      // component per batch; only the floating-point work scales with k.
+      const double c = cost.solve_base_us + cost.solve_per_nnz_us * nnz_col * k;
       level_work += c;
       max_comp = std::max(max_comp, c);
     }
     const double width = static_cast<double>(end - begin);
     const double parallel_time =
         std::max(max_comp, level_work / std::min(width, double(slots)));
+    // ONE launch + synchronization per level per batch, not per rhs.
     r.solve_us += cost.level_sync_us + parallel_time;
     r.busy_us_per_gpu[0] += level_work;
     r.kernel_launches += 1;
   }
+  // Update messages are per edge per batch (each carries the RHS sweep).
   r.local_updates = static_cast<std::uint64_t>(lower.nnz() - lower.rows);
   return out;
 }

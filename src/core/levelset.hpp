@@ -40,6 +40,20 @@ LevelSetResult solve_levelset_simulated(const sparse::CscMatrix& lower,
                                         const sparse::LevelAnalysis& analysis,
                                         bool charge_analysis);
 
+/// Fused multi-RHS form: all `num_rhs` right-hand sides (`b` column-major
+/// n x num_rhs) ride in ONE kernel per level, so the per-level
+/// launch+synchronization overhead is paid once per level per batch -- not
+/// once per level per rhs -- and only the floating-point work scales with
+/// the batch. Dependency-update counts are likewise per-edge, not
+/// per-edge-per-rhs (one update message carries the whole RHS sweep).
+/// Numerics execute per rhs in the serial topological order, so the fused
+/// result is bit-for-bit the looped result. No revalidation; analysis is
+/// never charged here (the plan owns the one-time charge).
+LevelSetResult solve_levelset_simulated_batch(
+    const sparse::CscMatrix& lower, std::span<const value_t> b,
+    index_t num_rhs, const sim::Machine& machine,
+    const sparse::LevelAnalysis& analysis);
+
 /// Simulated cost of the csrsv2_analysis-style level construction (several
 /// passes over the structure; see the implementation note).
 sim_time_t levelset_analysis_us(const sparse::CscMatrix& lower,

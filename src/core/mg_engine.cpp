@@ -62,8 +62,11 @@ EngineResult run_mg_engine(const sparse::CscMatrix& lower,
                            const sim::Machine& machine, sim::Interconnect& net,
                            CommPolicy& comm, const EngineOptions& opts) {
   if (opts.in_degrees == nullptr) sparse::require_solvable_lower(lower);
-  MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows),
-                  "rhs length must match the matrix dimension");
+  MSPTRSV_REQUIRE(opts.num_rhs >= 1 && opts.cost_rhs >= 1,
+                  "batch widths must be >= 1");
+  MSPTRSV_REQUIRE(b.size() == static_cast<std::size_t>(lower.rows) *
+                                  static_cast<std::size_t>(opts.num_rhs),
+                  "batch must be column-major n x num_rhs");
   MSPTRSV_REQUIRE(partition.n() == lower.rows,
                   "partition built for a different matrix size");
   MSPTRSV_REQUIRE(partition.num_gpus() <= machine.num_gpus(),
@@ -124,8 +127,12 @@ EngineResult run_mg_engine(const sparse::CscMatrix& lower,
   }
 
   // ---- event-driven solve --------------------------------------------------
-  std::vector<value_t> left_sum(static_cast<std::size_t>(n), 0.0);
-  out.x.assign(static_cast<std::size_t>(n), 0.0);
+  // Component-major accumulators (cell(i, r) at i*k + r) keep the fused
+  // per-component RHS sweep contiguous; x is column-major per the API.
+  const std::size_t k = static_cast<std::size_t>(opts.num_rhs);
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<value_t> left_sum(un * k, 0.0);
+  out.x.assign(un * k, 0.0);
   std::vector<std::uint32_t> contributors(static_cast<std::size_t>(n), 0);
   /// Latest dependency-visibility time per component.
   std::vector<sim_time_t> ready_floor(static_cast<std::size_t>(n), 0.0);
@@ -139,6 +146,7 @@ EngineResult run_mg_engine(const sparse::CscMatrix& lower,
   sim_time_t makespan = 0.0;
   index_t solved = 0;
   std::vector<int> remote_gpus;  // scratch, decoded from the bitmask
+  std::vector<value_t> xi(k);    // the solved component's rhs sweep
 
   // Solves component i; both its slot admission and its dependencies are
   // satisfied at `t`. Returns the slot-release time.
@@ -154,22 +162,34 @@ EngineResult run_mg_engine(const sparse::CscMatrix& lower,
 
     const offset_t d = lower.col_ptr[i];
     const double fanout = static_cast<double>(lower.col_ptr[i + 1] - d - 1);
+    // Fused batch: the warp activation + gather are per component, only
+    // the floating-point work scales with the cost width.
     const sim_time_t solve_done =
-        gathered + cost.solve_base_us + cost.solve_per_nnz_us * fanout;
+        gathered + cost.solve_base_us +
+        cost.solve_per_nnz_us * fanout * static_cast<double>(opts.cost_rhs);
 
-    // Numeric solve (identical arithmetic to Algorithm 1's step).
-    const value_t xi = (b[static_cast<std::size_t>(i)] -
-                        left_sum[static_cast<std::size_t>(i)]) /
-                       lower.val[d];
-    out.x[static_cast<std::size_t>(i)] = xi;
+    // Numeric solve (identical arithmetic to Algorithm 1's step, per rhs).
+    // The sweep lands in a contiguous buffer so the fan-out below reads
+    // it unit-stride instead of re-reading column-major x.
+    const value_t diag = lower.val[d];
+    for (std::size_t r = 0; r < k; ++r) {
+      xi[r] = (b[r * un + static_cast<std::size_t>(i)] -
+               left_sum[static_cast<std::size_t>(i) * k + r]) /
+              diag;
+      out.x[r * un + static_cast<std::size_t>(i)] = xi[r];
+    }
 
     // Push updates to dependents. One warp issues them in sequence, so a
     // stalling update (fenced RMW chain) delays the rest -- `cursor_t`
-    // threads the producer-side time through the fan-out.
+    // threads the producer-side time through the fan-out. One update per
+    // edge per batch: a fused update carries the whole RHS sweep.
     sim_time_t cursor_t = solve_done;
-    for (offset_t k = d + 1; k < lower.col_ptr[i + 1]; ++k) {
-      const index_t dep = lower.row_idx[k];
-      left_sum[static_cast<std::size_t>(dep)] += lower.val[k] * xi;
+    for (offset_t e = d + 1; e < lower.col_ptr[i + 1]; ++e) {
+      const index_t dep = lower.row_idx[e];
+      value_t* dep_sum = left_sum.data() + static_cast<std::size_t>(dep) * k;
+      for (std::size_t r = 0; r < k; ++r) {
+        dep_sum[r] += lower.val[e] * xi[r];
+      }
       const int dst = partition.owner_of(dep);
       const bool is_final = remaining[static_cast<std::size_t>(dep)] == 1;
       const UpdateTiming timing =

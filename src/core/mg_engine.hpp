@@ -79,9 +79,25 @@ struct EngineOptions {
   /// that produced them already established the solvable-lower invariants.
   /// This is the reuse path of SolverPlan (analyze once, solve many).
   const std::vector<index_t>* in_degrees = nullptr;
+  /// Numeric batch width: `b` is column-major n x num_rhs and the result
+  /// has the same layout. The event schedule (and therefore the per-rhs
+  /// floating-point operation order) depends only on the matrix structure
+  /// and the cost model, never on num_rhs -- the fused batch solves every
+  /// rhs of a component inside the single lock-wait that schedule implies.
+  index_t num_rhs = 1;
+  /// Fused-batch COST width: how many rhs each component's kernel carries
+  /// in the cost model. Scales the per-component floating-point work
+  /// (solve_per_nnz) while kernel launches, lock-waits, gathers and
+  /// dependency-update messages stay per-component/per-edge -- the
+  /// amortization the fused kernel exists for. Kept separate from num_rhs
+  /// so SolverPlan can obtain the looped-identical numerics (cost_rhs=1)
+  /// and the amortized timing (cost_rhs=k) without the cost scaling
+  /// perturbing the numeric event order.
+  index_t cost_rhs = 1;
 };
 
 struct EngineResult {
+  /// Column-major n x num_rhs.
   std::vector<value_t> x;
   sim::RunReport report;
 };

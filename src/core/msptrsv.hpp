@@ -29,6 +29,8 @@
 #include "core/residual.hpp"
 #include "core/solver.hpp"
 #include "core/status.hpp"
+#include "core/worker_pool.hpp"
+#include "core/workspace.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory.hpp"
 #include "sim/report.hpp"

@@ -1,5 +1,6 @@
 #include "core/plan.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
@@ -10,6 +11,8 @@
 #include "core/levelset.hpp"
 #include "core/mg_engine.hpp"
 #include "core/reference.hpp"
+#include "core/workspace.hpp"
+#include "sparse/csr.hpp"
 #include "sparse/level_analysis.hpp"
 #include "sparse/triangular.hpp"
 #include "support/contracts.hpp"
@@ -65,11 +68,19 @@ struct SolverPlan::State {
   std::optional<sparse::Partition> partition;
   std::vector<index_t> in_degrees;
   std::optional<sparse::LevelAnalysis> levels;
+  /// CSR view of the factor for the host-parallel backends' pull-based
+  /// gather (built once at analysis; empty otherwise). Holds VALUES too,
+  /// so update_values() refreshes it alongside storage.
+  std::optional<sparse::CsrMatrix> row_form;
   sim_time_t analysis_us = 0.0;
   double analysis_seconds = 0.0;
+  /// Persistent execution state of the host-parallel backends: leased
+  /// workspaces carrying parked worker threads and generation-tagged
+  /// scratch. Internally synchronized; null for other backends.
+  std::unique_ptr<WorkspacePool> workspaces;
 };
 
-SolverPlan::SolverPlan(std::shared_ptr<const State> state)
+SolverPlan::SolverPlan(std::shared_ptr<State> state)
     : state_(std::move(state)) {}
 
 /// The shared symbolic phase: `st` arrives with `options` and `lower` set;
@@ -155,6 +166,18 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
                     "unrecognized backend enumerator");
   }
 
+  // Host-parallel backends solve on plan-owned persistent workspaces
+  // (parked threads, reusable scratch) and gather through a row-form view
+  // of the factor, both built here once. The pool is lazy: workspaces
+  // (and their threads) materialize on first solve, one per concurrent
+  // caller.
+  if (options.backend == Backend::kCpuLevelSet ||
+      options.backend == Backend::kCpuSyncFree) {
+    st->row_form = sparse::csr_from_csc(lower);
+    st->workspaces = std::make_unique<WorkspacePool>(
+        resolve_cpu_threads(options.cpu_threads));
+  }
+
   st->analysis_seconds = seconds_since(t0);
   return Result(std::move(st));
 }
@@ -234,7 +257,8 @@ Expected<SolverPlan> SolverPlan::analyze_upper(sparse::CscMatrix upper,
   return SolverPlan(std::move(built.value()));
 }
 
-SolveResult SolverPlan::run_lower(std::span<const value_t> b) const {
+SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
+                                        index_t num_rhs) const {
   const State& st = *state_;
   const sparse::CscMatrix& lower = *st.lower;
   SolveResult out;
@@ -243,40 +267,45 @@ SolveResult SolverPlan::run_lower(std::span<const value_t> b) const {
     out.report.solver_name = backend_name(st.options.backend);
     out.report.machine_name =
         is_simulated(st.options.backend) ? st.options.machine.name : "host";
+    out.report.num_rhs = num_rhs;
     return out;
   }
   switch (st.options.backend) {
     case Backend::kSerial: {
       const auto t0 = steady_clock::now();
-      out.x = solve_lower_serial_prevalidated(lower, b);
+      out.x = solve_lower_serial_fused(lower, b, num_rhs);
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
       break;
     }
     case Backend::kCpuLevelSet: {
+      WorkspacePool::Lease lease = st.workspaces->acquire();
+      out.x.resize(static_cast<std::size_t>(lower.rows) *
+                   static_cast<std::size_t>(num_rhs));
       const auto t0 = steady_clock::now();
-      out.x = solve_lower_levelset_threads(lower, b, *st.levels,
-                                           st.options.cpu_threads,
-                                           /*prevalidated=*/true);
+      solve_lower_levelset_fused(*st.row_form, b, num_rhs, *st.levels,
+                                 lease.ws(), out.x);
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
       break;
     }
     case Backend::kCpuSyncFree: {
+      WorkspacePool::Lease lease = st.workspaces->acquire();
+      out.x.resize(static_cast<std::size_t>(lower.rows) *
+                   static_cast<std::size_t>(num_rhs));
       const auto t0 = steady_clock::now();
-      out.x = solve_lower_syncfree_threads(lower, b, st.in_degrees,
-                                           st.options.cpu_threads);
+      solve_lower_syncfree_fused(lower, *st.row_form, b, num_rhs,
+                                 st.in_degrees, lease.ws(), out.x);
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
       break;
     }
     case Backend::kGpuLevelSet: {
-      LevelSetResult r =
-          solve_levelset_simulated(lower, b, st.options.machine, *st.levels,
-                                   /*charge_analysis=*/false);
+      LevelSetResult r = solve_levelset_simulated_batch(
+          lower, b, num_rhs, st.options.machine, *st.levels);
       out.x = std::move(r.x);
       out.report = std::move(r.report);
       break;
@@ -287,41 +316,63 @@ SolveResult SolverPlan::run_lower(std::span<const value_t> b) const {
     case Backend::kMgZeroCopy: {
       const bool unified = st.options.backend == Backend::kMgUnified ||
                            st.options.backend == Backend::kMgUnifiedTask;
-      sim::Interconnect net(st.options.machine.topology,
-                            st.options.machine.cost);
-      EngineOptions eng;
-      eng.include_analysis = false;  // charged once by the plan
-      eng.in_degrees = &st.in_degrees;
-      EngineResult r = [&] {
+      auto run_engine = [&](const EngineOptions& eng,
+                            std::span<const value_t> rhs) {
+        // The policies are stateful per run: fresh interconnect + comm
+        // models every pass (also what makes concurrent solves safe).
+        sim::Interconnect net(st.options.machine.topology,
+                              st.options.machine.cost);
         if (unified) {
           UnifiedComm comm(net, st.options.machine.cost,
                            st.partition->num_gpus(), lower.rows);
-          return run_mg_engine(lower, b, *st.partition, st.options.machine,
+          return run_mg_engine(lower, rhs, *st.partition, st.options.machine,
                                net, comm, eng);
         }
         NvshmemComm comm(net, st.options.machine.cost, st.partition->num_gpus(),
                          lower.rows, st.options.nvshmem);
-        return run_mg_engine(lower, b, *st.partition, st.options.machine, net,
-                             comm, eng);
-      }();
-      out.x = std::move(r.x);
-      out.report = std::move(r.report);
+        return run_mg_engine(lower, rhs, *st.partition, st.options.machine,
+                             net, comm, eng);
+      };
+      EngineOptions eng;
+      eng.include_analysis = false;  // charged once by the plan
+      eng.in_degrees = &st.in_degrees;
+      // Numeric pass: the schedule (and so the per-rhs operation order) is
+      // the single-solve one -- cost_rhs stays 1 -- which is what makes
+      // fused x bit-for-bit equal to looped x.
+      eng.num_rhs = num_rhs;
+      EngineResult numeric = run_engine(eng, b);
+      out.x = std::move(numeric.x);
+      if (num_rhs == 1) {
+        out.report = std::move(numeric.report);
+      } else {
+        // Timing pass: ONE event simulation of the whole batch under the
+        // fused cost model (per-component work scales with the batch;
+        // launches, lock-waits, gathers and update messages amortized).
+        EngineOptions timing = eng;
+        timing.num_rhs = 1;
+        timing.cost_rhs = num_rhs;
+        EngineResult timed = run_engine(
+            timing, b.first(static_cast<std::size_t>(lower.rows)));
+        out.report = std::move(timed.report);
+      }
       out.report.solver_name = backend_name(st.options.backend);
       break;
     }
   }
-  out.report.num_rhs = 1;
+  out.report.num_rhs = num_rhs;
+  // A fused batch is one solve: its makespan is both the total and the
+  // slowest-single-solve figure.
   out.report.max_solve_us = out.report.solve_us;
   return out;
 }
 
 SolveResult SolverPlan::run_one(std::span<const value_t> b) const {
-  if (!state_->upper) return run_lower(b);
+  if (!state_->upper) return run_batch_lower(b, 1);
   // Backward substitution executes on the reversed factor; the O(n) vector
-  // transforms stay outside the timed regions (run_lower times only the
-  // backend execution).
+  // transforms stay outside the timed regions (run_batch_lower times only
+  // the backend execution).
   const std::vector<value_t> rb = reversed(b);
-  SolveResult r = run_lower(rb);
+  SolveResult r = run_batch_lower(rb, 1);
   r.x = reversed(r.x);
   return r;
 }
@@ -353,19 +404,108 @@ Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
             std::to_string(rhs.size()));
   }
 
-  SolveResult out;
-  out.x.reserve(expected);
+  if (!state_->options.fuse_batch) {
+    // Looped mode (the PR 1 semantics): independent solves, reports
+    // accumulate. Kept for apples-to-apples amortization measurements.
+    SolveResult out;
+    out.x.reserve(expected);
+    for (index_t j = 0; j < num_rhs; ++j) {
+      SolveResult r = run_one(rhs.subspan(static_cast<std::size_t>(j) * n, n));
+      out.x.insert(out.x.end(), r.x.begin(), r.x.end());
+      out.wall_seconds += r.wall_seconds;
+      if (j == 0) {
+        out.report = std::move(r.report);
+      } else {
+        out.report.accumulate(r.report);
+      }
+    }
+    return out;
+  }
+
+  if (!state_->upper) return run_batch_lower(rhs, num_rhs);
+
+  // Upper plans: per-column vector reversal in, solve the reversed-lower
+  // batch fused, reverse each solution column back. The O(n*k) transforms
+  // stay outside the timed region, like the single-solve path.
+  std::vector<value_t> rb(expected);
   for (index_t j = 0; j < num_rhs; ++j) {
-    SolveResult r = run_one(rhs.subspan(static_cast<std::size_t>(j) * n, n));
-    out.x.insert(out.x.end(), r.x.begin(), r.x.end());
-    out.wall_seconds += r.wall_seconds;
-    if (j == 0) {
-      out.report = std::move(r.report);
-    } else {
-      out.report.accumulate(r.report);
+    const std::size_t base = static_cast<std::size_t>(j) * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      rb[base + i] = rhs[base + (n - 1 - i)];
     }
   }
+  SolveResult out = run_batch_lower(rb, num_rhs);
+  for (index_t j = 0; j < num_rhs; ++j) {
+    const auto begin =
+        out.x.begin() + static_cast<std::ptrdiff_t>(j) *
+                            static_cast<std::ptrdiff_t>(n);
+    std::reverse(begin, begin + static_cast<std::ptrdiff_t>(n));
+  }
   return out;
+}
+
+Expected<bool> SolverPlan::update_values(std::span<const value_t> values) {
+  State& st = *state_;
+  if (st.lower != &st.storage) {
+    return Expected<bool>(
+        SolveStatus::kInvalidOptions,
+        "update_values requires an owning plan; a borrowed plan reads the "
+        "caller's matrix -- update its values in place instead (host-parallel "
+        "backends snapshot values into the row form at analysis, re-analyze "
+        "there)");
+  }
+  const offset_t nnz = st.storage.nnz();
+  if (values.size() != static_cast<std::size_t>(nnz)) {
+    return Expected<bool>(
+        SolveStatus::kShapeMismatch,
+        "value refresh needs one value per stored nonzero (" +
+            std::to_string(nnz) + "), got " + std::to_string(values.size()));
+  }
+  const index_t n = st.storage.rows;
+  if (!st.upper) {
+    // The diagonal leads each column of the analyzed lower factor; check
+    // every new diagonal before mutating anything.
+    for (index_t j = 0; j < n; ++j) {
+      if (values[static_cast<std::size_t>(st.storage.col_ptr[j])] == 0.0) {
+        return Expected<bool>(SolveStatus::kSingularDiagonal,
+                              "zero diagonal at column " + std::to_string(j) +
+                                  " (singular); plan values unchanged");
+      }
+    }
+    std::copy(values.begin(), values.end(), st.storage.val.begin());
+    if (st.row_form) st.row_form = sparse::csr_from_csc(st.storage);
+    return true;
+  }
+  // Upper plan: `values` follows the ORIGINAL upper factor's CSC order,
+  // but storage holds the reversed lower form. Column j of the upper maps
+  // to lower column n-1-j with its entries in reverse order, so the upper
+  // column lengths (and the whole permutation) are recoverable from the
+  // stored structure alone.
+  offset_t base = 0;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t rj = n - 1 - j;  // the mirrored lower column
+    const offset_t count = st.storage.col_ptr[rj + 1] - st.storage.col_ptr[rj];
+    // The diagonal terminates each upper column.
+    if (values[static_cast<std::size_t>(base + count - 1)] == 0.0) {
+      return Expected<bool>(SolveStatus::kSingularDiagonal,
+                            "zero diagonal at column " + std::to_string(j) +
+                                " (singular); plan values unchanged");
+    }
+    base += count;
+  }
+  base = 0;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t rj = n - 1 - j;
+    const offset_t begin = st.storage.col_ptr[rj];
+    const offset_t count = st.storage.col_ptr[rj + 1] - begin;
+    for (offset_t t = 0; t < count; ++t) {
+      st.storage.val[static_cast<std::size_t>(begin + (count - 1 - t))] =
+          values[static_cast<std::size_t>(base + t)];
+    }
+    base += count;
+  }
+  if (st.row_form) st.row_form = sparse::csr_from_csc(st.storage);
+  return true;
 }
 
 index_t SolverPlan::rows() const { return state_->lower->rows; }
@@ -388,6 +528,10 @@ std::span<const index_t> SolverPlan::in_degrees() const {
 
 const sparse::LevelAnalysis* SolverPlan::level_analysis() const {
   return state_->levels ? &*state_->levels : nullptr;
+}
+
+std::size_t SolverPlan::workspace_count() const {
+  return state_->workspaces ? state_->workspaces->size() : 0;
 }
 
 sim_time_t SolverPlan::analysis_us() const { return state_->analysis_us; }

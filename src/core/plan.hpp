@@ -13,6 +13,18 @@
 //   auto r1 = plan->solve(b1);                             // numeric phase
 //   auto r2 = plan->solve(b2);                             // ... no re-analysis
 //   auto rb = plan->solve_batch(B, k);                     // k rhs, column-major
+//   plan->update_values(new_vals);                         // same sparsity,
+//   auto r3 = plan->solve(b1);                             // ... new numerics
+//
+// Execution engine: the numeric phase runs on plan-owned persistent state.
+// Host-parallel backends lease a SolveWorkspace (parked worker threads +
+// generation-tagged scratch; see workspace.hpp), so repeated solves spawn
+// no threads and never re-zero O(n) scratch. solve_batch runs the FUSED
+// multi-RHS kernel by default (SolveOptions::fuse_batch): one dependency
+// resolution and one sweep over the matrix structure per batch, identical
+// bits to looped solves, amortized launch/sync accounting on the simulated
+// backends. Concurrent solve()/solve_batch() calls on one plan are safe on
+// every backend (concurrent callers lease disjoint workspaces).
 //
 // Reports from plan solves charge the analysis phase exactly once: the
 // per-solve RunReport carries analysis_us == 0 and the plan exposes the
@@ -65,11 +77,30 @@ class SolverPlan {
 
   /// Batched numeric phase: `rhs` holds `num_rhs` right-hand sides of
   /// length rows() each, column-major (rhs[j*n + i] is entry i of rhs j).
-  /// The solution uses the same layout. The report accumulates all
-  /// right-hand sides (report.num_rhs == num_rhs; solve_us sums, while
-  /// max_solve_us tracks the slowest single solve).
+  /// The solution uses the same layout; x is bit-for-bit what num_rhs
+  /// looped solve() calls would produce, in either mode:
+  ///  * fused (options().fuse_batch, the registry default): one kernel
+  ///    sweep solves the whole batch; report.solve_us is the amortized
+  ///    batch makespan (== max_solve_us) and launch/update counters are
+  ///    per-batch, not per-rhs.
+  ///  * looped: num_rhs independent solves; reports accumulate (solve_us
+  ///    sums, max_solve_us tracks the slowest single solve).
   Expected<SolveResult> solve_batch(std::span<const value_t> rhs,
                                     index_t num_rhs) const;
+
+  /// Value-only refresh: replaces the factor's numeric values while
+  /// reusing every cached analysis (levels, in-degrees, partition,
+  /// comm sizing) -- the sparsity pattern MUST be unchanged. `values`
+  /// follows the analyzed matrix's CSC nonzero order (for upper plans:
+  /// the original upper factor's order; the plan re-applies the reversal
+  /// mapping internally). Rejects kShapeMismatch when values.size() !=
+  /// nnz, kSingularDiagonal (before mutating) when a new diagonal entry
+  /// is zero, and kInvalidOptions on borrowed plans -- a borrowed plan
+  /// reads the caller's matrix, so update it in place instead (except on
+  /// the host-parallel backends, which snapshot values into the cached
+  /// row form at analysis: re-analyze there). NOT safe concurrently with
+  /// solve()/solve_batch(); values are shared by every copy of this plan.
+  Expected<bool> update_values(std::span<const value_t> values);
 
   index_t rows() const;
   /// True for plans built by analyze_upper.
@@ -87,6 +118,12 @@ class SolverPlan {
   /// Level-set analysis (null for backends that do not use it).
   const sparse::LevelAnalysis* level_analysis() const;
 
+  /// Host workspaces materialized so far: 0 before the first solve on a
+  /// host-parallel backend (and always for other backends), then one per
+  /// peak-concurrent solve -- sequential reuse never grows it. Exposed for
+  /// observability and the reuse tests.
+  std::size_t workspace_count() const;
+
   /// One-time simulated analysis charge (0 for the real host backends).
   sim_time_t analysis_us() const;
   /// Host wall-clock seconds spent inside analyze().
@@ -99,15 +136,20 @@ class SolverPlan {
 
  private:
   struct State;
-  explicit SolverPlan(std::shared_ptr<const State> state);
+  explicit SolverPlan(std::shared_ptr<State> state);
 
   static Expected<std::shared_ptr<State>> analyze_state(
       std::shared_ptr<State> st);
 
-  SolveResult run_lower(std::span<const value_t> b) const;
+  /// Fused execution of num_rhs rhs (column-major) on the lower factor.
+  SolveResult run_batch_lower(std::span<const value_t> b,
+                              index_t num_rhs) const;
   SolveResult run_one(std::span<const value_t> b) const;
 
-  std::shared_ptr<const State> state_;
+  /// Shared by all copies of the plan; mutable only through
+  /// update_values() and the internal workspace pool (which is
+  /// internally synchronized -- solves stay const and thread-safe).
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace msptrsv::core

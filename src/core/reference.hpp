@@ -20,6 +20,15 @@ std::vector<value_t> solve_lower_serial(const sparse::CscMatrix& lower,
 std::vector<value_t> solve_lower_serial_prevalidated(
     const sparse::CscMatrix& lower, std::span<const value_t> b);
 
+/// Fused multi-RHS column sweep: one pass over the matrix structure solves
+/// all `num_rhs` right-hand sides (`b` column-major n x num_rhs, result in
+/// the same layout). For each rhs the floating-point operation order is
+/// identical to solve_lower_serial_prevalidated, so fused and looped
+/// execution agree bit-for-bit. No input validation (plan path).
+std::vector<value_t> solve_lower_serial_fused(const sparse::CscMatrix& lower,
+                                              std::span<const value_t> b,
+                                              index_t num_rhs);
+
 /// Backward substitution for Ux = b on an upper-triangular CSC matrix with
 /// a nonzero diagonal terminating each column.
 std::vector<value_t> solve_upper_serial(const sparse::CscMatrix& upper,

@@ -58,6 +58,13 @@ struct SolveOptions {
   NvshmemCommOptions nvshmem;
   /// Include the analysis phase in reported simulated time.
   bool include_analysis = true;
+  /// solve_batch execution mode. true (the registry default for every
+  /// backend) runs the fused multi-RHS kernel: one dependency resolution
+  /// and one sweep over the matrix structure per batch, launches/syncs
+  /// amortized across the rhs, report.solve_us = the batch makespan.
+  /// false loops single solves (the PR 1 semantics: per-rhs reports
+  /// accumulate). Both modes produce bit-for-bit identical x.
+  bool fuse_batch = true;
 };
 
 struct SolveResult {

@@ -1,0 +1,84 @@
+#include "core/worker_pool.hpp"
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::core {
+
+int resolve_cpu_threads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : static_cast<int>(hw);
+}
+
+WorkerPool::WorkerPool(int parties) {
+  MSPTRSV_REQUIRE(parties >= 1, "WorkerPool needs at least one party");
+  workers_.reserve(static_cast<std::size_t>(parties - 1));
+  for (int t = 1; t < parties; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& th : workers_) th.join();
+}
+
+void WorkerPool::run_job(Job job) {
+  if (workers_.empty()) {
+    job.invoke(job.ctx, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    done_ = 0;
+    failure_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  // The caller party runs tid 0. Whatever happens, every worker must
+  // finish before run_job returns: the job (and the caller's stack it
+  // points into) is borrowed, not owned.
+  std::exception_ptr caller_failure;
+  try {
+    job.invoke(job.ctx, 0);
+  } catch (...) {
+    caller_failure = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return done_ == workers_.size(); });
+  job_ = {nullptr, nullptr};
+  if (caller_failure) std::rethrow_exception(caller_failure);
+  if (failure_) std::rethrow_exception(failure_);
+}
+
+void WorkerPool::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job job{nullptr, nullptr};
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    std::exception_ptr thrown;
+    try {
+      job.invoke(job.ctx, tid);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (thrown && !failure_) failure_ = std::move(thrown);
+      if (++done_ == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace msptrsv::core

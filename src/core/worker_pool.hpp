@@ -1,0 +1,83 @@
+// Persistent worker pool for the real host backends.
+//
+// The paper's central claim is that SpTRSV is dominated by fixed per-solve
+// overheads; on the host the analogous overhead is std::thread create/join,
+// which costs tens of microseconds per thread -- often more than the solve
+// itself on small factors. A WorkerPool parks its threads on a condition
+// variable between solves, so a plan's hot path pays one wake/park cycle
+// instead of a full spawn/join cycle per solve.
+//
+// Execution model: run(fn) executes fn(tid) on every party of the pool.
+// The calling thread participates as tid 0; the pool owns parties()-1
+// background threads for tids 1..parties()-1. A pool with parties() == 1
+// therefore owns no threads at all and run() degenerates to a direct call.
+//
+// One run() at a time: the pool is a single-tenant resource (SolveWorkspace
+// leases guarantee exclusivity; see workspace.hpp). run() returns only
+// after every party has finished, which also gives the caller a
+// happens-before edge over all worker writes.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace msptrsv::core {
+
+class WorkerPool {
+ public:
+  /// Spawns `parties - 1` parked worker threads (requires parties >= 1).
+  explicit WorkerPool(int parties);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int parties() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(tid) on all parties (caller is tid 0) and returns when every
+  /// party is done. Not reentrant: one run() at a time per pool. The
+  /// callable is borrowed in place -- no std::function, no allocation on
+  /// the hot path. Exception-safe: run() always waits for every worker
+  /// before returning (the pool and the callable stay valid for their
+  /// whole execution), then rethrows the first exception any party threw.
+  template <typename F>
+  void run(F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_job({&fn, [](void* ctx, int tid) { (*static_cast<Fn*>(ctx))(tid); }});
+  }
+
+ private:
+  /// Non-owning type-erased job: valid only for the duration of run_job.
+  struct Job {
+    void* ctx;
+    void (*invoke)(void* ctx, int tid);
+  };
+
+  void run_job(Job job);
+  void worker_loop(int tid);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  /// Incremented per run(); workers wake when it moves past the epoch they
+  /// last executed (condvar wakeups are spurious-safe this way).
+  std::uint64_t epoch_ = 0;
+  std::size_t done_ = 0;
+  Job job_{nullptr, nullptr};
+  /// First exception thrown by any party this epoch (rethrown by run).
+  std::exception_ptr failure_;
+  bool stopping_ = false;
+};
+
+/// Resolves a user-facing thread-count option: values > 0 pass through,
+/// anything else means std::thread::hardware_concurrency() (minimum 2 when
+/// the runtime cannot report it).
+int resolve_cpu_threads(int num_threads);
+
+}  // namespace msptrsv::core

@@ -1,0 +1,71 @@
+#include "core/workspace.hpp"
+
+#include "support/contracts.hpp"
+
+namespace msptrsv::core {
+
+SolveWorkspace::SolveWorkspace(int parties)
+    : pool_(parties), barrier_(parties) {}
+
+std::atomic<std::uint64_t>* SolveWorkspace::delivered(index_t n) {
+  const std::size_t need = static_cast<std::size_t>(n);
+  if (need > delivered_capacity_) {
+    MSPTRSV_REQUIRE(delivered_capacity_ == 0,
+                    "a workspace serves one plan: n cannot grow");
+    delivered_ = std::make_unique<std::atomic<std::uint64_t>[]>(need);
+    for (std::size_t i = 0; i < need; ++i) {
+      delivered_[i].store(0, std::memory_order_relaxed);
+    }
+    delivered_capacity_ = need;
+  }
+  return delivered_.get();
+}
+
+value_t* SolveWorkspace::gather_scratch(index_t num_rhs) {
+  // Pad each thread's slice to a cache line of doubles, and align the
+  // base to a cache line too -- otherwise slice boundaries land mid-line
+  // and adjacent threads' hot accumulators still false-share.
+  constexpr std::size_t kLineDoubles = 8;
+  const std::size_t stride =
+      (static_cast<std::size_t>(num_rhs) + kLineDoubles - 1) / kLineDoubles *
+      kLineDoubles;
+  if (stride > gather_stride_) {
+    gather_ = std::make_unique<value_t[]>(
+        stride * static_cast<std::size_t>(threads()) + kLineDoubles);
+    gather_stride_ = stride;
+    const std::size_t misalign =
+        reinterpret_cast<std::uintptr_t>(gather_.get()) % (kLineDoubles * 8);
+    gather_base_ =
+        gather_.get() +
+        (misalign == 0 ? 0 : (kLineDoubles * 8 - misalign) / sizeof(value_t));
+  }
+  return gather_base_;
+}
+
+WorkspacePool::WorkspacePool(int parties_per_workspace)
+    : parties_(parties_per_workspace) {
+  MSPTRSV_REQUIRE(parties_ >= 1, "workspaces need at least one thread");
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.empty()) {
+    all_.push_back(std::make_unique<SolveWorkspace>(parties_));
+    idle_.push_back(all_.back().get());
+  }
+  SolveWorkspace* ws = idle_.back();
+  idle_.pop_back();
+  return Lease(this, ws);
+}
+
+std::size_t WorkspacePool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return all_.size();
+}
+
+void WorkspacePool::release(SolveWorkspace* ws) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(ws);
+}
+
+}  // namespace msptrsv::core

@@ -1,0 +1,130 @@
+// Reusable per-plan solve state for the real host backends.
+//
+// The PR 1 kernels spawned threads AND allocated + zeroed O(n) arrays of
+// atomics (left-sum accumulators, sync-free pending countdowns) on every
+// solve -- exactly the per-solve overhead the analyze/solve split was
+// supposed to hoist. A SolveWorkspace owns the persistent execution state
+// for the lifetime of a plan:
+//
+//  * a WorkerPool of parked threads (no spawn/join on the hot path) and
+//    the reusable per-level barrier;
+//
+//  * MONOTONIC delivery counters tagged by a per-workspace generation,
+//    replacing the sync-free pending countdowns. Every solve (or fused
+//    batch) delivers exactly in_degree(i) updates to component i -- one
+//    per incoming edge, regardless of the batch width -- so in solve
+//    generation g the component is ready when delivered[i] reaches
+//    g * in_degree(i). The counters are never reset or re-copied; the
+//    target moves instead.
+//
+// There are no left-sum accumulators anymore: the fused kernels gather a
+// component's partial sums by READING the already-final x entries of its
+// dependencies through the plan's cached row-form structure (the host
+// analogue of the paper's read-only NVSHMEM gather, Algorithm 3), so no
+// O(n) value scratch exists to zero in the first place.
+//
+// Concurrency: a workspace is single-tenant. WorkspacePool hands out
+// exclusive leases (growing on demand), which is what makes concurrent
+// plan.solve()/solve_batch() calls from many threads safe on the host
+// backends -- each caller gets its own workspace and worker pool, and the
+// pool mutex gives the lease handoff a happens-before edge.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+#include "support/types.hpp"
+
+namespace msptrsv::core {
+
+class SolveWorkspace {
+ public:
+  /// `parties` real threads cooperate on every solve run on this
+  /// workspace (>= 1; the calling thread counts as one of them).
+  explicit SolveWorkspace(int parties);
+
+  SolveWorkspace(const SolveWorkspace&) = delete;
+  SolveWorkspace& operator=(const SolveWorkspace&) = delete;
+
+  int threads() const { return pool_.parties(); }
+  WorkerPool& pool() { return pool_; }
+  /// Reusable per-level barrier (all threads() parties).
+  std::barrier<>& level_barrier() { return barrier_; }
+
+  /// Monotonic per-component delivery counters (sync-free backend).
+  /// Zero-initialized once on first use, never reset afterwards.
+  std::atomic<std::uint64_t>* delivered(index_t n);
+
+  /// Per-thread gather accumulators for a num_rhs-wide solve: thread tid
+  /// uses the slice starting at tid * gather_stride(). Allocated lazily,
+  /// grown only when num_rhs exceeds the capacity -- steady-state solves
+  /// allocate nothing. Slices are cache-line padded against false sharing.
+  value_t* gather_scratch(index_t num_rhs);
+  std::size_t gather_stride() const { return gather_stride_; }
+
+  /// Starts a new sync-free solve generation and returns it (>= 1). The
+  /// ready target of component i this generation is
+  /// generation * in_degree(i).
+  std::uint64_t begin_generation() { return ++generation_; }
+
+ private:
+  WorkerPool pool_;
+  std::barrier<> barrier_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> delivered_;
+  std::size_t delivered_capacity_ = 0;
+  std::unique_ptr<value_t[]> gather_;
+  /// Cache-line-aligned base inside gather_ (see gather_scratch).
+  value_t* gather_base_ = nullptr;
+  std::size_t gather_stride_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Lease-based pool of SolveWorkspaces, owned by a SolverPlan. A solve
+/// checks a workspace out for its duration; concurrent solves get disjoint
+/// workspaces (the pool grows on demand and retains every workspace until
+/// the plan dies, so steady-state solving allocates nothing).
+class WorkspacePool {
+ public:
+  explicit WorkspacePool(int parties_per_workspace);
+
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, SolveWorkspace* ws) : pool_(pool), ws_(ws) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(ws_);
+    }
+    Lease(Lease&& o) noexcept : pool_(o.pool_), ws_(o.ws_) {
+      o.pool_ = nullptr;
+      o.ws_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    SolveWorkspace& ws() { return *ws_; }
+
+   private:
+    WorkspacePool* pool_;
+    SolveWorkspace* ws_;
+  };
+
+  Lease acquire();
+  /// Workspaces ever created (grows only under concurrent solves).
+  std::size_t size() const;
+
+ private:
+  friend class Lease;
+  void release(SolveWorkspace* ws);
+
+  mutable std::mutex mutex_;
+  int parties_;
+  std::vector<std::unique_ptr<SolveWorkspace>> all_;
+  std::vector<SolveWorkspace*> idle_;
+};
+
+}  // namespace msptrsv::core

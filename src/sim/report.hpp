@@ -14,8 +14,12 @@ struct RunReport {
   std::string machine_name;
   int num_gpus = 1;
 
-  /// Total simulated time of the solver phase. For a batched solve this is
-  /// the sum over all right-hand sides.
+  /// Total simulated time of the solver phase. For a fused batch
+  /// (SolveOptions::fuse_batch, the default) this is the amortized batch
+  /// makespan; for a looped batch it is the sum over all right-hand
+  /// sides. Launch/update counters follow the same convention: a fused
+  /// batch counts one kernel per level/task and one update message per
+  /// edge per batch, not per rhs.
   sim_time_t solve_us = 0.0;
   /// Simulated time of the preprocessing (in-degree / level analysis).
   /// Under the phase-split API this is charged exactly once: a
@@ -26,8 +30,9 @@ struct RunReport {
 
   /// Right-hand sides this report covers (> 1 for solve_batch).
   int num_rhs = 1;
-  /// Simulated time of the slowest single solve in a batch (== solve_us
-  /// when num_rhs == 1).
+  /// Simulated time of the slowest single solve in a looped batch; a
+  /// fused batch is ONE solve, so this equals solve_us there (and when
+  /// num_rhs == 1).
   sim_time_t max_solve_us = 0.0;
 
   /// Per-GPU busy time of warp slots (computation only).

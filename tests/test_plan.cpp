@@ -104,6 +104,9 @@ TEST(SolverPlanReuse, GpuLevelsetRespectsIncludeAnalysis) {
 }
 
 TEST(SolverPlanBatch, MatchesLoopedSolveOnEveryBackend) {
+  // Looped mode (fuse_batch = false) keeps the PR 1 accumulate semantics:
+  // num_rhs independent solves whose reports sum. The fused default is
+  // covered by test_exec_engine (bit-for-bit x, amortized timing).
   const sparse::CscMatrix l = test_matrix();
   const index_t num_rhs = 5;
   const std::size_t n = static_cast<std::size_t>(l.rows);
@@ -115,7 +118,8 @@ TEST(SolverPlanBatch, MatchesLoopedSolveOnEveryBackend) {
     batch.insert(batch.end(), bj.begin(), bj.end());
   }
 
-  for (const core::SolveOptions& opt : all_backend_options()) {
+  for (core::SolveOptions opt : all_backend_options()) {
+    opt.fuse_batch = false;
     const auto plan = core::SolverPlan::analyze(l, opt);
     ASSERT_TRUE(plan.ok());
     const auto rb = plan->solve_batch(batch, num_rhs);
