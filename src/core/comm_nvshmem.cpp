@@ -6,13 +6,16 @@
 namespace msptrsv::core {
 
 NvshmemComm::NvshmemComm(sim::Interconnect& net, const sim::CostModel& cost,
-                         int num_pes, index_t n, NvshmemCommOptions options)
+                         int num_pes, index_t n, NvshmemCommOptions options,
+                         index_t batch_width)
     : cost_(cost), nv_(net, cost, num_pes), options_(options),
-      num_pes_(num_pes) {
+      num_pes_(num_pes),
+      value_payload_bytes_(static_cast<double>(batch_width) * sizeof(value_t)) {
   // Collective symmetric allocation: s.left_sum and s.in_degree, full size
   // on every PE (the read-only model's memory cost; ~10% of total in the
-  // paper's runs).
-  nv_.symmetric_alloc(static_cast<double>(n) * sizeof(value_t));
+  // paper's runs). A fused batch keeps batch_width left-sum partials per
+  // component.
+  nv_.symmetric_alloc(static_cast<double>(n) * value_payload_bytes_);
   nv_.symmetric_alloc(static_cast<double>(n) * sizeof(index_t));
   if (options_.naive_get_update_put) {
     entry_available_.assign(static_cast<std::size_t>(n), 0.0);
@@ -33,9 +36,9 @@ UpdateTiming NvshmemComm::push_update(int src_gpu, int dst_gpu, index_t dep,
     // against every other writer of the same entry (Fig. 4's restriction).
     sim_time_t t =
         std::max(issue, entry_available_[static_cast<std::size_t>(dep)]);
-    t = nv_.get(src_gpu, dst_gpu, sizeof(value_t) + sizeof(index_t), t);
+    t = nv_.get(src_gpu, dst_gpu, value_payload_bytes_ + sizeof(index_t), t);
     t = nv_.fence(t);
-    t = nv_.put(src_gpu, dst_gpu, sizeof(value_t) + sizeof(index_t), t);
+    t = nv_.put(src_gpu, dst_gpu, value_payload_bytes_ + sizeof(index_t), t);
     t = nv_.fence(t);
     entry_available_[static_cast<std::size_t>(dep)] = t;
     // The owner sees it on its next poll of its own memory (local read).
@@ -72,7 +75,7 @@ sim_time_t NvshmemComm::gather_before_solve(int gpu, index_t /*comp*/,
   // Final poll round confirming the in-degree, then the left_sum gather;
   // both are warp-parallel gets combined by shuffle reduction.
   sim_time_t t = nv_.gather_reduce(gpu, pes, sizeof(index_t), start);
-  t = nv_.gather_reduce(gpu, pes, sizeof(value_t), t);
+  t = nv_.gather_reduce(gpu, pes, value_payload_bytes_, t);
   if (options_.linear_reduction) {
     // Replace the two log2 reductions by O(P) loop summation: charge the
     // extra (P - log2(P)) shuffle-equivalent steps twice.

@@ -34,8 +34,14 @@ struct NvshmemCommOptions {
 
 class NvshmemComm final : public CommPolicy {
  public:
+  /// `batch_width` is the fused-batch RHS width k: every PE's s.left_sum
+  /// heap slab holds k partials per component, and each value-carrying
+  /// one-sided op (naive put/get chains, the final left_sum gather) moves
+  /// k values. Operation COUNTS stay per-edge/per-gather -- the fused
+  /// amortization -- while the payload bytes scale with k.
   NvshmemComm(sim::Interconnect& net, const sim::CostModel& cost, int num_pes,
-              index_t n, NvshmemCommOptions options = {});
+              index_t n, NvshmemCommOptions options = {},
+              index_t batch_width = 1);
 
   std::string name() const override {
     return options_.naive_get_update_put ? "nvshmem-naive" : "nvshmem-zerocopy";
@@ -59,6 +65,8 @@ class NvshmemComm final : public CommPolicy {
   sim::NvshmemModel nv_;
   NvshmemCommOptions options_;
   int num_pes_;
+  /// Bytes of left-sum payload per value-carrying message (k values).
+  double value_payload_bytes_;
   /// Per-entry serialization of the naive ablation's remote read-modify-
   /// write chains (unused -- empty -- in the read-only model).
   std::vector<sim_time_t> entry_available_;

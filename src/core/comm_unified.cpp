@@ -5,10 +5,13 @@
 namespace msptrsv::core {
 
 UnifiedComm::UnifiedComm(sim::Interconnect& net, const sim::CostModel& cost,
-                         int num_gpus, index_t n)
+                         int num_gpus, index_t n, index_t batch_width)
     : cost_(cost), um_(net, cost, num_gpus) {
   in_degree_region_ = um_.create_region(n, sizeof(index_t));
-  left_sum_region_ = um_.create_region(n, sizeof(value_t));
+  // One left-sum partial per RHS of the fused batch: pages (and the bytes
+  // their migrations move) are batch_width values wide.
+  left_sum_region_ =
+      um_.create_region(n, static_cast<double>(batch_width) * sizeof(value_t));
 }
 
 UpdateTiming UnifiedComm::push_update(int src_gpu, int dst_gpu, index_t dep,

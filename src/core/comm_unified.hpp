@@ -17,8 +17,13 @@ namespace msptrsv::core {
 class UnifiedComm final : public CommPolicy {
  public:
   /// `n` is the component count (sizes both managed arrays).
+  /// `batch_width` is the fused-batch RHS width k: a fused solve keeps k
+  /// left-sum partials per component, so the managed s.left_sum array --
+  /// and every page migration it suffers -- is k values wide. Message
+  /// COUNTS stay per-edge (one update per dependency per batch); only the
+  /// payload bytes scale.
   UnifiedComm(sim::Interconnect& net, const sim::CostModel& cost, int num_gpus,
-              index_t n);
+              index_t n, index_t batch_width = 1);
 
   std::string name() const override { return "unified-memory"; }
 

@@ -24,6 +24,8 @@
 #include "core/levelset.hpp"
 #include "core/mg_engine.hpp"
 #include "core/plan.hpp"
+#include "core/plan_cache.hpp"
+#include "core/plan_snapshot.hpp"
 #include "core/reference.hpp"
 #include "core/registry.hpp"
 #include "core/residual.hpp"
@@ -39,8 +41,10 @@
 #include "sparse/level_analysis.hpp"
 #include "sparse/mmio.hpp"
 #include "sparse/partition.hpp"
+#include "sparse/serialize.hpp"
 #include "sparse/suite.hpp"
 #include "sparse/triangular.hpp"
+#include "support/blob.hpp"
 
 namespace msptrsv {
 

@@ -10,11 +10,14 @@
 #include "core/cpu_parallel.hpp"
 #include "core/levelset.hpp"
 #include "core/mg_engine.hpp"
+#include "core/plan_snapshot.hpp"
 #include "core/reference.hpp"
 #include "core/workspace.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/level_analysis.hpp"
+#include "sparse/serialize.hpp"
 #include "sparse/triangular.hpp"
+#include "support/blob.hpp"
 #include "support/contracts.hpp"
 
 namespace msptrsv::core {
@@ -57,23 +60,22 @@ bool backend_is_multi_gpu(Backend b) {
 }  // namespace
 
 struct SolverPlan::State {
-  /// Owned factor storage. Borrowed plans (analyze_borrowed) leave it
-  /// empty and point `lower` at the caller's matrix instead.
+  /// Owned factor storage. Borrowed plans (analyze_borrowed /
+  /// load_borrowed) leave it empty and point `lower` at the caller's
+  /// matrix instead.
   sparse::CscMatrix storage;
   /// The lower-triangular factor solves execute against; always non-null
   /// on a constructed plan.
   const sparse::CscMatrix* lower = nullptr;
   SolveOptions options;
-  bool upper = false;
-  std::optional<sparse::Partition> partition;
-  std::vector<index_t> in_degrees;
-  std::optional<sparse::LevelAnalysis> levels;
-  /// CSR view of the factor for the host-parallel backends' pull-based
-  /// gather (built once at analysis; empty otherwise). Holds VALUES too,
-  /// so update_values() refreshes it alongside storage.
-  std::optional<sparse::CsrMatrix> row_form;
-  sim_time_t analysis_us = 0.0;
+  /// The whole symbolic result in its explicit, serializable form:
+  /// orientation flag, partition, in-degrees, level analysis, row-form
+  /// gather view, and the one-time simulated analysis charge. save()/
+  /// load() round-trip exactly this plus the factor.
+  PlanSnapshot snapshot;
   double analysis_seconds = 0.0;
+  /// Wall seconds spent restoring the plan from a blob (load paths only).
+  double load_seconds = 0.0;
   /// Persistent execution state of the host-parallel backends: leased
   /// workspaces carrying parked worker threads and generation-tagged
   /// scratch. Internally synchronized; null for other backends.
@@ -114,6 +116,11 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
                       std::to_string(lower.rows) + "x" +
                       std::to_string(lower.cols) + ")");
   }
+  // Identity of the symbolic result (checked again at snapshot-load time).
+  st->snapshot.backend = options.backend;
+  st->snapshot.tasks_per_gpu = options.tasks_per_gpu;
+  st->snapshot.num_gpus = options.machine.num_gpus();
+
   if (lower.rows == 0) {
     // A 0x0 system is vacuously solvable by every backend: the plan
     // short-circuits (no partition, no analysis state) and run_lower
@@ -135,7 +142,7 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
   // compute one on demand in partition()/footprint() instead of paying an
   // O(n) build per plan (and per legacy one-shot solve).
   if (backend_is_multi_gpu(options.backend)) {
-    st->partition = partition_for(options, lower.rows);
+    st->snapshot.partition = partition_for(options, lower.rows);
   }
 
   // The diagnosis above already established the solvable-lower invariants,
@@ -144,22 +151,22 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
     case Backend::kSerial:
       break;
     case Backend::kCpuLevelSet:
-      st->levels = sparse::analyze_levels(lower, /*validate=*/false);
+      st->snapshot.levels = sparse::analyze_levels(lower, /*validate=*/false);
       break;
     case Backend::kCpuSyncFree:
-      st->in_degrees = sparse::compute_in_degrees(lower, /*validate=*/false);
+      st->snapshot.in_degrees = sparse::compute_in_degrees(lower, /*validate=*/false);
       break;
     case Backend::kGpuLevelSet:
-      st->levels = sparse::analyze_levels(lower, /*validate=*/false);
-      st->analysis_us = levelset_analysis_us(lower, options.machine.cost);
+      st->snapshot.levels = sparse::analyze_levels(lower, /*validate=*/false);
+      st->snapshot.analysis_us = levelset_analysis_us(lower, options.machine.cost);
       break;
     case Backend::kMgUnified:
     case Backend::kMgUnifiedTask:
     case Backend::kMgShmem:
     case Backend::kMgZeroCopy:
-      st->in_degrees = sparse::compute_in_degrees(lower, /*validate=*/false);
-      st->analysis_us =
-          engine_analysis_us(lower, *st->partition, options.machine.cost);
+      st->snapshot.in_degrees = sparse::compute_in_degrees(lower, /*validate=*/false);
+      st->snapshot.analysis_us =
+          engine_analysis_us(lower, *st->snapshot.partition, options.machine.cost);
       break;
     default:
       return Result(SolveStatus::kUnknownBackend,
@@ -173,7 +180,7 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
   // caller.
   if (options.backend == Backend::kCpuLevelSet ||
       options.backend == Backend::kCpuSyncFree) {
-    st->row_form = sparse::csr_from_csc(lower);
+    st->snapshot.row_form = sparse::csr_from_csc(lower);
     st->workspaces = std::make_unique<WorkspacePool>(
         resolve_cpu_threads(options.cpu_threads));
   }
@@ -252,7 +259,7 @@ Expected<SolverPlan> SolverPlan::analyze_upper(sparse::CscMatrix upper,
   if (!built.ok()) return Expected<SolverPlan>(built.error());
   // The reversal is analysis-phase work: fold its wall time into the
   // plan's one-time charge and mark the plan as an upper solve.
-  built.value()->upper = true;
+  built.value()->snapshot.upper = true;
   built.value()->analysis_seconds = seconds_since(t0);
   return SolverPlan(std::move(built.value()));
 }
@@ -284,7 +291,7 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
       out.x.resize(static_cast<std::size_t>(lower.rows) *
                    static_cast<std::size_t>(num_rhs));
       const auto t0 = steady_clock::now();
-      solve_lower_levelset_fused(*st.row_form, b, num_rhs, *st.levels,
+      solve_lower_levelset_fused(*st.snapshot.row_form, b, num_rhs, *st.snapshot.levels,
                                  lease.ws(), out.x);
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
@@ -296,8 +303,8 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
       out.x.resize(static_cast<std::size_t>(lower.rows) *
                    static_cast<std::size_t>(num_rhs));
       const auto t0 = steady_clock::now();
-      solve_lower_syncfree_fused(lower, *st.row_form, b, num_rhs,
-                                 st.in_degrees, lease.ws(), out.x);
+      solve_lower_syncfree_fused(lower, *st.snapshot.row_form, b, num_rhs,
+                                 st.snapshot.in_degrees, lease.ws(), out.x);
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
@@ -305,7 +312,7 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
     }
     case Backend::kGpuLevelSet: {
       LevelSetResult r = solve_levelset_simulated_batch(
-          lower, b, num_rhs, st.options.machine, *st.levels);
+          lower, b, num_rhs, st.options.machine, *st.snapshot.levels);
       out.x = std::move(r.x);
       out.report = std::move(r.report);
       break;
@@ -322,20 +329,25 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
         // models every pass (also what makes concurrent solves safe).
         sim::Interconnect net(st.options.machine.topology,
                               st.options.machine.cost);
+        // The comm policy carries the fused-batch width so every
+        // value-carrying payload (managed left_sum pages, one-sided
+        // left_sum gathers/puts) is priced k values wide while message
+        // counts stay per-edge.
         if (unified) {
           UnifiedComm comm(net, st.options.machine.cost,
-                           st.partition->num_gpus(), lower.rows);
-          return run_mg_engine(lower, rhs, *st.partition, st.options.machine,
+                           st.snapshot.partition->num_gpus(), lower.rows,
+                           eng.cost_rhs);
+          return run_mg_engine(lower, rhs, *st.snapshot.partition, st.options.machine,
                                net, comm, eng);
         }
-        NvshmemComm comm(net, st.options.machine.cost, st.partition->num_gpus(),
-                         lower.rows, st.options.nvshmem);
-        return run_mg_engine(lower, rhs, *st.partition, st.options.machine,
+        NvshmemComm comm(net, st.options.machine.cost, st.snapshot.partition->num_gpus(),
+                         lower.rows, st.options.nvshmem, eng.cost_rhs);
+        return run_mg_engine(lower, rhs, *st.snapshot.partition, st.options.machine,
                              net, comm, eng);
       };
       EngineOptions eng;
       eng.include_analysis = false;  // charged once by the plan
-      eng.in_degrees = &st.in_degrees;
+      eng.in_degrees = &st.snapshot.in_degrees;
       // Numeric pass: the schedule (and so the per-rhs operation order) is
       // the single-solve one -- cost_rhs stays 1 -- which is what makes
       // fused x bit-for-bit equal to looped x.
@@ -367,7 +379,7 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
 }
 
 SolveResult SolverPlan::run_one(std::span<const value_t> b) const {
-  if (!state_->upper) return run_batch_lower(b, 1);
+  if (!state_->snapshot.upper) return run_batch_lower(b, 1);
   // Backward substitution executes on the reversed factor; the O(n) vector
   // transforms stay outside the timed regions (run_batch_lower times only
   // the backend execution).
@@ -422,7 +434,7 @@ Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
     return out;
   }
 
-  if (!state_->upper) return run_batch_lower(rhs, num_rhs);
+  if (!state_->snapshot.upper) return run_batch_lower(rhs, num_rhs);
 
   // Upper plans: per-column vector reversal in, solve the reversed-lower
   // batch fused, reverse each solution column back. The O(n*k) transforms
@@ -462,7 +474,7 @@ Expected<bool> SolverPlan::update_values(std::span<const value_t> values) {
             std::to_string(nnz) + "), got " + std::to_string(values.size()));
   }
   const index_t n = st.storage.rows;
-  if (!st.upper) {
+  if (!st.snapshot.upper) {
     // The diagonal leads each column of the analyzed lower factor; check
     // every new diagonal before mutating anything.
     for (index_t j = 0; j < n; ++j) {
@@ -473,7 +485,7 @@ Expected<bool> SolverPlan::update_values(std::span<const value_t> values) {
       }
     }
     std::copy(values.begin(), values.end(), st.storage.val.begin());
-    if (st.row_form) st.row_form = sparse::csr_from_csc(st.storage);
+    if (st.snapshot.row_form) st.snapshot.row_form = sparse::csr_from_csc(st.storage);
     return true;
   }
   // Upper plan: `values` follows the ORIGINAL upper factor's CSC order,
@@ -504,13 +516,285 @@ Expected<bool> SolverPlan::update_values(std::span<const value_t> values) {
     }
     base += count;
   }
-  if (st.row_form) st.row_form = sparse::csr_from_csc(st.storage);
+  if (st.snapshot.row_form) st.snapshot.row_form = sparse::csr_from_csc(st.storage);
   return true;
+}
+
+Expected<bool> SolverPlan::update_values(const sparse::CscMatrix& m) {
+  const State& st = *state_;
+  if (st.lower != &st.storage) {
+    // The span overload would reject borrowed plans anyway; do it before
+    // the O(nnz) pattern comparison, with the same diagnostic.
+    return update_values(m.val);
+  }
+  const sparse::CscMatrix& cur = *st.lower;
+  const index_t n = cur.rows;
+  if (m.rows != n || m.cols != cur.cols) {
+    return Expected<bool>(
+        SolveStatus::kShapeMismatch,
+        "value refresh matrix is " + std::to_string(m.rows) + "x" +
+            std::to_string(m.cols) + ", plan factor is " + std::to_string(n) +
+            "x" + std::to_string(cur.cols));
+  }
+  if (m.nnz() != cur.nnz()) {
+    return Expected<bool>(
+        SolveStatus::kShapeMismatch,
+        "value refresh matrix has " + std::to_string(m.nnz()) +
+            " nonzeros, plan factor has " + std::to_string(cur.nnz()));
+  }
+  if (!st.snapshot.upper) {
+    // Exact pattern equality against the analyzed lower factor.
+    if (m.col_ptr != cur.col_ptr || m.row_idx != cur.row_idx) {
+      for (index_t j = 0; j < n; ++j) {
+        if (m.col_ptr[j + 1] != cur.col_ptr[j + 1] ||
+            !std::equal(m.row_idx.begin() + m.col_ptr[j],
+                        m.row_idx.begin() + m.col_ptr[j + 1],
+                        cur.row_idx.begin() + cur.col_ptr[j])) {
+          return Expected<bool>(
+              SolveStatus::kShapeMismatch,
+              "sparsity pattern differs from the analyzed factor at column " +
+                  std::to_string(j) + "; re-analyze instead of update_values");
+        }
+      }
+    }
+    return update_values(m.val);
+  }
+  // Upper plan: `m` is the caller's upper factor; the cached pattern is the
+  // reversed lower form. Column j of the upper mirrors lower column n-1-j
+  // with its entries in reverse order.
+  for (index_t j = 0; j < n; ++j) {
+    const index_t rj = n - 1 - j;
+    const offset_t begin = cur.col_ptr[rj];
+    const offset_t count = cur.col_ptr[rj + 1] - begin;
+    if (m.col_ptr[j + 1] - m.col_ptr[j] != count) {
+      return Expected<bool>(
+          SolveStatus::kShapeMismatch,
+          "sparsity pattern differs from the analyzed factor at column " +
+              std::to_string(j) + "; re-analyze instead of update_values");
+    }
+    for (offset_t t = 0; t < count; ++t) {
+      if (m.row_idx[static_cast<std::size_t>(m.col_ptr[j] + t)] !=
+          n - 1 - cur.row_idx[static_cast<std::size_t>(begin + (count - 1 - t))]) {
+        return Expected<bool>(
+            SolveStatus::kShapeMismatch,
+            "sparsity pattern differs from the analyzed factor at column " +
+                std::to_string(j) + "; re-analyze instead of update_values");
+      }
+    }
+  }
+  return update_values(m.val);
+}
+
+// ---- persistence -----------------------------------------------------------
+
+Expected<std::vector<std::uint8_t>> SolverPlan::serialize() const {
+  return serialize_snapshot(state_->snapshot, *state_->lower);
+}
+
+Expected<bool> SolverPlan::save(const std::string& path) const {
+  const std::vector<std::uint8_t> blob =
+      serialize_snapshot(state_->snapshot, *state_->lower);
+  if (!support::write_file(path, blob)) {
+    return Expected<bool>(SolveStatus::kBadSnapshot,
+                          "cannot write plan blob to '" + path + "'");
+  }
+  return true;
+}
+
+Expected<SolverPlan> SolverPlan::deserialize(
+    std::span<const std::uint8_t> bytes, SolveOptions options) {
+  const auto t0 = steady_clock::now();
+  SnapshotBlob parsed;
+  const std::string err = deserialize_snapshot(bytes, parsed);
+  if (!err.empty()) return Expected<SolverPlan>(SolveStatus::kBadSnapshot, err);
+  return restore(std::move(parsed), std::move(options), nullptr, t0);
+}
+
+Expected<SolverPlan> SolverPlan::load(const std::string& path,
+                                      SolveOptions options) {
+  const auto t0 = steady_clock::now();
+  std::vector<std::uint8_t> bytes;
+  if (!support::read_file(path, bytes)) {
+    return Expected<SolverPlan>(SolveStatus::kBadSnapshot,
+                                "cannot read plan blob '" + path + "'");
+  }
+  SnapshotBlob parsed;
+  const std::string err = deserialize_snapshot(bytes, parsed);
+  if (!err.empty()) {
+    return Expected<SolverPlan>(SolveStatus::kBadSnapshot,
+                                "'" + path + "': " + err);
+  }
+  return restore(std::move(parsed), std::move(options), nullptr, t0);
+}
+
+Expected<SolverPlan> SolverPlan::load_borrowed(const std::string& path,
+                                               const sparse::CscMatrix& lower,
+                                               SolveOptions options) {
+  const auto t0 = steady_clock::now();
+  std::vector<std::uint8_t> bytes;
+  if (!support::read_file(path, bytes)) {
+    return Expected<SolverPlan>(SolveStatus::kBadSnapshot,
+                                "cannot read plan blob '" + path + "'");
+  }
+  SnapshotBlob parsed;
+  // The caller supplies the matrix: skip materializing the embedded one
+  // (about half of a host-backend blob's bytes).
+  const std::string err =
+      deserialize_snapshot(bytes, parsed, SnapshotRead::kSkipFactor);
+  if (!err.empty()) {
+    return Expected<SolverPlan>(SolveStatus::kBadSnapshot,
+                                "'" + path + "': " + err);
+  }
+  return restore(std::move(parsed), std::move(options), &lower, t0);
+}
+
+double SolverPlan::load_us() const { return state_->load_seconds * 1e6; }
+
+Expected<SolverPlan> SolverPlan::restore(
+    SnapshotBlob parsed, SolveOptions options,
+    const sparse::CscMatrix* borrow,
+    std::chrono::steady_clock::time_point t0) {
+  using Result = Expected<SolverPlan>;
+  PlanSnapshot& snap = parsed.snapshot;
+
+  // The snapshot is only valid for the configuration that produced it:
+  // pairing it with different symbolic-phase inputs would execute a
+  // schedule computed for another machine shape.
+  if (options.backend != snap.backend) {
+    return Result(SolveStatus::kBadSnapshot,
+                  "snapshot was analyzed for backend " +
+                      backend_name(snap.backend) + ", options request " +
+                      backend_name(options.backend));
+  }
+  // Only the multi-GPU engines bake the machine width into their symbolic
+  // state (the partition); host and single-GPU plans accept any machine.
+  if (backend_is_multi_gpu(options.backend) &&
+      options.machine.num_gpus() != snap.num_gpus) {
+    return Result(SolveStatus::kBadSnapshot,
+                  "snapshot was analyzed for " + std::to_string(snap.num_gpus) +
+                      " GPUs, options machine has " +
+                      std::to_string(options.machine.num_gpus()));
+  }
+  const bool task_pool = options.backend == Backend::kMgUnifiedTask ||
+                         options.backend == Backend::kMgZeroCopy;
+  if (task_pool && options.tasks_per_gpu != snap.tasks_per_gpu) {
+    return Result(SolveStatus::kBadSnapshot,
+                  "snapshot was analyzed with tasks_per_gpu = " +
+                      std::to_string(snap.tasks_per_gpu) +
+                      ", options request " +
+                      std::to_string(options.tasks_per_gpu));
+  }
+  if (options.tasks_per_gpu < 1 || options.machine.num_gpus() < 1) {
+    return Result(SolveStatus::kInvalidOptions,
+                  "options are inconsistent (tasks_per_gpu and the machine "
+                  "GPU count must be >= 1)");
+  }
+
+  // Backend-required sections must have survived the trip (a hand-crafted
+  // blob could claim a backend but omit its state).
+  const index_t n = parsed.factor.rows;
+  if (n > 0) {
+    const bool needs_levels = options.backend == Backend::kCpuLevelSet ||
+                              options.backend == Backend::kGpuLevelSet;
+    const bool needs_in_degrees =
+        options.backend == Backend::kCpuSyncFree ||
+        backend_is_multi_gpu(options.backend);
+    if (needs_levels && !snap.levels.has_value()) {
+      return Result(SolveStatus::kBadSnapshot,
+                    "snapshot lacks the level analysis its backend needs");
+    }
+    if (needs_in_degrees && snap.in_degrees.empty()) {
+      return Result(SolveStatus::kBadSnapshot,
+                    "snapshot lacks the in-degree state its backend needs");
+    }
+    const bool needs_row_form = options.backend == Backend::kCpuLevelSet ||
+                                options.backend == Backend::kCpuSyncFree;
+    if (needs_row_form && !snap.row_form.has_value()) {
+      return Result(SolveStatus::kBadSnapshot,
+                    "snapshot lacks the row-form view its backend needs");
+    }
+  }
+
+  auto st = std::make_shared<State>();
+  if (borrow != nullptr) {
+    // Borrowed-load: solve against the CALLER's matrix. Upper plans have
+    // no caller-visible lower form to borrow.
+    if (snap.upper) {
+      return Result(SolveStatus::kBadSnapshot,
+                    "borrowed load of an upper-triangular plan is not "
+                    "supported (its internal factor is the reversed form); "
+                    "use the owning load instead");
+    }
+    const sparse::StructuralHash caller_hash = sparse::hash_csc(*borrow);
+    if (caller_hash.pattern != parsed.factor_hash.pattern) {
+      return Result(SolveStatus::kBadSnapshot,
+                    "structural hash mismatch: the supplied matrix does not "
+                    "have the sparsity pattern this plan was analyzed for");
+    }
+    st->lower = borrow;
+    if (caller_hash.values != parsed.factor_hash.values) {
+      // Refreshed values: the saved plan's diagonal guarantee no longer
+      // covers them. The pattern matches the analyzed factor, so the
+      // diagonal still leads every column -- an O(n) re-check.
+      for (index_t j = 0; j < borrow->cols; ++j) {
+        if (borrow->val[static_cast<std::size_t>(borrow->col_ptr[j])] == 0.0) {
+          return Result(SolveStatus::kSingularDiagonal,
+                        "zero diagonal at column " + std::to_string(j) +
+                            " in the supplied matrix (singular)");
+        }
+      }
+      // The cached row form snapshots VALUES; re-sync it from the
+      // caller's matrix (structure reuse, no re-analysis).
+      if (snap.row_form.has_value()) {
+        snap.row_form = sparse::csr_from_csc(*borrow);
+      }
+    }
+  } else {
+    st->storage = std::move(parsed.factor);
+    st->lower = &st->storage;
+  }
+
+  // Partition is a deterministic O(n) function of the validated identity;
+  // rebuild instead of trusting (or paying for) a serialized copy.
+  if (n > 0 && backend_is_multi_gpu(options.backend)) {
+    snap.partition = partition_for(options, n);
+  }
+
+  // The sync-free host kernel SPINS on its delivery counters: in-degrees
+  // that disagree with the factor would hang the worker threads, not just
+  // mis-answer, so re-derive them and compare (one streaming pass over
+  // the structure; the level/mg schedules degrade to wrong answers at
+  // worst and are left to the CRC).
+  if (n > 0 && options.backend == Backend::kCpuSyncFree &&
+      sparse::compute_in_degrees(*st->lower, /*validate=*/false) !=
+          snap.in_degrees) {
+    return Result(SolveStatus::kBadSnapshot,
+                  "snapshot in-degrees do not match the factor structure");
+  }
+
+  st->options = std::move(options);
+  st->snapshot = std::move(snap);
+  // Re-stamp the identity from the validated options so a re-save of this
+  // plan records the configuration it actually runs with (they can differ
+  // only where the symbolic state does not depend on them).
+  st->snapshot.tasks_per_gpu = st->options.tasks_per_gpu;
+  st->snapshot.num_gpus = st->options.machine.num_gpus();
+  // A loaded plan never paid the analysis: the whole point. The read cost
+  // is reported separately via load_us().
+  st->snapshot.analysis_us = 0.0;
+  st->analysis_seconds = 0.0;
+  if (n > 0 && (st->options.backend == Backend::kCpuLevelSet ||
+                st->options.backend == Backend::kCpuSyncFree)) {
+    st->workspaces = std::make_unique<WorkspacePool>(
+        resolve_cpu_threads(st->options.cpu_threads));
+  }
+  st->load_seconds = seconds_since(t0);
+  return SolverPlan(std::move(st));
 }
 
 index_t SolverPlan::rows() const { return state_->lower->rows; }
 
-bool SolverPlan::is_upper() const { return state_->upper; }
+bool SolverPlan::is_upper() const { return state_->snapshot.upper; }
 
 const SolveOptions& SolverPlan::options() const { return state_->options; }
 
@@ -518,23 +802,23 @@ const sparse::CscMatrix& SolverPlan::factor() const { return *state_->lower; }
 
 sparse::Partition SolverPlan::partition() const {
   MSPTRSV_REQUIRE(rows() > 0, "an empty (0x0) plan has no partition");
-  if (state_->partition.has_value()) return *state_->partition;
+  if (state_->snapshot.partition.has_value()) return *state_->snapshot.partition;
   return partition_for(state_->options, rows());
 }
 
 std::span<const index_t> SolverPlan::in_degrees() const {
-  return state_->in_degrees;
+  return state_->snapshot.in_degrees;
 }
 
 const sparse::LevelAnalysis* SolverPlan::level_analysis() const {
-  return state_->levels ? &*state_->levels : nullptr;
+  return state_->snapshot.levels ? &*state_->snapshot.levels : nullptr;
 }
 
 std::size_t SolverPlan::workspace_count() const {
   return state_->workspaces ? state_->workspaces->size() : 0;
 }
 
-sim_time_t SolverPlan::analysis_us() const { return state_->analysis_us; }
+sim_time_t SolverPlan::analysis_us() const { return state_->snapshot.analysis_us; }
 
 double SolverPlan::analysis_seconds() const {
   return state_->analysis_seconds;

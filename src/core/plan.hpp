@@ -31,13 +31,29 @@
 // one-time charge via analysis_us() / analysis_seconds(). The legacy
 // one-shot core::solve() wrapper folds the charge back into its report.
 //
+// Persistence: the symbolic state is an explicit PlanSnapshot
+// (core/plan_snapshot.hpp) that save()/load() round-trip through a
+// versioned, CRC-guarded blob -- the durable-schedule artifact of the
+// inspector-executor model. A loaded plan never pays analysis again
+// (analysis_us() == 0; the read cost is exposed via load_us()) and solves
+// bit-for-bit like the freshly analyzed plan it was saved from:
+//
+//   plan->save("factor.plan");
+//   // ... later, any process:
+//   auto back = core::SolverPlan::load("factor.plan", options);
+//   auto rb = back->solve(b);            // identical bits, zero analysis
+//
 // User-input errors (shape mismatch, non-triangular input, singular
 // diagonal, bad options) come back through the Expected/SolveStatus channel
 // instead of thrown contract violations.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "core/solver.hpp"
 #include "core/status.hpp"
@@ -45,6 +61,8 @@
 #include "sparse/partition.hpp"
 
 namespace msptrsv::core {
+
+struct SnapshotBlob;  // core/plan_snapshot.hpp
 
 class SolverPlan {
  public:
@@ -102,6 +120,57 @@ class SolverPlan {
   /// solve()/solve_batch(); values are shared by every copy of this plan.
   Expected<bool> update_values(std::span<const value_t> values);
 
+  /// As the span overload, but sparsity-checks `m` against the cached
+  /// pattern first (dims + col_ptr + row_idx must be IDENTICAL; for upper
+  /// plans `m` is the upper factor and is checked against the mirrored
+  /// pattern). kShapeMismatch names the first divergence; on success
+  /// delegates to the span path (same rejection rules).
+  Expected<bool> update_values(const sparse::CscMatrix& m);
+
+  // ---- persistence ---------------------------------------------------------
+  // The symbolic phase as a durable artifact: serialize() captures the
+  // analyzed factor plus the whole PlanSnapshot (levels, in-degrees, row
+  // form, comm sizing) into a versioned, endianness-tagged, CRC-guarded
+  // blob; the load paths restore it without re-running ANY analysis.
+
+  /// Sealed blob image of this plan (works on borrowed plans too -- the
+  /// factor is read through the plan's view). Cheap relative to analysis:
+  /// one pass over the stored arrays.
+  Expected<std::vector<std::uint8_t>> serialize() const;
+
+  /// serialize() + atomic-enough file write. kBadSnapshot on I/O failure.
+  Expected<bool> save(const std::string& path) const;
+
+  /// Restores a plan from a blob image, owning the embedded factor.
+  /// `options` supplies the runtime configuration (machine cost model,
+  /// cpu_threads, fuse_batch, nvshmem ablations...); the blob's identity
+  /// section must agree with it on backend, GPU count, and task
+  /// granularity -- a mismatched pairing would silently execute a schedule
+  /// computed for a different configuration, so it is kBadSnapshot.
+  /// Loaded plans report analysis_us() == 0 and expose the restore cost
+  /// via load_us().
+  static Expected<SolverPlan> deserialize(std::span<const std::uint8_t> bytes,
+                                          SolveOptions options);
+
+  /// read_file + deserialize. kBadSnapshot on unreadable/invalid blobs.
+  static Expected<SolverPlan> load(const std::string& path,
+                                   SolveOptions options);
+
+  /// Borrowed-load: restores the symbolic state from the blob but solves
+  /// against the CALLER's matrix (which must outlive the plan, the
+  /// analyze_borrowed contract). The caller's matrix must hash-match the
+  /// blob's recorded sparsity pattern (kBadSnapshot otherwise); its VALUES
+  /// may differ -- the cached row form is re-synced when they do. Only
+  /// lower-triangular plans support borrowed loading (an upper plan's
+  /// internal factor is the reversed form, which no caller owns).
+  static Expected<SolverPlan> load_borrowed(const std::string& path,
+                                            const sparse::CscMatrix& lower,
+                                            SolveOptions options);
+
+  /// Host wall-clock microseconds spent restoring this plan from a blob
+  /// (0 for plans built by the analyze paths).
+  double load_us() const;
+
   index_t rows() const;
   /// True for plans built by analyze_upper.
   bool is_upper() const;
@@ -140,6 +209,14 @@ class SolverPlan {
 
   static Expected<std::shared_ptr<State>> analyze_state(
       std::shared_ptr<State> st);
+
+  /// Shared blob-restore path: validates the parsed snapshot against
+  /// `options`, optionally borrows the caller's matrix, rebuilds derived
+  /// runtime state (partition, workspace pool), and stamps load_us().
+  static Expected<SolverPlan> restore(SnapshotBlob parsed,
+                                      SolveOptions options,
+                                      const sparse::CscMatrix* borrow,
+                                      std::chrono::steady_clock::time_point t0);
 
   /// Fused execution of num_rhs rhs (column-major) on the lower factor.
   SolveResult run_batch_lower(std::span<const value_t> b,

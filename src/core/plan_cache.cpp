@@ -1,0 +1,170 @@
+#include "core/plan_cache.hpp"
+
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "sparse/serialize.hpp"
+
+namespace msptrsv::core {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Filename-safe machine tag: the machine name with anything exotic
+/// squashed to '-' (machine names are short and human-chosen; distinct
+/// cost models should use distinct names to get distinct cache entries).
+std::string machine_tag(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!keep) c = '-';
+  }
+  return out.empty() ? "host" : out;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::string PlanCache::key_of(const sparse::CscMatrix& lower,
+                              const SolveOptions& options) {
+  const sparse::StructuralHash h = sparse::hash_csc(lower);
+  // Runtime-behavioral options are part of the key too (not only the
+  // symbolic-phase inputs): a hit returns a SHARED plan, so every field
+  // that changes what its solves do or report must disambiguate the
+  // entry. Otherwise the first caller's ablation flags / thread count
+  // would silently apply to everyone hitting the same structure.
+  const int nvshmem_bits = (options.nvshmem.naive_get_update_put ? 4 : 0) |
+                           (options.nvshmem.gather_from_all_pes ? 2 : 0) |
+                           (options.nvshmem.linear_reduction ? 1 : 0);
+  return hex64(h.pattern) + "-" + hex64(h.values) + "-" +
+         registry::entry_of(options.backend).key + "-g" +
+         std::to_string(options.machine.num_gpus()) + "-t" +
+         std::to_string(options.tasks_per_gpu) + "-c" +
+         std::to_string(options.cpu_threads) + "-" +
+         (options.fuse_batch ? "fb" : "lb") + "-n" +
+         std::to_string(nvshmem_bits) + "-" +
+         machine_tag(options.machine.name);
+}
+
+const SolverPlan* PlanCache::find_locked(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return &it->second->plan;
+}
+
+void PlanCache::insert_locked(const std::string& key, const SolverPlan& plan) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = plan;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, plan});
+  index_[key] = lru_.begin();
+  evict_to_capacity_locked();
+}
+
+void PlanCache::evict_to_capacity_locked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+Expected<SolverPlan> PlanCache::get_or_analyze(const sparse::CscMatrix& lower,
+                                               const SolveOptions& options) {
+  const std::string key = key_of(lower, options);
+  std::string disk_dir;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const SolverPlan* hit = find_locked(key)) {
+      ++stats_.hits;
+      return *hit;
+    }
+    ++stats_.misses;
+    disk_dir = disk_dir_;
+  }
+
+  // Miss path, outside the lock: probe the blob directory, then analyze.
+  if (!disk_dir.empty()) {
+    const std::string path = disk_dir + "/" + key + ".plan";
+    Expected<SolverPlan> from_disk = SolverPlan::load(path, options);
+    if (from_disk.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_hits;
+      insert_locked(key, from_disk.value());
+      return from_disk;
+    }
+    // Missing or stale blob: fall through to analysis (and overwrite it).
+  }
+
+  Expected<SolverPlan> analyzed =
+      SolverPlan::analyze(sparse::CscMatrix(lower), options);
+  if (!analyzed.ok()) return analyzed;  // never cache failures
+
+  bool stored = false;
+  if (!disk_dir.empty()) {
+    stored = analyzed.value().save(disk_dir + "/" + key + ".plan").ok();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stored) ++stats_.disk_stores;
+    insert_locked(key, analyzed.value());
+  }
+  return analyzed;
+}
+
+void PlanCache::set_disk_directory(std::string dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  disk_dir_ = std::move(dir);
+}
+
+std::string PlanCache::disk_directory() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_dir_;
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  evict_to_capacity_locked();
+}
+
+std::size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace msptrsv::core

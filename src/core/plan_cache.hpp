@@ -1,0 +1,107 @@
+// Process-wide, content-addressed cache of analyzed SolverPlans.
+//
+// A solve service that boots against many factors pays the symbolic phase
+// once per DISTINCT (structure, configuration) pair, not once per request:
+// plans are keyed by the matrix's structural hash (pattern + values)
+// combined with the configuration fingerprint that shaped the analysis
+// (backend, machine, task granularity). Hits return a shallow copy of the
+// cached plan -- SolverPlan copies share their immutable symbolic state,
+// so a hit costs one streaming content hash of the matrix (word-wise
+// FNV, memory-bandwidth cheap) plus an O(1) map lookup, and concurrent
+// solves on the returned plan are safe.
+//
+// Optionally the cache is backed by an on-disk directory of plan blobs
+// (SolverPlan::save format): a memory miss probes `<dir>/<key>.plan`
+// before re-analyzing, and freshly analyzed plans are written back
+// best-effort. That is the cross-process half of the amortization story --
+// a restarted service warm-starts from the blob directory at O(read).
+//
+// Bounded LRU: at most `capacity` plans stay resident; the least recently
+// used plan is evicted on overflow (its blob, if any, stays on disk).
+// Thread-safe: the index is mutex-guarded; the analysis itself runs
+// OUTSIDE the lock, so two racing misses may both analyze (last insert
+// wins) but never block each other or the hit path for long.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/plan.hpp"
+
+namespace msptrsv::core {
+
+class PlanCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 32;
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The process-wide instance the registry consults.
+  static PlanCache& instance();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /// Memory misses served by the on-disk blob directory.
+    std::uint64_t disk_hits = 0;
+    /// Freshly analyzed plans persisted to the blob directory.
+    std::uint64_t disk_stores = 0;
+  };
+
+  /// Returns the cached plan for (lower's content, options' analysis
+  /// fingerprint), analyzing -- and caching -- on miss. The cached plan
+  /// OWNS a copy of the matrix, so the caller's `lower` need not outlive
+  /// the cache. Analysis errors are returned verbatim and never cached.
+  ///
+  /// Note: the key covers the VALUES hash, so a matrix refresh is a new
+  /// entry -- but calling update_values() on a returned plan mutates the
+  /// shared cached state and desynchronizes it from its key. Prefer
+  /// re-fetching through the cache over in-place refreshes of cached
+  /// plans.
+  Expected<SolverPlan> get_or_analyze(const sparse::CscMatrix& lower,
+                                      const SolveOptions& options);
+
+  /// Enables ("" disables) the on-disk blob directory. The directory must
+  /// exist; blobs are named `<key>.plan`.
+  void set_disk_directory(std::string dir);
+  std::string disk_directory() const;
+
+  /// Shrinking the capacity evicts LRU entries immediately.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+  std::size_t size() const;
+  Stats stats() const;
+  /// Drops every resident plan and zeroes the stats (disk blobs remain).
+  void clear();
+
+  /// The cache key for (lower, options): hex content hash + configuration
+  /// fingerprint, filename-safe. Exposed so tests and operators can
+  /// correlate cache entries with blob files.
+  static std::string key_of(const sparse::CscMatrix& lower,
+                            const SolveOptions& options);
+
+ private:
+  struct Entry {
+    std::string key;
+    SolverPlan plan;
+  };
+
+  /// Looks up `key`, refreshing LRU order. Caller holds the lock.
+  const SolverPlan* find_locked(const std::string& key);
+  void insert_locked(const std::string& key, const SolverPlan& plan);
+  void evict_to_capacity_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::string disk_dir_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace msptrsv::core

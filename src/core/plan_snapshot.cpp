@@ -1,0 +1,105 @@
+#include "core/plan_snapshot.hpp"
+
+#include "core/registry.hpp"
+
+namespace msptrsv::core {
+
+namespace {
+
+/// Section presence flags (bitmask so the format stays self-describing as
+/// backends grow state).
+enum SectionFlags : std::uint32_t {
+  kHasInDegrees = 1u << 0,
+  kHasLevels = 1u << 1,
+  kHasRowForm = 1u << 2,
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
+                                             const sparse::CscMatrix& factor) {
+  support::BlobWriter w(kPlanBlobVersion);
+
+  // Identity section. The backend travels as its canonical registry key,
+  // not the enum value, so enumerator reordering can never misload a blob.
+  w.write_string(registry::entry_of(snap.backend).key);
+  w.write_i32(snap.tasks_per_gpu);
+  w.write_i32(snap.num_gpus);
+  w.write_u8(snap.upper ? 1 : 0);
+  w.write_f64(snap.analysis_us);
+
+  const sparse::StructuralHash hash = sparse::hash_csc(factor);
+  w.write_u64(hash.pattern);
+  w.write_u64(hash.values);
+
+  sparse::write_csc(w, factor);
+
+  std::uint32_t flags = 0;
+  if (!snap.in_degrees.empty()) flags |= kHasInDegrees;
+  if (snap.levels.has_value()) flags |= kHasLevels;
+  if (snap.row_form.has_value()) flags |= kHasRowForm;
+  w.write_u32(flags);
+  if (flags & kHasInDegrees) {
+    w.write_span(std::span<const index_t>(snap.in_degrees));
+  }
+  if (flags & kHasLevels) sparse::write_levels(w, *snap.levels);
+  if (flags & kHasRowForm) sparse::write_csr(w, *snap.row_form);
+
+  return std::move(w).finish();
+}
+
+std::string deserialize_snapshot(std::span<const std::uint8_t> bytes,
+                                 SnapshotBlob& out, SnapshotRead mode) {
+  support::BlobReader r(bytes, kPlanBlobVersion);
+  if (!r.ok()) return r.error();
+
+  const std::string backend_key = r.read_string();
+  out.snapshot.tasks_per_gpu = r.read_i32();
+  out.snapshot.num_gpus = r.read_i32();
+  out.snapshot.upper = r.read_u8() != 0;
+  out.snapshot.analysis_us = r.read_f64();
+  out.factor_hash.pattern = r.read_u64();
+  out.factor_hash.values = r.read_u64();
+  if (mode == SnapshotRead::kSkipFactor) {
+    out.factor = sparse::skip_csc(r, out.factor_nnz);
+  } else {
+    out.factor = sparse::read_csc(r);
+    out.factor_nnz = out.factor.nnz();
+  }
+  if (!r.ok()) return r.error();
+
+  const Expected<Backend> backend = registry::parse_backend(backend_key);
+  if (!backend.ok()) {
+    return "snapshot names unknown backend '" + backend_key + "'";
+  }
+  out.snapshot.backend = backend.value();
+
+  const std::uint32_t flags = r.read_u32();
+  if (flags & kHasInDegrees) {
+    out.snapshot.in_degrees = r.read_vector<index_t>();
+  }
+  if (flags & kHasLevels) out.snapshot.levels = sparse::read_levels(r);
+  if (flags & kHasRowForm) out.snapshot.row_form = sparse::read_csr(r);
+  if (!r.ok()) return r.error();
+  if (!r.at_end()) return "trailing bytes after the last snapshot section";
+
+  // Cross-section consistency: per-component arrays must cover the factor.
+  const auto n = static_cast<std::size_t>(out.factor.rows);
+  if (!out.snapshot.in_degrees.empty() &&
+      out.snapshot.in_degrees.size() != n) {
+    return "in-degree section does not match the factor dimension";
+  }
+  if (out.snapshot.levels.has_value() &&
+      static_cast<std::size_t>(out.snapshot.levels->n) != n) {
+    return "level-analysis section does not match the factor dimension";
+  }
+  if (out.snapshot.row_form.has_value() &&
+      (out.snapshot.row_form->rows != out.factor.rows ||
+       out.snapshot.row_form->cols != out.factor.cols ||
+       out.snapshot.row_form->nnz() != out.factor_nnz)) {
+    return "row-form section does not match the factor shape";
+  }
+  return {};
+}
+
+}  // namespace msptrsv::core

@@ -1,0 +1,95 @@
+// The explicit, serializable form of a SolverPlan's symbolic state.
+//
+// Everything the analysis phase derives from the matrix STRUCTURE lives
+// here -- level sets, per-component in-degrees, the row-form gather view,
+// the partition, and the one-time simulated analysis charge -- keyed by the
+// configuration that produced it (backend, task granularity, GPU count).
+// SolverPlan::State owns one PlanSnapshot; save()/load() round-trip it
+// through the versioned blob format (support/blob.hpp) together with the
+// analyzed factor and its structural hash, which is what turns cold-start
+// for a known matrix from O(analysis) into O(read).
+//
+// The partition is deliberately NOT serialized: it is a deterministic O(n)
+// function of (backend, n, num_gpus, tasks_per_gpu) -- partition_for --
+// and rebuilding it at load keeps the blob free of Partition's internal
+// layout. Everything expensive or branchy (levels, in-degrees, row form)
+// is stored verbatim and restored by memcpy-speed reads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/level_analysis.hpp"
+#include "sparse/partition.hpp"
+#include "sparse/serialize.hpp"
+
+namespace msptrsv::core {
+
+struct PlanSnapshot {
+  /// Configuration identity: the load path refuses to marry this snapshot
+  /// to SolveOptions that would have produced a different analysis.
+  Backend backend = Backend::kSerial;
+  int tasks_per_gpu = 1;
+  int num_gpus = 1;
+  /// Built by analyze_upper: the factor is the REVERSED lower form and
+  /// solves apply the O(n) vector reversal around the kernel.
+  bool upper = false;
+
+  /// Component-to-GPU distribution (multi-GPU backends; rebuilt at load).
+  std::optional<sparse::Partition> partition;
+  /// Per-component in-degrees (sync-free backends).
+  std::vector<index_t> in_degrees;
+  /// Level-set analysis (level-scheduled backends).
+  std::optional<sparse::LevelAnalysis> levels;
+  /// CSR view of the factor for the host-parallel pull-based gather.
+  /// Carries values, so value refreshes rewrite it.
+  std::optional<sparse::CsrMatrix> row_form;
+  /// One-time simulated analysis charge (comm/analysis sizing; 0 for the
+  /// real host backends and for LOADED plans, which never paid it).
+  sim_time_t analysis_us = 0.0;
+};
+
+/// On-disk format version of plan blobs. Bump on any layout change; the
+/// reader rejects other versions outright (kBadSnapshot), which is the
+/// honest contract for a cache format.
+inline constexpr std::uint16_t kPlanBlobVersion = 1;
+
+/// Serializes `snap` plus the analyzed factor (and its structural hash)
+/// into a sealed blob image ready for write_file.
+std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
+                                             const sparse::CscMatrix& factor);
+
+/// Parse result of a plan blob.
+struct SnapshotBlob {
+  PlanSnapshot snapshot;
+  /// The embedded factor. Under kSkipFactor only the dims are filled --
+  /// the arrays are never materialized.
+  sparse::CscMatrix factor;
+  /// Stored nonzero count (factor.nnz() under kFull; survives the skip).
+  offset_t factor_nnz = 0;
+  /// Structural hash of `factor` as recorded at save time; borrowed-mode
+  /// loads check a caller-supplied matrix against it.
+  sparse::StructuralHash factor_hash;
+};
+
+enum class SnapshotRead {
+  kFull,
+  /// Skip materializing the embedded factor (borrowed loads: the caller
+  /// supplies the matrix, so reading ~half the blob into vectors that
+  /// are immediately freed would be pure waste).
+  kSkipFactor,
+};
+
+/// Parses a plan blob image. Returns the empty string on success, else a
+/// diagnostic (truncation, corruption, version/endianness mismatch,
+/// unknown backend key, inconsistent record shapes).
+std::string deserialize_snapshot(std::span<const std::uint8_t> bytes,
+                                 SnapshotBlob& out,
+                                 SnapshotRead mode = SnapshotRead::kFull);
+
+}  // namespace msptrsv::core

@@ -4,6 +4,8 @@
 #include <array>
 #include <cctype>
 
+#include "core/plan_cache.hpp"
+
 namespace msptrsv::core::registry {
 
 namespace {
@@ -93,6 +95,67 @@ std::string backend_keys() {
   for (const BackendEntry& e : kBackends) {
     if (!out.empty()) out += ", ";
     out += e.key;
+  }
+  return out;
+}
+
+Expected<SolverPlan> analyze_cached(const sparse::CscMatrix& lower,
+                                    const SolveOptions& options) {
+  return PlanCache::instance().get_or_analyze(lower, options);
+}
+
+Expected<SolverPlan> analyze_cached(const sparse::CscMatrix& lower,
+                                    std::string_view key) {
+  Expected<SolveOptions> opt = options_for(key);
+  if (!opt.ok()) return Expected<SolverPlan>(opt.error());
+  return analyze_cached(lower, opt.value());
+}
+
+namespace {
+
+// Pre-tuned deployments. Task granularity follows the paper's Fig. 9
+// sweet spot (total task count a small multiple of the GPU count, ~32-64
+// launches per pass): the 4-GPU slices and the 8-GPU DGX-1 keep the
+// reference 8 tasks/GPU; the 16-GPU DGX-2 halves it so the per-GPU launch
+// streams stay short.
+constexpr std::array<MachinePreset, 4> kPresets{{
+    {"dgx1x4", "DGX-1, 4-GPU fully-connected NVLink quad (paper config)", 4,
+     8},
+    {"dgx1x8", "DGX-1, all 8 GPUs (hybrid-cube-mesh NVLink)", 8, 8},
+    {"dgx2x4", "DGX-2, 4 GPUs over NVSwitch", 4, 8},
+    {"dgx2x16", "DGX-2, all 16 GPUs over NVSwitch", 16, 4},
+}};
+
+bool preset_is_dgx2(std::string_view key) {
+  return key.substr(0, 4) == "dgx2";
+}
+
+}  // namespace
+
+std::span<const MachinePreset> machine_presets() { return kPresets; }
+
+Expected<SolveOptions> preset_options(std::string_view preset_key,
+                                      Backend backend) {
+  const std::string k = lower_key(preset_key);
+  for (const MachinePreset& p : kPresets) {
+    if (k != p.key) continue;
+    SolveOptions opt = default_options(backend);
+    opt.machine = preset_is_dgx2(p.key) ? sim::Machine::dgx2(p.num_gpus)
+                                        : sim::Machine::dgx1(p.num_gpus);
+    opt.tasks_per_gpu = p.tasks_per_gpu;
+    return opt;
+  }
+  return Expected<SolveOptions>(SolveStatus::kInvalidOptions,
+                                "unknown machine preset '" +
+                                    std::string(preset_key) +
+                                    "'; known presets: " + preset_keys());
+}
+
+std::string preset_keys() {
+  std::string out;
+  for (const MachinePreset& p : kPresets) {
+    if (!out.empty()) out += ", ";
+    out += p.key;
   }
   return out;
 }

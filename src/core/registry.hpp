@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/plan.hpp"
 #include "core/solver.hpp"
 #include "core/status.hpp"
 
@@ -58,5 +59,46 @@ Expected<SolveOptions> options_for(std::string_view key);
 /// Comma-separated canonical key list ("serial, cpu-levelset, ...") for
 /// help text and error messages.
 std::string backend_keys();
+
+// ---- plan cache ------------------------------------------------------------
+
+/// Cache-backed analysis: consults the process-wide core::PlanCache, so a
+/// repeated analyze() of the same matrix content under the same
+/// configuration is an O(1) hit instead of a re-analysis (and, when the
+/// cache has a blob directory, a cross-process O(read)). The returned plan
+/// owns its matrix; copies share the symbolic state.
+Expected<SolverPlan> analyze_cached(const sparse::CscMatrix& lower,
+                                    const SolveOptions& options);
+
+/// parse_backend + default_options + analyze_cached in one step.
+Expected<SolverPlan> analyze_cached(const sparse::CscMatrix& lower,
+                                    std::string_view key);
+
+// ---- machine presets -------------------------------------------------------
+
+/// A pre-tuned machine configuration: topology + task granularity of a
+/// named deployment, applied on top of a backend's default options.
+struct MachinePreset {
+  /// Canonical config key ("dgx1x8").
+  const char* key;
+  /// One-line description for --help and docs.
+  const char* summary;
+  int num_gpus;
+  int tasks_per_gpu;
+};
+
+/// The preset catalogue (currently the two reference deployments of the
+/// paper's Fig. 8 study at full machine scale plus their 4-GPU slices).
+std::span<const MachinePreset> machine_presets();
+
+/// Resolves a preset key ("dgx1x8", "dgx2x16", ...) into SolveOptions for
+/// `backend`: the preset's machine and tuned tasks_per_gpu over the
+/// backend defaults. Unknown keys are kInvalidOptions with the catalogue
+/// in the message.
+Expected<SolveOptions> preset_options(std::string_view preset_key,
+                                      Backend backend = Backend::kMgZeroCopy);
+
+/// Comma-separated preset key list for help text.
+std::string preset_keys();
 
 }  // namespace msptrsv::core::registry

@@ -33,6 +33,11 @@ enum class SolveStatus {
   /// SolveOptions are inconsistent (tasks_per_gpu < 1, more partition GPUs
   /// than the machine has, ...).
   kInvalidOptions,
+  /// A serialized plan could not be (re)used: the blob is truncated,
+  /// corrupted, of an unsupported version/endianness, internally
+  /// inconsistent, or its structural hash / configuration does not match
+  /// what the caller supplied.
+  kBadSnapshot,
   /// A library bug surfaced through the status channel.
   kInternalError,
 };
@@ -45,6 +50,7 @@ constexpr std::string_view to_string(SolveStatus s) {
     case SolveStatus::kSingularDiagonal: return "singular-diagonal";
     case SolveStatus::kUnknownBackend: return "unknown-backend";
     case SolveStatus::kInvalidOptions: return "invalid-options";
+    case SolveStatus::kBadSnapshot: return "bad-snapshot";
     case SolveStatus::kInternalError: return "internal-error";
   }
   return "unknown-status";

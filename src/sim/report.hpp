@@ -51,14 +51,19 @@ struct RunReport {
   std::uint64_t page_pins = 0;
   std::uint64_t direct_remote_accesses = 0;
 
-  /// NVSHMEM counters (zero for unified-memory runs).
+  /// NVSHMEM counters (zero for unified-memory runs). Counts follow the
+  /// fused-batch convention (one op per edge/gather per batch); byte
+  /// totals price each value-carrying payload at the batch width k --
+  /// a fused update message moves k left-sum partials, not one.
   std::uint64_t nvshmem_gets = 0;
   std::uint64_t nvshmem_puts = 0;
   std::uint64_t nvshmem_fences = 0;
   std::uint64_t gather_reductions = 0;
   double nvshmem_bytes = 0.0;
 
-  /// Interconnect totals.
+  /// Interconnect totals. Like nvshmem_bytes, link_bytes scale value
+  /// payloads (migrated left_sum pages, one-sided value traffic) by the
+  /// fused-batch width while link_messages stay per-edge.
   double link_bytes = 0.0;
   std::uint64_t link_messages = 0;
 

@@ -1,0 +1,192 @@
+// Versioned binary blob format -- the substrate of plan persistence.
+//
+// A blob is:   [magic "MSPB"] [u16 format version] [u8 endian tag]
+//              [u8 reserved] [payload ...] [u32 CRC-32 of payload]
+//
+// Design constraints, in order:
+//  * a truncated, bit-flipped, or wrong-version file must be DETECTED, not
+//    crash or silently misload -- BlobReader verifies the header and the
+//    CRC trailer up front and every read is bounds-checked;
+//  * reads never throw: a reader is a fail-stop stream (first violation
+//    latches an error message, subsequent reads return zero values), so
+//    deserializers are written straight-line and check ok() once at the
+//    end;
+//  * blobs are tagged with the writer's endianness and rejected on
+//    mismatch rather than byte-swapped -- every HPC target this library
+//    cares about is little-endian, and a clean error beats silently slow
+//    swapping paths that never get tested.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace msptrsv::support {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected) of a byte range.
+/// Uses the SSE4.2 crc32 instruction when the host has it and a
+/// slice-by-8 table fallback otherwise -- both compute the same function,
+/// so blobs verify across machines. Chosen over classic CRC-32 because
+/// plan loads checksum the whole multi-megabyte blob on the cold path.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// 1 on little-endian hosts, 2 on big-endian (the on-disk tag values).
+std::uint8_t host_endian_tag();
+
+class BlobWriter {
+ public:
+  /// `format_version` is stamped into the header; readers reject blobs
+  /// whose version they do not understand.
+  explicit BlobWriter(std::uint16_t format_version);
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);
+  /// Length-prefixed (u64) byte string.
+  void write_string(std::string_view s);
+
+  /// Length-prefixed (u64 element count) array of trivially copyable
+  /// elements, written as raw bytes. The count field is padded to an
+  /// 8-byte blob offset so the payload lands 8-aligned -- which lets
+  /// read_vector build the vector with one aligned bulk copy instead of a
+  /// zero-fill pass plus a memcpy.
+  template <typename T>
+  void write_span(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    align8();
+    write_u64(static_cast<std::uint64_t>(v.size()));
+    append(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Bytes written so far (payload only, header excluded).
+  std::size_t payload_size() const { return buf_.size() - kHeaderSize; }
+
+  /// Seals the blob: appends the CRC trailer and returns the full byte
+  /// image. The writer is spent afterwards.
+  std::vector<std::uint8_t> finish() &&;
+
+ private:
+  static constexpr std::size_t kHeaderSize = 8;
+  void append(const void* data, std::size_t bytes);
+  /// Zero-pads the buffer to the next 8-byte blob offset.
+  void align8() {
+    while (buf_.size() % 8 != 0) buf_.push_back(0);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class BlobReader {
+ public:
+  /// Wraps (does not copy) `bytes` and verifies magic, endianness,
+  /// version, and the CRC trailer. On any violation the reader starts in
+  /// the failed state with a diagnostic in error().
+  BlobReader(std::span<const std::uint8_t> bytes,
+             std::uint16_t expected_version);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  /// Latches a failure from a higher layer (e.g. a deserializer that read
+  /// structurally impossible values). First failure wins.
+  void fail(std::string message);
+
+  /// Format version stamped in the header (valid even when the version
+  /// check failed, for error reporting).
+  std::uint16_t version() const { return version_; }
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  std::int64_t read_i64();
+  double read_f64();
+  std::string read_string();
+
+  /// Reads a write_span-encoded array. The element count is validated
+  /// against the remaining payload BEFORE allocating, so a corrupt length
+  /// cannot trigger a huge allocation. When the payload pointer is
+  /// T-aligned (the writer's 8-byte padding guarantees it for whole-file
+  /// blobs) the vector is built with one bulk copy -- the plan-load hot
+  /// path; otherwise it falls back to zero-fill + memcpy.
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    align8();
+    const std::uint64_t count = read_u64();
+    if (!ok()) return {};
+    if (count > remaining() / sizeof(T)) {
+      fail("array of " + std::to_string(count) + " x " +
+           std::to_string(sizeof(T)) + "B elements exceeds the " +
+           std::to_string(remaining()) + " payload bytes left");
+      return {};
+    }
+    const std::uint8_t* p = bytes_.data() + pos_;
+    if (reinterpret_cast<std::uintptr_t>(p) % alignof(T) == 0) {
+      const T* first = reinterpret_cast<const T*>(p);
+      std::vector<T> out(first, first + count);
+      pos_ += static_cast<std::size_t>(count) * sizeof(T);
+      return out;
+    }
+    std::vector<T> out(static_cast<std::size_t>(count));
+    extract(out.data(), out.size() * sizeof(T));
+    return out;
+  }
+
+  /// Consumes a write_span-encoded array WITHOUT materializing it (same
+  /// bounds checks as read_vector). Returns the element count skipped.
+  /// Used by loads that do not need a section's data -- e.g. a borrowed
+  /// plan load, where the caller already holds the factor.
+  template <typename T>
+  std::uint64_t skip_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    align8();
+    const std::uint64_t count = read_u64();
+    if (!ok()) return 0;
+    if (count > remaining() / sizeof(T)) {
+      fail("array of " + std::to_string(count) + " x " +
+           std::to_string(sizeof(T)) + "B elements exceeds the " +
+           std::to_string(remaining()) + " payload bytes left");
+      return 0;
+    }
+    pos_ += static_cast<std::size_t>(count) * sizeof(T);
+    return count;
+  }
+
+  /// Payload bytes not yet consumed.
+  std::size_t remaining() const { return end_ - pos_; }
+  bool at_end() const { return ok() && remaining() == 0; }
+
+ private:
+  void extract(void* out, std::size_t bytes);
+  /// Consumes the writer's padding up to the next 8-byte blob offset.
+  void align8() {
+    const std::size_t aligned = (pos_ + 7) & ~std::size_t{7};
+    pos_ = aligned <= end_ ? aligned : end_;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;  ///< next unread payload byte
+  std::size_t end_ = 0;  ///< one past the last payload byte (CRC excluded)
+  std::uint16_t version_ = 0;
+  std::string error_;
+};
+
+/// Writes `bytes` to `path` atomically (write to a same-directory temp
+/// file, then rename): readers and racing writers only ever observe
+/// complete blobs. Returns false (with errno intact) on any I/O failure.
+bool write_file(const std::string& path, std::span<const std::uint8_t> bytes);
+
+/// Reads a whole file. Returns false on any I/O failure; `out` is cleared
+/// first either way.
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out);
+
+}  // namespace msptrsv::support

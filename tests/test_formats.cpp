@@ -2,9 +2,13 @@
 // conversions, transpose, SpMV.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/serialize.hpp"
 #include "support/contracts.hpp"
 
 namespace msptrsv::sparse {
@@ -132,6 +136,110 @@ TEST(Csr, ValidateCatchesUnsortedColumns) {
   r.col_idx = {1, 0};  // unsorted within row 0
   r.val = {1.0, 2.0};
   EXPECT_THROW(r.validate(), support::InvariantError);
+}
+
+// ---- (de)serialization + structural hashing --------------------------------
+
+TEST(Serialize, CscRoundTripsThroughBlob) {
+  const CscMatrix m = gen_layered_dag(500, 12, 3000, 0.5, 17);
+  support::BlobWriter w(1);
+  write_csc(w, m);
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+
+  support::BlobReader r(blob, 1);
+  const CscMatrix back = read_csc(r);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.at_end());
+  EXPECT_TRUE(identical(m, back));
+  EXPECT_NO_THROW(back.validate());
+}
+
+TEST(Serialize, CsrRoundTripsThroughBlob) {
+  const CsrMatrix m = csr_from_csc(gen_banded(200, 4, 0.7, 3));
+  support::BlobWriter w(1);
+  write_csr(w, m);
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+
+  support::BlobReader r(blob, 1);
+  const CsrMatrix back = read_csr(r);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.val, m.val);
+}
+
+TEST(Serialize, EmptyMatrixRoundTrips) {
+  const CscMatrix empty;
+  support::BlobWriter w(1);
+  write_csc(w, empty);
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+  support::BlobReader r(blob, 1);
+  const CscMatrix back = read_csc(r);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(back.rows, 0);
+  EXPECT_EQ(back.nnz(), 0);
+}
+
+TEST(Serialize, InconsistentRecordFailsTheReader) {
+  // Any structurally unsafe CSC record must fail the reader, not build a
+  // matrix the solve kernels would index out of bounds through.
+  struct BadCase {
+    const char* what;
+    std::vector<offset_t> col_ptr;
+    std::vector<index_t> row_idx;
+  };
+  const std::vector<BadCase> cases = {
+      {"ptr length vs dims", {0, 1}, {0}},
+      {"ptr does not cover the nonzeros", {0, 0, 0, 0}, {0}},
+      {"ptr not monotone", {0, 1, 0, 1}, {0}},
+      {"row index out of range", {0, 1, 1, 1}, {3}},
+      {"negative row index", {0, 1, 1, 1}, {-1}},
+  };
+  for (const BadCase& c : cases) {
+    support::BlobWriter w(1);
+    w.write_i32(3);  // rows
+    w.write_i32(3);  // cols
+    w.write_span(std::span<const offset_t>(c.col_ptr));
+    w.write_span(std::span<const index_t>(c.row_idx));
+    w.write_span(std::span<const value_t>(
+        std::vector<value_t>(c.row_idx.size(), 1.0)));
+    const std::vector<std::uint8_t> blob = std::move(w).finish();
+    support::BlobReader r(blob, 1);
+    const CscMatrix back = read_csc(r);
+    EXPECT_FALSE(r.ok()) << c.what;
+    EXPECT_EQ(back.rows, 0) << c.what;
+  }
+}
+
+TEST(StructuralHash, SeparatesPatternFromValues) {
+  const CscMatrix m = gen_layered_dag(400, 10, 2400, 0.5, 9);
+  const StructuralHash h = hash_csc(m);
+
+  // Same content: identical hash (deterministic function of content).
+  EXPECT_EQ(hash_csc(m), h);
+  CscMatrix copy = m;
+  EXPECT_EQ(hash_csc(copy), h);
+
+  // Value-only change: pattern hash stable, values hash moves.
+  copy.val[copy.val.size() / 2] *= 2.0;
+  const StructuralHash hv = hash_csc(copy);
+  EXPECT_EQ(hv.pattern, h.pattern);
+  EXPECT_NE(hv.values, h.values);
+
+  // Structural change: both move.
+  const CscMatrix other = gen_layered_dag(400, 10, 2500, 0.5, 10);
+  const StructuralHash ho = hash_csc(other);
+  EXPECT_NE(ho.pattern, h.pattern);
+  EXPECT_NE(ho.values, h.values);
+
+  // Dimension changes hash even with identical (empty) arrays.
+  CscMatrix a;
+  a.rows = a.cols = 1;
+  a.col_ptr = {0, 0};
+  CscMatrix b;
+  b.rows = b.cols = 2;
+  b.col_ptr = {0, 0, 0};
+  EXPECT_NE(hash_csc(a).pattern, hash_csc(b).pattern);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// The content-addressed PlanCache: hits share symbolic state, the key
+// covers matrix content AND configuration, eviction is LRU and bounded,
+// the disk directory serves cross-process warm starts, and the whole
+// thing is safe under concurrent access.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+
+namespace msptrsv {
+namespace {
+
+sparse::CscMatrix matrix_seeded(std::uint64_t seed) {
+  return sparse::gen_layered_dag(600, 15, 3600, 0.5, seed);
+}
+
+core::SolveOptions opts(const char* key) {
+  core::SolveOptions o = core::registry::options_for(key).value();
+  o.cpu_threads = 1;
+  return o;
+}
+
+TEST(PlanCache, RepeatedAnalyzeIsAHit) {
+  core::PlanCache cache(8);
+  const sparse::CscMatrix l = matrix_seeded(1);
+  const auto p1 = cache.get_or_analyze(l, opts("mg-zerocopy"));
+  ASSERT_TRUE(p1.ok());
+  const auto p2 = cache.get_or_analyze(l, opts("mg-zerocopy"));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A hit is a shallow copy: same symbolic state, so identical reports.
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 2));
+  EXPECT_EQ(p1->solve(b).value().x, p2->solve(b).value().x);
+  EXPECT_EQ(p1->analysis_us(), p2->analysis_us());
+}
+
+TEST(PlanCache, KeyCoversContentAndConfiguration) {
+  core::PlanCache cache(8);
+  const sparse::CscMatrix a = matrix_seeded(1);
+  ASSERT_TRUE(cache.get_or_analyze(a, opts("mg-zerocopy")).ok());
+
+  // Different structure: miss.
+  ASSERT_TRUE(cache.get_or_analyze(matrix_seeded(2), opts("mg-zerocopy")).ok());
+  // Same structure, different values: miss (the values hash is in the key).
+  sparse::CscMatrix scaled = a;
+  for (value_t& v : scaled.val) v *= 2.0;
+  ASSERT_TRUE(cache.get_or_analyze(scaled, opts("mg-zerocopy")).ok());
+  // Same content, different backend: miss.
+  ASSERT_TRUE(cache.get_or_analyze(a, opts("cpu-syncfree")).ok());
+  // Same content, different machine size: miss.
+  core::SolveOptions two_gpus = opts("mg-zerocopy");
+  two_gpus.machine = sim::Machine::dgx1(2);
+  ASSERT_TRUE(cache.get_or_analyze(a, two_gpus).ok());
+
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(PlanCache, LruEvictionIsBoundedAndOrdered) {
+  core::PlanCache cache(2);
+  const sparse::CscMatrix a = matrix_seeded(1);
+  const sparse::CscMatrix b = matrix_seeded(2);
+  const sparse::CscMatrix c = matrix_seeded(3);
+  const core::SolveOptions o = opts("serial");
+
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());
+  ASSERT_TRUE(cache.get_or_analyze(b, o).ok());
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());  // refresh a's recency
+  ASSERT_TRUE(cache.get_or_analyze(c, o).ok());  // evicts b (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());  // still resident
+  EXPECT_EQ(cache.stats().hits, 2u);
+  ASSERT_TRUE(cache.get_or_analyze(b, o).ok());  // was evicted: re-analyzed
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PlanCache, ErrorsAreNotCached) {
+  core::PlanCache cache(4);
+  sparse::CscMatrix singular = matrix_seeded(1);
+  singular.val[0] = 0.0;  // kill the first diagonal
+  const auto r = cache.get_or_analyze(singular, opts("serial"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kSingularDiagonal);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, CachedPlanOutlivesCallerMatrix) {
+  core::PlanCache cache(4);
+  core::SolveOptions o = opts("cpu-levelset");
+  std::vector<value_t> b;
+  core::Expected<core::SolverPlan> plan(core::SolveStatus::kInternalError, "");
+  {
+    const sparse::CscMatrix l = matrix_seeded(7);
+    b = sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 8));
+    plan = cache.get_or_analyze(l, o);
+  }  // caller's matrix is gone; the cached plan owns its copy
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->solve(b).ok());
+}
+
+TEST(PlanCache, DiskDirectoryServesCrossProcessWarmStart) {
+  const std::string dir =
+      ::testing::TempDir() + "plan_cache_disk_" +
+      std::to_string(static_cast<unsigned>(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  const sparse::CscMatrix l = matrix_seeded(4);
+  const core::SolveOptions o = opts("mg-zerocopy");
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 5));
+  std::vector<value_t> x_first;
+  {
+    core::PlanCache first(4);
+    first.set_disk_directory(dir);
+    const auto p = first.get_or_analyze(l, o);
+    ASSERT_TRUE(p.ok());
+    x_first = p->solve(b).value().x;
+    EXPECT_EQ(first.stats().disk_stores, 1u);
+    // The blob landed under the content-addressed name.
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/" + core::PlanCache::key_of(l, o) + ".plan"));
+  }
+  {
+    // A "new process": fresh cache, same directory -> disk hit, no
+    // re-analysis, identical solve bits.
+    core::PlanCache second(4);
+    second.set_disk_directory(dir);
+    const auto p = second.get_or_analyze(l, o);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(second.stats().disk_hits, 1u);
+    EXPECT_EQ(p->analysis_us(), 0.0);
+    EXPECT_GT(p->load_us(), 0.0);
+    EXPECT_EQ(p->solve(b).value().x, x_first);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlanCache, ConcurrentGetOrAnalyzeIsSafe) {
+  core::PlanCache cache(8);
+  const sparse::CscMatrix l = matrix_seeded(9);
+  const core::SolveOptions o = opts("serial");
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 3));
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        const auto p = cache.get_or_analyze(l, o);
+        if (!p.ok() || !p->solve(b).ok()) ++failures[t];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int f : failures) EXPECT_EQ(f, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 100u);
+}
+
+TEST(PlanCacheRegistry, AnalyzeCachedUsesTheProcessWideInstance) {
+  core::PlanCache::instance().clear();
+  const sparse::CscMatrix l = matrix_seeded(11);
+  const auto before = core::PlanCache::instance().stats();
+  const auto p1 = core::registry::analyze_cached(l, "mg-zerocopy");
+  const auto p2 = core::registry::analyze_cached(l, "mg-zerocopy");
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(core::PlanCache::instance().stats().misses, before.misses + 1);
+  EXPECT_EQ(core::PlanCache::instance().stats().hits, before.hits + 1);
+
+  const auto bad = core::registry::analyze_cached(l, "no-such-backend");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status(), core::SolveStatus::kUnknownBackend);
+  core::PlanCache::instance().clear();
+}
+
+}  // namespace
+}  // namespace msptrsv

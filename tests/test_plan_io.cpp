@@ -1,0 +1,352 @@
+// Plan persistence: save -> load must reproduce the freshly analyzed
+// plan's solves BIT-FOR-BIT on every backend (lower and upper, single and
+// fused-batch), report analysis_us == 0 with a real load_us, and every
+// way a blob can be wrong -- truncated, corrupted, wrong version, wrong
+// backend, wrong structural hash -- must come back as
+// SolveStatus::kBadSnapshot, never a crash or a silent misload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+
+namespace msptrsv {
+namespace {
+
+sparse::CscMatrix test_matrix() {
+  return sparse::gen_layered_dag(900, 25, 5400, 0.4, 77);
+}
+
+sparse::CscMatrix test_upper() { return sparse::transpose(test_matrix()); }
+
+std::vector<core::SolveOptions> all_backend_options() {
+  std::vector<core::SolveOptions> out;
+  for (const core::registry::BackendEntry& e : core::registry::backends()) {
+    core::SolveOptions o = core::registry::default_options(e.backend);
+    o.cpu_threads = 1;  // deterministic summation order for exact compares
+    out.push_back(o);
+  }
+  return out;
+}
+
+std::string temp_plan_path(const std::string& tag) {
+  return ::testing::TempDir() + "plan_io_" + tag + ".plan";
+}
+
+TEST(PlanIo, SaveLoadRoundTripsBitForBitOnEveryBackend) {
+  const sparse::CscMatrix l = test_matrix();
+  const index_t n = l.rows;
+  std::vector<value_t> batch;
+  for (index_t j = 0; j < 3; ++j) {
+    const std::vector<value_t> bj = sparse::gen_rhs_for_solution(
+        l, sparse::gen_solution(n, 30 + static_cast<std::uint64_t>(j)));
+    batch.insert(batch.end(), bj.begin(), bj.end());
+  }
+
+  for (const core::SolveOptions& opt : all_backend_options()) {
+    SCOPED_TRACE(core::backend_name(opt.backend));
+    const auto fresh = core::SolverPlan::analyze(l, opt);
+    ASSERT_TRUE(fresh.ok()) << fresh.message();
+
+    const std::string path =
+        temp_plan_path(core::registry::entry_of(opt.backend).key);
+    ASSERT_TRUE(fresh->save(path).ok());
+    const auto loaded = core::SolverPlan::load(path, opt);
+    ASSERT_TRUE(loaded.ok()) << loaded.message();
+
+    // The loaded plan never paid analysis; the restore cost is separate.
+    EXPECT_EQ(loaded->analysis_us(), 0.0);
+    EXPECT_GT(loaded->load_us(), 0.0);
+    EXPECT_EQ(fresh->load_us(), 0.0);
+    EXPECT_EQ(loaded->rows(), n);
+    EXPECT_FALSE(loaded->is_upper());
+
+    // Single solve and fused batch: identical bits and identical simulated
+    // timing (the schedule is a pure function of the restored state).
+    const std::vector<value_t> b = batch;
+    const auto rf = fresh->solve(std::span<const value_t>(b).first(n));
+    const auto rl = loaded->solve(std::span<const value_t>(b).first(n));
+    ASSERT_TRUE(rf.ok());
+    ASSERT_TRUE(rl.ok());
+    EXPECT_EQ(rf.value().x, rl.value().x);
+    EXPECT_EQ(rf.value().report.solve_us, rl.value().report.solve_us);
+    EXPECT_EQ(rl.value().report.analysis_us, 0.0);
+
+    const auto bf = fresh->solve_batch(batch, 3);
+    const auto bl = loaded->solve_batch(batch, 3);
+    ASSERT_TRUE(bf.ok());
+    ASSERT_TRUE(bl.ok());
+    EXPECT_EQ(bf.value().x, bl.value().x);
+    EXPECT_EQ(bf.value().report.solve_us, bl.value().report.solve_us);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(PlanIo, UpperPlansRoundTripOnEveryBackend) {
+  const sparse::CscMatrix u = test_upper();
+  const index_t n = u.rows;
+  std::vector<value_t> batch;
+  for (index_t j = 0; j < 2; ++j) {
+    const std::vector<value_t> bj = sparse::gen_rhs_for_solution(
+        u, sparse::gen_solution(n, 60 + static_cast<std::uint64_t>(j)));
+    batch.insert(batch.end(), bj.begin(), bj.end());
+  }
+
+  for (const core::SolveOptions& opt : all_backend_options()) {
+    SCOPED_TRACE(core::backend_name(opt.backend));
+    const auto fresh = core::SolverPlan::analyze_upper(u, opt);
+    ASSERT_TRUE(fresh.ok()) << fresh.message();
+
+    const std::string path = temp_plan_path(
+        std::string("upper_") + core::registry::entry_of(opt.backend).key);
+    ASSERT_TRUE(fresh->save(path).ok());
+    const auto loaded = core::SolverPlan::load(path, opt);
+    ASSERT_TRUE(loaded.ok()) << loaded.message();
+    EXPECT_TRUE(loaded->is_upper());
+    EXPECT_EQ(loaded->analysis_us(), 0.0);
+
+    const auto bf = fresh->solve_batch(batch, 2);
+    const auto bl = loaded->solve_batch(batch, 2);
+    ASSERT_TRUE(bf.ok());
+    ASSERT_TRUE(bl.ok());
+    EXPECT_EQ(bf.value().x, bl.value().x);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(PlanIo, SerializeDeserializeRoundTripsInMemory) {
+  const sparse::CscMatrix l = test_matrix();
+  const core::SolveOptions opt =
+      core::registry::options_for("mg-zerocopy").value();
+  const auto fresh = core::SolverPlan::analyze(l, opt);
+  ASSERT_TRUE(fresh.ok());
+  const auto blob = fresh->serialize();
+  ASSERT_TRUE(blob.ok());
+  const auto loaded = core::SolverPlan::deserialize(blob.value(), opt);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 5));
+  EXPECT_EQ(fresh->solve(b).value().x, loaded->solve(b).value().x);
+  // The restored partition/footprint machinery works without re-analysis.
+  EXPECT_EQ(loaded->partition().num_gpus(), fresh->partition().num_gpus());
+  EXPECT_EQ(loaded->footprint().total_bytes, fresh->footprint().total_bytes);
+}
+
+TEST(PlanIo, EmptyPlanRoundTrips) {
+  const sparse::CscMatrix empty;  // 0x0: vacuously solvable
+  const core::SolveOptions opt = core::registry::options_for("serial").value();
+  const auto fresh = core::SolverPlan::analyze(empty, opt);
+  ASSERT_TRUE(fresh.ok());
+  const auto blob = fresh->serialize();
+  ASSERT_TRUE(blob.ok());
+  const auto loaded = core::SolverPlan::deserialize(blob.value(), opt);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  EXPECT_EQ(loaded->rows(), 0);
+  EXPECT_TRUE(loaded->solve({}).ok());
+}
+
+// ---- error paths -----------------------------------------------------------
+
+TEST(PlanIo, MissingFileIsBadSnapshot) {
+  const auto r = core::SolverPlan::load(
+      temp_plan_path("definitely_missing"),
+      core::registry::options_for("serial").value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+}
+
+TEST(PlanIo, TruncatedBlobIsBadSnapshot) {
+  const sparse::CscMatrix l = test_matrix();
+  const core::SolveOptions opt = core::registry::options_for("serial").value();
+  const auto blob = core::SolverPlan::analyze(l, opt)->serialize().value();
+  // Every truncation point must be detected (CRC trailer or bounds check),
+  // including mid-header.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, std::size_t{40}, blob.size() / 2,
+        blob.size() - 1}) {
+    const auto r = core::SolverPlan::deserialize(
+        std::span<const std::uint8_t>(blob).first(keep), opt);
+    ASSERT_FALSE(r.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+  }
+}
+
+TEST(PlanIo, CorruptedByteIsBadSnapshot) {
+  const sparse::CscMatrix l = test_matrix();
+  const core::SolveOptions opt = core::registry::options_for("serial").value();
+  auto blob = core::SolverPlan::analyze(l, opt)->serialize().value();
+  // Flip one payload byte deep in the value array: only the CRC can see it.
+  blob[blob.size() / 2] ^= 0x40;
+  const auto r = core::SolverPlan::deserialize(blob, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+  EXPECT_NE(r.message().find("CRC"), std::string::npos) << r.message();
+}
+
+TEST(PlanIo, WrongVersionIsBadSnapshot) {
+  const sparse::CscMatrix l = test_matrix();
+  const core::SolveOptions opt = core::registry::options_for("serial").value();
+  auto blob = core::SolverPlan::analyze(l, opt)->serialize().value();
+  blob[4] = 0x7F;  // version field lives at header bytes 4..5
+  const auto r = core::SolverPlan::deserialize(blob, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+  EXPECT_NE(r.message().find("version"), std::string::npos) << r.message();
+}
+
+TEST(PlanIo, BackendMismatchIsBadSnapshot) {
+  const sparse::CscMatrix l = test_matrix();
+  const auto blob =
+      core::SolverPlan::analyze(
+          l, core::registry::options_for("mg-zerocopy").value())
+          ->serialize()
+          .value();
+  const auto r = core::SolverPlan::deserialize(
+      blob, core::registry::options_for("cpu-levelset").value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+}
+
+TEST(PlanIo, GpuCountMismatchIsBadSnapshot) {
+  const sparse::CscMatrix l = test_matrix();
+  core::SolveOptions opt = core::registry::options_for("mg-zerocopy").value();
+  const auto blob = core::SolverPlan::analyze(l, opt)->serialize().value();
+  opt.machine = sim::Machine::dgx1(2);
+  const auto r = core::SolverPlan::deserialize(blob, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+  EXPECT_NE(r.message().find("GPU"), std::string::npos) << r.message();
+}
+
+TEST(PlanIo, BorrowedLoadChecksStructuralHash) {
+  const sparse::CscMatrix l = test_matrix();
+  const core::SolveOptions opt =
+      core::registry::options_for("cpu-syncfree").value();
+  const std::string path = temp_plan_path("borrowed");
+  ASSERT_TRUE(core::SolverPlan::analyze(l, opt)->save(path).ok());
+
+  // Same pattern, same values: borrows and solves identically.
+  const auto ok_load = core::SolverPlan::load_borrowed(path, l, opt);
+  ASSERT_TRUE(ok_load.ok()) << ok_load.message();
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 9));
+  EXPECT_EQ(ok_load->solve(b).value().x,
+            core::SolverPlan::analyze(l, opt)->solve(b).value().x);
+
+  // Same pattern, refreshed values: accepted, and solves match a FRESH
+  // analysis of the refreshed matrix (the cached row form re-syncs).
+  sparse::CscMatrix scaled = l;
+  for (value_t& v : scaled.val) v *= 1.5;
+  const auto scaled_load = core::SolverPlan::load_borrowed(path, scaled, opt);
+  ASSERT_TRUE(scaled_load.ok()) << scaled_load.message();
+  const std::vector<value_t> b2 =
+      sparse::gen_rhs_for_solution(scaled, sparse::gen_solution(l.rows, 10));
+  EXPECT_EQ(scaled_load->solve(b2).value().x,
+            core::SolverPlan::analyze(scaled, opt)->solve(b2).value().x);
+
+  // Refreshed values with a zero diagonal: the saved plan's singularity
+  // guarantee no longer covers them, so the load re-checks and rejects.
+  sparse::CscMatrix singular = scaled;
+  singular.val[static_cast<std::size_t>(singular.col_ptr[1])] = 0.0;
+  EXPECT_EQ(core::SolverPlan::load_borrowed(path, singular, opt).status(),
+            core::SolveStatus::kSingularDiagonal);
+
+  // Different pattern: rejected by the hash check.
+  const sparse::CscMatrix other = sparse::gen_layered_dag(900, 25, 5500, 0.4, 78);
+  const auto bad = core::SolverPlan::load_borrowed(path, other, opt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status(), core::SolveStatus::kBadSnapshot);
+  EXPECT_NE(bad.message().find("hash"), std::string::npos) << bad.message();
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, InDegreeDriftIsRejectedNotHung) {
+  // A CRC-valid blob whose in-degrees disagree with its factor would make
+  // the sync-free kernel spin forever on its delivery counters; the load
+  // must reject it, not hand the hang to the first solve.
+  const sparse::CscMatrix l = test_matrix();
+  core::SolveOptions opt = core::registry::options_for("cpu-syncfree").value();
+  opt.cpu_threads = 1;
+
+  core::PlanSnapshot snap;
+  snap.backend = core::Backend::kCpuSyncFree;
+  snap.tasks_per_gpu = opt.tasks_per_gpu;
+  snap.num_gpus = opt.machine.num_gpus();
+  snap.in_degrees = sparse::compute_in_degrees(l);
+  snap.in_degrees[0] += 1;  // one undeliverable dependency
+  snap.row_form = sparse::csr_from_csc(l);
+  const std::vector<std::uint8_t> blob = core::serialize_snapshot(snap, l);
+
+  const auto r = core::SolverPlan::deserialize(blob, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+  EXPECT_NE(r.message().find("in-degree"), std::string::npos) << r.message();
+}
+
+TEST(PlanIo, BorrowedLoadOfUpperPlanIsRejected) {
+  const sparse::CscMatrix u = test_upper();
+  const core::SolveOptions opt = core::registry::options_for("serial").value();
+  const std::string path = temp_plan_path("borrowed_upper");
+  ASSERT_TRUE(core::SolverPlan::analyze_upper(u, opt)->save(path).ok());
+  const auto r = core::SolverPlan::load_borrowed(path, u, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kBadSnapshot);
+  std::remove(path.c_str());
+}
+
+// ---- update_values(CscMatrix) sparsity-checked overload --------------------
+
+TEST(PlanUpdateValuesMatrix, AcceptsSamePatternAndRefreshesSolves) {
+  const sparse::CscMatrix l = test_matrix();
+  core::SolveOptions opt = core::registry::options_for("cpu-levelset").value();
+  opt.cpu_threads = 1;
+  auto plan = core::SolverPlan::analyze(l, opt).value();
+
+  sparse::CscMatrix scaled = l;
+  for (value_t& v : scaled.val) v *= 2.0;
+  ASSERT_TRUE(plan.update_values(scaled).ok());
+
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(scaled, sparse::gen_solution(l.rows, 4));
+  EXPECT_EQ(plan.solve(b).value().x,
+            core::SolverPlan::analyze(scaled, opt)->solve(b).value().x);
+}
+
+TEST(PlanUpdateValuesMatrix, RejectsDifferentPattern) {
+  const sparse::CscMatrix l = test_matrix();
+  auto plan = core::SolverPlan::analyze(
+                  l, core::registry::options_for("serial").value())
+                  .value();
+  const sparse::CscMatrix other =
+      sparse::gen_layered_dag(900, 25, 5500, 0.4, 78);
+  const auto r = plan.update_values(other);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), core::SolveStatus::kShapeMismatch);
+
+  const sparse::CscMatrix smaller = sparse::gen_layered_dag(400, 10, 2000, 0.4, 1);
+  EXPECT_EQ(plan.update_values(smaller).status(),
+            core::SolveStatus::kShapeMismatch);
+}
+
+TEST(PlanUpdateValuesMatrix, UpperPlanChecksMirroredPattern) {
+  const sparse::CscMatrix u = test_upper();
+  const core::SolveOptions opt = core::registry::options_for("serial").value();
+  auto plan = core::SolverPlan::analyze_upper(u, opt).value();
+
+  sparse::CscMatrix scaled = u;
+  for (value_t& v : scaled.val) v *= 3.0;
+  ASSERT_TRUE(plan.update_values(scaled).ok());
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(scaled, sparse::gen_solution(u.rows, 6));
+  EXPECT_EQ(plan.solve(b).value().x,
+            core::SolverPlan::analyze_upper(scaled, opt)->solve(b).value().x);
+
+  // A lower matrix has the wrong (mirrored) pattern for an upper plan.
+  EXPECT_EQ(plan.update_values(test_matrix()).status(),
+            core::SolveStatus::kShapeMismatch);
+}
+
+}  // namespace
+}  // namespace msptrsv

@@ -86,5 +86,38 @@ TEST(Registry, EveryBackendDefaultConfigurationSolves) {
   }
 }
 
+TEST(Registry, MachinePresetsResolveToTunedConfigs) {
+  const auto d1 = registry::preset_options("dgx1x8");
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->machine.num_gpus(), 8);
+  EXPECT_EQ(d1->tasks_per_gpu, 8);
+  EXPECT_EQ(d1->backend, core::Backend::kMgZeroCopy);
+
+  const auto d2 = registry::preset_options("DGX2X16", core::Backend::kMgUnified);
+  ASSERT_TRUE(d2.ok());  // case-insensitive like backend keys
+  EXPECT_EQ(d2->machine.num_gpus(), 16);
+  EXPECT_EQ(d2->tasks_per_gpu, 4);
+  EXPECT_EQ(d2->backend, core::Backend::kMgUnified);
+  EXPECT_NE(d2->machine.name, d1->machine.name);
+
+  // The catalogue is enumerable and every entry resolves and solves.
+  const sparse::CscMatrix l = sparse::gen_layered_dag(300, 8, 1500, 0.5, 4);
+  const std::vector<value_t> x_ref = sparse::gen_solution(l.rows, 5);
+  const std::vector<value_t> b = sparse::gen_rhs_for_solution(l, x_ref);
+  EXPECT_GE(registry::machine_presets().size(), 2u);
+  for (const registry::MachinePreset& p : registry::machine_presets()) {
+    const auto opt = registry::preset_options(p.key);
+    ASSERT_TRUE(opt.ok()) << p.key;
+    const core::SolveResult r = core::solve(l, b, opt.value());
+    EXPECT_LT(core::max_relative_difference(r.x, x_ref), 1e-9) << p.key;
+  }
+
+  const auto bad = registry::preset_options("dgx9x99");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status(), core::SolveStatus::kInvalidOptions);
+  EXPECT_NE(registry::preset_keys().find("dgx1x8"), std::string::npos);
+  EXPECT_NE(bad.message().find("dgx2x16"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msptrsv

@@ -1,9 +1,16 @@
-// Support utilities: RNG determinism and distributions, tables, stats, CLI.
+// Support utilities: RNG determinism and distributions, tables, stats, CLI,
+// and the versioned/CRC-guarded blob format underneath plan persistence.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <set>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "support/blob.hpp"
 #include "support/cli.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
@@ -174,6 +181,136 @@ TEST(Contracts, MacrosThrowTypedErrors) {
   EXPECT_THROW(MSPTRSV_REQUIRE(false, "msg"), PreconditionError);
   EXPECT_THROW(MSPTRSV_ENSURE(false, "msg"), InvariantError);
   EXPECT_NO_THROW(MSPTRSV_REQUIRE(true, "msg"));
+}
+
+// ---- blob format (the plan-persistence substrate) --------------------------
+
+TEST(Blob, PrimitivesAndSpansRoundTrip) {
+  BlobWriter w(3);
+  w.write_u8(7);
+  w.write_u32(0xDEADBEEFu);
+  w.write_i64(-42);
+  w.write_f64(2.5);
+  w.write_string("msptrsv");
+  const std::vector<std::int32_t> ints{1, -2, 3};
+  const std::vector<double> doubles{0.5, -0.25};
+  w.write_span(std::span<const std::int32_t>(ints));
+  w.write_span(std::span<const double>(doubles));
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+
+  BlobReader r(blob, 3);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.version(), 3);
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_f64(), 2.5);
+  EXPECT_EQ(r.read_string(), "msptrsv");
+  EXPECT_EQ(r.read_vector<std::int32_t>(), ints);
+  EXPECT_EQ(r.read_vector<double>(), doubles);
+  EXPECT_TRUE(r.at_end());
+  ASSERT_TRUE(r.ok()) << r.error();
+}
+
+TEST(Blob, CrcDetectsEveryFlippedByte) {
+  BlobWriter w(1);
+  w.write_string("payload under test");
+  w.write_u64(123456789);
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+  ASSERT_TRUE(BlobReader(blob, 1).ok());
+  // Any single-bit corruption anywhere -- payload OR trailer -- must fail
+  // the constructor (header bytes fail their own checks).
+  for (std::size_t i = 8; i < blob.size(); ++i) {
+    std::vector<std::uint8_t> bad = blob;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(BlobReader(bad, 1).ok()) << "byte " << i;
+  }
+}
+
+TEST(Blob, RejectsTruncationWrongVersionAndBadMagic) {
+  BlobWriter w(2);
+  w.write_u64(99);
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+
+  for (std::size_t keep = 0; keep < blob.size(); ++keep) {
+    BlobReader r(std::span<const std::uint8_t>(blob).first(keep), 2);
+    EXPECT_FALSE(r.ok()) << "kept " << keep;
+  }
+  BlobReader wrong_version(blob, 5);
+  EXPECT_FALSE(wrong_version.ok());
+  EXPECT_NE(wrong_version.error().find("version"), std::string::npos);
+  EXPECT_EQ(wrong_version.version(), 2);  // still reported for diagnostics
+
+  std::vector<std::uint8_t> bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_NE(BlobReader(bad_magic, 2).error().find("magic"), std::string::npos);
+
+  std::vector<std::uint8_t> bad_endian = blob;
+  bad_endian[6] = 99;
+  EXPECT_NE(BlobReader(bad_endian, 2).error().find("endian"),
+            std::string::npos);
+}
+
+TEST(Blob, ReadsAreFailStopAndBoundsChecked) {
+  BlobWriter w(1);
+  w.write_u32(5);
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+  BlobReader r(blob, 1);
+  EXPECT_EQ(r.read_u32(), 5u);
+  // Overrun: returns zero, latches the error, and stays failed.
+  EXPECT_EQ(r.read_u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.read_u32(), 0u);
+  EXPECT_TRUE(r.read_vector<double>().empty());
+  EXPECT_FALSE(r.at_end());  // at_end is "cleanly consumed", not "failed"
+}
+
+TEST(Blob, LyingArrayCountCannotForceAllocation) {
+  // A corrupt (huge) element count must be rejected by the bounds check
+  // before any allocation happens. Build a blob whose count field claims
+  // far more elements than the payload holds, with a valid CRC.
+  BlobWriter w(1);
+  w.write_span(std::span<const double>(std::vector<double>{1.0, 2.0}));
+  std::vector<std::uint8_t> blob = std::move(w).finish();
+  // Rewrite the count (first 8 payload bytes) to a huge value and reseal.
+  const std::uint64_t huge = ~std::uint64_t{0} / 16;
+  std::memcpy(blob.data() + 8, &huge, sizeof(huge));
+  const std::uint32_t crc = crc32(
+      std::span<const std::uint8_t>(blob).subspan(8, blob.size() - 12));
+  std::memcpy(blob.data() + blob.size() - 4, &crc, sizeof(crc));
+
+  BlobReader r(blob, 1);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.read_vector<double>().empty());
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("exceeds"), std::string::npos) << r.error();
+}
+
+TEST(Blob, FileRoundTripAndMissingFile) {
+  BlobWriter w(1);
+  w.write_string("to disk and back");
+  const std::vector<std::uint8_t> blob = std::move(w).finish();
+  const std::string path = ::testing::TempDir() + "blob_roundtrip.bin";
+  ASSERT_TRUE(write_file(path, blob));
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(read_file(path, back));
+  EXPECT_EQ(back, blob);
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_file(path, back));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Blob, Crc32MatchesKnownVectors) {
+  // CRC-32C (Castagnoli) reference values; guards the hardware and the
+  // slice-by-8 software paths against each other and against the spec.
+  const std::string s = "123456789";
+  std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc32(bytes), 0xE3069283u);  // canonical CRC-32C check value
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  // An unaligned tail (length not a multiple of 8) exercises both loops.
+  bytes.push_back('0');
+  bytes.push_back('1');
+  EXPECT_EQ(crc32(bytes), crc32(bytes));
 }
 
 }  // namespace
