@@ -1,0 +1,308 @@
+// Throughput benchmark of the multi-tenant solve service.
+//
+// Two load shapes, each swept over a client count:
+//
+//  * CLOSED loop -- every client submits one request and WAITS for the
+//    reply before the next (the latency-bound shape). The 1-client closed
+//    loop is the baseline the acceptance criterion compares against:
+//    multi-client throughput must beat it, because concurrent clients'
+//    same-plan requests coalesce into fused solve_batch calls while a
+//    lone client's never can.
+//
+//  * OPEN loop -- clients fire submits without waiting (reaping futures in
+//    the background) until backpressure pushes back; kOverloaded replies
+//    are counted, not retried. This is the saturation shape: it shows the
+//    admission bound holding and the coalesce width growing to the cap.
+//
+// Emits BENCH_service.json (override the path with
+// MSPTRSV_BENCH_SERVICE_JSON) with per-point throughput, coalesce width,
+// and p50/p99 latency -- the service-era companion of BENCH_batch.json.
+// Exits non-zero on any solve failure or if the service's answers diverge
+// from a direct plan.solve (a bench that prints numbers for wrong answers
+// is worse than no bench).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace msptrsv;
+using Clock = std::chrono::steady_clock;
+
+struct CasePoint {
+  std::string mode;
+  int clients = 1;
+  double seconds = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double throughput = 0.0;  // completed rhs / s
+  double mean_width = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct Workload {
+  sparse::CscMatrix lower;
+  std::vector<value_t> b;
+  std::vector<value_t> expected;
+};
+
+service::ServiceOptions service_options(index_t max_coalesce) {
+  service::ServiceOptions opt;
+  opt.max_coalesce = max_coalesce;
+  // Natural batching only: no artificial wait, so the 1-client closed
+  // loop is not penalized by a window it can never fill.
+  opt.coalesce_window = std::chrono::microseconds(0);
+  opt.max_pending_rhs = 4096;
+  return opt;
+}
+
+CasePoint run_closed_loop(const Workload& w, const std::string& backend,
+                          int clients, double seconds, index_t max_coalesce,
+                          int& failures) {
+  service::SolveService svc(service_options(max_coalesce));
+  const auto plan = svc.plan_for(w.lower, backend);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan_for(%s) failed: %s\n", backend.c_str(),
+                 plan.message().c_str());
+    ++failures;
+    return {};
+  }
+  std::atomic<int> bad{0};
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(seconds));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      while (Clock::now() < deadline) {
+        service::SolveService::Reply r = svc.submit(*plan, w.b).get();
+        if (!r.ok() || r.value().x != w.expected) bad.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  svc.drain();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const service::ServiceStatsSnapshot s = svc.stats();
+  failures += bad.load();
+
+  CasePoint p;
+  p.mode = "closed";
+  p.clients = clients;
+  p.seconds = elapsed;
+  p.completed = s.completed;
+  p.rejected = s.rejected;
+  p.throughput = static_cast<double>(s.completed) / elapsed;
+  p.mean_width = s.mean_coalesce_width;
+  p.p50_us = s.p50_latency_us;
+  p.p99_us = s.p99_latency_us;
+  return p;
+}
+
+CasePoint run_open_loop(const Workload& w, const std::string& backend,
+                        int clients, double seconds, index_t max_coalesce,
+                        int& failures) {
+  service::SolveService svc(service_options(max_coalesce));
+  const auto plan = svc.plan_for(w.lower, backend);
+  if (!plan.ok()) {
+    ++failures;
+    return {};
+  }
+  std::atomic<int> bad{0};
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(seconds));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<std::future<service::SolveService::Reply>> inflight;
+      const auto check = [&](service::SolveService::Reply r) {
+        // Backpressure is expected in an open loop; any OTHER failure --
+        // or wrong bits -- must fail the bench.
+        if (!r.ok()) {
+          if (r.status() != core::SolveStatus::kOverloaded) bad.fetch_add(1);
+        } else if (r.value().x != w.expected) {
+          bad.fetch_add(1);
+        }
+      };
+      const auto reap = [&](bool all) {
+        for (auto& f : inflight) {
+          if (!all &&
+              f.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+            continue;
+          check(f.get());
+          f = {};
+        }
+        std::erase_if(inflight, [](const auto& f) { return !f.valid(); });
+      };
+      while (Clock::now() < deadline) {
+        auto fut = svc.submit(*plan, w.b);
+        // An immediately-ready future is (almost always) backpressure:
+        // yield instead of spinning the queue lock.
+        if (fut.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          service::SolveService::Reply r = fut.get();
+          const bool backpressured =
+              !r.ok() && r.status() == core::SolveStatus::kOverloaded;
+          check(std::move(r));
+          if (backpressured) std::this_thread::yield();
+        } else {
+          inflight.push_back(std::move(fut));
+        }
+        if (inflight.size() >= 64) reap(false);
+      }
+      reap(true);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  svc.drain();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const service::ServiceStatsSnapshot s = svc.stats();
+  failures += bad.load();
+
+  CasePoint p;
+  p.mode = "open";
+  p.clients = clients;
+  p.seconds = elapsed;
+  p.completed = s.completed;
+  p.rejected = s.rejected;
+  p.throughput = static_cast<double>(s.completed) / elapsed;
+  p.mean_width = s.mean_coalesce_width;
+  p.p50_us = s.p50_latency_us;
+  p.p99_us = s.p99_latency_us;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli(
+      "Solve-service throughput: open vs closed loop over a client sweep "
+      "(emits BENCH_service.json)");
+  cli.add_option("backend", "cpu-syncfree",
+                 "registry backend key served by the benchmark");
+  cli.add_option("rows", "20000", "generated factor dimension");
+  cli.add_option("seconds", "0.4", "measured seconds per point");
+  cli.add_option("clients", "1,2,4,8,16,32,64",
+                 "comma-separated client counts");
+  cli.add_option("max-coalesce", "32", "widest fused dispatch");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string backend = cli.get_string("backend");
+  const index_t rows = static_cast<index_t>(cli.get_int("rows"));
+  const double seconds = cli.get_double("seconds");
+  const index_t max_coalesce =
+      static_cast<index_t>(cli.get_int("max-coalesce"));
+  std::vector<int> client_counts;
+  for (const std::string& c : cli.get_list("clients")) {
+    client_counts.push_back(std::atoi(c.c_str()));
+  }
+
+  Workload w;
+  w.lower = sparse::gen_layered_dag(rows, 40, rows * 6, 0.5, 99);
+  w.b = sparse::gen_rhs_for_solution(w.lower,
+                                     sparse::gen_solution(w.lower.rows, 1));
+  // Ground truth from a direct (non-service) plan: every service reply in
+  // every configuration below must reproduce these bits.
+  {
+    const auto direct =
+        core::registry::analyze_cached(w.lower, backend);
+    if (!direct.ok()) {
+      std::fprintf(stderr, "baseline analyze failed: %s\n",
+                   direct.message().c_str());
+      return 2;
+    }
+    w.expected = direct->solve(w.b).value().x;
+  }
+
+  int failures = 0;
+  std::vector<CasePoint> points;
+  for (const std::string& mode : {std::string("closed"), std::string("open")}) {
+    for (int clients : client_counts) {
+      const CasePoint p =
+          mode == "closed"
+              ? run_closed_loop(w, backend, clients, seconds, max_coalesce,
+                                failures)
+              : run_open_loop(w, backend, clients, seconds, max_coalesce,
+                              failures);
+      std::printf(
+          "BENCH_service %-6s clients=%-3d  %8.0f rhs/s  width %5.2f  "
+          "p50 %8.1f us  p99 %8.1f us  rejected %llu\n",
+          p.mode.c_str(), p.clients, p.throughput, p.mean_width, p.p50_us,
+          p.p99_us, static_cast<unsigned long long>(p.rejected));
+      points.push_back(p);
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "%d solve failures/mismatches -- refusing to emit numbers "
+                 "for wrong answers\n",
+                 failures);
+    return 3;
+  }
+
+  // The acceptance sanity check: some multi-client CLOSED-loop point must
+  // beat the single-client closed-loop baseline (coalescing has to buy
+  // real throughput under the latency-bound shape, not just look busy --
+  // open-loop points would trivially pass and are excluded).
+  double single = 0.0, best_multi = 0.0;
+  for (const CasePoint& p : points) {
+    if (p.mode != "closed") continue;
+    if (p.clients == 1) single = p.throughput;
+    if (p.clients > 1) best_multi = std::max(best_multi, p.throughput);
+  }
+  if (single > 0.0 && best_multi > 0.0 && best_multi <= single) {
+    std::fprintf(stderr,
+                 "multi-client closed-loop throughput (%.0f rhs/s) does not "
+                 "beat the single-client baseline (%.0f rhs/s)\n",
+                 best_multi, single);
+    return 4;
+  }
+
+  const char* path_env = std::getenv("MSPTRSV_BENCH_SERVICE_JSON");
+  const std::string path = path_env ? path_env : "BENCH_service.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 3;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"solve service open/closed loop\",\n"
+               "  \"backend\": \"%s\",\n"
+               "  \"matrix\": {\"rows\": %d, \"nnz\": %lld},\n"
+               "  \"max_coalesce\": %d,\n  \"cases\": [\n",
+               backend.c_str(), w.lower.rows,
+               static_cast<long long>(w.lower.nnz()), max_coalesce);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CasePoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"clients\": %d, \"seconds\": %.3f, "
+        "\"completed_rhs\": %llu, \"rejected_rhs\": %llu, "
+        "\"throughput_rhs_per_s\": %.1f, \"mean_coalesce_width\": %.3f, "
+        "\"p50_latency_us\": %.1f, \"p99_latency_us\": %.1f}%s\n",
+        p.mode.c_str(), p.clients, p.seconds,
+        static_cast<unsigned long long>(p.completed),
+        static_cast<unsigned long long>(p.rejected), p.throughput,
+        p.mean_width, p.p50_us, p.p99_us,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

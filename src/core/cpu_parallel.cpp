@@ -50,15 +50,19 @@ void solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
                   "batch must be column-major n x num_rhs");
   MSPTRSV_REQUIRE(analysis.n == n, "analysis belongs to a different matrix");
 
-  const int threads = ws.threads();
-  std::barrier<>& sync = ws.level_barrier();
+  SpinBarrier& sync = ws.level_barrier();
   const std::size_t k = static_cast<std::size_t>(num_rhs);
   // Workspace-owned per-thread accumulators: nothing allocates (or can
   // throw) inside the parallel region once the batch width has been seen.
+  // Sized for the workspace's party CAP, so a shared-pool gang of any
+  // width indexes in bounds.
   value_t* scratch = ws.gather_scratch(num_rhs);
   const std::size_t stride = ws.gather_stride();
 
-  ws.pool().run([&](int tid) {
+  // `threads` is the ACTUAL party count of this run (a shared-pool gang
+  // may be narrower than the cap); the level stride and the barrier --
+  // resized by run_parallel -- both follow it.
+  ws.run_parallel([&](int tid, int threads) {
     value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
     for (index_t l = 0; l < analysis.num_levels; ++l) {
       const offset_t begin = analysis.level_ptr[static_cast<std::size_t>(l)];
@@ -99,9 +103,11 @@ void solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
   value_t* scratch = ws.gather_scratch(num_rhs);
   const std::size_t stride = ws.gather_stride();
 
-  // Ascending work claiming: thread-safe and deadlock-free (see header).
+  // Ascending work claiming: thread-safe and deadlock-free (see header) --
+  // and indifferent to the party count, so a shrunk shared-pool gang just
+  // claims more components per thread.
   std::atomic<index_t> next{0};
-  ws.pool().run([&](int tid) {
+  ws.run_parallel([&](int tid, int /*threads*/) {
     value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
     for (;;) {
       const index_t i = next.fetch_add(1, std::memory_order_relaxed);

@@ -29,8 +29,13 @@
 // per-component inner loop running over the RHS dimension. They run on a
 // leased SolveWorkspace: persistent threads (no spawn/join per solve) and
 // generation-tagged delivery counters (no O(n) scratch zeroing per solve)
-// -- see workspace.hpp. The legacy *_threads entry points below wrap them
-// with a throwaway workspace + row form for callers outside the plan API.
+// -- see workspace.hpp. The party count is PER RUN (ws.run_parallel
+// reports it to the kernel lambda): a shared-pool gang may be narrower
+// than the workspace cap when the machine is busy, and because the gather
+// order is a property of the structure, not the schedule, the result bits
+// do not depend on it. The legacy *_threads entry points below wrap the
+// kernels with a throwaway workspace + row form for callers outside the
+// plan API.
 #pragma once
 
 #include <span>

@@ -46,6 +46,12 @@
 #include "sparse/triangular.hpp"
 #include "support/blob.hpp"
 
+// The one upward edge from this umbrella: the multi-tenant solve service
+// layered on top of core (service/ includes core/, never the reverse
+// outside this convenience header). Include service/solve_service.hpp
+// directly to avoid its <future>/<thread> weight.
+#include "service/solve_service.hpp"
+
 namespace msptrsv {
 
 /// Library version, matching the CMake project version.

@@ -182,7 +182,8 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
       options.backend == Backend::kCpuSyncFree) {
     st->snapshot.row_form = sparse::csr_from_csc(lower);
     st->workspaces = std::make_unique<WorkspacePool>(
-        resolve_cpu_threads(options.cpu_threads));
+        resolve_cpu_threads(options.cpu_threads),
+        options.use_shared_pool ? &SharedWorkerPool::instance() : nullptr);
   }
 
   st->analysis_seconds = seconds_since(t0);
@@ -786,7 +787,8 @@ Expected<SolverPlan> SolverPlan::restore(
   if (n > 0 && (st->options.backend == Backend::kCpuLevelSet ||
                 st->options.backend == Backend::kCpuSyncFree)) {
     st->workspaces = std::make_unique<WorkspacePool>(
-        resolve_cpu_threads(st->options.cpu_threads));
+        resolve_cpu_threads(st->options.cpu_threads),
+        st->options.use_shared_pool ? &SharedWorkerPool::instance() : nullptr);
   }
   st->load_seconds = seconds_since(t0);
   return SolverPlan(std::move(st));
@@ -816,6 +818,50 @@ const sparse::LevelAnalysis* SolverPlan::level_analysis() const {
 
 std::size_t SolverPlan::workspace_count() const {
   return state_->workspaces ? state_->workspaces->size() : 0;
+}
+
+std::size_t SolverPlan::owned_thread_count() const {
+  return state_->workspaces ? state_->workspaces->owned_threads() : 0;
+}
+
+const void* SolverPlan::state_id() const { return state_.get(); }
+
+namespace {
+
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t csc_bytes(const sparse::CscMatrix& m) {
+  return vector_bytes(m.col_ptr) + vector_bytes(m.row_idx) +
+         vector_bytes(m.val);
+}
+
+}  // namespace
+
+std::size_t SolverPlan::resident_bytes() const {
+  const State& st = *state_;
+  std::size_t bytes = sizeof(State);
+  bytes += csc_bytes(st.storage);  // empty (0) for borrowed plans
+  const PlanSnapshot& snap = st.snapshot;
+  bytes += vector_bytes(snap.in_degrees);
+  if (snap.levels.has_value()) {
+    bytes += vector_bytes(snap.levels->level_of) +
+             vector_bytes(snap.levels->level_ptr) +
+             vector_bytes(snap.levels->order);
+  }
+  if (snap.row_form.has_value()) {
+    bytes += vector_bytes(snap.row_form->row_ptr) +
+             vector_bytes(snap.row_form->col_idx) +
+             vector_bytes(snap.row_form->val);
+  }
+  if (snap.partition.has_value()) {
+    // Partition internals: per-component owner map dominates.
+    bytes += static_cast<std::size_t>(rows()) * sizeof(int) +
+             static_cast<std::size_t>(rows()) * sizeof(index_t);
+  }
+  return bytes;
 }
 
 sim_time_t SolverPlan::analysis_us() const { return state_->snapshot.analysis_us; }

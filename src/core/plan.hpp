@@ -193,6 +193,26 @@ class SolverPlan {
   /// observability and the reuse tests.
   std::size_t workspace_count() const;
 
+  /// Per-workspace worker threads currently OWNED by this plan: always 0
+  /// before the first solve, and 0 forever when
+  /// options().use_shared_pool routes the kernels through the shared
+  /// pool (the zero-idle-threads guarantee of the solve service).
+  std::size_t owned_thread_count() const;
+
+  /// Stable identity of the shared symbolic state: equal across copies of
+  /// the same plan, distinct across independently analyzed plans. The
+  /// solve service keys request coalescing on it -- two submits may be
+  /// fused into one batch iff their state_id() match (copies of one plan
+  /// share factor, analysis, and workspaces, so fusing them is exactly
+  /// solve_batch's contract).
+  const void* state_id() const;
+
+  /// Approximate resident footprint of this plan's shared state in bytes:
+  /// the owned factor plus every snapshot section (row form, levels,
+  /// in-degrees, partition). What a byte-budgeted PlanCache charges per
+  /// entry. Borrowed plans exclude the caller's matrix.
+  std::size_t resident_bytes() const;
+
   /// One-time simulated analysis charge (0 for the real host backends).
   sim_time_t analysis_us() const;
   /// Host wall-clock seconds spent inside analyze().

@@ -1,9 +1,13 @@
 #include "core/plan_cache.hpp"
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
+#include "core/plan_snapshot.hpp"
 #include "core/registry.hpp"
 #include "sparse/serialize.hpp"
+#include "support/blob.hpp"
 
 namespace msptrsv::core {
 
@@ -31,7 +35,8 @@ std::string machine_tag(const std::string& name) {
 
 }  // namespace
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+PlanCache::PlanCache(CacheOptions options)
+    : capacity_(options.capacity), max_bytes_(options.max_bytes) {}
 
 PlanCache& PlanCache::instance() {
   static PlanCache cache;
@@ -55,7 +60,11 @@ std::string PlanCache::key_of(const sparse::CscMatrix& lower,
          std::to_string(options.tasks_per_gpu) + "-c" +
          std::to_string(options.cpu_threads) + "-" +
          (options.fuse_batch ? "fb" : "lb") + "-n" +
-         std::to_string(nvshmem_bits) + "-" +
+         std::to_string(nvshmem_bits) +
+         // Unconditional fixed-width token: a conditional one adjacent to
+         // the free-form machine tag would let (no flag, machine "sp-x")
+         // collide with (flag, machine "x").
+         (options.use_shared_pool ? "-sp1" : "-sp0") + "-" +
          machine_tag(options.machine.name);
 }
 
@@ -67,19 +76,42 @@ const SolverPlan* PlanCache::find_locked(const std::string& key) {
 }
 
 void PlanCache::insert_locked(const std::string& key, const SolverPlan& plan) {
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->plan = plan;
-    lru_.splice(lru_.begin(), lru_, it->second);
+  // An entry larger than the whole byte budget can never stay resident:
+  // refuse it up front rather than letting the LRU sweep evict every
+  // OTHER entry first on its way to the oversized newcomer.
+  if (max_bytes_ != 0 && plan.resident_bytes() > max_bytes_) {
+    const auto stale = index_.find(key);
+    if (stale != index_.end()) {
+      resident_bytes_ -= stale->second->bytes;
+      lru_.erase(stale->second);
+      index_.erase(stale);
+      ++stats_.evictions;
+      ++stats_.byte_evictions;
+    }
     return;
   }
-  lru_.push_front(Entry{key, plan});
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    resident_bytes_ -= it->second->bytes;
+    it->second->plan = plan;
+    it->second->bytes = plan.resident_bytes();
+    resident_bytes_ += it->second->bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_budget_locked();
+    return;
+  }
+  lru_.push_front(Entry{key, plan, plan.resident_bytes()});
+  resident_bytes_ += lru_.front().bytes;
   index_[key] = lru_.begin();
-  evict_to_capacity_locked();
+  evict_to_budget_locked();
 }
 
-void PlanCache::evict_to_capacity_locked() {
-  while (lru_.size() > capacity_) {
+void PlanCache::evict_to_budget_locked() {
+  while (!lru_.empty() &&
+         (lru_.size() > capacity_ ||
+          (max_bytes_ != 0 && resident_bytes_ > max_bytes_))) {
+    if (lru_.size() <= capacity_) ++stats_.byte_evictions;
+    resident_bytes_ -= lru_.back().bytes;
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
@@ -142,12 +174,28 @@ std::string PlanCache::disk_directory() const {
 void PlanCache::set_capacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = capacity;
-  evict_to_capacity_locked();
+  evict_to_budget_locked();
 }
 
 std::size_t PlanCache::capacity() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return capacity_;
+}
+
+void PlanCache::set_max_bytes(std::size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_bytes_ = max_bytes;
+  evict_to_budget_locked();
+}
+
+std::size_t PlanCache::max_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_bytes_;
+}
+
+std::size_t PlanCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
 }
 
 std::size_t PlanCache::size() const {
@@ -164,7 +212,84 @@ void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  resident_bytes_ = 0;
   stats_ = Stats{};
+}
+
+PlanCache::FsckReport PlanCache::fsck(bool repair) {
+  namespace fs = std::filesystem;
+  FsckReport report;
+  const std::string dir = disk_directory();
+  if (dir.empty()) return report;
+
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    report.problems.push_back(dir + ": " + ec.message());
+    return report;
+  }
+
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".plan") continue;
+    ++report.scanned;
+    const std::string name = path.stem().string();  // the cache key
+
+    std::string problem;
+    bool corrupt = false;
+    std::vector<std::uint8_t> bytes;
+    SnapshotBlob parsed;
+    if (!support::read_file(path.string(), bytes)) {
+      problem = "unreadable";
+      corrupt = true;
+    } else {
+      // Full-format parse: verifies magic, version, endianness, the
+      // whole-payload CRC, and every section's internal consistency.
+      // kSkipFactor still CRC-checks the factor bytes, so the sweep is
+      // allocation-light even on multi-MB blobs.
+      const std::string err =
+          deserialize_snapshot(bytes, parsed, SnapshotRead::kSkipFactor);
+      if (!err.empty()) {
+        problem = err;
+        corrupt = true;
+      }
+    }
+    if (!corrupt) {
+      // The filename key leads with <pattern>-<values> (16 hex chars
+      // each); a blob that parses but no longer matches its name is a
+      // stale leftover -- a lookup under this key would reject it with
+      // kBadSnapshot and re-analyze every time.
+      const std::string want_hash = hex64(parsed.factor_hash.pattern) + "-" +
+                                    hex64(parsed.factor_hash.values);
+      const std::string want_config =
+          std::string("-") +
+          registry::entry_of(parsed.snapshot.backend).key + "-g" +
+          std::to_string(parsed.snapshot.num_gpus) + "-t" +
+          std::to_string(parsed.snapshot.tasks_per_gpu) + "-";
+      if (name.rfind(want_hash, 0) != 0) {
+        problem = "content hash disagrees with the filename key";
+      } else if (name.find(want_config) == std::string::npos) {
+        problem = "analysis configuration disagrees with the filename key";
+      }
+    }
+
+    if (problem.empty()) {
+      ++report.valid;
+      continue;
+    }
+    (corrupt ? report.corrupt : report.mismatched) += 1;
+    report.problems.push_back(path.filename().string() + ": " + problem);
+    if (repair) {
+      std::uintmax_t size = entry.file_size(ec);
+      if (ec) size = 0;
+      if (fs::remove(path, ec) && !ec) {
+        ++report.pruned;
+        report.bytes_freed += static_cast<std::uint64_t>(size);
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace msptrsv::core

@@ -15,9 +15,16 @@
 // before re-analyzing, and freshly analyzed plans are written back
 // best-effort. That is the cross-process half of the amortization story --
 // a restarted service warm-starts from the blob directory at O(read).
+// The directory is operable: fsck() sweeps it, validating every blob's
+// CRC and checking its content hash and configuration against the
+// filename key, pruning anything stale or corrupt.
 //
-// Bounded LRU: at most `capacity` plans stay resident; the least recently
-// used plan is evicted on overflow (its blob, if any, stays on disk).
+// Bounded two ways (CacheOptions): at most `capacity` plans stay resident
+// (count LRU), and -- when max_bytes is set -- their summed resident
+// footprints (factor + snapshot arrays, SolverPlan::resident_bytes) stay
+// under the byte budget. Either bound evicts from the LRU tail; evicted
+// blobs, if any, stay on disk.
+//
 // Thread-safe: the index is mutex-guarded; the analysis itself runs
 // OUTSIDE the lock, so two racing misses may both analyze (last insert
 // wins) but never block each other or the hit path for long.
@@ -28,16 +35,28 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/plan.hpp"
 
 namespace msptrsv::core {
 
+struct CacheOptions {
+  /// Count bound: at most this many plans stay resident.
+  std::size_t capacity = 32;
+  /// Byte budget over the summed resident footprints; 0 = unbounded.
+  /// An entry larger than the whole budget is returned to the caller but
+  /// does not stay resident (the budget is honest, not advisory).
+  std::size_t max_bytes = 0;
+};
+
 class PlanCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 32;
 
-  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+  explicit PlanCache(CacheOptions options);
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+      : PlanCache(CacheOptions{capacity, 0}) {}
 
   /// The process-wide instance the registry consults.
   static PlanCache& instance();
@@ -46,6 +65,9 @@ class PlanCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// The subset of `evictions` forced by the byte budget while the
+    /// count capacity still had room.
+    std::uint64_t byte_evictions = 0;
     /// Memory misses served by the on-disk blob directory.
     std::uint64_t disk_hits = 0;
     /// Freshly analyzed plans persisted to the blob directory.
@@ -73,10 +95,46 @@ class PlanCache {
   /// Shrinking the capacity evicts LRU entries immediately.
   void set_capacity(std::size_t capacity);
   std::size_t capacity() const;
+  /// Shrinking the byte budget evicts LRU entries immediately (0 lifts
+  /// the bound).
+  void set_max_bytes(std::size_t max_bytes);
+  std::size_t max_bytes() const;
+  /// Summed resident footprint of the cached plans right now.
+  std::size_t resident_bytes() const;
   std::size_t size() const;
   Stats stats() const;
   /// Drops every resident plan and zeroes the stats (disk blobs remain).
   void clear();
+
+  // ---- disk-directory maintenance ------------------------------------------
+
+  struct FsckReport {
+    /// `*.plan` files examined.
+    int scanned = 0;
+    int valid = 0;
+    /// Unreadable, truncated, CRC-corrupt, or wrong-format blobs.
+    int corrupt = 0;
+    /// Blobs that parse but whose content hash or analysis configuration
+    /// disagrees with their filename key: stale leftovers of a renamed /
+    /// refreshed matrix or an options change. A lookup would reject them
+    /// at load anyway; fsck reclaims the bytes.
+    int mismatched = 0;
+    /// Bad files actually deleted (repair mode only).
+    int pruned = 0;
+    std::uint64_t bytes_freed = 0;
+    /// One diagnostic line per bad file.
+    std::vector<std::string> problems;
+  };
+
+  /// Sweeps the on-disk blob directory: reads every `*.plan` file,
+  /// verifies the blob format and CRC, and checks the stored factor hash
+  /// and (backend, num_gpus, tasks_per_gpu) identity against the filename
+  /// key. With `repair` (the default) corrupt and mismatched blobs are
+  /// deleted; otherwise the report only diagnoses. Other files in the
+  /// directory are ignored. A cache without a disk directory reports
+  /// zeroes. Safe to run concurrently with lookups: loads validate blobs
+  /// independently and treat a vanished file as a plain miss.
+  FsckReport fsck(bool repair = true);
 
   /// The cache key for (lower, options): hex content hash + configuration
   /// fingerprint, filename-safe. Exposed so tests and operators can
@@ -88,15 +146,18 @@ class PlanCache {
   struct Entry {
     std::string key;
     SolverPlan plan;
+    std::size_t bytes = 0;
   };
 
   /// Looks up `key`, refreshing LRU order. Caller holds the lock.
   const SolverPlan* find_locked(const std::string& key);
   void insert_locked(const std::string& key, const SolverPlan& plan);
-  void evict_to_capacity_locked();
+  void evict_to_budget_locked();
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  std::size_t max_bytes_;
+  std::size_t resident_bytes_ = 0;
   std::string disk_dir_;
   /// Front = most recently used.
   std::list<Entry> lru_;

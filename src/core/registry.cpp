@@ -111,6 +111,21 @@ Expected<SolverPlan> analyze_cached(const sparse::CscMatrix& lower,
   return analyze_cached(lower, opt.value());
 }
 
+Expected<SolveOptions> service_options(std::string_view key) {
+  Expected<SolveOptions> opt = options_for(key);
+  if (!opt.ok()) return opt;
+  opt.value().use_shared_pool = true;
+  return opt;
+}
+
+Expected<SolveOptions> service_preset_options(std::string_view preset_key,
+                                              Backend backend) {
+  Expected<SolveOptions> opt = preset_options(preset_key, backend);
+  if (!opt.ok()) return opt;
+  opt.value().use_shared_pool = true;
+  return opt;
+}
+
 namespace {
 
 // Pre-tuned deployments. Task granularity follows the paper's Fig. 9

@@ -70,9 +70,23 @@ std::string backend_keys();
 Expected<SolverPlan> analyze_cached(const sparse::CscMatrix& lower,
                                     const SolveOptions& options);
 
-/// parse_backend + default_options + analyze_cached in one step.
+/// parse_backend + default_options + analyze_cached in one step. (A
+/// caller with its own PlanCache -- e.g. a solve service with a private
+/// byte budget -- calls cache.get_or_analyze directly.)
 Expected<SolverPlan> analyze_cached(const sparse::CscMatrix& lower,
                                     std::string_view key);
+
+// ---- solve service ---------------------------------------------------------
+
+/// Options for plans that will be SERVED: options_for(key) with
+/// use_shared_pool set, so every served plan's kernel parallelism comes
+/// from the process-wide SharedWorkerPool instead of plan-owned threads.
+/// This is what service::SolveService stamps on analyze-on-first-use.
+Expected<SolveOptions> service_options(std::string_view key);
+
+/// preset_options + use_shared_pool: serve a pre-tuned deployment.
+Expected<SolveOptions> service_preset_options(
+    std::string_view preset_key, Backend backend = Backend::kMgZeroCopy);
 
 // ---- machine presets -------------------------------------------------------
 

@@ -65,6 +65,15 @@ struct SolveOptions {
   /// false loops single solves (the PR 1 semantics: per-rhs reports
   /// accumulate). Both modes produce bit-for-bit identical x.
   bool fuse_batch = true;
+  /// Host-parallel kernel threads come from the process-wide
+  /// core::SharedWorkerPool (claimed as a per-solve gang that shrinks
+  /// under contention) instead of plan-owned WorkerPools. Caps total host
+  /// threads when many plans solve concurrently -- the multi-tenant
+  /// service (service::SolveService) turns this on for every plan it
+  /// builds. Off by default: a single-plan process keeps its dedicated
+  /// full-width gang. Results are bit-identical either way (the pull-based
+  /// gather order does not depend on the party count).
+  bool use_shared_pool = false;
 };
 
 struct SolveResult {

@@ -38,6 +38,11 @@ enum class SolveStatus {
   /// inconsistent, or its structural hash / configuration does not match
   /// what the caller supplied.
   kBadSnapshot,
+  /// The solve service refused admission: its pending-request queue is at
+  /// capacity (backpressure -- retry later or slow down), or the service
+  /// is shutting down. Typed so clients can branch on it without string
+  /// matching.
+  kOverloaded,
   /// A library bug surfaced through the status channel.
   kInternalError,
 };
@@ -51,6 +56,7 @@ constexpr std::string_view to_string(SolveStatus s) {
     case SolveStatus::kUnknownBackend: return "unknown-backend";
     case SolveStatus::kInvalidOptions: return "invalid-options";
     case SolveStatus::kBadSnapshot: return "bad-snapshot";
+    case SolveStatus::kOverloaded: return "overloaded";
     case SolveStatus::kInternalError: return "internal-error";
   }
   return "unknown-status";

@@ -1,5 +1,7 @@
 #include "core/worker_pool.hpp"
 
+#include <algorithm>
+
 #include "support/contracts.hpp"
 
 namespace msptrsv::core {
@@ -79,6 +81,222 @@ void WorkerPool::worker_loop(int tid) {
       if (++done_ == workers_.size()) done_cv_.notify_one();
     }
   }
+}
+
+// ---- SharedWorkerPool ------------------------------------------------------
+
+SharedWorkerPool::SharedWorkerPool(int threads) {
+  MSPTRSV_REQUIRE(threads >= 1, "SharedWorkerPool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start only after every Worker slot exists: a fast first thread must
+  // not steal-scan into unconstructed siblings.
+  for (int t = 0; t < threads; ++t) {
+    workers_[static_cast<std::size_t>(t)]->thread =
+        std::thread([this, t] { worker_loop(t); });
+  }
+}
+
+SharedWorkerPool::~SharedWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+}
+
+SharedWorkerPool& SharedWorkerPool::instance() {
+  // Deliberately leaked: plans cached in other process-wide statics
+  // (PlanCache) hold workspaces that point here, and static destruction
+  // order between translation units is unspecified. A never-destroyed
+  // pool outlives every client by construction.
+  static SharedWorkerPool* pool =
+      new SharedWorkerPool(resolve_cpu_threads(0));
+  return *pool;
+}
+
+void SharedWorkerPool::submit(std::function<void()> task) {
+  const std::size_t victim =
+      static_cast<std::size_t>(next_victim_.fetch_add(
+          1, std::memory_order_relaxed)) %
+      workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[victim]->deque_mutex);
+    workers_[victim]->deque.push_back(std::move(task));
+  }
+  {
+    // Ticket AFTER the push: a worker that wins the ticket is guaranteed
+    // to find a task in some deque (tickets and queued tasks are 1:1).
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  cv_.notify_one();
+}
+
+bool SharedWorkerPool::take_task(int self, std::function<void()>& out) {
+  {
+    Worker& me = *workers_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(me.deque_mutex);
+    if (!me.deque.empty()) {
+      out = std::move(me.deque.front());
+      me.deque.pop_front();
+      return true;
+    }
+  }
+  // Steal from the BACK of a sibling's deque (the owner pops the front),
+  // starting at a rotating victim so thieves spread out.
+  const std::size_t n = workers_.size();
+  const std::size_t start = static_cast<std::size_t>(
+      next_victim_.fetch_add(1, std::memory_order_relaxed));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = (start + k) % n;
+    if (v == static_cast<std::size_t>(self)) continue;
+    Worker& victim = *workers_[v];
+    std::lock_guard<std::mutex> lock(victim.deque_mutex);
+    if (!victim.deque.empty()) {
+      out = std::move(victim.deque.back());
+      victim.deque.pop_back();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SharedWorkerPool::worker_loop(int self) {
+  Worker& me = *workers_[static_cast<std::size_t>(self)];
+  for (;;) {
+    GangRun* gang = nullptr;
+    int gang_tid = 0;
+    bool have_ticket = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        if (me.gang != nullptr && me.gang->ready) {
+          gang = me.gang;
+          gang_tid = me.gang_tid;
+          me.gang = nullptr;
+          // This wake-up may have consumed a task notify: pass it on so
+          // the ticket is not stranded until the next unrelated wake.
+          if (pending_ > 0) cv_.notify_one();
+          break;
+        }
+        if (me.gang == nullptr) {
+          if (stopping_) return;
+          if (pending_ > 0) {
+            --pending_;
+            have_ticket = true;
+            break;
+          }
+          me.parked = true;
+          idle_.push_back(self);
+        }
+        cv_.wait(lock);
+        if (me.parked) {
+          // Woken for a reason other than a gang claim (a claim removes
+          // us from the idle list itself): withdraw and re-evaluate.
+          me.parked = false;
+          idle_.erase(std::find(idle_.begin(), idle_.end(), self));
+        }
+      }
+    }
+    if (gang != nullptr) {
+      std::exception_ptr thrown;
+      try {
+        gang->job.invoke(gang->job.ctx, gang_tid, gang->parties);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      finish_member(*gang, std::move(thrown));
+      continue;
+    }
+    if (have_ticket) {
+      // A ticket guarantees a task exists somewhere; a transiently losing
+      // scan (another holder grabbed "ours" first while theirs is still
+      // in a deque) just rescans.
+      std::function<void()> task;
+      while (!take_task(self, task)) std::this_thread::yield();
+      task();  // tasks are noexcept by contract (see submit)
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SharedWorkerPool::claim_members(int max_extra, GangRun& gang) {
+  if (max_extra < 0) max_extra = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int take =
+      std::min<int>(max_extra, static_cast<int>(idle_.size()));
+  for (int i = 0; i < take; ++i) {
+    const int w = idle_.back();
+    idle_.pop_back();
+    Worker& member = *workers_[static_cast<std::size_t>(w)];
+    member.parked = false;
+    member.gang = &gang;
+    member.gang_tid = i + 1;
+    gang.members.push_back(w);
+  }
+  gangs_.fetch_add(1, std::memory_order_relaxed);
+  gang_members_.fetch_add(static_cast<std::uint64_t>(take),
+                          std::memory_order_relaxed);
+  if (take < max_extra) gang_shrinks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int SharedWorkerPool::run_claimed(GangRun& gang, int parties) {
+  gang.parties = parties;
+  if (!gang.members.empty()) {
+    gang.remaining.store(static_cast<int>(gang.members.size()),
+                         std::memory_order_relaxed);
+    {
+      // Publish the job only now: claimed members wait for `ready` so a
+      // spurious wake cannot run a half-built gang.
+      std::lock_guard<std::mutex> lock(mutex_);
+      gang.ready = true;
+    }
+    cv_.notify_all();
+  }
+  std::exception_ptr caller_failure;
+  try {
+    gang.job.invoke(gang.job.ctx, 0, parties);
+  } catch (...) {
+    caller_failure = std::current_exception();
+  }
+  if (!gang.members.empty()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    gang_cv_.wait(lock, [&] {
+      return gang.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (caller_failure) std::rethrow_exception(caller_failure);
+  if (gang.failure) std::rethrow_exception(gang.failure);
+  return parties;
+}
+
+void SharedWorkerPool::finish_member(GangRun& gang,
+                                     std::exception_ptr thrown) {
+  if (thrown) {
+    std::lock_guard<std::mutex> lock(gang.failure_mutex);
+    if (!gang.failure) gang.failure = std::move(thrown);
+  }
+  if (gang.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last member out wakes the caller. The caller re-checks the count
+    // under the mutex, so decrement-then-notify cannot lose the wakeup.
+    std::lock_guard<std::mutex> lock(mutex_);
+    gang_cv_.notify_all();
+  }
+}
+
+SharedWorkerPool::Stats SharedWorkerPool::stats() const {
+  Stats s;
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.gangs = gangs_.load(std::memory_order_relaxed);
+  s.gang_members = gang_members_.load(std::memory_order_relaxed);
+  s.gang_shrinks = gang_shrinks_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace msptrsv::core

@@ -1,26 +1,38 @@
-// Persistent worker pool for the real host backends.
+// Worker pools for the real host backends.
 //
 // The paper's central claim is that SpTRSV is dominated by fixed per-solve
 // overheads; on the host the analogous overhead is std::thread create/join,
 // which costs tens of microseconds per thread -- often more than the solve
-// itself on small factors. A WorkerPool parks its threads on a condition
-// variable between solves, so a plan's hot path pays one wake/park cycle
-// instead of a full spawn/join cycle per solve.
+// itself on small factors. Two pool designs share that insight:
 //
-// Execution model: run(fn) executes fn(tid) on every party of the pool.
-// The calling thread participates as tid 0; the pool owns parties()-1
-// background threads for tids 1..parties()-1. A pool with parties() == 1
-// therefore owns no threads at all and run() degenerates to a direct call.
+//  * WorkerPool -- the per-plan gang of PR 2: parks its threads on a
+//    condition variable between solves, so a plan's hot path pays one
+//    wake/park cycle instead of a full spawn/join cycle per solve. Owned
+//    by one SolveWorkspace; exactly parties() threads per run.
 //
-// One run() at a time: the pool is a single-tenant resource (SolveWorkspace
-// leases guarantee exclusivity; see workspace.hpp). run() returns only
-// after every party has finished, which also gives the caller a
-// happens-before edge over all worker writes.
+//  * SharedWorkerPool -- the multi-tenant substrate: ONE process-wide set
+//    of parked threads serving every plan and the solve service. Each
+//    worker owns a deque of submitted tasks (service dispatch jobs);
+//    an idle worker drains its own deque first and STEALS from a sibling's
+//    when empty, so a burst of requests against one plan spreads across
+//    the machine without any central run queue. Solve kernels claim
+//    temporary GANGS of idle workers instead: a gang claim never blocks
+//    and never waits for busy workers -- it takes whatever is parked right
+//    now and runs with a smaller party count otherwise (the kernels'
+//    pull-based gather is bit-identical at any thread count, so shrinking
+//    is free). That non-blocking shrink is what makes nested use safe: a
+//    task running ON the pool can open a gang without any deadlock cycle,
+//    and total host threads stay capped at the pool size no matter how
+//    many plans solve concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <condition_variable>
+#include <deque>
 #include <exception>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -73,6 +85,183 @@ class WorkerPool {
   /// First exception thrown by any party this epoch (rethrown by run).
   std::exception_ptr failure_;
   bool stopping_ = false;
+};
+
+/// Reusable barrier whose party count can change BETWEEN runs (std::barrier
+/// fixes it at construction, which a shrinking shared-pool gang cannot
+/// live with). Sense-reversing: arrivals count up against the current
+/// phase; the last arriver resets the count and releases the phase.
+/// Waiters spin briefly (level waits are usually shorter than a context
+/// switch) and then BLOCK on a condition variable -- so an owned pool
+/// oversubscribed past the physical cores (cpu_threads > hardware, or
+/// many full-width plans solving at once) degrades to the blocking
+/// behavior the old std::barrier had instead of burning whole scheduler
+/// quanta in a yield loop.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties = 1) : parties_(parties) {}
+
+  /// Only between runs: no party may be inside arrive_and_wait().
+  void reset(int parties) { parties_ = parties; }
+  int parties() const { return parties_; }
+
+  void arrive_and_wait() {
+    const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      {
+        // Publish the phase under the mutex so a waiter cannot check the
+        // predicate and sleep between our store and our notify.
+        std::lock_guard<std::mutex> lock(mutex_);
+        phase_.store(phase + 1, std::memory_order_release);
+      }
+      cv_.notify_all();
+      return;
+    }
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (phase_.load(std::memory_order_acquire) != phase) return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return phase_.load(std::memory_order_acquire) != phase;
+    });
+  }
+
+ private:
+  /// Yields before sleeping; enough for same-core handoffs and short
+  /// levels without measurable cost when the wait really is long.
+  static constexpr int kSpins = 64;
+
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<int> arrived_{0};
+  int parties_ = 1;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// The process-wide shared pool (see the file comment for the design).
+/// Thread-safe throughout; one instance serves every plan and service in
+/// the process via instance(), though tests may build private ones.
+class SharedWorkerPool {
+ public:
+  /// Spawns `threads` parked workers (>= 1).
+  explicit SharedWorkerPool(int threads);
+  ~SharedWorkerPool();
+
+  SharedWorkerPool(const SharedWorkerPool&) = delete;
+  SharedWorkerPool& operator=(const SharedWorkerPool&) = delete;
+
+  /// The process-wide instance: resolve_cpu_threads(0) workers, created on
+  /// first use and alive for the rest of the process.
+  static SharedWorkerPool& instance();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues an independent task (a service dispatch job). The task lands
+  /// on one worker's deque round-robin; any idle sibling may steal it.
+  /// Tasks must not throw (they are request handlers that report through
+  /// their own promise channel); a task that does throw aborts via the
+  /// noexcept worker loop, loudly.
+  void submit(std::function<void()> task);
+
+  /// Claims up to `max_extra` currently-parked workers and runs
+  /// fn(tid, parties) on each of them (tids 1..parties-1) plus the calling
+  /// thread (tid 0), where parties = claimed + 1 <= max_extra + 1. Never
+  /// blocks waiting for workers: if fewer are parked the gang shrinks,
+  /// down to the caller alone. Returns the party count actually used.
+  /// Rethrows the first exception any party threw, after all have
+  /// finished. `configure(parties)` runs on the caller before any member
+  /// starts -- the hook where the workspace sizes its barrier.
+  template <typename F, typename C>
+  int run_gang(int max_extra, C&& configure, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    GangRun gang;
+    claim_members(max_extra, gang);
+    const int parties = static_cast<int>(gang.members.size()) + 1;
+    try {
+      configure(parties);
+    } catch (...) {
+      // Claimed members point at this stack frame: release them through a
+      // no-op job before letting the exception unwind it.
+      gang.job = {nullptr, [](void*, int, int) {}};
+      run_claimed(gang, parties);
+      throw;
+    }
+    gang.job = {&fn, [](void* ctx, int tid, int p) {
+                  (*static_cast<Fn*>(ctx))(tid, p);
+                }};
+    return run_claimed(gang, parties);
+  }
+
+  struct Stats {
+    std::uint64_t tasks_run = 0;
+    std::uint64_t tasks_stolen = 0;
+    std::uint64_t gangs = 0;
+    std::uint64_t gang_members = 0;
+    /// Gangs that got fewer extras than they asked for (the contention
+    /// signal: solves are sharing the machine).
+    std::uint64_t gang_shrinks = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// One gang execution: the claimed members, the type-erased job, and the
+  /// completion state the caller waits on. Lives on the caller's stack.
+  struct GangRun {
+    struct Job {
+      void* ctx;
+      void (*invoke)(void* ctx, int tid, int parties);
+    };
+    std::vector<int> members;  ///< worker indices, tid = position + 1
+    Job job{nullptr, nullptr};
+    /// Members wait for this (under the pool mutex) before touching `job`:
+    /// a claim happens before the job is published.
+    bool ready = false;
+    int parties = 1;
+    std::atomic<int> remaining{0};
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+  };
+
+  struct Worker {
+    std::thread thread;
+    /// Local task deque; owner pops the front, thieves steal the back.
+    std::mutex deque_mutex;
+    std::deque<std::function<void()>> deque;
+    /// Gang assignment, set under the pool mutex while the worker parks.
+    GangRun* gang = nullptr;
+    int gang_tid = 0;
+    bool parked = false;
+  };
+
+  void worker_loop(int self);
+  /// Pops one task: own deque front first, then steals a sibling's back.
+  bool take_task(int self, std::function<void()>& out);
+  void claim_members(int max_extra, GangRun& gang);
+  int run_claimed(GangRun& gang, int parties);
+  void finish_member(GangRun& gang, std::exception_ptr thrown);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  /// Parking lot: guards parked flags, gang assignments, pending count,
+  /// and the stop flag. Task deques have their own mutexes so stealing
+  /// never contends with parking.
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Workers currently parked (claimable for gangs), as indices.
+  std::vector<int> idle_;
+  /// Tickets: one per submitted-but-untaken task (see take_task).
+  std::size_t pending_ = 0;
+  std::atomic<std::uint64_t> next_victim_{0};
+  bool stopping_ = false;
+  /// Completion signal for gang callers (waits are rare and short).
+  std::condition_variable gang_cv_;
+
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+  std::atomic<std::uint64_t> gangs_{0};
+  std::atomic<std::uint64_t> gang_members_{0};
+  std::atomic<std::uint64_t> gang_shrinks_{0};
 };
 
 /// Resolves a user-facing thread-count option: values > 0 pass through,

@@ -1,11 +1,20 @@
 #include "core/workspace.hpp"
 
+#include <algorithm>
+
 #include "support/contracts.hpp"
 
 namespace msptrsv::core {
 
-SolveWorkspace::SolveWorkspace(int parties)
-    : pool_(parties), barrier_(parties) {}
+SolveWorkspace::SolveWorkspace(int parties, SharedWorkerPool* shared)
+    : parties_(parties), shared_(shared), barrier_(parties) {
+  MSPTRSV_REQUIRE(parties >= 1, "workspaces need at least one thread");
+  if (shared_ != nullptr) {
+    // A gang is the caller plus claimed shared workers: the cap cannot
+    // usefully exceed the whole shared pool plus the caller.
+    parties_ = std::min(parties_, shared_->threads() + 1);
+  }
+}
 
 std::atomic<std::uint64_t>* SolveWorkspace::delivered(index_t n) {
   const std::size_t need = static_cast<std::size_t>(n);
@@ -42,15 +51,16 @@ value_t* SolveWorkspace::gather_scratch(index_t num_rhs) {
   return gather_base_;
 }
 
-WorkspacePool::WorkspacePool(int parties_per_workspace)
-    : parties_(parties_per_workspace) {
+WorkspacePool::WorkspacePool(int parties_per_workspace,
+                             SharedWorkerPool* shared)
+    : parties_(parties_per_workspace), shared_(shared) {
   MSPTRSV_REQUIRE(parties_ >= 1, "workspaces need at least one thread");
 }
 
 WorkspacePool::Lease WorkspacePool::acquire() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (idle_.empty()) {
-    all_.push_back(std::make_unique<SolveWorkspace>(parties_));
+    all_.push_back(std::make_unique<SolveWorkspace>(parties_, shared_));
     idle_.push_back(all_.back().get());
   }
   SolveWorkspace* ws = idle_.back();
@@ -61,6 +71,17 @@ WorkspacePool::Lease WorkspacePool::acquire() {
 std::size_t WorkspacePool::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return all_.size();
+}
+
+std::size_t WorkspacePool::owned_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& ws : all_) {
+    if (ws->owns_threads()) {
+      count += static_cast<std::size_t>(ws->threads() - 1);
+    }
+  }
+  return count;
 }
 
 void WorkspacePool::release(SolveWorkspace* ws) {

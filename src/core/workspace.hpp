@@ -6,8 +6,17 @@
 // supposed to hoist. A SolveWorkspace owns the persistent execution state
 // for the lifetime of a plan:
 //
-//  * a WorkerPool of parked threads (no spawn/join on the hot path) and
-//    the reusable per-level barrier;
+//  * an execution context of up to `parties` threads per solve. In OWNED
+//    mode that is a WorkerPool of parked threads materialized lazily on
+//    the FIRST run -- a plan that is analyzed (or cached) but never solved
+//    holds zero threads. In SHARED mode the workspace owns no threads at
+//    all: each run claims a gang of idle workers from the process-wide
+//    core::SharedWorkerPool and shrinks gracefully when the machine is
+//    busy (the pull-based kernels are bit-identical at any party count),
+//    which is what caps total host threads when many plans coexist;
+//
+//  * the reusable per-level barrier (resized to the actual gang width at
+//    the start of each run);
 //
 //  * MONOTONIC delivery counters tagged by a per-workspace generation,
 //    replacing the sync-free pending countdowns. Every solve (or fused
@@ -26,12 +35,11 @@
 // Concurrency: a workspace is single-tenant. WorkspacePool hands out
 // exclusive leases (growing on demand), which is what makes concurrent
 // plan.solve()/solve_batch() calls from many threads safe on the host
-// backends -- each caller gets its own workspace and worker pool, and the
-// pool mutex gives the lease handoff a happens-before edge.
+// backends -- each caller gets its own workspace, and the pool mutex gives
+// the lease handoff a happens-before edge.
 #pragma once
 
 #include <atomic>
-#include <barrier>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,26 +52,62 @@ namespace msptrsv::core {
 
 class SolveWorkspace {
  public:
-  /// `parties` real threads cooperate on every solve run on this
-  /// workspace (>= 1; the calling thread counts as one of them).
-  explicit SolveWorkspace(int parties);
+  /// Up to `parties` real threads cooperate on every solve run on this
+  /// workspace (>= 1; the calling thread counts as one of them). With a
+  /// non-null `shared`, runs execute as gangs claimed from that pool and
+  /// the workspace never owns a thread; otherwise an owned WorkerPool of
+  /// parties-1 threads is created lazily on the first run.
+  explicit SolveWorkspace(int parties, SharedWorkerPool* shared = nullptr);
 
   SolveWorkspace(const SolveWorkspace&) = delete;
   SolveWorkspace& operator=(const SolveWorkspace&) = delete;
 
-  int threads() const { return pool_.parties(); }
-  WorkerPool& pool() { return pool_; }
-  /// Reusable per-level barrier (all threads() parties).
-  std::barrier<>& level_barrier() { return barrier_; }
+  /// The party-count CAP for runs on this workspace; gather_scratch sizes
+  /// per-thread slices against it. Shared-mode runs may use fewer.
+  int threads() const { return parties_; }
+
+  /// True when this workspace gangs on the shared pool (observability).
+  bool uses_shared_pool() const { return shared_ != nullptr; }
+  /// True once an owned WorkerPool has materialized (always false in
+  /// shared mode -- the lazy-pool guarantee the tests pin down). Safe to
+  /// poll from other threads while the single tenant runs.
+  bool owns_threads() const {
+    return has_owned_pool_.load(std::memory_order_acquire);
+  }
+
+  /// Runs fn(tid, parties) on `parties` cooperating threads (caller is
+  /// tid 0) and returns the party count used: exactly threads() in owned
+  /// mode, 1..threads() in shared mode depending on how many shared
+  /// workers were idle at claim time. level_barrier() is resized to the
+  /// returned width before any party starts.
+  template <typename F>
+  int run_parallel(F&& fn) {
+    if (shared_ != nullptr) {
+      return shared_->run_gang(
+          parties_ - 1, [this](int parties) { barrier_.reset(parties); },
+          static_cast<F&&>(fn));
+    }
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<WorkerPool>(parties_);
+      has_owned_pool_.store(true, std::memory_order_release);
+    }
+    barrier_.reset(parties_);
+    pool_->run([&fn, this](int tid) { fn(tid, parties_); });
+    return parties_;
+  }
+
+  /// Reusable per-level barrier, sized by run_parallel for each run.
+  SpinBarrier& level_barrier() { return barrier_; }
 
   /// Monotonic per-component delivery counters (sync-free backend).
   /// Zero-initialized once on first use, never reset afterwards.
   std::atomic<std::uint64_t>* delivered(index_t n);
 
   /// Per-thread gather accumulators for a num_rhs-wide solve: thread tid
-  /// uses the slice starting at tid * gather_stride(). Allocated lazily,
-  /// grown only when num_rhs exceeds the capacity -- steady-state solves
-  /// allocate nothing. Slices are cache-line padded against false sharing.
+  /// uses the slice starting at tid * gather_stride(). Allocated lazily
+  /// (sized for threads() slices, the cap), grown only when num_rhs
+  /// exceeds the capacity -- steady-state solves allocate nothing. Slices
+  /// are cache-line padded against false sharing.
   value_t* gather_scratch(index_t num_rhs);
   std::size_t gather_stride() const { return gather_stride_; }
 
@@ -73,8 +117,13 @@ class SolveWorkspace {
   std::uint64_t begin_generation() { return ++generation_; }
 
  private:
-  WorkerPool pool_;
-  std::barrier<> barrier_;
+  int parties_;
+  SharedWorkerPool* shared_;
+  /// Owned-mode gang, created on first run (lazy: idle plans hold zero
+  /// threads). Null forever in shared mode.
+  std::unique_ptr<WorkerPool> pool_;
+  std::atomic<bool> has_owned_pool_{false};
+  SpinBarrier barrier_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> delivered_;
   std::size_t delivered_capacity_ = 0;
   std::unique_ptr<value_t[]> gather_;
@@ -90,7 +139,11 @@ class SolveWorkspace {
 /// the plan dies, so steady-state solving allocates nothing).
 class WorkspacePool {
  public:
-  explicit WorkspacePool(int parties_per_workspace);
+  /// `shared` (may be null) is handed to every workspace this pool
+  /// creates: non-null routes all of the plan's kernel parallelism
+  /// through the process-wide shared pool.
+  explicit WorkspacePool(int parties_per_workspace,
+                         SharedWorkerPool* shared = nullptr);
 
   class Lease {
    public:
@@ -116,6 +169,11 @@ class WorkspacePool {
   Lease acquire();
   /// Workspaces ever created (grows only under concurrent solves).
   std::size_t size() const;
+  /// Owned worker threads currently alive across all workspaces: 0 until
+  /// the first solve, and 0 forever in shared mode (the lazy-threads
+  /// guarantee of the solve service).
+  std::size_t owned_threads() const;
+  bool uses_shared_pool() const { return shared_ != nullptr; }
 
  private:
   friend class Lease;
@@ -123,6 +181,7 @@ class WorkspacePool {
 
   mutable std::mutex mutex_;
   int parties_;
+  SharedWorkerPool* shared_;
   std::vector<std::unique_ptr<SolveWorkspace>> all_;
   std::vector<SolveWorkspace*> idle_;
 };

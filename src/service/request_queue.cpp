@@ -1,0 +1,93 @@
+#include "service/request_queue.hpp"
+
+#include <algorithm>
+
+namespace msptrsv::service {
+
+RequestQueue::RequestQueue(std::chrono::microseconds coalesce_window,
+                           index_t max_width)
+    : window_(coalesce_window), max_width_(std::max<index_t>(1, max_width)) {}
+
+bool RequestQueue::push(SolveRequest r) {
+  const index_t k = r.num_rhs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    Group& g = groups_[r.plan.state_id()];
+    g.width += k;
+    g.requests.push_back(std::move(r));
+    pending_rhs_ += static_cast<std::size_t>(k);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool RequestQueue::ripe_locked(const Group& g, Clock::time_point now) const {
+  if (stopping_) return true;
+  if (g.width >= max_width_) return true;
+  return now - g.requests.front().submitted >= window_;
+}
+
+std::vector<SolveRequest> RequestQueue::pop_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    // Among ripe groups take the one whose head waited longest (FIFO
+    // fairness across plans); otherwise compute the earliest ripening to
+    // bound the wait.
+    const void* best = nullptr;
+    Clock::time_point best_head{};
+    Clock::time_point next_deadline = Clock::time_point::max();
+    for (const auto& [id, g] : groups_) {
+      const Clock::time_point head = g.requests.front().submitted;
+      if (ripe_locked(g, now)) {
+        if (best == nullptr || head < best_head) {
+          best = id;
+          best_head = head;
+        }
+      } else {
+        next_deadline = std::min(next_deadline, head + window_);
+      }
+    }
+    if (best != nullptr) {
+      Group& g = groups_.find(best)->second;
+      std::vector<SolveRequest> out;
+      index_t width = 0;
+      // Whole requests only: a multi-rhs submit is one client's batch and
+      // is never split across dispatches. The first request always goes
+      // (even when wider than max_width_ on its own).
+      while (!g.requests.empty() &&
+             (out.empty() ||
+              width + g.requests.front().num_rhs <= max_width_)) {
+        width += g.requests.front().num_rhs;
+        out.push_back(std::move(g.requests.front()));
+        g.requests.pop_front();
+      }
+      g.width -= width;
+      pending_rhs_ -= static_cast<std::size_t>(width);
+      if (g.requests.empty()) groups_.erase(best);
+      return out;
+    }
+    if (stopping_) return {};  // drained: the dispatcher's exit signal
+    if (next_deadline == Clock::time_point::max()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, next_deadline);
+    }
+  }
+}
+
+void RequestQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth_rhs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_rhs_;
+}
+
+}  // namespace msptrsv::service

@@ -1,0 +1,154 @@
+#include "service/service_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+#include "support/stats.hpp"
+
+namespace msptrsv::service {
+
+namespace {
+
+/// Bucket index for a dispatch width: 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64,
+/// 65+ (power-of-two edges past the first two).
+std::size_t width_bucket(index_t width) {
+  if (width <= 1) return 0;
+  if (width <= 2) return 1;
+  if (width <= 4) return 2;
+  if (width <= 8) return 3;
+  if (width <= 16) return 4;
+  if (width <= 32) return 5;
+  if (width <= 64) return 6;
+  return 7;
+}
+
+}  // namespace
+
+void ServiceStats::on_submit(std::uint64_t num_rhs) {
+  submitted_.fetch_add(num_rhs, std::memory_order_relaxed);
+}
+
+void ServiceStats::on_reject(std::uint64_t num_rhs) {
+  rejected_.fetch_add(num_rhs, std::memory_order_relaxed);
+}
+
+void ServiceStats::on_dispatch(index_t width, std::size_t requests) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  dispatched_rhs_.fetch_add(static_cast<std::uint64_t>(width),
+                            std::memory_order_relaxed);
+  hist_[width_bucket(width)].fetch_add(1, std::memory_order_relaxed);
+  // Coalesced means MERGED: a lone client's multi-rhs batch is wide but
+  // shared with no one.
+  if (requests > 1) {
+    coalesced_rhs_.fetch_add(static_cast<std::uint64_t>(width),
+                             std::memory_order_relaxed);
+  }
+}
+
+void ServiceStats::on_complete(const void* plan, index_t rows,
+                               std::uint64_t num_rhs, bool ok,
+                               double latency_us) {
+  (ok ? completed_ : failed_).fetch_add(num_rhs, std::memory_order_relaxed);
+
+  const std::uint64_t slot =
+      ring_next_.fetch_add(1, std::memory_order_relaxed) % kLatencyRing;
+  ring_[slot].store(std::bit_cast<std::uint64_t>(latency_us),
+                    std::memory_order_relaxed);
+  // CAS max; latencies are non-negative, so the bit patterns order like
+  // the doubles do.
+  std::uint64_t seen = max_latency_bits_.load(std::memory_order_relaxed);
+  const std::uint64_t mine = std::bit_cast<std::uint64_t>(latency_us);
+  while (std::bit_cast<double>(seen) < latency_us &&
+         !max_latency_bits_.compare_exchange_weak(
+             seen, mine, std::memory_order_relaxed)) {
+  }
+
+  // Per-plan table: linear probe from a pointer-derived home slot; claim
+  // an empty slot with CAS; overflow spills into other_.
+  const std::size_t home =
+      (reinterpret_cast<std::uintptr_t>(plan) >> 4) % kPlanSlots;
+  for (std::size_t i = 0; i < kPlanSlots; ++i) {
+    PlanSlot& s = plans_[(home + i) % kPlanSlots];
+    const void* id = s.id.load(std::memory_order_acquire);
+    if (id == nullptr) {
+      const void* expected = nullptr;
+      if (s.id.compare_exchange_strong(expected, plan,
+                                       std::memory_order_acq_rel)) {
+        s.rows.store(rows, std::memory_order_relaxed);
+        s.solves.fetch_add(num_rhs, std::memory_order_relaxed);
+        return;
+      }
+      id = expected;  // somebody else claimed it; fall through to compare
+    }
+    if (id == plan) {
+      s.solves.fetch_add(num_rhs, std::memory_order_relaxed);
+      return;
+    }
+  }
+  other_.fetch_add(num_rhs, std::memory_order_relaxed);
+}
+
+void ServiceStats::on_queue_depth(std::uint64_t depth) {
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  std::uint64_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > peak && !peak_queue_depth_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
+}
+
+ServiceStatsSnapshot ServiceStats::snapshot() const {
+  ServiceStatsSnapshot out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.coalesced_rhs = coalesced_rhs_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < hist_.size(); ++i) {
+    out.coalesce_hist[i] = hist_[i].load(std::memory_order_relaxed);
+  }
+  out.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  out.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+
+  const std::uint64_t total = ring_next_.load(std::memory_order_relaxed);
+  const std::size_t have =
+      static_cast<std::size_t>(std::min<std::uint64_t>(total, kLatencyRing));
+  std::vector<double> latencies;
+  latencies.reserve(have);
+  for (std::size_t i = 0; i < have; ++i) {
+    latencies.push_back(
+        std::bit_cast<double>(ring_[i].load(std::memory_order_relaxed)));
+  }
+  out.p50_latency_us = support::percentile(latencies, 0.50);
+  out.p99_latency_us = support::percentile(latencies, 0.99);
+  out.max_latency_us =
+      std::bit_cast<double>(max_latency_bits_.load(std::memory_order_relaxed));
+
+  // Both counters tick at dispatch time, so the ratio is coherent even
+  // while dispatches are still executing.
+  out.mean_coalesce_width =
+      out.batches == 0
+          ? 0.0
+          : static_cast<double>(
+                dispatched_rhs_.load(std::memory_order_relaxed)) /
+                static_cast<double>(out.batches);
+
+  for (const PlanSlot& s : plans_) {
+    const void* id = s.id.load(std::memory_order_acquire);
+    if (id == nullptr) continue;
+    PlanActivity a;
+    a.plan = id;
+    a.rows = s.rows.load(std::memory_order_relaxed);
+    a.solves = s.solves.load(std::memory_order_relaxed);
+    out.per_plan.push_back(a);
+  }
+  std::sort(out.per_plan.begin(), out.per_plan.end(),
+            [](const PlanActivity& a, const PlanActivity& b) {
+              return a.solves > b.solves;
+            });
+  out.other_plan_solves = other_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace msptrsv::service

@@ -1,0 +1,121 @@
+// Live metrics of the solve service, recorded lock-free on the hot path.
+//
+// Every submit/dispatch/complete event lands in plain atomic counters, a
+// fixed-size latency ring, a power-of-two coalesce-width histogram, and a
+// small open-addressed per-plan table -- no mutex anywhere near a request,
+// so a stats scrape (snapshot()) never stalls the data path and the data
+// path never serializes on observability. snapshot() assembles a coherent-
+// enough point-in-time view: counters are read individually (monotonic, so
+// cross-counter skew is bounded by what arrived during the read) and the
+// latency quantiles come from the most recent ring contents.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace msptrsv::service {
+
+/// Activity of one plan (keyed by SolverPlan::state_id()).
+struct PlanActivity {
+  const void* plan = nullptr;
+  index_t rows = 0;
+  /// Right-hand sides completed against this plan.
+  std::uint64_t solves = 0;
+};
+
+struct ServiceStatsSnapshot {
+  /// Right-hand sides admitted past backpressure.
+  std::uint64_t submitted = 0;
+  /// Right-hand sides refused with kOverloaded.
+  std::uint64_t rejected = 0;
+  /// Right-hand sides answered successfully / with an error.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  /// Fused dispatches executed (each is one solve_batch call).
+  std::uint64_t batches = 0;
+  /// Right-hand sides that shared their dispatch with at least one other
+  /// (the coalescing win: these rode the fused path "for free").
+  std::uint64_t coalesced_rhs = 0;
+  /// Dispatch width histogram: buckets 1, 2, 3-4, 5-8, 9-16, 17-32,
+  /// 33-64, 65+ right-hand sides per fused call.
+  std::array<std::uint64_t, 8> coalesce_hist{};
+  /// Mean rhs per dispatch (dispatched rhs over batches, both counted at
+  /// dispatch time).
+  double mean_coalesce_width = 0.0;
+  /// Pending right-hand sides at snapshot time / high-water mark.
+  std::uint64_t queue_depth = 0;
+  std::uint64_t peak_queue_depth = 0;
+  /// Submit-to-completion latency over the most recent completions
+  /// (support::percentile on the ring): the client-visible figure,
+  /// coalesce-window wait included.
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  /// Per-plan completion counts (plans beyond the table capacity are
+  /// summed into `other_plan_solves`). Keyed by the plan's state address
+  /// for the service's lifetime: if a counted plan is destroyed and the
+  /// allocator reuses its address for a NEW plan, the new plan's solves
+  /// continue the old slot -- acceptable for a live dashboard; don't use
+  /// this as an audit log across plan churn.
+  std::vector<PlanActivity> per_plan;
+  std::uint64_t other_plan_solves = 0;
+};
+
+class ServiceStats {
+ public:
+  /// Latency samples retained for the quantile window.
+  static constexpr std::size_t kLatencyRing = 4096;
+  /// Distinct plans tracked individually.
+  static constexpr std::size_t kPlanSlots = 128;
+
+  void on_submit(std::uint64_t num_rhs);
+  void on_reject(std::uint64_t num_rhs);
+  /// One fused dispatch of `width` total rhs merged from `requests`
+  /// client requests (width counts into coalesced_rhs only when
+  /// requests > 1 -- a lone multi-rhs batch coalesced with nothing).
+  void on_dispatch(index_t width, std::size_t requests);
+  /// One completed REQUEST (num_rhs of its columns), with the end-to-end
+  /// latency observed by that request's client.
+  void on_complete(const void* plan, index_t rows, std::uint64_t num_rhs,
+                   bool ok, double latency_us);
+  /// Queue-depth gauge (pending rhs); also tracks the high-water mark.
+  void on_queue_depth(std::uint64_t depth);
+
+  ServiceStatsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> dispatched_rhs_{0};
+  std::atomic<std::uint64_t> coalesced_rhs_{0};
+  std::array<std::atomic<std::uint64_t>, 8> hist_{};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+
+  /// Latency ring: doubles stored as bit patterns so the slots are plain
+  /// atomics. ring_next_ only grows; the ring holds the last kLatencyRing
+  /// samples.
+  std::array<std::atomic<std::uint64_t>, kLatencyRing> ring_{};
+  std::atomic<std::uint64_t> ring_next_{0};
+  std::atomic<std::uint64_t> max_latency_bits_{0};
+
+  /// Open-addressed per-plan counters: slots claim their key with one CAS
+  /// and count forever after (plans are few and long-lived in a service;
+  /// overflow spills into other_).
+  struct PlanSlot {
+    std::atomic<const void*> id{nullptr};
+    std::atomic<index_t> rows{0};
+    std::atomic<std::uint64_t> solves{0};
+  };
+  std::array<PlanSlot, kPlanSlots> plans_{};
+  std::atomic<std::uint64_t> other_{0};
+};
+
+}  // namespace msptrsv::service

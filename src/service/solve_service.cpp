@@ -1,0 +1,266 @@
+#include "service/solve_service.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "core/registry.hpp"
+
+namespace msptrsv::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0, Clock::time_point now) {
+  return std::chrono::duration<double, std::micro>(now - t0).count();
+}
+
+/// A future already carrying its answer (the rejection/validation path).
+std::future<SolveService::Reply> ready_reply(SolveService::Reply reply) {
+  std::promise<SolveService::Reply> p;
+  std::future<SolveService::Reply> f = p.get_future();
+  p.set_value(std::move(reply));
+  return f;
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(options),
+      pool_(options.pool != nullptr ? options.pool
+                                    : &core::SharedWorkerPool::instance()),
+      cache_(options.cache),
+      queue_(options.coalesce_window, options.max_coalesce) {
+  if (!options_.cache_dir.empty()) {
+    cache_.set_disk_directory(options_.cache_dir);
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+SolveService::~SolveService() {
+  // Stop admission, let the dispatcher drain whatever is queued (shutdown
+  // flips pop_batch to drain mode), then wait for every in-flight
+  // dispatch to answer its promises -- they run on the shared pool and
+  // reference this object.
+  queue_.shutdown();
+  dispatcher_.join();
+  drain();
+}
+
+std::future<SolveService::Reply> SolveService::submit(
+    const core::SolverPlan& plan, std::vector<value_t> b) {
+  return enqueue(plan, std::move(b), 1);
+}
+
+std::future<SolveService::Reply> SolveService::submit_batch(
+    const core::SolverPlan& plan, std::vector<value_t> rhs,
+    index_t num_rhs) {
+  return enqueue(plan, std::move(rhs), num_rhs);
+}
+
+std::future<SolveService::Reply> SolveService::enqueue(
+    const core::SolverPlan& plan, std::vector<value_t> rhs,
+    index_t num_rhs) {
+  // Shape errors are caught HERE, not at dispatch: a wrong-length rhs
+  // concatenated into a fused batch would corrupt its neighbors' columns.
+  if (num_rhs < 1) {
+    return ready_reply(Reply(core::SolveStatus::kShapeMismatch,
+                             "num_rhs must be >= 1 (got " +
+                                 std::to_string(num_rhs) + ")"));
+  }
+  const std::size_t expected = static_cast<std::size_t>(plan.rows()) *
+                               static_cast<std::size_t>(num_rhs);
+  if (rhs.size() != expected) {
+    return ready_reply(
+        Reply(core::SolveStatus::kShapeMismatch,
+              "batch of " + std::to_string(num_rhs) + " rhs requires " +
+                  std::to_string(expected) + " values (column-major), got " +
+                  std::to_string(rhs.size())));
+  }
+  // A batch wider than the whole admission bound can NEVER be admitted:
+  // that is a permanent shape problem, not transient overload -- telling
+  // the client to "retry later" would loop it forever.
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  if (k > options_.max_pending_rhs) {
+    return ready_reply(
+        Reply(core::SolveStatus::kShapeMismatch,
+              "batch of " + std::to_string(num_rhs) +
+                  " rhs exceeds the service admission bound of " +
+                  std::to_string(options_.max_pending_rhs) +
+                  " outstanding rhs; split the batch or raise "
+                  "ServiceOptions::max_pending_rhs"));
+  }
+
+  SolveRequest request{plan, std::move(rhs), num_rhs, {}, Clock::now()};
+  std::future<Reply> future = request.promise.get_future();
+
+  // Admission counts OUTSTANDING rhs -- admitted but not yet answered --
+  // not just the un-popped queue: a popped batch moves to the shared
+  // pool's deques, and bounding only the queue would let a sustained
+  // flood accumulate admitted work there without limit.
+  bool admitted;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    admitted = outstanding_rhs_ + k <= options_.max_pending_rhs;
+    if (admitted) {
+      ++unanswered_;
+      outstanding_rhs_ += k;
+    }
+  }
+  if (admitted && !queue_.push(std::move(request))) {
+    // Shutdown, the queue's only refusal: roll the admission back.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    --unanswered_;
+    outstanding_rhs_ -= k;
+    pending_cv_.notify_all();
+    admitted = false;
+  }
+  if (!admitted) {
+    stats_.on_reject(static_cast<std::uint64_t>(num_rhs));
+    return ready_reply(
+        Reply(core::SolveStatus::kOverloaded,
+              "solve service is at capacity (" +
+                  std::to_string(options_.max_pending_rhs) +
+                  " pending rhs) or shutting down; retry later"));
+  }
+  stats_.on_submit(static_cast<std::uint64_t>(num_rhs));
+  stats_.on_queue_depth(queue_.depth_rhs());
+  return future;
+}
+
+void SolveService::dispatch_loop() {
+  for (;;) {
+    std::vector<SolveRequest> batch = queue_.pop_batch();
+    stats_.on_queue_depth(queue_.depth_rhs());
+    if (batch.empty()) return;  // shut down and drained
+
+    index_t width = 0;
+    for (const SolveRequest& r : batch) width += r.num_rhs;
+    stats_.on_dispatch(width, batch.size());
+
+    // Hand the dispatch to the shared pool: per-thread deques + stealing
+    // spread concurrent plans' batches across the machine, and the worker
+    // that picks it up becomes tid 0 of the solve's gang. shared_ptr
+    // because std::function must be copyable.
+    auto job = std::make_shared<std::vector<SolveRequest>>(std::move(batch));
+    pool_->submit([this, job] { execute(*job); });
+  }
+}
+
+void SolveService::execute(std::vector<SolveRequest>& batch) noexcept {
+  const core::SolverPlan& plan = batch.front().plan;
+  const std::size_t n = static_cast<std::size_t>(plan.rows());
+  index_t total_rhs = 0;
+  for (const SolveRequest& r : batch) total_rhs += r.num_rhs;
+
+  // Answer exactly once per request, in order; `answered` makes the
+  // catch-all below safe (a promise set twice would itself throw).
+  std::size_t answered = 0;
+  const auto answer = [&](SolveRequest& r, Reply reply, bool ok) {
+    const double latency = us_since(r.submitted, Clock::now());
+    stats_.on_complete(plan.state_id(), plan.rows(),
+                       static_cast<std::uint64_t>(r.num_rhs), ok, latency);
+    r.promise.set_value(std::move(reply));
+    ++answered;
+    {
+      // Notify UNDER the lock: a drain()-ing destructor may tear the
+      // condition variable down the moment the count hits zero, so the
+      // notify must complete before the waiter can observe it.
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      --unanswered_;
+      outstanding_rhs_ -= static_cast<std::size_t>(r.num_rhs);
+      pending_cv_.notify_all();
+    }
+  };
+
+  try {
+    Reply result = [&]() -> Reply {
+      if (batch.size() == 1) {
+        // The common un-coalesced case: solve straight from the client's
+        // buffer, no concatenation copy.
+        return plan.solve_batch(batch.front().rhs, batch.front().num_rhs);
+      }
+      std::vector<value_t> concat;
+      concat.reserve(n * static_cast<std::size_t>(total_rhs));
+      for (const SolveRequest& r : batch) {
+        concat.insert(concat.end(), r.rhs.begin(), r.rhs.end());
+      }
+      return plan.solve_batch(concat, total_rhs);
+    }();
+
+    if (!result.ok()) {
+      for (SolveRequest& r : batch) {
+        answer(r, Reply(result.error()), /*ok=*/false);
+      }
+      return;
+    }
+
+    core::SolveResult& whole = result.value();
+    if (batch.size() == 1) {
+      answer(batch.front(), std::move(whole), /*ok=*/true);
+      return;
+    }
+    std::size_t offset = 0;
+    for (SolveRequest& r : batch) {
+      core::SolveResult reply;
+      const std::size_t cols = static_cast<std::size_t>(r.num_rhs);
+      reply.x.assign(whole.x.begin() + static_cast<std::ptrdiff_t>(offset * n),
+                     whole.x.begin() +
+                         static_cast<std::ptrdiff_t>((offset + cols) * n));
+      // Every rider shares the batch's report: the solve cost IS the
+      // fused makespan (that is the whole point of coalescing); only the
+      // rhs count is each client's own.
+      reply.report = whole.report;
+      reply.report.num_rhs = r.num_rhs;
+      reply.wall_seconds = whole.wall_seconds;
+      answer(r, std::move(reply), /*ok=*/true);
+      offset += cols;
+    }
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    for (std::size_t i = answered; i < batch.size(); ++i) {
+      answer(batch[i],
+             Reply(core::SolveStatus::kInternalError,
+                   "dispatch failed: " + what),
+             /*ok=*/false);
+    }
+  } catch (...) {
+    for (std::size_t i = answered; i < batch.size(); ++i) {
+      answer(batch[i],
+             Reply(core::SolveStatus::kInternalError,
+                   "dispatch failed with a non-standard exception"),
+             /*ok=*/false);
+    }
+  }
+}
+
+core::Expected<core::SolverPlan> SolveService::plan_for(
+    const sparse::CscMatrix& lower, core::SolveOptions options) {
+  options.use_shared_pool = true;
+  return cache_.get_or_analyze(lower, options);
+}
+
+core::Expected<core::SolverPlan> SolveService::plan_for(
+    const sparse::CscMatrix& lower, std::string_view backend_key) {
+  core::Expected<core::SolveOptions> opt =
+      core::registry::service_options(backend_key);
+  if (!opt.ok()) return core::Expected<core::SolverPlan>(opt.error());
+  return cache_.get_or_analyze(lower, opt.value());
+}
+
+core::Expected<core::SolverPlan> SolveService::plan_for_preset(
+    const sparse::CscMatrix& lower, std::string_view preset_key,
+    core::Backend backend) {
+  core::Expected<core::SolveOptions> opt =
+      core::registry::service_preset_options(preset_key, backend);
+  if (!opt.ok()) return core::Expected<core::SolverPlan>(opt.error());
+  return cache_.get_or_analyze(lower, opt.value());
+}
+
+void SolveService::drain() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [&] { return unanswered_ == 0; });
+}
+
+}  // namespace msptrsv::service

@@ -1,0 +1,158 @@
+// Multi-tenant solve service: the front door many concurrent clients call.
+//
+// PRs 1-3 built the substrate -- reusable SolverPlans, a true fused
+// solve_batch, a content-addressed PlanCache -- and this subsystem turns it
+// into a server:
+//
+//   service::SolveService svc;                        // shared pool + cache
+//   auto plan = svc.plan_for(L, "cpu-syncfree");      // analyze-on-first-use
+//   auto fut  = svc.submit(*plan, b);                 // async, non-blocking
+//   ...
+//   core::Expected<core::SolveResult> r = fut.get();  // or r.status() ==
+//                                                     // kOverloaded
+//
+//  * REQUEST COALESCING: same-plan requests arriving within a small window
+//    merge into ONE fused solve_batch call -- independent single-RHS
+//    traffic rides the 3-7x per-rhs fused path for free, and the result
+//    bits are exactly what sequential plan.solve calls would produce
+//    (the fused kernel's bit-for-bit guarantee from PR 2).
+//  * SHARED EXECUTION: dispatches run as tasks on the process-wide
+//    core::SharedWorkerPool (per-thread deques, work stealing), and every
+//    plan built through the service has use_shared_pool set, so kernel
+//    gangs claim idle shared workers instead of spawning plan-owned
+//    threads -- total host threads stay capped no matter how many tenants
+//    solve at once, and an idle plan holds zero threads.
+//  * BACKPRESSURE: admission is bounded in pending right-hand sides;
+//    past the bound submit() completes the future immediately with typed
+//    kOverloaded (never blocks, never drops silently).
+//  * OBSERVABILITY: a lock-free ServiceStats publishes queue depth, the
+//    coalesce-width histogram, per-plan solve counts, and p50/p99/max
+//    end-to-end latency.
+//
+// Lifetime: the service drains on destruction -- every admitted request is
+// answered before the destructor returns. Plans handed out by plan_for()
+// stay valid after the service dies (they only reference the process-wide
+// shared pool).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/plan_cache.hpp"
+#include "core/worker_pool.hpp"
+#include "service/request_queue.hpp"
+#include "service/service_stats.hpp"
+
+namespace msptrsv::service {
+
+struct ServiceOptions {
+  /// Admission bound: OUTSTANDING right-hand sides across all plans --
+  /// everything admitted and not yet answered, whether still queued or
+  /// already executing. Beyond it submits fail fast with kOverloaded.
+  std::size_t max_pending_rhs = 1024;
+  /// Widest fused dispatch (rhs per solve_batch call).
+  index_t max_coalesce = 32;
+  /// How long the first request of a group may wait for company. 0 still
+  /// coalesces whatever accumulates while the dispatcher is busy.
+  std::chrono::microseconds coalesce_window{200};
+  /// Plan cache configuration for analyze-on-first-use (count capacity +
+  /// optional byte budget).
+  core::CacheOptions cache{};
+  /// Optional blob directory for the cache (cross-process warm starts).
+  std::string cache_dir;
+  /// Pool the DISPATCH TASKS run on; null = the process-wide
+  /// SharedWorkerPool::instance(). A non-null pool MUST outlive the
+  /// service: a pool destroyed first abandons queued dispatches and the
+  /// service's drain/destructor would wait forever. Note the kernel gangs
+  /// of served plans always claim from the process-wide instance
+  /// (use_shared_pool is a plan-level option with no per-service pool
+  /// plumbing), so a private pool here isolates dispatch scheduling, not
+  /// kernel threads.
+  core::SharedWorkerPool* pool = nullptr;
+};
+
+class SolveService {
+ public:
+  using Reply = core::Expected<core::SolveResult>;
+
+  explicit SolveService(ServiceOptions options = {});
+  /// Drains: every admitted request is answered before this returns.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Asynchronous single-RHS solve. The future resolves to the solution
+  /// (bit-for-bit what plan.solve(b) returns, however the dispatch was
+  /// coalesced) or to a typed error: kOverloaded under backpressure /
+  /// shutdown, kShapeMismatch for a wrong-length b (checked at submit --
+  /// a malformed request must not poison a fused batch). Never blocks.
+  std::future<Reply> submit(const core::SolverPlan& plan,
+                            std::vector<value_t> b);
+
+  /// Asynchronous multi-RHS solve (num_rhs columns, column-major). A
+  /// client batch stays whole -- it may be coalesced WITH others but is
+  /// never split across dispatches.
+  std::future<Reply> submit_batch(const core::SolverPlan& plan,
+                                  std::vector<value_t> rhs, index_t num_rhs);
+
+  // ---- analyze-on-first-use ------------------------------------------------
+  // All plan_for paths stamp use_shared_pool and go through the service's
+  // own PlanCache: the first request against a factor pays the symbolic
+  // phase (or a blob read), every later one is an O(1) hit.
+
+  core::Expected<core::SolverPlan> plan_for(const sparse::CscMatrix& lower,
+                                            core::SolveOptions options);
+  /// Registry-keyed backend ("cpu-syncfree", "mg-zerocopy", ...).
+  core::Expected<core::SolverPlan> plan_for(const sparse::CscMatrix& lower,
+                                            std::string_view backend_key);
+  /// Machine-preset construction ("dgx1x8", "dgx2x16", ...).
+  core::Expected<core::SolverPlan> plan_for_preset(
+      const sparse::CscMatrix& lower, std::string_view preset_key,
+      core::Backend backend = core::Backend::kMgZeroCopy);
+
+  /// Blocks until every request admitted so far has been answered.
+  void drain();
+
+  ServiceStatsSnapshot stats() const { return stats_.snapshot(); }
+  core::PlanCache& plan_cache() { return cache_; }
+  core::SharedWorkerPool& pool() { return *pool_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  std::future<Reply> enqueue(const core::SolverPlan& plan,
+                             std::vector<value_t> rhs, index_t num_rhs);
+  void dispatch_loop();
+  /// Runs one coalesced dispatch on a pool worker: concatenate, one fused
+  /// solve_batch, split, answer every promise. Must not throw.
+  void execute(std::vector<SolveRequest>& batch) noexcept;
+
+  ServiceOptions options_;
+  core::SharedWorkerPool* pool_;
+  core::PlanCache cache_;
+  RequestQueue queue_;
+  ServiceStats stats_;
+
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  /// Requests admitted but not yet answered (queued OR executing): the
+  /// drain condition is this hitting zero, which closes the window where
+  /// a request is out of the queue but not yet answered.
+  std::size_t unanswered_ = 0;
+  /// The same span counted in RIGHT-HAND SIDES -- what max_pending_rhs
+  /// bounds (popped-but-executing work included, so backpressure holds
+  /// even when the dispatcher keeps the queue itself near empty).
+  std::size_t outstanding_rhs_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace msptrsv::service

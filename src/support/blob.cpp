@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdio>
 
@@ -248,10 +249,14 @@ std::string BlobReader::read_string() {
 // ---- file I/O --------------------------------------------------------------
 
 bool write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
-  // Write-to-temp + rename: concurrent writers of the same path (two
-  // processes missing on one PlanCache key) each publish a complete blob
-  // instead of interleaving into a CRC-invalid file.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  // Write-to-temp + rename: concurrent writers of the same path each
+  // publish a complete blob instead of interleaving into a CRC-invalid
+  // file. The temp name must be unique across processes AND across
+  // threads within one (two service threads missing on the same
+  // PlanCache key save concurrently), hence pid + a process-wide counter.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
   const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);

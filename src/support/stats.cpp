@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "support/contracts.hpp"
 
@@ -53,6 +54,18 @@ double coeff_of_variation(std::span<const double> xs) {
   const double m = mean(xs);
   if (m == 0.0) return 0.0;
   return stddev(xs) / m;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  MSPTRSV_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 }  // namespace msptrsv::support

@@ -27,4 +27,10 @@ double imbalance_factor(std::span<const double> busy);
 /// Coefficient of variation (stddev/mean); 0 when mean is 0.
 double coeff_of_variation(std::span<const double> xs);
 
+/// The q-quantile (q in [0, 1]) by linear interpolation between order
+/// statistics (the common "R-7" definition); 0 for an empty span. Sorts a
+/// copy -- callers on a hot path should batch their quantile reads.
+/// p50/p99 service latency comes from here.
+double percentile(std::span<const double> xs, double q);
+
 }  // namespace msptrsv::support

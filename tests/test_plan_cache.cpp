@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -176,6 +177,119 @@ TEST(PlanCache, ConcurrentGetOrAnalyzeIsSafe) {
   for (int f : failures) EXPECT_EQ(f, 0);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.stats().hits + cache.stats().misses, 100u);
+}
+
+TEST(PlanCache, ByteBudgetEvictsByResidentFootprint) {
+  const sparse::CscMatrix a = matrix_seeded(1);
+  const sparse::CscMatrix b = matrix_seeded(2);
+  const core::SolveOptions o = opts("cpu-syncfree");
+
+  // Size the budget from a real plan: room for one resident plan of this
+  // matrix family but not two.
+  const auto probe = core::SolverPlan::analyze(sparse::CscMatrix(a), o);
+  ASSERT_TRUE(probe.ok());
+  const std::size_t one = probe->resident_bytes();
+  EXPECT_GT(one, 0u);
+
+  core::PlanCache cache(core::CacheOptions{/*capacity=*/8,
+                                           /*max_bytes=*/one + one / 2});
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_LE(cache.resident_bytes(), cache.max_bytes());
+
+  ASSERT_TRUE(cache.get_or_analyze(b, o).ok());  // busts the byte budget
+  EXPECT_EQ(cache.size(), 1u) << "count capacity had room; bytes did not";
+  EXPECT_LE(cache.resident_bytes(), cache.max_bytes());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().byte_evictions, 1u);
+
+  // The survivor is the most recently used entry (b), so a is a miss.
+  ASSERT_TRUE(cache.get_or_analyze(b, o).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());
+  EXPECT_EQ(cache.stats().misses, 3u);
+
+  // Shrinking the budget below one plan empties the cache: the budget is
+  // honest -- oversized entries are served but never stay resident.
+  cache.set_max_bytes(one / 2);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Lifting the bound (0) restores plain count-LRU behavior.
+  cache.set_max_bytes(0);
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, FsckValidatesAndPrunesTheBlobDirectory) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      ::testing::TempDir() + "plan_cache_fsck_" +
+      std::to_string(static_cast<unsigned>(::getpid()));
+  fs::create_directories(dir);
+
+  core::PlanCache cache(8);
+  cache.set_disk_directory(dir);
+  const core::SolveOptions o = opts("mg-zerocopy");
+  const sparse::CscMatrix a = matrix_seeded(4);
+  const sparse::CscMatrix b = matrix_seeded(5);
+  ASSERT_TRUE(cache.get_or_analyze(a, o).ok());
+  ASSERT_TRUE(cache.get_or_analyze(b, o).ok());
+  ASSERT_EQ(cache.stats().disk_stores, 2u);
+
+  // A clean directory fscks clean.
+  core::PlanCache::FsckReport clean = cache.fsck(/*repair=*/false);
+  EXPECT_EQ(clean.scanned, 2);
+  EXPECT_EQ(clean.valid, 2);
+  EXPECT_EQ(clean.corrupt, 0);
+  EXPECT_EQ(clean.mismatched, 0);
+
+  // Corrupt one blob (flip a payload byte: the CRC must catch it), plant
+  // a stale blob under a wrong key (valid bits, wrong name), and drop a
+  // truncated file and a non-blob bystander.
+  const std::string key_a = core::PlanCache::key_of(a, o);
+  {
+    std::fstream f(dir + "/" + key_a + ".plan",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(64);
+    const char flipped = static_cast<char>(f.get() ^ 0xFF);
+    f.seekp(64);
+    f.put(flipped);
+  }
+  const std::string key_b = core::PlanCache::key_of(b, o);
+  fs::copy_file(dir + "/" + key_b + ".plan",
+                dir + "/" + std::string(16, '0') + "-" +
+                    std::string(16, '0') + "-stale.plan");
+  { std::ofstream f(dir + "/truncated.plan"); f << "MS"; }
+  { std::ofstream f(dir + "/README.txt"); f << "not a blob"; }
+
+  core::PlanCache::FsckReport report = cache.fsck(/*repair=*/true);
+  EXPECT_EQ(report.scanned, 4);  // README.txt ignored
+  EXPECT_EQ(report.valid, 1);    // only b's genuine blob survives
+  EXPECT_EQ(report.corrupt, 2);  // bit-flip + truncation
+  EXPECT_EQ(report.mismatched, 1);
+  EXPECT_EQ(report.pruned, 3);
+  EXPECT_GT(report.bytes_freed, 0u);
+  EXPECT_EQ(report.problems.size(), 3u);
+
+  EXPECT_FALSE(fs::exists(dir + "/" + key_a + ".plan"));
+  EXPECT_TRUE(fs::exists(dir + "/" + key_b + ".plan"));
+  EXPECT_TRUE(fs::exists(dir + "/README.txt"));
+
+  // After the sweep, a's lookup is a plain re-analysis (and re-store).
+  core::PlanCache fresh(8);
+  fresh.set_disk_directory(dir);
+  ASSERT_TRUE(fresh.get_or_analyze(a, o).ok());
+  EXPECT_EQ(fresh.stats().disk_hits, 0u);
+  EXPECT_EQ(fresh.stats().disk_stores, 1u);
+
+  // A cache without a directory reports all zeroes.
+  core::PlanCache no_dir(2);
+  EXPECT_EQ(no_dir.fsck().scanned, 0);
+
+  fs::remove_all(dir);
 }
 
 TEST(PlanCacheRegistry, AnalyzeCachedUsesTheProcessWideInstance) {

@@ -1,0 +1,391 @@
+// The multi-tenant solve service contract:
+//
+//  * every answered request is bit-for-bit what a direct plan.solve /
+//    plan.solve_batch would have produced, no matter how the dispatcher
+//    coalesced it into fused batches;
+//  * a burst of k same-plan single-RHS submits executes as at most
+//    ceil(k / max_coalesce) fused solve_batch dispatches (observable in
+//    ServiceStats);
+//  * past the admission bound, submits fail FAST with typed kOverloaded --
+//    never block, never vanish;
+//  * plans served through the service run their kernels on the shared
+//    worker pool and own zero threads, idle or busy;
+//  * the whole thing survives N client threads x M plans of mixed
+//    single/batch traffic (run under the ASan/UBSan CI config like every
+//    other test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+
+namespace msptrsv {
+namespace {
+
+using service::ServiceOptions;
+using service::ServiceStatsSnapshot;
+using service::SolveService;
+
+sparse::CscMatrix service_matrix(std::uint64_t seed) {
+  return sparse::gen_layered_dag(400, 14, 2200, 0.5, seed);
+}
+
+std::vector<value_t> rhs_for(const sparse::CscMatrix& l, std::uint64_t seed) {
+  return sparse::gen_rhs_for_solution(l,
+                                      sparse::gen_solution(l.rows, seed));
+}
+
+TEST(SolveService, SingleSubmitMatchesDirectSolveBitForBit) {
+  const sparse::CscMatrix l = service_matrix(7);
+  const std::vector<value_t> b = rhs_for(l, 1);
+
+  SolveService svc;
+  const auto plan = svc.plan_for(l, "cpu-syncfree");
+  ASSERT_TRUE(plan.ok()) << plan.message();
+
+  const std::vector<value_t> want = plan->solve(b).value().x;
+  auto fut = svc.submit(*plan, b);
+  SolveService::Reply r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.message();
+  EXPECT_EQ(r.value().x, want);
+  // Served plans gang on the shared pool: zero owned threads, ever.
+  EXPECT_TRUE(plan->options().use_shared_pool);
+  EXPECT_EQ(plan->owned_thread_count(), 0u);
+  EXPECT_GE(plan->workspace_count(), 1u);
+}
+
+TEST(SolveService, BurstCoalescesIntoFusedBatches) {
+  const sparse::CscMatrix l = service_matrix(11);
+  constexpr int kBurst = 16;
+  constexpr index_t kWidth = 8;
+
+  ServiceOptions opt;
+  opt.max_coalesce = kWidth;
+  // Generous window: while it is open only the width trigger can ripen a
+  // group, so a fast burst is GUARANTEED to fuse (the remainder, if any,
+  // waits the window out).
+  opt.coalesce_window = std::chrono::microseconds(300000);
+  SolveService svc(opt);
+
+  const auto plan = svc.plan_for(l, "cpu-levelset");
+  ASSERT_TRUE(plan.ok()) << plan.message();
+
+  std::vector<std::vector<value_t>> rhs;
+  std::vector<std::vector<value_t>> want;
+  for (int j = 0; j < kBurst; ++j) {
+    rhs.push_back(rhs_for(l, 100 + static_cast<std::uint64_t>(j)));
+    want.push_back(plan->solve(rhs.back()).value().x);
+  }
+
+  std::vector<std::future<SolveService::Reply>> futures;
+  for (int j = 0; j < kBurst; ++j) {
+    futures.push_back(svc.submit(*plan, rhs[static_cast<std::size_t>(j)]));
+  }
+  for (int j = 0; j < kBurst; ++j) {
+    SolveService::Reply r = futures[static_cast<std::size_t>(j)].get();
+    ASSERT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(r.value().x, want[static_cast<std::size_t>(j)])
+        << "coalesced result " << j << " diverged from direct plan.solve";
+  }
+
+  const ServiceStatsSnapshot s = svc.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(s.rejected, 0u);
+  // The acceptance bound: k singles in <= ceil(k/width) fused dispatches.
+  EXPECT_LE(s.batches,
+            static_cast<std::uint64_t>((kBurst + kWidth - 1) / kWidth));
+  EXPECT_GE(s.coalesced_rhs, static_cast<std::uint64_t>(kBurst));
+  EXPECT_GT(s.mean_coalesce_width, 1.0);
+  // Width-8 dispatches land in the 5-8 bucket.
+  EXPECT_GT(s.coalesce_hist[3], 0u);
+  EXPECT_GT(s.p50_latency_us, 0.0);
+  EXPECT_GE(s.p99_latency_us, s.p50_latency_us);
+  ASSERT_EQ(s.per_plan.size(), 1u);
+  EXPECT_EQ(s.per_plan[0].plan, plan->state_id());
+  EXPECT_EQ(s.per_plan[0].solves, static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(SolveService, OverloadRejectsFastWithTypedBackpressure) {
+  const sparse::CscMatrix l = service_matrix(13);
+
+  ServiceOptions opt;
+  opt.max_pending_rhs = 2;
+  // Window long enough that the queue is still full when the third
+  // submit probes the overload path, even on a preempted CI box.
+  opt.coalesce_window = std::chrono::microseconds(400000);
+  opt.max_coalesce = 32;
+  SolveService svc(opt);
+
+  const auto plan = svc.plan_for(l, "serial");
+  ASSERT_TRUE(plan.ok()) << plan.message();
+  const std::vector<value_t> b = rhs_for(l, 3);
+  const std::vector<value_t> want = plan->solve(b).value().x;
+
+  auto f1 = svc.submit(*plan, b);
+  auto f2 = svc.submit(*plan, b);
+  // Queue is at max_pending_rhs and the window keeps it unripe: the third
+  // submit must come back kOverloaded IMMEDIATELY (the future is ready).
+  auto f3 = svc.submit(*plan, b);
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  SolveService::Reply rejected = f3.get();
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status(), core::SolveStatus::kOverloaded);
+
+  // Wrong-length batches reject on shape before touching the queue.
+  auto bad = svc.submit_batch(*plan, b, 2);
+  EXPECT_EQ(bad.get().status(), core::SolveStatus::kShapeMismatch);
+
+  // A batch wider than the whole admission bound can never be served:
+  // permanent kShapeMismatch, not "retry later" (which would loop a
+  // well-behaved client forever).
+  std::vector<value_t> wide;
+  for (int j = 0; j < 3; ++j) wide.insert(wide.end(), b.begin(), b.end());
+  auto never = svc.submit_batch(*plan, wide, 3);
+  EXPECT_EQ(never.get().status(), core::SolveStatus::kShapeMismatch);
+
+  // The admitted pair still completes correctly (coalesced or not).
+  EXPECT_EQ(f1.get().value().x, want);
+  EXPECT_EQ(f2.get().value().x, want);
+
+  const ServiceStatsSnapshot s = svc.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_GE(s.peak_queue_depth, 2u);
+}
+
+TEST(SolveService, ContendedMixedTrafficStaysBitExact) {
+  // N client threads x M plans, mixed single and batch submits, all
+  // racing one service. Every reply must be bit-for-bit the direct
+  // plan.solve / solve_batch result -- while ASan/TSan-style tooling
+  // (the sanitize CI job) watches the queue, dispatcher, shared pool,
+  // and stats for races.
+  constexpr int kClients = 6;
+  constexpr int kItersPerClient = 8;
+  constexpr index_t kBatchRhs = 3;
+  const char* kBackends[] = {"serial", "cpu-levelset", "cpu-syncfree"};
+
+  ServiceOptions opt;
+  opt.coalesce_window = std::chrono::microseconds(100);
+  SolveService svc(opt);
+
+  struct Tenant {
+    core::SolverPlan plan;
+    std::vector<value_t> b;
+    std::vector<value_t> batch;
+    std::vector<value_t> want_single;
+    std::vector<value_t> want_batch;
+  };
+  std::vector<Tenant> tenants;
+  for (std::size_t m = 0; m < 3; ++m) {
+    const sparse::CscMatrix l = service_matrix(40 + m);
+    auto plan = svc.plan_for(l, kBackends[m]);
+    ASSERT_TRUE(plan.ok()) << plan.message();
+    std::vector<value_t> b = rhs_for(l, 50 + m);
+    std::vector<value_t> batch;
+    for (index_t j = 0; j < kBatchRhs; ++j) {
+      const std::vector<value_t> col = rhs_for(l, 60 + m * 7 + static_cast<std::size_t>(j));
+      batch.insert(batch.end(), col.begin(), col.end());
+    }
+    Tenant t{*plan, b, batch, plan->solve(b).value().x,
+             plan->solve_batch(batch, kBatchRhs).value().x};
+    tenants.push_back(std::move(t));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int it = 0; it < kItersPerClient; ++it) {
+        Tenant& t = tenants[static_cast<std::size_t>((c + it) % 3)];
+        if ((c + it) % 2 == 0) {
+          SolveService::Reply r = svc.submit(t.plan, t.b).get();
+          if (!r.ok()) {
+            failures.fetch_add(1);
+          } else if (r.value().x != t.want_single) {
+            mismatches.fetch_add(1);
+          }
+        } else {
+          SolveService::Reply r =
+              svc.submit_batch(t.plan, t.batch, kBatchRhs).get();
+          if (!r.ok()) {
+            failures.fetch_add(1);
+          } else if (r.value().x != t.want_batch) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "service replies diverged from direct plan solves under contention";
+
+  const ServiceStatsSnapshot s = svc.stats();
+  const std::uint64_t total_rhs = static_cast<std::uint64_t>(kClients) *
+                                  kItersPerClient / 2 *
+                                  (1 + static_cast<std::uint64_t>(kBatchRhs));
+  EXPECT_EQ(s.submitted, total_rhs);
+  EXPECT_EQ(s.completed, total_rhs);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.per_plan.size(), 3u);
+  // No tenant owns kernel threads: everything ganged on the shared pool.
+  for (const Tenant& t : tenants) {
+    EXPECT_EQ(t.plan.owned_thread_count(), 0u);
+  }
+}
+
+TEST(SolveService, PlanForIsAnalyzeOnFirstUse) {
+  const sparse::CscMatrix l = service_matrix(21);
+  SolveService svc;
+
+  const auto first = svc.plan_for(l, "cpu-syncfree");
+  ASSERT_TRUE(first.ok());
+  const auto second = svc.plan_for(l, "cpu-syncfree");
+  ASSERT_TRUE(second.ok());
+  // Same symbolic state: submits through either copy coalesce together.
+  EXPECT_EQ(first->state_id(), second->state_id());
+  const core::PlanCache::Stats cs = svc.plan_cache().stats();
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.hits, 1u);
+
+  // Unknown keys surface the registry's typed error.
+  EXPECT_EQ(svc.plan_for(l, "no-such-backend").status(),
+            core::SolveStatus::kUnknownBackend);
+}
+
+TEST(SolveService, PresetConstructionServesSimulatedBackends) {
+  const sparse::CscMatrix l = service_matrix(23);
+  SolveService svc;
+  const auto plan = svc.plan_for_preset(l, "dgx1x8");
+  ASSERT_TRUE(plan.ok()) << plan.message();
+  EXPECT_EQ(plan->options().machine.num_gpus(), 8);
+  EXPECT_TRUE(plan->options().use_shared_pool);
+
+  const std::vector<value_t> b = rhs_for(l, 5);
+  const std::vector<value_t> want = plan->solve(b).value().x;
+  EXPECT_EQ(svc.submit(*plan, b).get().value().x, want);
+}
+
+TEST(SolveService, DestructorDrainsEverythingAdmitted) {
+  const sparse::CscMatrix l = service_matrix(29);
+  std::vector<std::future<SolveService::Reply>> futures;
+  const std::vector<value_t> b = rhs_for(l, 9);
+  std::vector<value_t> want;
+  {
+    ServiceOptions opt;
+    opt.coalesce_window = std::chrono::microseconds(50000);
+    SolveService svc(opt);
+    const auto plan = svc.plan_for(l, "cpu-levelset");
+    ASSERT_TRUE(plan.ok());
+    want = plan->solve(b).value().x;
+    for (int j = 0; j < 6; ++j) futures.push_back(svc.submit(*plan, b));
+    // Service dies here with requests possibly still queued.
+  }
+  for (auto& f : futures) {
+    SolveService::Reply r = f.get();
+    ASSERT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(r.value().x, want);
+  }
+}
+
+// ---- shared worker pool ----------------------------------------------------
+
+TEST(SharedWorkerPool, TasksRunAndStealAcrossDeques) {
+  core::SharedWorkerPool pool(4);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pool.stats().tasks_run < static_cast<std::uint64_t>(kTasks) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_EQ(pool.stats().tasks_run, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(SharedWorkerPool, GangsShrinkInsteadOfDeadlocking) {
+  core::SharedWorkerPool pool(2);
+  // Ask for far more members than exist: the gang must run anyway with
+  // whatever was idle (possibly just the caller) and report the width.
+  std::atomic<int> ran{0};
+  const int parties = pool.run_gang(
+      16, [](int) {}, [&](int tid, int p) {
+        EXPECT_LT(tid, p);
+        ran.fetch_add(1);
+      });
+  EXPECT_GE(parties, 1);
+  EXPECT_LE(parties, 3);
+  EXPECT_EQ(ran.load(), parties);
+  EXPECT_GE(pool.stats().gangs, 1u);
+
+  // Concurrent gang openers from foreign threads never deadlock even
+  // when they collectively want every worker several times over.
+  std::vector<std::thread> openers;
+  std::atomic<int> total{0};
+  for (int i = 0; i < 4; ++i) {
+    openers.emplace_back([&] {
+      for (int it = 0; it < 20; ++it) {
+        pool.run_gang(
+            8, [](int) {}, [&](int, int) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& th : openers) th.join();
+  EXPECT_GE(total.load(), 4 * 20);  // at least the callers themselves ran
+}
+
+TEST(SharedWorkerPool, SharedPlansHoldZeroOwnedThreads) {
+  const sparse::CscMatrix l = service_matrix(31);
+  core::SolveOptions opt =
+      core::registry::service_options("cpu-syncfree").value();
+  const auto plan = core::SolverPlan::analyze(l, opt);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->owned_thread_count(), 0u);
+  const std::vector<value_t> b = rhs_for(l, 2);
+
+  // Same bits as an owned-pool plan, before and after solving.
+  core::SolveOptions owned = core::registry::options_for("cpu-syncfree").value();
+  const auto baseline = core::SolverPlan::analyze(l, owned);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(plan->solve(b).value().x, baseline->solve(b).value().x);
+
+  EXPECT_GE(plan->workspace_count(), 1u);
+  EXPECT_EQ(plan->owned_thread_count(), 0u)
+      << "a shared-pool plan must never spawn per-workspace threads";
+  // The owned-pool baseline really does own threads after its first
+  // solve (unless the machine reports a single hardware thread).
+  if (core::resolve_cpu_threads(0) > 1) {
+    EXPECT_GT(baseline->owned_thread_count(), 0u);
+  }
+}
+
+TEST(SharedWorkerPool, OwnedPoolsAreLazyUntilFirstSolve) {
+  const sparse::CscMatrix l = service_matrix(37);
+  core::SolveOptions opt = core::registry::options_for("cpu-levelset").value();
+  const auto plan = core::SolverPlan::analyze(l, opt);
+  ASSERT_TRUE(plan.ok());
+  // Analyzed-but-never-solved plans hold zero threads (the idle-tenant
+  // guarantee: a service caching hundreds of plans costs no threads).
+  EXPECT_EQ(plan->owned_thread_count(), 0u);
+  const std::vector<value_t> b = rhs_for(l, 4);
+  ASSERT_TRUE(plan->solve(b).ok());
+  if (core::resolve_cpu_threads(0) > 1) {
+    EXPECT_GT(plan->owned_thread_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace msptrsv

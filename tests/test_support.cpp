@@ -114,6 +114,19 @@ TEST(Stats, StddevAndCoV) {
   EXPECT_NEAR(coeff_of_variation(xs), 0.4, 1e-12);
 }
 
+TEST(Stats, PercentileInterpolatesOrderStatistics) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.99), 7.0);
+  // Unsorted input; R-7 linear interpolation between order statistics.
+  const std::vector<double> xs = {40.0, 10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_NEAR(percentile(xs, 0.99), 39.7, 1e-12);
+}
+
 TEST(Table, RendersAlignedColumnsAndSeparators) {
   Table t({"Name", "Value"});
   t.add_row("alpha", 1);
