@@ -3,7 +3,11 @@
 // factors, and the service turns that traffic into fused batches on the
 // process-wide shared worker pool -- analyze-on-first-use through the plan
 // cache, typed kOverloaded backpressure past the admission bound, and a
-// live ServiceStats snapshot at the end.
+// live ServiceStats snapshot at the end. One client plays the
+// latency-sensitive tenant: it submits Priority::kHigh with a start-by
+// deadline, so its requests dispatch first (and are shed with
+// kDeadlineExceeded rather than answered uselessly late); the rest run
+// kNormal. The final stats print the per-class split.
 //
 //   ./example_solve_server [--backend cpu-syncfree] [--clients 8]
 //                          [--requests 200] [--tenants 3]
@@ -74,10 +78,19 @@ int main(int argc, char** argv) {
 
   std::atomic<int> wrong{0};
   std::atomic<int> overloaded{0};
+  std::atomic<int> shed{0};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      // Client 0 is the latency tenant: high priority, 50 ms start-by
+      // deadline. Everyone else is normal-priority throughput traffic.
+      const bool latency_tenant = c == 0;
+      service::SubmitOptions submit;
+      if (latency_tenant) {
+        submit.priority = service::Priority::kHigh;
+        submit.deadline = std::chrono::milliseconds(50);
+      }
       for (int i = 0; i < requests; ++i) {
         Tenant& w = workloads[static_cast<std::size_t>((c + i) % tenants)];
         // Analyze-on-first-use is an O(1) cache hit from here on.
@@ -86,10 +99,13 @@ int main(int argc, char** argv) {
           wrong.fetch_add(1);
           continue;
         }
-        service::SolveService::Reply r = svc.submit(*plan, w.b).get();
+        service::SolveService::Reply r =
+            svc.submit(*plan, w.b, submit).get();
         if (!r.ok()) {
           if (r.status() == core::SolveStatus::kOverloaded) {
             overloaded.fetch_add(1);  // typed backpressure: retry later
+          } else if (r.status() == core::SolveStatus::kDeadlineExceeded) {
+            shed.fetch_add(1);  // too late to be useful: shed, not solved
           } else {
             wrong.fetch_add(1);
           }
@@ -107,13 +123,28 @@ int main(int argc, char** argv) {
 
   const service::ServiceStatsSnapshot s = svc.stats();
   std::printf("answered %llu rhs in %.2f s  (%.0f rhs/s), %d wrong, %d "
-              "overloaded\n\n",
+              "overloaded, %d shed\n\n",
               static_cast<unsigned long long>(s.completed), seconds,
               static_cast<double>(s.completed) / seconds, wrong.load(),
-              overloaded.load());
-  std::printf("dispatches: %llu fused batches, mean width %.2f\n",
+              overloaded.load(), shed.load());
+  std::printf("dispatches: %llu fused batches, mean width %.2f; %llu "
+              "packed dispatches (%llu plans ganged together)\n",
               static_cast<unsigned long long>(s.batches),
-              s.mean_coalesce_width);
+              s.mean_coalesce_width,
+              static_cast<unsigned long long>(s.packed_dispatches),
+              static_cast<unsigned long long>(s.packed_plans));
+  for (std::size_t c = 0; c < service::kNumPriorities; ++c) {
+    const service::PriorityClassStats& pc = s.per_class[c];
+    if (pc.submitted == 0) continue;
+    std::printf("class %-10s: %6llu submitted  %6llu completed  %4llu "
+                "shed  p50 %8.0f us  p99 %8.0f us\n",
+                std::string(to_string(static_cast<service::Priority>(c)))
+                    .c_str(),
+                static_cast<unsigned long long>(pc.submitted),
+                static_cast<unsigned long long>(pc.completed),
+                static_cast<unsigned long long>(pc.shed),
+                pc.p50_latency_us, pc.p99_latency_us);
+  }
   std::printf("coalesce width histogram (1, 2, 3-4, 5-8, 9-16, 17-32, "
               "33-64, 65+):\n  ");
   for (std::uint64_t bucket : s.coalesce_hist) {
@@ -136,12 +167,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cs.hits));
   const core::SharedWorkerPool::Stats ps = svc.pool().stats();
   std::printf("shared pool: %llu dispatch tasks (%llu stolen), %llu gangs "
-              "(%llu members, %llu shrunk under contention)\n",
+              "(%llu members, %llu shrunk under contention, %llu capped by "
+              "reservation)\n",
               static_cast<unsigned long long>(ps.tasks_run),
               static_cast<unsigned long long>(ps.tasks_stolen),
               static_cast<unsigned long long>(ps.gangs),
               static_cast<unsigned long long>(ps.gang_members),
-              static_cast<unsigned long long>(ps.gang_shrinks));
+              static_cast<unsigned long long>(ps.gang_shrinks),
+              static_cast<unsigned long long>(ps.gang_capped));
 
   return wrong.load() == 0 ? 0 : 1;
 }

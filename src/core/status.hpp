@@ -43,6 +43,13 @@ enum class SolveStatus {
   /// is shutting down. Typed so clients can branch on it without string
   /// matching.
   kOverloaded,
+  /// The request carried a deadline and the service could not start it in
+  /// time: it was shed instead of being solved late (solving it anyway
+  /// would burn gang time on an answer the client has already abandoned).
+  /// Typed so SLO-aware clients can distinguish "too late" from "too
+  /// loaded" -- a shed request was admitted and queued; retrying it with a
+  /// fresh deadline is reasonable, backing off is not required.
+  kDeadlineExceeded,
   /// A library bug surfaced through the status channel.
   kInternalError,
 };
@@ -57,6 +64,7 @@ constexpr std::string_view to_string(SolveStatus s) {
     case SolveStatus::kInvalidOptions: return "invalid-options";
     case SolveStatus::kBadSnapshot: return "bad-snapshot";
     case SolveStatus::kOverloaded: return "overloaded";
+    case SolveStatus::kDeadlineExceeded: return "deadline-exceeded";
     case SolveStatus::kInternalError: return "internal-error";
   }
   return "unknown-status";

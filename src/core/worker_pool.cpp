@@ -118,14 +118,23 @@ SharedWorkerPool& SharedWorkerPool::instance() {
   return *pool;
 }
 
-void SharedWorkerPool::submit(std::function<void()> task) {
+void SharedWorkerPool::submit(std::function<void()> task, bool urgent) {
   const std::size_t victim =
       static_cast<std::size_t>(next_victim_.fetch_add(
           1, std::memory_order_relaxed)) %
       workers_.size();
+  // Count BEFORE the task becomes visible: a worker that can see the
+  // task in a deque must also see a non-zero urgent count.
+  if (urgent) urgent_pending_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(workers_[victim]->deque_mutex);
-    workers_[victim]->deque.push_back(std::move(task));
+    // Urgent tasks overtake every queued (untaken) normal one but stay
+    // FIFO among themselves: a separate queue, drained first.
+    if (urgent) {
+      workers_[victim]->urgent_deque.push_back(std::move(task));
+    } else {
+      workers_[victim]->deque.push_back(std::move(task));
+    }
   }
   {
     // Ticket AFTER the push: a worker that wins the ticket is guaranteed
@@ -140,17 +149,44 @@ bool SharedWorkerPool::take_task(int self, std::function<void()>& out) {
   {
     Worker& me = *workers_[static_cast<std::size_t>(self)];
     std::lock_guard<std::mutex> lock(me.deque_mutex);
+    if (!me.urgent_deque.empty()) {
+      out = std::move(me.urgent_deque.front());
+      me.urgent_deque.pop_front();
+      urgent_pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
     if (!me.deque.empty()) {
       out = std::move(me.deque.front());
       me.deque.pop_front();
       return true;
     }
   }
-  // Steal from the BACK of a sibling's deque (the owner pops the front),
-  // starting at a rotating victim so thieves spread out.
+  // Two steal sweeps, starting at a rotating victim so thieves spread
+  // out: every sibling's urgent queue is drained before ANY normal task
+  // is taken (a queued urgent dispatch must not wait behind a thief's
+  // normal pick). Urgent steals take the front (oldest = most overdue);
+  // normal steals take the classic back. The urgent sweep -- an extra
+  // lock pass over every sibling -- is skipped entirely while the
+  // urgent-pending hint reads zero (the common case); a stale zero only
+  // costs one scan, which the ticket retry loop repeats.
   const std::size_t n = workers_.size();
   const std::size_t start = static_cast<std::size_t>(
       next_victim_.fetch_add(1, std::memory_order_relaxed));
+  if (urgent_pending_.load(std::memory_order_acquire) > 0) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t v = (start + k) % n;
+      if (v == static_cast<std::size_t>(self)) continue;
+      Worker& victim = *workers_[v];
+      std::lock_guard<std::mutex> lock(victim.deque_mutex);
+      if (!victim.urgent_deque.empty()) {
+        out = std::move(victim.urgent_deque.front());
+        victim.urgent_deque.pop_front();
+        urgent_pending_.fetch_sub(1, std::memory_order_relaxed);
+        tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t v = (start + k) % n;
     if (v == static_cast<std::size_t>(self)) continue;
@@ -227,6 +263,19 @@ void SharedWorkerPool::worker_loop(int self) {
 
 void SharedWorkerPool::claim_members(int max_extra, GangRun& gang) {
   if (max_extra < 0) max_extra = 0;
+  // Reservation hint: cap this gang at its equal share of the pool,
+  // counting the gangs already running PLUS this one. Purely a cap on the
+  // ask -- the claim below still takes only workers idle right now, so
+  // nothing ever blocks and the shrink-to-caller guarantee is intact. A
+  // gang that would have taken more records the capping for observability.
+  const int active = active_gangs_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (reserve_gangs_.load(std::memory_order_relaxed) && active > 1) {
+    const int fair_parties = std::max(1, threads() / active);
+    if (max_extra > fair_parties - 1) {
+      max_extra = fair_parties - 1;
+      gang_capped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   const int take =
       std::min<int>(max_extra, static_cast<int>(idle_.size()));
@@ -270,6 +319,10 @@ int SharedWorkerPool::run_claimed(GangRun& gang, int parties) {
       return gang.remaining.load(std::memory_order_acquire) == 0;
     });
   }
+  // Every claim_members is paired with exactly one run_claimed (the
+  // configure-throw path releases through a no-op job), so the active-gang
+  // count is balanced here, after the last member finished.
+  active_gangs_.fetch_sub(1, std::memory_order_acq_rel);
   if (caller_failure) std::rethrow_exception(caller_failure);
   if (gang.failure) std::rethrow_exception(gang.failure);
   return parties;
@@ -296,6 +349,7 @@ SharedWorkerPool::Stats SharedWorkerPool::stats() const {
   s.gangs = gangs_.load(std::memory_order_relaxed);
   s.gang_members = gang_members_.load(std::memory_order_relaxed);
   s.gang_shrinks = gang_shrinks_.load(std::memory_order_relaxed);
+  s.gang_capped = gang_capped_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -162,8 +162,13 @@ class SharedWorkerPool {
   /// on one worker's deque round-robin; any idle sibling may steal it.
   /// Tasks must not throw (they are request handlers that report through
   /// their own promise channel); a task that does throw aborts via the
-  /// noexcept worker loop, loudly.
-  void submit(std::function<void()> task);
+  /// noexcept worker loop, loudly. `urgent` tasks land on a separate
+  /// per-worker queue that both owners and thieves drain BEFORE any
+  /// normal task (FIFO within each class), so a latency-class dispatch
+  /// overtakes queued background dispatches -- the last FIFO stage
+  /// between the priority queue and a worker. Urgency never preempts a
+  /// RUNNING task; it only reorders the untaken ones.
+  void submit(std::function<void()> task, bool urgent = false);
 
   /// Claims up to `max_extra` currently-parked workers and runs
   /// fn(tid, parties) on each of them (tids 1..parties-1) plus the calling
@@ -173,6 +178,16 @@ class SharedWorkerPool {
   /// Rethrows the first exception any party threw, after all have
   /// finished. `configure(parties)` runs on the caller before any member
   /// starts -- the hook where the workspace sizes its barrier.
+  ///
+  /// RESERVATION: with gang reservation enabled (the default), a gang is
+  /// additionally capped at threads() / active_gangs parties, counting
+  /// itself -- an equal-share hint, not a guarantee. A lone solve still
+  /// claims the whole pool; when k solves overlap, each claims at most
+  /// ~1/k of it, so no tenant's gang monopolizes the workers another
+  /// tenant's next level wave needs (the tail-latency collapse under
+  /// multi-tenant contention). The claimable-NOW semantics are untouched:
+  /// the cap only lowers how many idle workers a claim may take, it never
+  /// waits for one, so the no-deadlock argument is exactly as before.
   template <typename F, typename C>
   int run_gang(int max_extra, C&& configure, F&& fn) {
     using Fn = std::remove_reference_t<F>;
@@ -202,8 +217,29 @@ class SharedWorkerPool {
     /// Gangs that got fewer extras than they asked for (the contention
     /// signal: solves are sharing the machine).
     std::uint64_t gang_shrinks = 0;
+    /// Gangs whose ask was lowered by the equal-share reservation cap
+    /// (threads / active gangs) -- the multi-tenant smoothing signal, a
+    /// subset of neither `gangs` nor `gang_shrinks` necessarily.
+    std::uint64_t gang_capped = 0;
   };
   Stats stats() const;
+
+  /// Toggles the equal-share reservation cap on gang claims (see
+  /// run_gang). On by default; off restores the greedy take-all-idle
+  /// claims of PR 4. Safe to flip at any time (claims in flight keep the
+  /// policy they started with).
+  void set_gang_reservation(bool enabled) {
+    reserve_gangs_.store(enabled, std::memory_order_relaxed);
+  }
+  bool gang_reservation() const {
+    return reserve_gangs_.load(std::memory_order_relaxed);
+  }
+
+  /// Gangs currently between claim and completion (the reservation
+  /// denominator, live).
+  int active_gangs() const {
+    return active_gangs_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One gang execution: the claimed members, the type-erased job, and the
@@ -226,8 +262,13 @@ class SharedWorkerPool {
 
   struct Worker {
     std::thread thread;
-    /// Local task deque; owner pops the front, thieves steal the back.
+    /// Local task deques: the urgent one drains before the normal one,
+    /// and each is FIFO within itself (urgent tasks must not LIFO past
+    /// each other -- that would trade one starvation for another). Owner
+    /// pops fronts; thieves steal the urgent front (the oldest urgent
+    /// task is the most overdue) and the normal back (classic stealing).
     std::mutex deque_mutex;
+    std::deque<std::function<void()>> urgent_deque;
     std::deque<std::function<void()>> deque;
     /// Gang assignment, set under the pool mutex while the worker parks.
     GangRun* gang = nullptr;
@@ -257,11 +298,25 @@ class SharedWorkerPool {
   /// Completion signal for gang callers (waits are rare and short).
   std::condition_variable gang_cv_;
 
+  /// Untaken urgent tasks across all workers (a hint: lets take_task
+  /// skip the urgent steal sweep -- an extra lock pass over every
+  /// sibling -- in the common no-urgent-traffic case). Incremented
+  /// BEFORE the task is visible in a deque, decremented at take, so a
+  /// zero read can only be stale in the safe direction for one scan and
+  /// the ticket retry loop rescans.
+  std::atomic<std::size_t> urgent_pending_{0};
+
   std::atomic<std::uint64_t> tasks_run_{0};
   std::atomic<std::uint64_t> tasks_stolen_{0};
   std::atomic<std::uint64_t> gangs_{0};
   std::atomic<std::uint64_t> gang_members_{0};
   std::atomic<std::uint64_t> gang_shrinks_{0};
+  std::atomic<std::uint64_t> gang_capped_{0};
+  /// Gangs between claim_members and run_claimed completion; the
+  /// reservation divisor. Incremented in claim_members, decremented on
+  /// every run_claimed exit path (including the configure-throw release).
+  std::atomic<int> active_gangs_{0};
+  std::atomic<bool> reserve_gangs_{true};
 };
 
 /// Resolves a user-facing thread-count option: values > 0 pass through,

@@ -6,6 +6,10 @@
 
 namespace msptrsv::core {
 
+/// No cap by default: a value above any plausible parties_ behaves as
+/// "unlimited" without a branch on a sentinel.
+thread_local int ScopedGangCap::cap_ = 1 << 20;
+
 SolveWorkspace::SolveWorkspace(int parties, SharedWorkerPool* shared)
     : parties_(parties), shared_(shared), barrier_(parties) {
   MSPTRSV_REQUIRE(parties >= 1, "workspaces need at least one thread");

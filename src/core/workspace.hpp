@@ -50,6 +50,34 @@
 
 namespace msptrsv::core {
 
+/// Thread-local cap on the gang width of shared-pool solves started from
+/// the current thread while the guard lives (1 = solve alone). The solve
+/// service's cross-plan packed dispatch runs several small tenants' solves
+/// as sibling tasks of ONE claimed gang: each sibling pins its nested
+/// solve to width 1 so the siblings do not fight each other (or the next
+/// packed dispatch) for the very workers their own gang already holds.
+/// Bits are unaffected -- the pull-based kernels are bit-identical at any
+/// party count, width 1 included. Guards nest; the innermost (smallest)
+/// cap wins. No effect on owned-pool (non-shared) workspaces, whose party
+/// count is fixed at analysis.
+class ScopedGangCap {
+ public:
+  explicit ScopedGangCap(int max_parties)
+      : previous_(cap_) {
+    cap_ = max_parties < 1 ? 1 : (max_parties < cap_ ? max_parties : cap_);
+  }
+  ~ScopedGangCap() { cap_ = previous_; }
+  ScopedGangCap(const ScopedGangCap&) = delete;
+  ScopedGangCap& operator=(const ScopedGangCap&) = delete;
+
+  /// The width cap active on this thread (INT_MAX-ish sentinel when none).
+  static int current() { return cap_; }
+
+ private:
+  static thread_local int cap_;
+  int previous_;
+};
+
 class SolveWorkspace {
  public:
   /// Up to `parties` real threads cooperate on every solve run on this
@@ -78,13 +106,23 @@ class SolveWorkspace {
   /// Runs fn(tid, parties) on `parties` cooperating threads (caller is
   /// tid 0) and returns the party count used: exactly threads() in owned
   /// mode, 1..threads() in shared mode depending on how many shared
-  /// workers were idle at claim time. level_barrier() is resized to the
-  /// returned width before any party starts.
+  /// workers were idle at claim time, on the pool's equal-share
+  /// reservation cap, and on any ScopedGangCap active on the calling
+  /// thread. level_barrier() is resized to the returned width before any
+  /// party starts.
   template <typename F>
   int run_parallel(F&& fn) {
     if (shared_ != nullptr) {
+      const int cap = ScopedGangCap::current();
+      const int ask = (cap < parties_ ? cap : parties_) - 1;
+      if (ask <= 0) {
+        // Capped to a solo run: no claim, no barrier traffic at all.
+        barrier_.reset(1);
+        fn(0, 1);
+        return 1;
+      }
       return shared_->run_gang(
-          parties_ - 1, [this](int parties) { barrier_.reset(parties); },
+          ask, [this](int parties) { barrier_.reset(parties); },
           static_cast<F&&>(fn));
     }
     if (pool_ == nullptr) {

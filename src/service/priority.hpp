@@ -1,0 +1,49 @@
+// Scheduling vocabulary of the solve service, shared by the request queue
+// (which schedules on it), the stats (which aggregate per class), and the
+// submit API (which stamps it on requests). Deliberately dependency-free:
+// everything observability-side can name a Priority without pulling in the
+// plan machinery.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace msptrsv::service {
+
+/// Scheduling class of a request. Order matters: smaller enum value =
+/// more urgent; kNumPriorities sizes every per-class stats array.
+enum class Priority : std::uint8_t {
+  /// Latency-sensitive: ripens immediately (coalesces only with what has
+  /// already accumulated) and wins selection at comparable wait.
+  kHigh = 0,
+  /// The default: one coalesce window, the PR 4 behavior.
+  kNormal = 1,
+  /// Throughput traffic: waits a multiple of the window for maximal
+  /// fusion and yields to the classes above while they are fresh.
+  kBackground = 2,
+};
+inline constexpr std::size_t kNumPriorities = 3;
+
+constexpr std::string_view to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBackground: return "background";
+  }
+  return "unknown-priority";
+}
+
+/// Per-request scheduling knobs of submit/submit_batch.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Relative SLO: the request should START executing within this much of
+  /// submit time. 0 = no deadline. A deadline pulls its group's ripening
+  /// forward (the dispatch happens early enough to make it); a request
+  /// that still starts late is shed with kDeadlineExceeded rather than
+  /// solved for a client that has already given up.
+  std::chrono::microseconds deadline{0};
+};
+
+}  // namespace msptrsv::service

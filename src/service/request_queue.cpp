@@ -4,75 +4,181 @@
 
 namespace msptrsv::service {
 
-RequestQueue::RequestQueue(std::chrono::microseconds coalesce_window,
-                           index_t max_width)
-    : window_(coalesce_window), max_width_(std::max<index_t>(1, max_width)) {}
+namespace {
+
+/// Selection weights of the weighted-wait rule: among ripe groups the
+/// dispatcher takes the largest (head wait) * weight. Higher classes win
+/// while waits are comparable; a lower class wins once it has waited the
+/// weight ratio longer -- bounded delay in both directions, so neither a
+/// background flood nor a high-priority stream can starve the other
+/// indefinitely (the aging bound the starvation test pins down).
+constexpr double kClassWeight[kNumPriorities] = {16.0, 4.0, 1.0};
+
+std::size_t class_of(Priority p) { return static_cast<std::size_t>(p); }
+
+}  // namespace
+
+RequestQueue::RequestQueue(QueueOptions options) : opt_([&] {
+  QueueOptions o = options;
+  o.max_width = std::max<index_t>(1, o.max_width);
+  o.pack_max_groups = std::max<std::size_t>(1, o.pack_max_groups);
+  o.pack_narrow_width = std::max<index_t>(1, o.pack_narrow_width);
+  o.background_window_scale = std::max(1.0, o.background_window_scale);
+  return o;
+}()) {}
 
 bool RequestQueue::push(SolveRequest r) {
   const index_t k = r.num_rhs;
+  const std::size_t cls = class_of(r.priority);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) return false;
     Group& g = groups_[r.plan.state_id()];
+    if (g.requests.empty()) {
+      g.priority = r.priority;
+      g.earliest_deadline = r.deadline;
+    } else {
+      // A more urgent rider promotes the whole group (it dispatches with
+      // it anyway), and the earliest deadline governs the ripen pull.
+      g.priority = std::min(g.priority, r.priority);
+      g.earliest_deadline = std::min(g.earliest_deadline, r.deadline);
+    }
     g.width += k;
     g.requests.push_back(std::move(r));
     pending_rhs_ += static_cast<std::size_t>(k);
+    pending_by_class_[cls] += static_cast<std::size_t>(k);
   }
+  // One notify covers both "new group may be ripe" and "an existing
+  // group's ripen time moved earlier" (promotion / deadline pull): the
+  // popper recomputes every ripen time on each wake.
   cv_.notify_one();
   return true;
 }
 
-bool RequestQueue::ripe_locked(const Group& g, Clock::time_point now) const {
-  if (stopping_) return true;
-  if (g.width >= max_width_) return true;
-  return now - g.requests.front().submitted >= window_;
+RequestQueue::Clock::time_point RequestQueue::ripe_at_locked(
+    const Group& g) const {
+  if (stopping_) return Clock::time_point::min();           // drain mode
+  if (g.width >= opt_.max_width) return Clock::time_point::min();
+  const Clock::time_point head = g.requests.front().submitted;
+  Clock::time_point at;
+  switch (g.priority) {
+    case Priority::kHigh:
+      at = head;  // latency class: never waits for company
+      break;
+    case Priority::kBackground:
+      at = head + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::micro>(
+                          static_cast<double>(opt_.window.count()) *
+                          opt_.background_window_scale));
+      break;
+    case Priority::kNormal:
+    default:
+      at = head + opt_.window;
+      break;
+  }
+  if (g.earliest_deadline != Clock::time_point::max()) {
+    // Deadline pull: dispatch early enough to START before the deadline,
+    // with one window of headroom for the pop -> execute handoff. (A
+    // deadline tighter than the window ripens the group immediately.)
+    const Clock::time_point pull = g.earliest_deadline - opt_.window;
+    at = std::min(at, pull);
+  }
+  return at;
 }
 
-std::vector<SolveRequest> RequestQueue::pop_batch() {
+bool RequestQueue::packable_locked(const Group& g) const {
+  return g.requests.front().plan.rows() <= opt_.pack_small_rows &&
+         g.width <= opt_.pack_narrow_width;
+}
+
+std::vector<SolveRequest> RequestQueue::take_locked(const void* id, Group& g,
+                                                    index_t width_cap) {
+  std::vector<SolveRequest> out;
+  index_t width = 0;
+  // Whole requests only: a multi-rhs submit is one client's batch and is
+  // never split across dispatches. The first request always goes (even
+  // when wider than the cap on its own).
+  while (!g.requests.empty() &&
+         (out.empty() || width + g.requests.front().num_rhs <= width_cap)) {
+    width += g.requests.front().num_rhs;
+    out.push_back(std::move(g.requests.front()));
+    g.requests.pop_front();
+  }
+  g.width -= width;
+  pending_rhs_ -= static_cast<std::size_t>(width);
+  for (const SolveRequest& r : out) {
+    pending_by_class_[class_of(r.priority)] -=
+        static_cast<std::size_t>(r.num_rhs);
+  }
+  if (g.requests.empty()) {
+    groups_.erase(id);
+  } else {
+    // Derived fields over the remainder (the popped head may have carried
+    // the promotion or the earliest deadline).
+    g.priority = Priority::kBackground;
+    g.earliest_deadline = Clock::time_point::max();
+    for (const SolveRequest& r : g.requests) {
+      g.priority = std::min(g.priority, r.priority);
+      g.earliest_deadline = std::min(g.earliest_deadline, r.deadline);
+    }
+  }
+  return out;
+}
+
+PoppedDispatch RequestQueue::pop_dispatch() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     const Clock::time_point now = Clock::now();
-    // Among ripe groups take the one whose head waited longest (FIFO
-    // fairness across plans); otherwise compute the earliest ripening to
-    // bound the wait.
     const void* best = nullptr;
-    Clock::time_point best_head{};
-    Clock::time_point next_deadline = Clock::time_point::max();
+    double best_score = -1.0;
+    Clock::time_point next_ripe = Clock::time_point::max();
     for (const auto& [id, g] : groups_) {
-      const Clock::time_point head = g.requests.front().submitted;
-      if (ripe_locked(g, now)) {
-        if (best == nullptr || head < best_head) {
+      const Clock::time_point at = ripe_at_locked(g);
+      if (at <= now) {
+        const double wait_us =
+            std::chrono::duration<double, std::micro>(
+                now - g.requests.front().submitted)
+                .count();
+        // +1us floor so a freshly-ripe high group still outranks a
+        // freshly-ripe background one at (near) zero wait.
+        const double score =
+            (wait_us + 1.0) * kClassWeight[class_of(g.priority)];
+        if (score > best_score) {
+          best_score = score;
           best = id;
-          best_head = head;
         }
       } else {
-        next_deadline = std::min(next_deadline, head + window_);
+        next_ripe = std::min(next_ripe, at);
       }
     }
     if (best != nullptr) {
+      PoppedDispatch out;
       Group& g = groups_.find(best)->second;
-      std::vector<SolveRequest> out;
-      index_t width = 0;
-      // Whole requests only: a multi-rhs submit is one client's batch and
-      // is never split across dispatches. The first request always goes
-      // (even when wider than max_width_ on its own).
-      while (!g.requests.empty() &&
-             (out.empty() ||
-              width + g.requests.front().num_rhs <= max_width_)) {
-        width += g.requests.front().num_rhs;
-        out.push_back(std::move(g.requests.front()));
-        g.requests.pop_front();
+      const bool pack = opt_.pack_max_groups > 1 && packable_locked(g);
+      out.groups.push_back(take_locked(best, g, opt_.max_width));
+      if (pack) {
+        // The winner is a small tenant: carry other ripe small tenants in
+        // the same dispatch (ids first -- take_locked erases map entries).
+        std::vector<const void*> riders;
+        for (const auto& [id, og] : groups_) {
+          if (out.groups.size() + riders.size() >= opt_.pack_max_groups)
+            break;
+          if (id == best) continue;  // best survives only on a partial pop
+          if (packable_locked(og) && ripe_at_locked(og) <= now)
+            riders.push_back(id);
+        }
+        for (const void* id : riders) {
+          Group& og = groups_.find(id)->second;
+          out.groups.push_back(take_locked(id, og, opt_.pack_narrow_width));
+        }
       }
-      g.width -= width;
-      pending_rhs_ -= static_cast<std::size_t>(width);
-      if (g.requests.empty()) groups_.erase(best);
       return out;
     }
     if (stopping_) return {};  // drained: the dispatcher's exit signal
-    if (next_deadline == Clock::time_point::max()) {
+    if (next_ripe == Clock::time_point::max()) {
       cv_.wait(lock);
     } else {
-      cv_.wait_until(lock, next_deadline);
+      cv_.wait_until(lock, next_ripe);
     }
   }
 }
@@ -88,6 +194,11 @@ void RequestQueue::shutdown() {
 std::size_t RequestQueue::depth_rhs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_rhs_;
+}
+
+std::size_t RequestQueue::depth_rhs(Priority p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_by_class_[class_of(p)];
 }
 
 }  // namespace msptrsv::service

@@ -1,27 +1,48 @@
-// Bounded, plan-grouped request queue with time-window coalescing.
+// Bounded, plan-grouped request queue with priority- and deadline-aware
+// time-window coalescing, and cross-plan packing of small tenants.
 //
-// The queue is the service's batching point. Requests are grouped by plan
-// identity (SolverPlan::state_id()); a group becomes RIPE when its oldest
-// request has waited the coalesce window, or when its pending width
-// reaches the maximum fused batch, or at shutdown (drain). pop_batch()
-// hands the dispatcher up to max_width right-hand sides of ONE ripe group
-// -- whole requests, never splitting one -- which the dispatcher turns
-// into a single fused solve_batch call. Admission control does NOT live
-// here: the service bounds OUTSTANDING rhs (queued or executing), a
-// strict superset of what this queue holds, so push() only ever refuses
-// after shutdown.
+// The queue is the service's batching AND scheduling point. Requests are
+// grouped by plan identity (SolverPlan::state_id()); a group becomes RIPE
+// when its pending width reaches the maximum fused batch, when its oldest
+// request has waited out its priority-scaled coalesce window, when a
+// member's deadline is close enough that waiting longer would miss it, or
+// at shutdown (drain). pop_batch() hands the dispatcher ONE dispatch --
+// usually up to max_width right-hand sides of one ripe group (whole
+// requests, never splitting one), which becomes a single fused solve_batch
+// call; when the ripe group is SMALL (few rows, few rhs), other ripe small
+// groups are PACKED into the same dispatch as sibling sub-batches so many
+// tiny tenants ride one gang claim instead of queueing one dispatch each.
 //
-// The window trades latency for width: during a burst, requests that
-// arrive within window_us of each other merge into one kernel sweep (the
-// 3-7x per-rhs fused path of PR 2) at the cost of at most one window of
-// added latency for the first arrival. window 0 still coalesces whatever
-// accumulated while the dispatcher was busy -- natural batching under
-// load, zero added latency when idle.
+// Scheduling replaces PR 4's FIFO-across-plans rule with weighted
+// deadline-aware ripening:
+//
+//  * each priority class scales the coalesce window (kHigh ripens
+//    immediately -- latency traffic never waits for company it may not
+//    get; kBackground waits a multiple of the window -- throughput traffic
+//    trades latency for width);
+//  * among ripe groups the dispatcher takes the one with the largest
+//    priority-WEIGHTED head wait. Strictly higher classes win while waits
+//    are comparable, but a background group's score grows without bound as
+//    it waits, so a flood of one class can delay another by at most the
+//    weight ratio times its own service time -- starvation-free in both
+//    directions, by construction;
+//  * a request with a deadline pulls its group's ripen time forward to
+//    deadline minus one window of headroom, so an SLO'd request is
+//    dispatched while it can still make it. Requests that nevertheless
+//    START past their deadline are shed by the dispatcher with typed
+//    kDeadlineExceeded instead of being solved late (the shed decision
+//    lives in SolveService::execute, where execution start time is known).
+//
+// Admission control does NOT live here: the service bounds OUTSTANDING rhs
+// (queued or executing), a strict superset of what this queue holds, so
+// push() only ever refuses after shutdown.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstddef>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -29,59 +50,105 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "service/priority.hpp"
 
 namespace msptrsv::service {
 
 /// One admitted client request: a plan reference (copies share state), the
-/// right-hand sides, and the promise the dispatcher answers through.
+/// right-hand sides, scheduling fields, and the promise the dispatcher
+/// answers through.
 struct SolveRequest {
   core::SolverPlan plan;
   /// num_rhs columns of length plan.rows(), column-major.
   std::vector<value_t> rhs;
   index_t num_rhs = 1;
+  Priority priority = Priority::kNormal;
+  /// Absolute start-by time; time_point::max() = none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   std::promise<core::Expected<core::SolveResult>> promise;
   std::chrono::steady_clock::time_point submitted;
 };
 
+/// Scheduling configuration of one queue shard.
+struct QueueOptions {
+  /// Base coalesce window (Priority::kNormal's wait for company).
+  std::chrono::microseconds window{200};
+  /// Widest fused dispatch, in rhs.
+  index_t max_width = 32;
+  /// kBackground's window is window * background_window_scale.
+  double background_window_scale = 4.0;
+  /// Cross-plan packing: a ripe SMALL group (<= pack_small_rows rows and
+  /// <= pack_narrow_width pending rhs) may carry up to pack_max_groups - 1
+  /// other ripe small groups in its dispatch. 1 disables packing.
+  std::size_t pack_max_groups = 8;
+  index_t pack_narrow_width = 4;
+  index_t pack_small_rows = 4096;
+};
+
+/// One popped dispatch: groups[0] is the scheduling winner; any further
+/// entries are small-tenant sub-batches packed onto the same dispatch.
+/// Every inner vector is non-empty and single-plan (ready for one fused
+/// solve_batch); distinct entries are distinct plans. Empty `groups` means
+/// shut down AND drained: the dispatcher's exit signal.
+struct PoppedDispatch {
+  std::vector<std::vector<SolveRequest>> groups;
+};
+
 class RequestQueue {
  public:
-  RequestQueue(std::chrono::microseconds coalesce_window, index_t max_width);
+  explicit RequestQueue(QueueOptions options);
 
   /// Enqueues `r`; false only after shutdown() (the caller rolls its
   /// admission back).
   bool push(SolveRequest r);
 
-  /// Blocks until a group is ripe, pops up to max_width rhs of it (whole
-  /// requests, oldest first), and returns them -- all sharing one
-  /// state_id(), ready for one fused solve_batch. After shutdown() the
-  /// window stops applying (drain mode); an empty vector means shut down
-  /// AND empty: the dispatcher's exit signal.
-  std::vector<SolveRequest> pop_batch();
+  /// Blocks until a group is ripe and pops one dispatch (see
+  /// PoppedDispatch). After shutdown() the windows stop applying (drain
+  /// mode).
+  PoppedDispatch pop_dispatch();
 
-  /// Stops admission and switches pop_batch to drain mode. Idempotent.
+  /// Stops admission and switches pop_dispatch to drain mode. Idempotent.
   void shutdown();
 
-  /// Pending right-hand sides (the backpressure/depth gauge).
+  /// Pending right-hand sides (the backpressure/depth gauge), total and
+  /// per priority class. (The service publishes its depth gauges from
+  /// its own mirrored atomics; these locked accessors are for tests and
+  /// direct queue users.)
   std::size_t depth_rhs() const;
+  std::size_t depth_rhs(Priority p) const;
 
  private:
   struct Group {
     std::deque<SolveRequest> requests;
     /// Summed num_rhs of `requests`.
     index_t width = 0;
+    /// Most urgent class among members (a high-priority rider promotes
+    /// the whole group: it will be dispatched with it anyway).
+    Priority priority = Priority::kBackground;
+    /// Earliest member deadline (time_point::max() = none).
+    std::chrono::steady_clock::time_point earliest_deadline;
   };
   using Clock = std::chrono::steady_clock;
 
-  /// Ripe = width-triggered, window-expired, or draining. Caller locks.
-  bool ripe_locked(const Group& g, Clock::time_point now) const;
+  /// When the group ripens (<= now means ripe). Caller locks.
+  Clock::time_point ripe_at_locked(const Group& g) const;
+  /// True when `g` qualifies for cross-plan packing (small plan, narrow
+  /// pending width). Caller locks.
+  bool packable_locked(const Group& g) const;
+  /// Pops up to `width_cap` rhs of `g` (whole requests, oldest first) into
+  /// `out` and refreshes the group's derived fields; erases the group from
+  /// the map when emptied. Caller locks.
+  std::vector<SolveRequest> take_locked(const void* id, Group& g,
+                                        index_t width_cap);
 
-  const std::chrono::microseconds window_;
-  const index_t max_width_;
+  const QueueOptions opt_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::unordered_map<const void*, Group> groups_;
   std::size_t pending_rhs_ = 0;
+  std::size_t pending_by_class_[kNumPriorities] = {0, 0, 0};
   bool stopping_ = false;
 };
 

@@ -1,10 +1,13 @@
 #include "service/solve_service.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
 #include <string>
 #include <utility>
 
 #include "core/registry.hpp"
+#include "core/workspace.hpp"
 
 namespace msptrsv::service {
 
@@ -24,6 +27,17 @@ std::future<SolveService::Reply> ready_reply(SolveService::Reply reply) {
   return f;
 }
 
+QueueOptions queue_options(const ServiceOptions& o) {
+  QueueOptions q;
+  q.window = o.coalesce_window;
+  q.max_width = o.max_coalesce;
+  q.background_window_scale = o.background_window_scale;
+  q.pack_max_groups = o.pack_max_groups;
+  q.pack_narrow_width = o.pack_narrow_width;
+  q.pack_small_rows = o.pack_small_rows;
+  return q;
+}
+
 }  // namespace
 
 SolveService::SolveService(ServiceOptions options)
@@ -31,37 +45,58 @@ SolveService::SolveService(ServiceOptions options)
       pool_(options.pool != nullptr ? options.pool
                                     : &core::SharedWorkerPool::instance()),
       cache_(options.cache),
-      queue_(options.coalesce_window, options.max_coalesce) {
+      stats_(options.stats_latency_ring) {
   if (!options_.cache_dir.empty()) {
     cache_.set_disk_directory(options_.cache_dir);
   }
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  const int n_shards = std::max(1, options_.dispatch_shards);
+  options_.dispatch_shards = n_shards;
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    shards_.push_back(std::make_unique<RequestQueue>(queue_options(options_)));
+  }
+  dispatchers_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    dispatchers_.emplace_back(
+        [this, s] { dispatch_loop(static_cast<std::size_t>(s)); });
+  }
 }
 
 SolveService::~SolveService() {
-  // Stop admission, let the dispatcher drain whatever is queued (shutdown
-  // flips pop_batch to drain mode), then wait for every in-flight
-  // dispatch to answer its promises -- they run on the shared pool and
-  // reference this object.
-  queue_.shutdown();
-  dispatcher_.join();
+  // Stop admission, let each dispatcher drain whatever is queued on its
+  // shard (shutdown flips pop_dispatch to drain mode), then wait for
+  // every in-flight dispatch to answer its promises -- they run on the
+  // shared pool and reference this object.
+  for (auto& q : shards_) q->shutdown();
+  for (std::thread& d : dispatchers_) d.join();
   drain();
 }
 
+std::size_t SolveService::shard_of(const void* state_id) const {
+  // Fibonacci-mix the pointer (state ids are heap addresses: the low bits
+  // are alignment zeros, the high bits are shared) so plans spread evenly
+  // over the shards.
+  const std::uint64_t h =
+      (reinterpret_cast<std::uintptr_t>(state_id) >> 4) *
+      UINT64_C(0x9E3779B97F4A7C15);
+  return static_cast<std::size_t>((h >> 32) % shards_.size());
+}
+
 std::future<SolveService::Reply> SolveService::submit(
-    const core::SolverPlan& plan, std::vector<value_t> b) {
-  return enqueue(plan, std::move(b), 1);
+    const core::SolverPlan& plan, std::vector<value_t> b,
+    SubmitOptions submit) {
+  return enqueue(plan, std::move(b), 1, submit);
 }
 
 std::future<SolveService::Reply> SolveService::submit_batch(
-    const core::SolverPlan& plan, std::vector<value_t> rhs,
-    index_t num_rhs) {
-  return enqueue(plan, std::move(rhs), num_rhs);
+    const core::SolverPlan& plan, std::vector<value_t> rhs, index_t num_rhs,
+    SubmitOptions submit) {
+  return enqueue(plan, std::move(rhs), num_rhs, submit);
 }
 
 std::future<SolveService::Reply> SolveService::enqueue(
-    const core::SolverPlan& plan, std::vector<value_t> rhs,
-    index_t num_rhs) {
+    const core::SolverPlan& plan, std::vector<value_t> rhs, index_t num_rhs,
+    SubmitOptions submit) {
   // Shape errors are caught HERE, not at dispatch: a wrong-length rhs
   // concatenated into a fused batch would corrupt its neighbors' columns.
   if (num_rhs < 1) {
@@ -92,12 +127,21 @@ std::future<SolveService::Reply> SolveService::enqueue(
                   "ServiceOptions::max_pending_rhs"));
   }
 
-  SolveRequest request{plan, std::move(rhs), num_rhs, {}, Clock::now()};
+  SolveRequest request{plan,
+                       std::move(rhs),
+                       num_rhs,
+                       submit.priority,
+                       Clock::time_point::max(),
+                       {},
+                       Clock::now()};
+  if (submit.deadline.count() > 0) {
+    request.deadline = request.submitted + submit.deadline;
+  }
   std::future<Reply> future = request.promise.get_future();
 
   // Admission counts OUTSTANDING rhs -- admitted but not yet answered --
-  // not just the un-popped queue: a popped batch moves to the shared
-  // pool's deques, and bounding only the queue would let a sustained
+  // not just the un-popped queues: a popped batch moves to the shared
+  // pool's deques, and bounding only the queues would let a sustained
   // flood accumulate admitted work there without limit.
   bool admitted;
   {
@@ -108,7 +152,9 @@ std::future<SolveService::Reply> SolveService::enqueue(
       outstanding_rhs_ += k;
     }
   }
-  if (admitted && !queue_.push(std::move(request))) {
+  const Priority priority = request.priority;
+  RequestQueue& shard = *shards_[shard_of(plan.state_id())];
+  if (admitted && !shard.push(std::move(request))) {
     // Shutdown, the queue's only refusal: roll the admission back.
     std::lock_guard<std::mutex> lock(pending_mutex_);
     --unanswered_;
@@ -124,35 +170,132 @@ std::future<SolveService::Reply> SolveService::enqueue(
                   std::to_string(options_.max_pending_rhs) +
                   " pending rhs) or shutting down; retry later"));
   }
-  stats_.on_submit(static_cast<std::uint64_t>(num_rhs));
-  stats_.on_queue_depth(queue_.depth_rhs());
+  queued_rhs_.fetch_add(k, std::memory_order_relaxed);
+  queued_by_class_[static_cast<std::size_t>(priority)].fetch_add(
+      k, std::memory_order_relaxed);
+  stats_.on_submit(priority, static_cast<std::uint64_t>(num_rhs));
+  publish_depth();
   return future;
 }
 
-void SolveService::dispatch_loop() {
-  for (;;) {
-    std::vector<SolveRequest> batch = queue_.pop_batch();
-    stats_.on_queue_depth(queue_.depth_rhs());
-    if (batch.empty()) return;  // shut down and drained
+void SolveService::publish_depth() {
+  // Mirrored atomics, not the shard mutexes: this runs on every submit
+  // and every pop, and locking all N shards here would serialize the
+  // very path sharding is meant to scale. The gauges are eventually
+  // consistent with the queues (push increments before this publish, pop
+  // decrements before its publish).
+  std::array<std::uint64_t, kNumPriorities> by_class{};
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    by_class[c] = queued_by_class_[c].load(std::memory_order_relaxed);
+  }
+  stats_.on_queue_depth(queued_rhs_.load(std::memory_order_relaxed),
+                        by_class);
+}
 
-    index_t width = 0;
-    for (const SolveRequest& r : batch) width += r.num_rhs;
-    stats_.on_dispatch(width, batch.size());
+void SolveService::dispatch_loop(std::size_t shard) {
+  RequestQueue& queue = *shards_[shard];
+  for (;;) {
+    PoppedDispatch dispatch = queue.pop_dispatch();
+    for (const std::vector<SolveRequest>& g : dispatch.groups) {
+      for (const SolveRequest& r : g) {
+        const std::uint64_t k = static_cast<std::uint64_t>(r.num_rhs);
+        queued_rhs_.fetch_sub(k, std::memory_order_relaxed);
+        queued_by_class_[static_cast<std::size_t>(r.priority)].fetch_sub(
+            k, std::memory_order_relaxed);
+      }
+    }
+    publish_depth();
+    if (dispatch.groups.empty()) return;  // shut down and drained
 
     // Hand the dispatch to the shared pool: per-thread deques + stealing
     // spread concurrent plans' batches across the machine, and the worker
-    // that picks it up becomes tid 0 of the solve's gang. shared_ptr
+    // that picks it up becomes tid 0 of the dispatch's gang. A dispatch
+    // carrying any high-priority request jumps the pool's task queue
+    // (urgent submit) -- the priority must survive the last FIFO stage
+    // between this pop and a worker, not just the pop order. shared_ptr
     // because std::function must be copyable.
-    auto job = std::make_shared<std::vector<SolveRequest>>(std::move(batch));
-    pool_->submit([this, job] { execute(*job); });
+    bool urgent = false;
+    for (const std::vector<SolveRequest>& g : dispatch.groups) {
+      for (const SolveRequest& r : g) {
+        urgent = urgent || r.priority == Priority::kHigh;
+      }
+    }
+    auto job = std::make_shared<PoppedDispatch>(std::move(dispatch));
+    pool_->submit([this, job] { execute_dispatch(*job); }, urgent);
   }
 }
 
-void SolveService::execute(std::vector<SolveRequest>& batch) noexcept {
+void SolveService::shed_request(SolveRequest& r) noexcept {
+  stats_.on_shed(r.priority, static_cast<std::uint64_t>(r.num_rhs));
+  const double waited = us_since(r.submitted, Clock::now());
+  r.promise.set_value(Reply(
+      core::SolveStatus::kDeadlineExceeded,
+      "deadline passed before the solve could start (waited " +
+          std::to_string(static_cast<long long>(waited)) +
+          " us); request shed"));
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    --unanswered_;
+    outstanding_rhs_ -= static_cast<std::size_t>(r.num_rhs);
+    pending_cv_.notify_all();
+  }
+}
+
+void SolveService::execute_dispatch(PoppedDispatch& dispatch) noexcept {
+  // Shed requests whose start-by deadline has already passed -- solving
+  // them would spend gang time on answers nobody is waiting for. The
+  // check sits at execution start (not pop) so queue-to-worker handoff
+  // delay counts against the deadline too.
+  const Clock::time_point now = Clock::now();
+  for (std::vector<SolveRequest>& group : dispatch.groups) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (group[i].deadline < now) {
+        shed_request(group[i]);
+      } else {
+        if (kept != i) group[kept] = std::move(group[i]);
+        ++kept;
+      }
+    }
+    group.erase(group.begin() + static_cast<std::ptrdiff_t>(kept),
+                group.end());
+  }
+  std::erase_if(dispatch.groups,
+                [](const std::vector<SolveRequest>& g) { return g.empty(); });
+  if (dispatch.groups.empty()) return;
+
+  stats_.on_pool_dispatch(dispatch.groups.size());
+  if (dispatch.groups.size() == 1) {
+    execute_group(dispatch.groups.front());
+    return;
+  }
+
+  // Cross-plan packed dispatch: the sub-batches run as SIBLING tasks on
+  // one claimed gang -- one claim for the whole pack instead of one tiny
+  // (and reservation-throttled) gang per tenant. Each sibling pins its
+  // nested solve to width 1 (ScopedGangCap): the packed plans are small,
+  // so intra-solve parallelism is worth less than solving the pack's
+  // members concurrently, and the siblings must not steal each other's
+  // workers. Bits are unchanged -- the kernels are width-invariant.
+  std::atomic<std::size_t> next{0};
+  pool_->run_gang(
+      static_cast<int>(dispatch.groups.size()) - 1, [](int) {},
+      [&](int, int) {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= dispatch.groups.size()) return;
+          core::ScopedGangCap solo(1);
+          execute_group(dispatch.groups[i]);
+        }
+      });
+}
+
+void SolveService::execute_group(std::vector<SolveRequest>& batch) noexcept {
   const core::SolverPlan& plan = batch.front().plan;
   const std::size_t n = static_cast<std::size_t>(plan.rows());
   index_t total_rhs = 0;
   for (const SolveRequest& r : batch) total_rhs += r.num_rhs;
+  stats_.on_dispatch(total_rhs, batch.size());
 
   // Answer exactly once per request, in order; `answered` makes the
   // catch-all below safe (a promise set twice would itself throw).
@@ -160,7 +303,8 @@ void SolveService::execute(std::vector<SolveRequest>& batch) noexcept {
   const auto answer = [&](SolveRequest& r, Reply reply, bool ok) {
     const double latency = us_since(r.submitted, Clock::now());
     stats_.on_complete(plan.state_id(), plan.rows(),
-                       static_cast<std::uint64_t>(r.num_rhs), ok, latency);
+                       static_cast<std::uint64_t>(r.num_rhs), ok, r.priority,
+                       latency);
     r.promise.set_value(std::move(reply));
     ++answered;
     {

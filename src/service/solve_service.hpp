@@ -7,27 +7,50 @@
 //   service::SolveService svc;                        // shared pool + cache
 //   auto plan = svc.plan_for(L, "cpu-syncfree");      // analyze-on-first-use
 //   auto fut  = svc.submit(*plan, b);                 // async, non-blocking
+//   auto slo  = svc.submit(*plan, b2,                 // SLO'd traffic
+//       {.priority = service::Priority::kHigh,
+//        .deadline = std::chrono::milliseconds(5)});
 //   ...
 //   core::Expected<core::SolveResult> r = fut.get();  // or r.status() ==
-//                                                     // kOverloaded
+//                                                     // kOverloaded /
+//                                                     // kDeadlineExceeded
 //
 //  * REQUEST COALESCING: same-plan requests arriving within a small window
 //    merge into ONE fused solve_batch call -- independent single-RHS
 //    traffic rides the 3-7x per-rhs fused path for free, and the result
 //    bits are exactly what sequential plan.solve calls would produce
 //    (the fused kernel's bit-for-bit guarantee from PR 2).
+//  * PRIORITIES + DEADLINES: every submit carries a Priority class and an
+//    optional start-by deadline. Ripening is weighted and deadline-aware
+//    (see request_queue.hpp): high-priority groups dispatch first without
+//    waiting for company, background groups wait longer and fuse wider,
+//    and neither class can starve the other (bounded-delay aging).
+//    Requests that would start past their deadline are shed with typed
+//    kDeadlineExceeded instead of being solved for a client that already
+//    gave up.
+//  * CROSS-PLAN PACKING: ripe narrow solves from DIFFERENT small plans are
+//    packed into one pool dispatch and executed as sibling tasks on one
+//    claimed gang -- many tiny tenants ride one dispatch instead of
+//    queueing one each, which is what keeps occupancy up when no single
+//    tenant is wide enough to fill a gang. Bits are unchanged: each
+//    sub-batch still runs the plan's own fused solve_batch.
+//  * SHARDED DISPATCH: plans hash onto ServiceOptions::dispatch_shards
+//    independent queue+dispatcher pairs, so the submit path scales past a
+//    single pop/hand-off thread. (Coalescing and packing are per-shard:
+//    same-plan requests always share a shard by construction.)
 //  * SHARED EXECUTION: dispatches run as tasks on the process-wide
-//    core::SharedWorkerPool (per-thread deques, work stealing), and every
-//    plan built through the service has use_shared_pool set, so kernel
-//    gangs claim idle shared workers instead of spawning plan-owned
-//    threads -- total host threads stay capped no matter how many tenants
-//    solve at once, and an idle plan holds zero threads.
+//    core::SharedWorkerPool (per-thread deques, work stealing), every
+//    plan built through the service has use_shared_pool set, and gang
+//    claims are reservation-capped at pool_size / active_solves under
+//    contention -- total host threads stay capped no matter how many
+//    tenants solve at once, no tenant's gang monopolizes the machine, and
+//    an idle plan holds zero threads.
 //  * BACKPRESSURE: admission is bounded in pending right-hand sides;
 //    past the bound submit() completes the future immediately with typed
 //    kOverloaded (never blocks, never drops silently).
-//  * OBSERVABILITY: a lock-free ServiceStats publishes queue depth, the
-//    coalesce-width histogram, per-plan solve counts, and p50/p99/max
-//    end-to-end latency.
+//  * OBSERVABILITY: a lock-free ServiceStats publishes queue depth and
+//    latency quantiles per priority class, the coalesce-width and
+//    packed-dispatch histograms, per-plan solve counts, and shed counts.
 //
 // Lifetime: the service drains on destruction -- every admitted request is
 // answered before the destructor returns. Plans handed out by plan_for()
@@ -35,6 +58,8 @@
 // shared pool).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +73,7 @@
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
 #include "core/worker_pool.hpp"
+#include "service/priority.hpp"
 #include "service/request_queue.hpp"
 #include "service/service_stats.hpp"
 
@@ -60,9 +86,30 @@ struct ServiceOptions {
   std::size_t max_pending_rhs = 1024;
   /// Widest fused dispatch (rhs per solve_batch call).
   index_t max_coalesce = 32;
-  /// How long the first request of a group may wait for company. 0 still
-  /// coalesces whatever accumulates while the dispatcher is busy.
+  /// How long the first NORMAL-priority request of a group may wait for
+  /// company. kHigh never waits; kBackground waits
+  /// background_window_scale times this. 0 still coalesces whatever
+  /// accumulates while the dispatcher is busy.
   std::chrono::microseconds coalesce_window{200};
+  /// kBackground's window multiplier (>= 1).
+  double background_window_scale = 4.0;
+  /// Cross-plan packing: a ripe SMALL group (<= pack_small_rows rows,
+  /// <= pack_narrow_width pending rhs) carries up to pack_max_groups - 1
+  /// other ripe small groups in its pool dispatch, executed as sibling
+  /// tasks on one claimed gang. 1 disables packing.
+  std::size_t pack_max_groups = 8;
+  index_t pack_narrow_width = 4;
+  index_t pack_small_rows = 4096;
+  /// Dispatcher shards: plans hash onto this many independent
+  /// queue+dispatcher pairs (>= 1). Same-plan traffic always lands on one
+  /// shard, so coalescing is unaffected; cross-plan packing only packs
+  /// within a shard, so many-tiny-tenant deployments should prefer few
+  /// shards unless submit rate demands more.
+  int dispatch_shards = 1;
+  /// Latency quantile window per stats ring (overall + one per priority
+  /// class) -- quantiles cover only the most recent this-many
+  /// completions; see the service_stats.hpp file comment.
+  std::size_t stats_latency_ring = ServiceStats::kDefaultLatencyRing;
   /// Plan cache configuration for analyze-on-first-use (count capacity +
   /// optional byte budget).
   core::CacheOptions cache{};
@@ -92,17 +139,20 @@ class SolveService {
 
   /// Asynchronous single-RHS solve. The future resolves to the solution
   /// (bit-for-bit what plan.solve(b) returns, however the dispatch was
-  /// coalesced) or to a typed error: kOverloaded under backpressure /
-  /// shutdown, kShapeMismatch for a wrong-length b (checked at submit --
-  /// a malformed request must not poison a fused batch). Never blocks.
+  /// coalesced or packed) or to a typed error: kOverloaded under
+  /// backpressure / shutdown, kDeadlineExceeded when `submit.deadline`
+  /// passed before the solve could start, kShapeMismatch for a
+  /// wrong-length b (checked at submit -- a malformed request must not
+  /// poison a fused batch). Never blocks.
   std::future<Reply> submit(const core::SolverPlan& plan,
-                            std::vector<value_t> b);
+                            std::vector<value_t> b, SubmitOptions submit = {});
 
   /// Asynchronous multi-RHS solve (num_rhs columns, column-major). A
   /// client batch stays whole -- it may be coalesced WITH others but is
   /// never split across dispatches.
   std::future<Reply> submit_batch(const core::SolverPlan& plan,
-                                  std::vector<value_t> rhs, index_t num_rhs);
+                                  std::vector<value_t> rhs, index_t num_rhs,
+                                  SubmitOptions submit = {});
 
   // ---- analyze-on-first-use ------------------------------------------------
   // All plan_for paths stamp use_shared_pool and go through the service's
@@ -126,20 +176,41 @@ class SolveService {
   core::PlanCache& plan_cache() { return cache_; }
   core::SharedWorkerPool& pool() { return *pool_; }
   const ServiceOptions& options() const { return options_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
 
  private:
   std::future<Reply> enqueue(const core::SolverPlan& plan,
-                             std::vector<value_t> rhs, index_t num_rhs);
-  void dispatch_loop();
-  /// Runs one coalesced dispatch on a pool worker: concatenate, one fused
-  /// solve_batch, split, answer every promise. Must not throw.
-  void execute(std::vector<SolveRequest>& batch) noexcept;
+                             std::vector<value_t> rhs, index_t num_rhs,
+                             SubmitOptions submit);
+  /// The queue shard serving `state_id` (same plan -> same shard, always).
+  std::size_t shard_of(const void* state_id) const;
+  void dispatch_loop(std::size_t shard);
+  /// Publishes total + per-class queue depth across all shards.
+  void publish_depth();
+
+  /// Runs one popped dispatch on a pool worker: shed expired requests,
+  /// then execute the (possibly packed) group set. Must not throw.
+  void execute_dispatch(PoppedDispatch& dispatch) noexcept;
+  /// One single-plan sub-batch: concatenate, one fused solve_batch,
+  /// split, answer every promise. Must not throw.
+  void execute_group(std::vector<SolveRequest>& batch) noexcept;
+  /// Answers `r` with kDeadlineExceeded and settles the admission
+  /// accounting (the shed path of the deadline contract).
+  void shed_request(SolveRequest& r) noexcept;
 
   ServiceOptions options_;
   core::SharedWorkerPool* pool_;
   core::PlanCache cache_;
-  RequestQueue queue_;
+  /// One queue per dispatcher shard; plans hash onto shards by state_id.
+  std::vector<std::unique_ptr<RequestQueue>> shards_;
   ServiceStats stats_;
+
+  /// Cross-shard queued-rhs gauges, mirrored from push/pop deltas so
+  /// publish_depth() is a few atomic loads instead of locking every
+  /// shard's mutex on every submit (which would serialize exactly the
+  /// path dispatch_shards exists to scale).
+  std::atomic<std::uint64_t> queued_rhs_{0};
+  std::array<std::atomic<std::uint64_t>, kNumPriorities> queued_by_class_{};
 
   std::mutex pending_mutex_;
   std::condition_variable pending_cv_;
@@ -149,10 +220,10 @@ class SolveService {
   std::size_t unanswered_ = 0;
   /// The same span counted in RIGHT-HAND SIDES -- what max_pending_rhs
   /// bounds (popped-but-executing work included, so backpressure holds
-  /// even when the dispatcher keeps the queue itself near empty).
+  /// even when the dispatchers keep the queues themselves near empty).
   std::size_t outstanding_rhs_ = 0;
 
-  std::thread dispatcher_;
+  std::vector<std::thread> dispatchers_;
 };
 
 }  // namespace msptrsv::service
