@@ -1,16 +1,19 @@
-// Solve server walkthrough: many client threads hammer one
-// service::SolveService with single-RHS requests against a handful of
-// factors, and the service turns that traffic into fused batches on the
-// process-wide shared worker pool -- analyze-on-first-use through the plan
-// cache, typed kOverloaded backpressure past the admission bound, and a
-// live ServiceStats snapshot at the end. One client plays the
-// latency-sensitive tenant: it submits Priority::kHigh with a start-by
-// deadline, so its requests dispatch first (and are shed with
-// kDeadlineExceeded rather than answered uselessly late); the rest run
-// kNormal. The final stats print the per-class split.
+// Network solve-server walkthrough: a real net::SolveServer on loopback,
+// hammered by net::SolveClient connections speaking the binary wire
+// protocol (docs/PROTOCOL.md).
 //
-//   ./example_solve_server [--backend cpu-syncfree] [--clients 8]
-//                          [--requests 200] [--tenants 3]
+// What it demonstrates, end to end:
+//  * plan opens over the wire (factor upload, analyze-on-first-use on the
+//    server, content-keyed dedup across connections);
+//  * pipelined solves whose results are BIT-FOR-BIT what a local
+//    plan.solve() produces -- the service's fused-batch guarantee
+//    survives the socket;
+//  * typed backpressure and deadline shedding arriving as client-visible
+//    statuses (kOverloaded triggers the client's backoff-retry tier);
+//  * the Prometheus /metrics answer and the drain barrier.
+//
+//   ./example_solve_server [--backend cpu-syncfree] [--clients 4]
+//                          [--requests 100] [--tenants 3]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,17 +22,19 @@
 #include <vector>
 
 #include "core/msptrsv.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "support/cli.hpp"
 
 using namespace msptrsv;
 
 int main(int argc, char** argv) {
   support::CliParser cli(
-      "Multi-tenant solve service demo: concurrent clients, request "
-      "coalescing, backpressure, live metrics");
+      "Network solve server demo: wire-protocol clients against a loopback "
+      "net::SolveServer -- opens, pipelined solves, retry, metrics, drain");
   cli.add_option("backend", "cpu-syncfree", "registry backend key to serve");
-  cli.add_option("clients", "8", "concurrent client threads");
-  cli.add_option("requests", "200", "requests per client");
+  cli.add_option("clients", "4", "concurrent client connections");
+  cli.add_option("requests", "100", "solves per client");
   cli.add_option("tenants", "3", "distinct factors being served");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -38,18 +43,23 @@ int main(int argc, char** argv) {
   const int requests = static_cast<int>(cli.get_int("requests"));
   const int tenants = static_cast<int>(cli.get_int("tenants"));
 
-  std::printf("msptrsv %s solve server demo: %d clients x %d requests over "
+  std::printf("msptrsv %s network server demo: %d clients x %d solves over "
               "%d tenants on '%s'\n\n",
               kVersion, clients, requests, tenants, backend.c_str());
 
-  // One service for the whole process: a bounded queue, a 200us coalesce
-  // window, and a plan cache that analyzes each tenant's factor exactly
-  // once -- on the first request that needs it.
-  service::ServiceOptions options;
-  options.max_pending_rhs = 512;
-  options.coalesce_window = std::chrono::microseconds(200);
-  options.max_coalesce = 32;
-  service::SolveService svc(options);
+  // The server: ephemeral port, bounded admission so backpressure is
+  // reachable, 200us coalesce window.
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.service.max_pending_rhs = 512;
+  server_options.service.coalesce_window = std::chrono::microseconds(200);
+  net::SolveServer server(server_options);
+  const core::Expected<bool> started = server.start();
+  if (!started.ok()) {
+    std::printf("server start failed: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("server listening on 127.0.0.1:%u\n\n", server.port());
 
   struct Tenant {
     sparse::CscMatrix lower;
@@ -58,22 +68,16 @@ int main(int argc, char** argv) {
   };
   std::vector<Tenant> workloads;
   for (int t = 0; t < tenants; ++t) {
-    const index_t n = 8000 + 2000 * t;
+    const index_t n = 6000 + 2000 * t;
     Tenant w;
     w.lower = sparse::gen_layered_dag(n, 48, 6 * n, 0.5,
                                       static_cast<std::uint64_t>(t) + 1);
     w.b = sparse::gen_rhs_for_solution(w.lower, sparse::gen_solution(n, 7));
+    // Local ground truth: the wire answer must match this bit for bit.
+    const auto options = core::registry::service_options(backend);
+    const auto plan = core::SolverPlan::analyze(w.lower, options.value());
+    w.expected = plan.value().solve(w.b).value().x;
     workloads.push_back(std::move(w));
-  }
-
-  // Ground truth per tenant (also warms the service's plan cache).
-  for (Tenant& w : workloads) {
-    const auto plan = svc.plan_for(w.lower, backend);
-    if (!plan.ok()) {
-      std::printf("plan_for failed: %s\n", plan.message().c_str());
-      return 1;
-    }
-    w.expected = plan->solve(w.b).value().x;
   }
 
   std::atomic<int> wrong{0};
@@ -83,98 +87,101 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      // Client 0 is the latency tenant: high priority, 50 ms start-by
-      // deadline. Everyone else is normal-priority throughput traffic.
-      const bool latency_tenant = c == 0;
-      service::SubmitOptions submit;
-      if (latency_tenant) {
-        submit.priority = service::Priority::kHigh;
-        submit.deadline = std::chrono::milliseconds(50);
-      }
-      for (int i = 0; i < requests; ++i) {
-        Tenant& w = workloads[static_cast<std::size_t>((c + i) % tenants)];
-        // Analyze-on-first-use is an O(1) cache hit from here on.
-        const auto plan = svc.plan_for(w.lower, backend);
-        if (!plan.ok()) {
-          wrong.fetch_add(1);
-          continue;
+      net::ClientOptions copt;
+      copt.port = server.port();
+      copt.client_name = "demo-client-" + std::to_string(c);
+      net::SolveClient client(copt);
+      // Every client opens every tenant: the server deduplicates by
+      // content hash, so tenant analysis still happens exactly once.
+      std::vector<net::PlanHandle> handles;
+      for (const Tenant& w : workloads) {
+        const auto handle = client.open(w.lower, backend);
+        if (!handle.ok()) {
+          std::printf("open failed: %s\n", handle.message().c_str());
+          wrong.fetch_add(requests);
+          return;
         }
-        service::SolveService::Reply r =
-            svc.submit(*plan, w.b, submit).get();
-        if (!r.ok()) {
-          if (r.status() == core::SolveStatus::kOverloaded) {
-            overloaded.fetch_add(1);  // typed backpressure: retry later
-          } else if (r.status() == core::SolveStatus::kDeadlineExceeded) {
-            shed.fetch_add(1);  // too late to be useful: shed, not solved
+        handles.push_back(handle.value());
+      }
+      // Client 0 is the latency tenant: high priority with a 50 ms
+      // start-by deadline; shed requests come back typed.
+      const bool latency_tenant = c == 0;
+      for (int i = 0; i < requests; ++i) {
+        const std::size_t t = static_cast<std::size_t>((c + i) % tenants);
+        const auto x = client.solve(
+            handles[t], workloads[t].b,
+            latency_tenant ? service::Priority::kHigh
+                           : service::Priority::kNormal,
+            latency_tenant ? std::chrono::milliseconds(50)
+                           : std::chrono::microseconds(0));
+        if (!x.ok()) {
+          if (x.error().status == core::SolveStatus::kOverloaded) {
+            overloaded.fetch_add(1);
+          } else if (x.error().status ==
+                     core::SolveStatus::kDeadlineExceeded) {
+            shed.fetch_add(1);
           } else {
             wrong.fetch_add(1);
           }
-        } else if (r.value().x != w.expected) {
-          wrong.fetch_add(1);
+        } else if (x.value() != workloads[t].expected) {
+          wrong.fetch_add(1);  // bit-for-bit or bust
         }
+      }
+      const net::ClientMetrics m = client.metrics_local();
+      if (m.retries > 0) {
+        std::printf("client %d: %llu attempts for %llu solves (%llu "
+                    "retries, %llu us backing off)\n",
+                    c, static_cast<unsigned long long>(m.attempts),
+                    static_cast<unsigned long long>(m.solves),
+                    static_cast<unsigned long long>(m.retries),
+                    static_cast<unsigned long long>(m.backoff_us));
       }
     });
   }
   for (std::thread& th : threads) th.join();
-  svc.drain();
+
+  // One more connection for control traffic: drain barrier, then stats.
+  net::ClientOptions copt;
+  copt.port = server.port();
+  net::SolveClient control(copt);
+  const auto drained = control.drain();
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const service::ServiceStatsSnapshot s = svc.stats();
-  std::printf("answered %llu rhs in %.2f s  (%.0f rhs/s), %d wrong, %d "
-              "overloaded, %d shed\n\n",
+  const net::WireStats s = server.wire_stats();
+  std::printf("\nanswered %llu rhs in %.2f s  (%.0f rhs/s), %d wrong, %d "
+              "overloaded, %d shed\n",
               static_cast<unsigned long long>(s.completed), seconds,
               static_cast<double>(s.completed) / seconds, wrong.load(),
               overloaded.load(), shed.load());
-  std::printf("dispatches: %llu fused batches, mean width %.2f; %llu "
-              "packed dispatches (%llu plans ganged together)\n",
-              static_cast<unsigned long long>(s.batches),
-              s.mean_coalesce_width,
-              static_cast<unsigned long long>(s.packed_dispatches),
-              static_cast<unsigned long long>(s.packed_plans));
-  for (std::size_t c = 0; c < service::kNumPriorities; ++c) {
-    const service::PriorityClassStats& pc = s.per_class[c];
-    if (pc.submitted == 0) continue;
-    std::printf("class %-10s: %6llu submitted  %6llu completed  %4llu "
-                "shed  p50 %8.0f us  p99 %8.0f us\n",
-                std::string(to_string(static_cast<service::Priority>(c)))
-                    .c_str(),
-                static_cast<unsigned long long>(pc.submitted),
-                static_cast<unsigned long long>(pc.completed),
-                static_cast<unsigned long long>(pc.shed),
-                pc.p50_latency_us, pc.p99_latency_us);
+  std::printf("wire: %llu connections, %llu frames, %llu protocol errors, "
+              "%llu plans open (opened by every client, analyzed once)\n",
+              static_cast<unsigned long long>(s.connections_accepted),
+              static_cast<unsigned long long>(s.frames_received),
+              static_cast<unsigned long long>(s.protocol_errors),
+              static_cast<unsigned long long>(s.plans_open));
+  std::printf("latency (full-history histogram): p50 %.0f us  p99 %.0f us  "
+              "mean %.0f us\n",
+              s.latency.quantile(0.50), s.latency.quantile(0.99),
+              s.latency.mean_us());
+  if (drained.ok()) {
+    std::printf("drain barrier: %llu rhs completed at drain\n",
+                static_cast<unsigned long long>(drained.value()));
   }
-  std::printf("coalesce width histogram (1, 2, 3-4, 5-8, 9-16, 17-32, "
-              "33-64, 65+):\n  ");
-  for (std::uint64_t bucket : s.coalesce_hist) {
-    std::printf("%llu  ", static_cast<unsigned long long>(bucket));
-  }
-  std::printf("\nlatency: p50 %.0f us, p99 %.0f us, max %.0f us\n",
-              s.p50_latency_us, s.p99_latency_us, s.max_latency_us);
-  std::printf("queue: peak depth %llu rhs (bound %zu)\n",
-              static_cast<unsigned long long>(s.peak_queue_depth),
-              options.max_pending_rhs);
-  std::printf("tenants served:\n");
-  for (const service::PlanActivity& a : s.per_plan) {
-    std::printf("  plan %p  n=%d  %llu solves\n", a.plan, a.rows,
-                static_cast<unsigned long long>(a.solves));
-  }
-  const core::PlanCache::Stats cs = svc.plan_cache().stats();
-  std::printf("plan cache: %llu misses (one analysis per tenant), %llu "
-              "hits\n",
-              static_cast<unsigned long long>(cs.misses),
-              static_cast<unsigned long long>(cs.hits));
-  const core::SharedWorkerPool::Stats ps = svc.pool().stats();
-  std::printf("shared pool: %llu dispatch tasks (%llu stolen), %llu gangs "
-              "(%llu members, %llu shrunk under contention, %llu capped by "
-              "reservation)\n",
-              static_cast<unsigned long long>(ps.tasks_run),
-              static_cast<unsigned long long>(ps.tasks_stolen),
-              static_cast<unsigned long long>(ps.gangs),
-              static_cast<unsigned long long>(ps.gang_members),
-              static_cast<unsigned long long>(ps.gang_shrinks),
-              static_cast<unsigned long long>(ps.gang_capped));
 
+  const auto metrics = control.metrics();
+  if (metrics.ok()) {
+    const std::string& text = metrics.value();
+    std::printf("\n/metrics (first lines):\n");
+    std::size_t pos = 0;
+    for (int line = 0; line < 8 && pos < text.size(); ++line) {
+      const std::size_t eol = text.find('\n', pos);
+      std::printf("  %s\n", text.substr(pos, eol - pos).c_str());
+      pos = eol + 1;
+    }
+  }
+
+  server.stop();
   return wrong.load() == 0 ? 0 : 1;
 }

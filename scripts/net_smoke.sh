@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Loopback smoke test of the network tier against a REAL server process:
+#
+#  1. start solve_serverd on an ephemeral port (--port=0), discovering the
+#     chosen port through --port-file (written atomically once listening);
+#  2. run example_solve_client against it -- open, content-dedup re-open,
+#     bit-for-bit verified solves, drain, and a Prometheus metrics scrape
+#     (the client exits non-zero on any mismatch);
+#  3. SIGTERM the daemon and require a CLEAN drain: exit code 0 means
+#     every admitted solve was answered before the process died.
+#
+# Usage: scripts/net_smoke.sh [build-dir]   (default: ./build)
+set -u
+
+build_dir="${1:-build}"
+cd "$(dirname "$0")/.."
+
+serverd="$build_dir/solve_serverd"
+client="$build_dir/example_solve_client"
+for bin in "$serverd" "$client"; do
+  if [ ! -x "$bin" ]; then
+    echo "net smoke FAILED: $bin is missing (build first)"
+    exit 1
+  fi
+done
+
+workdir=$(mktemp -d)
+port_file="$workdir/port"
+trap 'rm -rf "$workdir"' EXIT
+
+"$serverd" --port=0 --port-file="$port_file" --cache-dir="$workdir/plans" &
+server_pid=$!
+
+# Wait (up to ~10s) for the daemon to come up and publish its port.
+port=""
+for _ in $(seq 1 500); do
+  if [ -s "$port_file" ]; then
+    port=$(head -n1 "$port_file")
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "net smoke FAILED: solve_serverd died before listening"
+    exit 1
+  fi
+  sleep 0.02
+done
+if [ -z "$port" ]; then
+  echo "net smoke FAILED: no port file after 10s"
+  kill -KILL "$server_pid" 2>/dev/null
+  exit 1
+fi
+
+"$client" --port="$port" --solves=8 --n=2000
+client_rc=$?
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_rc=$?
+
+if [ "$client_rc" -ne 0 ]; then
+  echo "net smoke FAILED: client exited $client_rc"
+  exit 1
+fi
+if [ "$server_rc" -ne 0 ]; then
+  echo "net smoke FAILED: server did not drain cleanly (exit $server_rc)"
+  exit 1
+fi
+echo "net smoke OK: served bit-for-bit over the wire and drained on SIGTERM"

@@ -45,7 +45,11 @@ PlanCache& PlanCache::instance() {
 
 std::string PlanCache::key_of(const sparse::CscMatrix& lower,
                               const SolveOptions& options) {
-  const sparse::StructuralHash h = sparse::hash_csc(lower);
+  return key_of(sparse::hash_csc(lower), options);
+}
+
+std::string PlanCache::key_of(const sparse::StructuralHash& h,
+                              const SolveOptions& options) {
   // Runtime-behavioral options are part of the key too (not only the
   // symbolic-phase inputs): a hit returns a SHARED plan, so every field
   // that changes what its solves do or report must disambiguate the

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "sparse/serialize.hpp"
 
 namespace msptrsv::core {
 
@@ -140,6 +141,13 @@ class PlanCache {
   /// fingerprint, filename-safe. Exposed so tests and operators can
   /// correlate cache entries with blob files.
   static std::string key_of(const sparse::CscMatrix& lower,
+                            const SolveOptions& options);
+
+  /// As above, from an already-computed content hash -- for callers that
+  /// hold the hash but not the matrix (a network server resolving a
+  /// hash-reference plan open against the shared blob directory). Equal to
+  /// key_of(m, options) whenever hash == sparse::hash_csc(m).
+  static std::string key_of(const sparse::StructuralHash& hash,
                             const SolveOptions& options);
 
  private:

@@ -50,6 +50,18 @@ enum class SolveStatus {
   /// loaded" -- a shed request was admitted and queued; retrying it with a
   /// fresh deadline is reasonable, backing off is not required.
   kDeadlineExceeded,
+  /// A socket-level failure between a solve client and server: connect
+  /// refused, the peer closed mid-request, a read/write error, or retries
+  /// exhausted against a dead endpoint. Retryable in principle (the
+  /// client library reconnects and retries these under its backoff
+  /// policy); surfaced when the policy gives up.
+  kNetworkError,
+  /// The bytes on the wire were not a valid protocol frame: bad length
+  /// prefix, oversized frame, CRC mismatch, unknown frame type, or a
+  /// field that fails bounds checks. NOT retryable -- one side is
+  /// speaking a different protocol (or the stream is corrupt), and the
+  /// connection is fail-stopped.
+  kProtocolError,
   /// A library bug surfaced through the status channel.
   kInternalError,
 };
@@ -65,6 +77,8 @@ constexpr std::string_view to_string(SolveStatus s) {
     case SolveStatus::kBadSnapshot: return "bad-snapshot";
     case SolveStatus::kOverloaded: return "overloaded";
     case SolveStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case SolveStatus::kNetworkError: return "network-error";
+    case SolveStatus::kProtocolError: return "protocol-error";
     case SolveStatus::kInternalError: return "internal-error";
   }
   return "unknown-status";

@@ -108,14 +108,31 @@ SharedWorkerPool::~SharedWorkerPool() {
   for (auto& w : workers_) w->thread.join();
 }
 
+namespace {
+/// Pre-first-use size request for the process-wide pool (0 = hardware).
+std::atomic<int> g_instance_threads{0};
+std::atomic<bool> g_instance_built{false};
+}  // namespace
+
 SharedWorkerPool& SharedWorkerPool::instance() {
   // Deliberately leaked: plans cached in other process-wide statics
   // (PlanCache) hold workspaces that point here, and static destruction
   // order between translation units is unspecified. A never-destroyed
   // pool outlives every client by construction.
-  static SharedWorkerPool* pool =
-      new SharedWorkerPool(resolve_cpu_threads(0));
+  static SharedWorkerPool* pool = [] {
+    g_instance_built.store(true, std::memory_order_release);
+    return new SharedWorkerPool(resolve_cpu_threads(
+        g_instance_threads.load(std::memory_order_acquire)));
+  }();
   return *pool;
+}
+
+bool SharedWorkerPool::configure_instance_threads(int threads) {
+  if (g_instance_built.load(std::memory_order_acquire)) return false;
+  g_instance_threads.store(threads, std::memory_order_release);
+  // The instance may have been built between the check and the store; the
+  // flag is re-checked so callers get an honest answer either way.
+  return !g_instance_built.load(std::memory_order_acquire);
 }
 
 void SharedWorkerPool::submit(std::function<void()> task, bool urgent) {

@@ -156,6 +156,15 @@ class SharedWorkerPool {
   /// first use and alive for the rest of the process.
   static SharedWorkerPool& instance();
 
+  /// Sizes the process-wide instance() BEFORE its first use: the next
+  /// instance() call spawns resolve_cpu_threads(threads) workers instead
+  /// of full hardware concurrency. The capacity knob of a sharded
+  /// deployment -- a server process run as one shard of N on a box caps
+  /// its kernel threads here so shards share the machine by construction
+  /// (tools/solve_serverd --threads). Returns false (and changes nothing)
+  /// once the instance already exists; 0 restores the default.
+  static bool configure_instance_threads(int threads);
+
   int threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues an independent task (a service dispatch job). The task lands

@@ -1,0 +1,515 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace msptrsv::net {
+
+namespace {
+
+using core::Expected;
+using core::SolveStatus;
+
+/// Decodes a raw reply blob expected to be SolveOk into the solution
+/// vector; an Error frame comes back as its typed status.
+Expected<std::vector<value_t>> decode_solve_reply(
+    std::vector<std::uint8_t> blob) {
+  Expected<FrameHead> head = peek_frame(blob);
+  if (!head.ok()) return Expected<std::vector<value_t>>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<std::vector<value_t>>(err.error());
+    return Expected<std::vector<value_t>>(err.value().status,
+                                          err.value().message);
+  }
+  if (head.value().type != FrameType::kSolveOk) {
+    return Expected<std::vector<value_t>>(
+        SolveStatus::kProtocolError,
+        "expected solve-ok, got frame type " +
+            std::to_string(static_cast<int>(head.value().type)));
+  }
+  Expected<SolveOkFrame> ok = decode_solve_ok(head.value());
+  if (!ok.ok()) return Expected<std::vector<value_t>>(ok.error());
+  return std::move(ok.value().x);
+}
+
+}  // namespace
+
+SolveClient::SolveClient(ClientOptions options)
+    : options_(std::move(options)),
+      frame_bytes_(options_.max_frame_bytes),
+      rng_(options_.retry.seed) {}
+
+SolveClient::~SolveClient() { close(); }
+
+bool SolveClient::connected() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return connected_;
+}
+
+void SolveClient::close() {
+  std::thread stale;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (connected_) {
+      connected_ = false;
+      sock_.shutdown_read();
+      fail_pending_locked("client closed");
+    }
+    stale = std::move(reader_);
+  }
+  if (stale.joinable()) stale.join();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  sock_.close();
+}
+
+Expected<bool> SolveClient::connect() {
+  // Join a stale reader first (it exits as soon as its socket dies); the
+  // join must not hold state_mutex_ -- the reader takes it to finish.
+  std::thread stale;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (connected_) return true;
+    stale = std::move(reader_);
+  }
+  if (stale.joinable()) stale.join();
+
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (connected_) return true;  // raced with another caller's connect
+    Expected<bool> handshake = connect_locked();
+    if (!handshake.ok()) return handshake;
+  }
+
+  // Replay plan opens (reader is live; these ride the pending map like
+  // any request). A replay failure poisons the fresh connection -- the
+  // handle the caller holds MUST be valid once connect() returns ok.
+  std::size_t nspecs;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    nspecs = specs_.size();
+  }
+  for (std::size_t i = 0; i < nspecs; ++i) {
+    OpenSpec spec;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      spec = specs_[i];  // copy: the open runs unlocked
+    }
+    Expected<OpenOkFrame> ok = open_on_wire(spec);
+    if (!ok.ok()) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (connected_) {
+        connected_ = false;
+        sock_.shutdown_read();
+        fail_pending_locked("open replay failed: " + ok.message());
+      }
+      return Expected<bool>(ok.error());
+    }
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    specs_[i].plan_id = ok.value().plan_id;
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    stats_.reconnects += 1;
+  }
+  return true;
+}
+
+Expected<bool> SolveClient::connect_locked() {
+  Expected<Socket> sock = tcp_connect(options_.host, options_.port);
+  if (!sock.ok()) return Expected<bool>(sock.error());
+  sock_ = std::move(sock.value());
+
+  // Synchronous hello exchange BEFORE the reader exists: nobody else
+  // touches the socket yet, so direct I/O is race-free.
+  HelloFrame hello;
+  hello.request_id = next_request_id_++;
+  hello.client_name = options_.client_name;
+  Expected<bool> sent = sock_.send_all(encode_hello(hello));
+  if (!sent.ok()) return sent;
+  Expected<std::optional<std::vector<std::uint8_t>>> frame =
+      read_frame(sock_, options_.max_frame_bytes);
+  if (!frame.ok()) return Expected<bool>(frame.error());
+  if (!frame.value().has_value()) {
+    return Expected<bool>(SolveStatus::kNetworkError,
+                          "server closed during the hello exchange");
+  }
+  Expected<FrameHead> head = peek_frame(*frame.value());
+  if (!head.ok()) return Expected<bool>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<bool>(err.error());
+    return Expected<bool>(err.value().status, err.value().message);
+  }
+  Expected<HelloOkFrame> ok = decode_hello_ok(head.value());
+  if (!ok.ok()) return Expected<bool>(ok.error());
+  frame_bytes_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(options_.max_frame_bytes,
+                              std::max<std::uint64_t>(
+                                  ok.value().max_frame_bytes,
+                                  support::kBlobMinBytes + 9)));
+
+  connected_ = true;
+  const std::uint64_t epoch = ++epoch_;
+  reader_ = std::thread([this, epoch] { reader_loop(epoch); });
+  return true;
+}
+
+void SolveClient::reader_loop(std::uint64_t epoch) {
+  for (;;) {
+    // Unlocked read: this thread is the socket's only reader, and the
+    // socket object stays alive until this thread is joined.
+    Expected<std::optional<std::vector<std::uint8_t>>> frame =
+        read_frame(sock_, frame_bytes_);
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (epoch_ != epoch || !connected_) return;  // superseded
+    if (!frame.ok() || !frame.value().has_value()) {
+      connected_ = false;
+      sock_.shutdown_read();
+      fail_pending_locked(frame.ok() ? "server closed the connection"
+                                     : frame.message());
+      return;
+    }
+    std::vector<std::uint8_t> blob = std::move(*frame.value());
+    Expected<FrameHead> head = peek_frame(blob);
+    if (!head.ok()) {
+      // The server is speaking garbage: fail-stop our side too.
+      connected_ = false;
+      sock_.shutdown_read();
+      fail_pending_locked(head.message());
+      return;
+    }
+    auto it = pending_.find(head.value().request_id);
+    if (it == pending_.end()) continue;  // unsolicited; ignore
+    std::promise<RawReply> promise = std::move(it->second);
+    pending_.erase(it);
+    promise.set_value(std::move(blob));
+  }
+}
+
+void SolveClient::fail_pending_locked(const std::string& why) {
+  for (auto& [id, promise] : pending_) {
+    promise.set_value(RawReply(SolveStatus::kNetworkError, why));
+  }
+  pending_.clear();
+}
+
+std::future<SolveClient::RawReply> SolveClient::request_locked(
+    std::uint64_t request_id, const std::vector<std::uint8_t>& wire) {
+  std::promise<RawReply> promise;
+  std::future<RawReply> future = promise.get_future();
+  if (!connected_) {
+    promise.set_value(RawReply(SolveStatus::kNetworkError, "not connected"));
+    return future;
+  }
+  pending_.emplace(request_id, std::move(promise));
+  Expected<bool> sent = sock_.send_all(wire);
+  if (!sent.ok()) {
+    auto it = pending_.find(request_id);
+    if (it != pending_.end()) {
+      it->second.set_value(RawReply(sent.error()));
+      pending_.erase(it);
+    }
+    connected_ = false;
+    sock_.shutdown_read();  // kick the reader
+    fail_pending_locked("send failed: " + sent.message());
+  }
+  return future;
+}
+
+Expected<OpenOkFrame> SolveClient::open_on_wire(OpenSpec& spec) {
+  std::future<RawReply> future;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    OpenPlanFrame frame;
+    frame.request_id = id;
+    frame.mode = spec.mode;
+    frame.backend_key = spec.backend_key;
+    frame.matrix = spec.matrix;
+    frame.plan_blob = spec.plan_blob;
+    frame.hash = spec.hash;
+    future = request_locked(id, encode_open_plan(frame));
+  }
+  RawReply raw = future.get();
+  if (!raw.ok()) return Expected<OpenOkFrame>(raw.error());
+  Expected<FrameHead> head = peek_frame(raw.value());
+  if (!head.ok()) return Expected<OpenOkFrame>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<OpenOkFrame>(err.error());
+    return Expected<OpenOkFrame>(err.value().status, err.value().message);
+  }
+  return decode_open_ok(head.value());
+}
+
+Expected<PlanHandle> SolveClient::open(const sparse::CscMatrix& lower,
+                                       const std::string& backend_key) {
+  OpenSpec spec;
+  spec.mode = OpenMode::kMatrix;
+  spec.backend_key = backend_key;
+  spec.matrix = lower;
+
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<PlanHandle>(up.error());
+  Expected<OpenOkFrame> ok = open_on_wire(spec);
+  if (!ok.ok()) return Expected<PlanHandle>(ok.error());
+
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  spec.plan_id = ok.value().plan_id;
+  PlanHandle handle;
+  handle.spec = specs_.size();
+  handle.rows = ok.value().rows;
+  handle.hash = ok.value().hash;
+  handle.source = ok.value().source;
+  specs_.push_back(std::move(spec));
+  return handle;
+}
+
+Expected<PlanHandle> SolveClient::open_plan_blob(
+    std::vector<std::uint8_t> blob, const std::string& backend_key) {
+  OpenSpec spec;
+  spec.mode = OpenMode::kPlanBlob;
+  spec.backend_key = backend_key;
+  spec.plan_blob = std::move(blob);
+
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<PlanHandle>(up.error());
+  Expected<OpenOkFrame> ok = open_on_wire(spec);
+  if (!ok.ok()) return Expected<PlanHandle>(ok.error());
+
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  spec.plan_id = ok.value().plan_id;
+  PlanHandle handle;
+  handle.spec = specs_.size();
+  handle.rows = ok.value().rows;
+  handle.hash = ok.value().hash;
+  handle.source = ok.value().source;
+  specs_.push_back(std::move(spec));
+  return handle;
+}
+
+Expected<PlanHandle> SolveClient::open_by_hash(
+    const sparse::StructuralHash& hash, const std::string& backend_key) {
+  OpenSpec spec;
+  spec.mode = OpenMode::kHashRef;
+  spec.backend_key = backend_key;
+  spec.hash = hash;
+
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<PlanHandle>(up.error());
+  Expected<OpenOkFrame> ok = open_on_wire(spec);
+  if (!ok.ok()) return Expected<PlanHandle>(ok.error());
+
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  spec.plan_id = ok.value().plan_id;
+  PlanHandle handle;
+  handle.spec = specs_.size();
+  handle.rows = ok.value().rows;
+  handle.hash = ok.value().hash;
+  handle.source = ok.value().source;
+  specs_.push_back(std::move(spec));
+  return handle;
+}
+
+std::chrono::microseconds SolveClient::backoff_for(int retry_index) {
+  double us = static_cast<double>(options_.retry.initial_backoff.count());
+  for (int i = 0; i < retry_index; ++i) us *= options_.retry.multiplier;
+  us = std::min(us,
+                static_cast<double>(options_.retry.max_backoff.count()));
+  // Deterministic jitter: uniform in [1-jitter, 1+jitter].
+  std::uint64_t draw;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    draw = rng_.next();
+  }
+  const double unit =
+      static_cast<double>(draw >> 11) / static_cast<double>(1ULL << 53);
+  us *= 1.0 + options_.retry.jitter * (2.0 * unit - 1.0);
+  return std::chrono::microseconds(
+      static_cast<std::int64_t>(std::max(0.0, us)));
+}
+
+Expected<std::vector<value_t>> SolveClient::solve_with_retry(
+    std::size_t spec, std::span<const value_t> rhs, index_t num_rhs,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    stats_.solves += 1;
+  }
+  core::SolveError last{SolveStatus::kNetworkError, "no attempt made"};
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      stats_.attempts += 1;
+      if (attempt > 1) stats_.retries += 1;
+    }
+    Expected<bool> up = connect();
+    if (!up.ok()) {
+      last = up.error();
+    } else {
+      std::future<RawReply> future;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        const std::uint64_t id = next_request_id_++;
+        SolveFrame frame;
+        frame.request_id = id;
+        frame.plan_id = specs_[spec].plan_id;
+        frame.num_rhs = num_rhs;
+        frame.priority = priority;
+        frame.deadline_us = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, deadline.count()));
+        frame.rhs.assign(rhs.begin(), rhs.end());
+        future = request_locked(id, encode_solve(frame));
+      }
+      Expected<std::vector<value_t>> result =
+          [&]() -> Expected<std::vector<value_t>> {
+        RawReply raw = future.get();
+        if (!raw.ok()) {
+          return Expected<std::vector<value_t>>(raw.error());
+        }
+        return decode_solve_reply(std::move(raw.value()));
+      }();
+      if (result.ok()) return result;
+      last = result.error();
+      // Typed retry policy: overload and transport failures are the ONLY
+      // retryable statuses. Everything else -- shed deadlines, shape
+      // mismatches, unknown plans -- would fail identically again.
+      if (last.status != SolveStatus::kOverloaded &&
+          last.status != SolveStatus::kNetworkError) {
+        return Expected<std::vector<value_t>>(last);
+      }
+    }
+    if (attempt < max_attempts) {
+      const std::chrono::microseconds pause = backoff_for(attempt - 1);
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        stats_.backoff_us += static_cast<std::uint64_t>(pause.count());
+      }
+      std::this_thread::sleep_for(pause);
+    }
+  }
+  return Expected<std::vector<value_t>>(last);
+}
+
+Expected<std::vector<value_t>> SolveClient::solve(
+    const PlanHandle& plan, std::span<const value_t> b,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  return solve_with_retry(plan.spec, b, 1, priority, deadline);
+}
+
+Expected<std::vector<value_t>> SolveClient::solve_batch(
+    const PlanHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  return solve_with_retry(plan.spec, rhs, num_rhs, priority, deadline);
+}
+
+std::future<Expected<std::vector<value_t>>> SolveClient::submit_batch(
+    const PlanHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  std::future<RawReply> raw;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    SolveFrame frame;
+    frame.request_id = id;
+    frame.plan_id = plan.spec < specs_.size() ? specs_[plan.spec].plan_id : 0;
+    frame.num_rhs = num_rhs;
+    frame.priority = priority;
+    frame.deadline_us = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, deadline.count()));
+    frame.rhs.assign(rhs.begin(), rhs.end());
+    raw = request_locked(id, encode_solve(frame));
+  }
+  // Deferred adapter: resolves when the caller get()s (the reply future
+  // underneath completes asynchronously regardless).
+  return std::async(std::launch::deferred,
+                    [](std::future<RawReply> f)
+                        -> Expected<std::vector<value_t>> {
+                      RawReply raw = f.get();
+                      if (!raw.ok()) {
+                        return Expected<std::vector<value_t>>(raw.error());
+                      }
+                      return decode_solve_reply(std::move(raw.value()));
+                    },
+                    std::move(raw));
+}
+
+Expected<std::string> SolveClient::metrics() {
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<std::string>(up.error());
+  std::future<RawReply> future;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    future = request_locked(
+        id, encode_stats({id, StatsFormat::kPrometheus}));
+  }
+  RawReply raw = future.get();
+  if (!raw.ok()) return Expected<std::string>(raw.error());
+  Expected<FrameHead> head = peek_frame(raw.value());
+  if (!head.ok()) return Expected<std::string>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<std::string>(err.error());
+    return Expected<std::string>(err.value().status, err.value().message);
+  }
+  Expected<StatsOkFrame> ok = decode_stats_ok(head.value());
+  if (!ok.ok()) return Expected<std::string>(ok.error());
+  return std::move(ok.value().text);
+}
+
+Expected<WireStats> SolveClient::stats() {
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<WireStats>(up.error());
+  std::future<RawReply> future;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    future = request_locked(id, encode_stats({id, StatsFormat::kBinary}));
+  }
+  RawReply raw = future.get();
+  if (!raw.ok()) return Expected<WireStats>(raw.error());
+  Expected<FrameHead> head = peek_frame(raw.value());
+  if (!head.ok()) return Expected<WireStats>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<WireStats>(err.error());
+    return Expected<WireStats>(err.value().status, err.value().message);
+  }
+  Expected<StatsOkFrame> ok = decode_stats_ok(head.value());
+  if (!ok.ok()) return Expected<WireStats>(ok.error());
+  return std::move(ok.value().stats);
+}
+
+Expected<std::uint64_t> SolveClient::drain() {
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<std::uint64_t>(up.error());
+  std::future<RawReply> future;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    future = request_locked(id, encode_drain({id}));
+  }
+  RawReply raw = future.get();
+  if (!raw.ok()) return Expected<std::uint64_t>(raw.error());
+  Expected<FrameHead> head = peek_frame(raw.value());
+  if (!head.ok()) return Expected<std::uint64_t>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<std::uint64_t>(err.error());
+    return Expected<std::uint64_t>(err.value().status, err.value().message);
+  }
+  Expected<DrainOkFrame> ok = decode_drain_ok(head.value());
+  if (!ok.ok()) return Expected<std::uint64_t>(ok.error());
+  return ok.value().completed;
+}
+
+ClientMetrics SolveClient::metrics_local() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return stats_;
+}
+
+}  // namespace msptrsv::net

@@ -1,0 +1,194 @@
+// The retrying solve client: the library applications link to talk to a
+// net::SolveServer.
+//
+// One connection, many requests in flight: submits are PIPELINED (each
+// carries a fresh request id; a reader thread matches replies by id and
+// completes the caller's future), so N outstanding solves cost one
+// round-trip of latency each, not N.
+//
+// The synchronous solve()/solve_batch() calls add the RETRY tier, driven
+// by the server's TYPED statuses -- which is the whole reason the wire
+// carries SolveStatus instead of strings:
+//  * kOverloaded     -> exponential backoff with deterministic jitter,
+//                       then retry (the server asked us to slow down);
+//  * kNetworkError   -> reconnect (replaying plan opens) and retry -- a
+//                       restarted or failed-over server heals invisibly;
+//  * kDeadlineExceeded, kBadSnapshot, kShapeMismatch, ... -> returned to
+//                       the caller immediately. Retrying a shed deadline
+//                       with the same deadline or a mismatched rhs would
+//                       burn server time on a request that cannot fare
+//                       better.
+// The async submit_batch() path performs NO retries (callers pipelining
+// their own traffic own their policy).
+//
+// Plan opens are recorded as OPEN SPECS and replayed on reconnect: a
+// PlanHandle survives server restarts -- after the replay it simply maps
+// to the new process's plan id.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "support/rng.hpp"
+
+namespace msptrsv::net {
+
+struct RetryPolicy {
+  /// Total tries of one solve (first attempt included). 1 = no retries.
+  int max_attempts = 4;
+  std::chrono::microseconds initial_backoff{2000};
+  std::chrono::microseconds max_backoff{500000};
+  double multiplier = 2.0;
+  /// Backoff is scaled by a uniform factor in [1-jitter, 1+jitter] --
+  /// deterministic per client (seeded), so tests can pin the schedule and
+  /// a fleet of clients still decorrelates.
+  double jitter = 0.25;
+  std::uint64_t seed = 0x6d7370747273764eULL;  // "msptrsvN"
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string client_name = "msptrsv-client";
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  RetryPolicy retry;
+};
+
+/// A plan opened through a client. Stable across reconnects and server
+/// restarts (the client replays the open); meaningless to other clients.
+struct PlanHandle {
+  std::size_t spec = 0;  ///< index into the client's open-spec table
+  index_t rows = 0;
+  sparse::StructuralHash hash;
+  /// Where the LAST open resolved from: "cache", "deserialized", "open",
+  /// "disk".
+  std::string source;
+};
+
+/// Client-side observability -- what the retry tests assert on.
+struct ClientMetrics {
+  std::uint64_t solves = 0;        ///< sync solve/solve_batch calls
+  std::uint64_t attempts = 0;      ///< wire attempts those calls made
+  std::uint64_t retries = 0;       ///< attempts after the first
+  std::uint64_t reconnects = 0;    ///< successful re-handshakes
+  std::uint64_t backoff_us = 0;    ///< total time slept backing off
+};
+
+class SolveClient {
+ public:
+  explicit SolveClient(ClientOptions options);
+  /// Closes the connection; outstanding futures complete kNetworkError.
+  ~SolveClient();
+
+  SolveClient(const SolveClient&) = delete;
+  SolveClient& operator=(const SolveClient&) = delete;
+
+  /// Connects and performs the hello handshake (version negotiation; the
+  /// effective frame bound becomes min(ours, server's)). Idempotent when
+  /// already connected.
+  core::Expected<bool> connect();
+  bool connected() const;
+  void close();
+
+  // ---- plan opens ----------------------------------------------------------
+  // Each returns a PlanHandle whose open SPEC is retained for replay on
+  // reconnect. kMatrix uploads the factor; plan_blob ships a serialized
+  // plan (no server-side analysis); by_hash sends only the content hash
+  // (resolved against plans the server already has, then its shared blob
+  // directory -- kBadSnapshot when unknown).
+
+  core::Expected<PlanHandle> open(const sparse::CscMatrix& lower,
+                                  const std::string& backend_key);
+  core::Expected<PlanHandle> open_plan_blob(std::vector<std::uint8_t> blob,
+                                            const std::string& backend_key);
+  core::Expected<PlanHandle> open_by_hash(const sparse::StructuralHash& hash,
+                                          const std::string& backend_key);
+
+  // ---- solving -------------------------------------------------------------
+
+  /// Synchronous solve with the retry policy (see file comment).
+  core::Expected<std::vector<value_t>> solve(
+      const PlanHandle& plan, std::span<const value_t> b,
+      service::Priority priority = service::Priority::kNormal,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  core::Expected<std::vector<value_t>> solve_batch(
+      const PlanHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+      service::Priority priority = service::Priority::kNormal,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  /// One pipelined attempt, NO retries: the future resolves to the
+  /// solution or the server's typed error; kNetworkError on disconnect.
+  std::future<core::Expected<std::vector<value_t>>> submit_batch(
+      const PlanHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+      service::Priority priority = service::Priority::kNormal,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  // ---- observability / control ---------------------------------------------
+
+  /// The server's /metrics answer (Prometheus text).
+  core::Expected<std::string> metrics();
+  /// The server's mergeable binary stats.
+  core::Expected<WireStats> stats();
+  /// Blocks until the server has answered everything admitted so far.
+  core::Expected<std::uint64_t> drain();
+
+  ClientMetrics metrics_local() const;
+
+ private:
+  /// A reply blob or the typed failure that prevented one.
+  using RawReply = core::Expected<std::vector<std::uint8_t>>;
+
+  struct OpenSpec {
+    OpenMode mode = OpenMode::kMatrix;
+    std::string backend_key;
+    sparse::CscMatrix matrix;
+    std::vector<std::uint8_t> plan_blob;
+    sparse::StructuralHash hash;
+    /// Server-assigned id under the CURRENT connection epoch.
+    std::uint64_t plan_id = 0;
+  };
+
+  core::Expected<bool> connect_locked();
+  /// Sends `wire` and registers a pending reply future. state_mutex_ held.
+  std::future<RawReply> request_locked(std::uint64_t request_id,
+                                       const std::vector<std::uint8_t>& wire);
+  /// Performs one open against the live connection (takes the lock itself).
+  core::Expected<OpenOkFrame> open_on_wire(OpenSpec& spec);
+  void reader_loop(std::uint64_t epoch);
+  void fail_pending_locked(const std::string& why);
+  std::chrono::microseconds backoff_for(int retry_index);
+
+  core::Expected<std::vector<value_t>> solve_with_retry(
+      std::size_t spec, std::span<const value_t> rhs, index_t num_rhs,
+      service::Priority priority, std::chrono::microseconds deadline);
+
+  ClientOptions options_;
+
+  mutable std::mutex state_mutex_;
+  Socket sock_;
+  bool connected_ = false;
+  /// Bumped on every (re)connect; a reader learns it is stale by epoch.
+  std::uint64_t epoch_ = 0;
+  std::thread reader_;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, std::promise<RawReply>> pending_;
+  std::vector<OpenSpec> specs_;
+  std::uint32_t frame_bytes_ = kDefaultMaxFrameBytes;
+  support::Xoshiro256 rng_;
+
+  mutable std::mutex metrics_mutex_;
+  ClientMetrics stats_{};
+};
+
+}  // namespace msptrsv::net

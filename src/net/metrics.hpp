@@ -1,0 +1,23 @@
+// Prometheus text-format rendering of WireStats -- the /metrics answer.
+//
+// Renders counters plus the HDR latency histograms as classic Prometheus
+// cumulative histograms (`_bucket{le="..."}` series from the non-empty
+// log-linear buckets, `+Inf`, `_sum`, `_count`). One renderer serves both
+// views: a shard renders its own WireStats, and the router renders the
+// fleet-merged WireStats the same way -- merged bucket counts ARE the
+// fleet histogram, which is the whole point of the representation.
+#pragma once
+
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace msptrsv::net {
+
+/// Renders `stats` in Prometheus text exposition format. `instance` (may
+/// be empty) becomes an `instance="..."` label on every series, so scraped
+/// shards stay distinguishable behind one router endpoint.
+std::string render_prometheus(const WireStats& stats,
+                              const std::string& instance);
+
+}  // namespace msptrsv::net

@@ -1,0 +1,443 @@
+#include "net/protocol.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "net/socket.hpp"
+
+namespace msptrsv::net {
+
+namespace {
+
+using core::Expected;
+using core::SolveStatus;
+using support::BlobReader;
+using support::BlobWriter;
+
+/// Starts a frame payload: type + request id.
+BlobWriter begin_frame(FrameType type, std::uint64_t request_id) {
+  BlobWriter w(kProtocolVersion);
+  w.write_u8(static_cast<std::uint8_t>(type));
+  w.write_u64(request_id);
+  return w;
+}
+
+/// Seals the blob and prepends the u32 little-endian length prefix.
+std::vector<std::uint8_t> seal(BlobWriter&& w) {
+  std::vector<std::uint8_t> blob = std::move(w).finish();
+  std::vector<std::uint8_t> wire(4 + blob.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(blob.size());
+  std::memcpy(wire.data(), &len, 4);
+  std::memcpy(wire.data() + 4, blob.data(), blob.size());
+  return wire;
+}
+
+/// Shared tail of every decoder: the reader must be clean AND fully
+/// consumed (a frame with trailing bytes is from a different grammar).
+template <typename T>
+Expected<T> finish_decode(FrameHead& head, T frame, const char* what) {
+  if (!head.reader.ok()) {
+    return Expected<T>(SolveStatus::kProtocolError,
+                       std::string(what) + ": " + head.reader.error());
+  }
+  if (head.reader.remaining() != 0) {
+    // Latch on the reader too: the server fail-stops connections on
+    // reader state, and trailing bytes are as disqualifying as a bad CRC.
+    head.reader.fail(std::string(what) + ": " +
+                     std::to_string(head.reader.remaining()) +
+                     " trailing payload bytes");
+    return Expected<T>(SolveStatus::kProtocolError,
+                       std::string(what) + ": trailing payload bytes");
+  }
+  return frame;
+}
+
+void write_hist(BlobWriter& w,
+                const service::LatencyHistogramSnapshot& h) {
+  w.write_u64(h.count);
+  w.write_u64(h.sum_us);
+  w.write_span<std::uint64_t>(h.counts);
+}
+
+service::LatencyHistogramSnapshot read_hist(BlobReader& r) {
+  service::LatencyHistogramSnapshot h;
+  h.count = r.read_u64();
+  h.sum_us = r.read_u64();
+  h.counts = r.read_vector<std::uint64_t>();
+  if (h.counts.size() > service::LatencyHistogram::kBuckets) {
+    r.fail("latency histogram with " + std::to_string(h.counts.size()) +
+           " buckets exceeds the bucket-count bound");
+    h = {};
+  }
+  return h;
+}
+
+}  // namespace
+
+void WireStats::merge(const WireStats& other) {
+  submitted += other.submitted;
+  completed += other.completed;
+  failed += other.failed;
+  rejected += other.rejected;
+  shed += other.shed;
+  batches += other.batches;
+  coalesced_rhs += other.coalesced_rhs;
+  queue_depth += other.queue_depth;
+  peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+  connections_accepted += other.connections_accepted;
+  connections_active += other.connections_active;
+  frames_received += other.frames_received;
+  protocol_errors += other.protocol_errors;
+  plans_open += other.plans_open;
+  latency.merge(other.latency);
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    per_class[c].submitted += other.per_class[c].submitted;
+    per_class[c].completed += other.per_class[c].completed;
+    per_class[c].shed += other.per_class[c].shed;
+    per_class[c].latency.merge(other.per_class[c].latency);
+  }
+}
+
+// ---- encoders --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kHello, f.request_id);
+  w.write_u16(f.min_version);
+  w.write_u16(f.max_version);
+  w.write_string(f.client_name);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_hello_ok(const HelloOkFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kHelloOk, f.request_id);
+  w.write_u16(f.version);
+  w.write_u64(f.max_frame_bytes);
+  w.write_string(f.server_name);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_open_plan(const OpenPlanFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kOpenPlan, f.request_id);
+  w.write_u8(static_cast<std::uint8_t>(f.mode));
+  w.write_string(f.backend_key);
+  switch (f.mode) {
+    case OpenMode::kMatrix:
+      sparse::write_csc(w, f.matrix);
+      break;
+    case OpenMode::kPlanBlob:
+      w.write_span<std::uint8_t>(f.plan_blob);
+      break;
+    case OpenMode::kHashRef:
+      w.write_u64(f.hash.pattern);
+      w.write_u64(f.hash.values);
+      break;
+  }
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_open_ok(const OpenOkFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kOpenOk, f.request_id);
+  w.write_u64(f.plan_id);
+  w.write_i32(f.rows);
+  w.write_u64(f.hash.pattern);
+  w.write_u64(f.hash.values);
+  w.write_string(f.source);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_solve(const SolveFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kSolve, f.request_id);
+  w.write_u64(f.plan_id);
+  w.write_i32(f.num_rhs);
+  w.write_u8(static_cast<std::uint8_t>(f.priority));
+  w.write_u64(f.deadline_us);
+  w.write_span<value_t>(f.rhs);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_solve_ok(const SolveOkFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kSolveOk, f.request_id);
+  w.write_f64(f.server_us);
+  w.write_span<value_t>(f.x);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kError, f.request_id);
+  w.write_u8(static_cast<std::uint8_t>(f.status));
+  w.write_string(f.message);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_stats(const StatsFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kStats, f.request_id);
+  w.write_u8(static_cast<std::uint8_t>(f.format));
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_stats_ok(const StatsOkFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kStatsOk, f.request_id);
+  w.write_u8(static_cast<std::uint8_t>(f.format));
+  if (f.format == StatsFormat::kPrometheus) {
+    w.write_string(f.text);
+  } else {
+    const WireStats& s = f.stats;
+    w.write_u64(s.submitted);
+    w.write_u64(s.completed);
+    w.write_u64(s.failed);
+    w.write_u64(s.rejected);
+    w.write_u64(s.shed);
+    w.write_u64(s.batches);
+    w.write_u64(s.coalesced_rhs);
+    w.write_u64(s.queue_depth);
+    w.write_u64(s.peak_queue_depth);
+    w.write_u64(s.connections_accepted);
+    w.write_u64(s.connections_active);
+    w.write_u64(s.frames_received);
+    w.write_u64(s.protocol_errors);
+    w.write_u64(s.plans_open);
+    write_hist(w, s.latency);
+    for (const WireStats::PerClass& pc : s.per_class) {
+      w.write_u64(pc.submitted);
+      w.write_u64(pc.completed);
+      w.write_u64(pc.shed);
+      write_hist(w, pc.latency);
+    }
+  }
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_drain(const DrainFrame& f) {
+  return seal(begin_frame(FrameType::kDrain, f.request_id));
+}
+
+std::vector<std::uint8_t> encode_drain_ok(const DrainOkFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kDrainOk, f.request_id);
+  w.write_u64(f.completed);
+  return seal(std::move(w));
+}
+
+// ---- decoders --------------------------------------------------------------
+
+Expected<FrameHead> peek_frame(std::span<const std::uint8_t> blob) {
+  BlobReader r(blob, kProtocolVersion);
+  const std::uint8_t type = r.read_u8();
+  const std::uint64_t request_id = r.read_u64();
+  if (!r.ok()) {
+    return Expected<FrameHead>(SolveStatus::kProtocolError,
+                               "bad frame: " + r.error());
+  }
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kDrainOk)) {
+    return Expected<FrameHead>(SolveStatus::kProtocolError,
+                               "unknown frame type " + std::to_string(type));
+  }
+  return FrameHead{static_cast<FrameType>(type), request_id, std::move(r)};
+}
+
+Expected<HelloFrame> decode_hello(FrameHead& head) {
+  HelloFrame f;
+  f.request_id = head.request_id;
+  f.min_version = head.reader.read_u16();
+  f.max_version = head.reader.read_u16();
+  f.client_name = head.reader.read_string();
+  if (f.min_version > f.max_version) {
+    head.reader.fail("hello with min_version > max_version");
+  }
+  return finish_decode(head, std::move(f), "hello");
+}
+
+Expected<HelloOkFrame> decode_hello_ok(FrameHead& head) {
+  HelloOkFrame f;
+  f.request_id = head.request_id;
+  f.version = head.reader.read_u16();
+  f.max_frame_bytes = head.reader.read_u64();
+  f.server_name = head.reader.read_string();
+  return finish_decode(head, std::move(f), "hello-ok");
+}
+
+Expected<OpenPlanFrame> decode_open_plan(FrameHead& head) {
+  OpenPlanFrame f;
+  f.request_id = head.request_id;
+  const std::uint8_t mode = head.reader.read_u8();
+  f.backend_key = head.reader.read_string();
+  if (mode > static_cast<std::uint8_t>(OpenMode::kHashRef)) {
+    head.reader.fail("unknown open mode " + std::to_string(mode));
+    return finish_decode(head, std::move(f), "open-plan");
+  }
+  f.mode = static_cast<OpenMode>(mode);
+  switch (f.mode) {
+    case OpenMode::kMatrix:
+      // read_csc bounds-checks shape, pointer monotonicity, and index
+      // ranges -- a hostile matrix fails the reader, not the solver.
+      f.matrix = sparse::read_csc(head.reader);
+      break;
+    case OpenMode::kPlanBlob:
+      f.plan_blob = head.reader.read_vector<std::uint8_t>();
+      break;
+    case OpenMode::kHashRef:
+      f.hash.pattern = head.reader.read_u64();
+      f.hash.values = head.reader.read_u64();
+      break;
+  }
+  return finish_decode(head, std::move(f), "open-plan");
+}
+
+Expected<OpenOkFrame> decode_open_ok(FrameHead& head) {
+  OpenOkFrame f;
+  f.request_id = head.request_id;
+  f.plan_id = head.reader.read_u64();
+  f.rows = head.reader.read_i32();
+  f.hash.pattern = head.reader.read_u64();
+  f.hash.values = head.reader.read_u64();
+  f.source = head.reader.read_string();
+  if (f.rows < 0) head.reader.fail("negative row count");
+  return finish_decode(head, std::move(f), "open-ok");
+}
+
+Expected<SolveFrame> decode_solve(FrameHead& head) {
+  SolveFrame f;
+  f.request_id = head.request_id;
+  f.plan_id = head.reader.read_u64();
+  f.num_rhs = head.reader.read_i32();
+  const std::uint8_t priority = head.reader.read_u8();
+  f.deadline_us = head.reader.read_u64();
+  f.rhs = head.reader.read_vector<value_t>();
+  if (f.num_rhs < 1) {
+    head.reader.fail("num_rhs must be >= 1 (got " +
+                     std::to_string(f.num_rhs) + ")");
+  }
+  if (priority >= service::kNumPriorities) {
+    head.reader.fail("unknown priority class " + std::to_string(priority));
+  } else {
+    f.priority = static_cast<service::Priority>(priority);
+  }
+  return finish_decode(head, std::move(f), "solve");
+}
+
+Expected<SolveOkFrame> decode_solve_ok(FrameHead& head) {
+  SolveOkFrame f;
+  f.request_id = head.request_id;
+  f.server_us = head.reader.read_f64();
+  f.x = head.reader.read_vector<value_t>();
+  return finish_decode(head, std::move(f), "solve-ok");
+}
+
+Expected<ErrorFrame> decode_error(FrameHead& head) {
+  ErrorFrame f;
+  f.request_id = head.request_id;
+  const std::uint8_t status = head.reader.read_u8();
+  f.message = head.reader.read_string();
+  if (status > static_cast<std::uint8_t>(SolveStatus::kInternalError)) {
+    head.reader.fail("unknown status code " + std::to_string(status));
+  } else {
+    f.status = static_cast<SolveStatus>(status);
+  }
+  if (f.status == SolveStatus::kOk) {
+    head.reader.fail("error frame carrying status ok");
+  }
+  return finish_decode(head, std::move(f), "error");
+}
+
+Expected<StatsFrame> decode_stats(FrameHead& head) {
+  StatsFrame f;
+  f.request_id = head.request_id;
+  const std::uint8_t format = head.reader.read_u8();
+  if (format > static_cast<std::uint8_t>(StatsFormat::kBinary)) {
+    head.reader.fail("unknown stats format " + std::to_string(format));
+  } else {
+    f.format = static_cast<StatsFormat>(format);
+  }
+  return finish_decode(head, std::move(f), "stats");
+}
+
+Expected<StatsOkFrame> decode_stats_ok(FrameHead& head) {
+  StatsOkFrame f;
+  f.request_id = head.request_id;
+  const std::uint8_t format = head.reader.read_u8();
+  if (format > static_cast<std::uint8_t>(StatsFormat::kBinary)) {
+    head.reader.fail("unknown stats format " + std::to_string(format));
+    return finish_decode(head, std::move(f), "stats-ok");
+  }
+  f.format = static_cast<StatsFormat>(format);
+  if (f.format == StatsFormat::kPrometheus) {
+    f.text = head.reader.read_string();
+  } else {
+    WireStats& s = f.stats;
+    s.submitted = head.reader.read_u64();
+    s.completed = head.reader.read_u64();
+    s.failed = head.reader.read_u64();
+    s.rejected = head.reader.read_u64();
+    s.shed = head.reader.read_u64();
+    s.batches = head.reader.read_u64();
+    s.coalesced_rhs = head.reader.read_u64();
+    s.queue_depth = head.reader.read_u64();
+    s.peak_queue_depth = head.reader.read_u64();
+    s.connections_accepted = head.reader.read_u64();
+    s.connections_active = head.reader.read_u64();
+    s.frames_received = head.reader.read_u64();
+    s.protocol_errors = head.reader.read_u64();
+    s.plans_open = head.reader.read_u64();
+    s.latency = read_hist(head.reader);
+    for (WireStats::PerClass& pc : s.per_class) {
+      pc.submitted = head.reader.read_u64();
+      pc.completed = head.reader.read_u64();
+      pc.shed = head.reader.read_u64();
+      pc.latency = read_hist(head.reader);
+    }
+  }
+  return finish_decode(head, std::move(f), "stats-ok");
+}
+
+Expected<DrainFrame> decode_drain(FrameHead& head) {
+  DrainFrame f;
+  f.request_id = head.request_id;
+  return finish_decode(head, std::move(f), "drain");
+}
+
+Expected<DrainOkFrame> decode_drain_ok(FrameHead& head) {
+  DrainOkFrame f;
+  f.request_id = head.request_id;
+  f.completed = head.reader.read_u64();
+  return finish_decode(head, std::move(f), "drain-ok");
+}
+
+// ---- socket framing --------------------------------------------------------
+
+Expected<bool> write_frame(Socket& sock,
+                           std::span<const std::uint8_t> wire) {
+  return sock.send_all(wire);
+}
+
+Expected<std::optional<std::vector<std::uint8_t>>> read_frame(
+    Socket& sock, std::uint32_t max_frame_bytes) {
+  using Out = std::optional<std::vector<std::uint8_t>>;
+  std::uint8_t prefix[4];
+  bool eof = false;
+  Expected<bool> got = sock.recv_exact(prefix, &eof);
+  if (!got.ok()) return Expected<Out>(got.error());
+  if (eof) return Expected<Out>(Out{});
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, 4);
+  // Bounds on the ATTACKER-CHOSEN length, checked before any allocation:
+  // too small to be a blob, or larger than the negotiated cap, is a
+  // protocol violation -- never an allocation attempt.
+  if (len < support::kBlobMinBytes + 9 || len > max_frame_bytes) {
+    return Expected<Out>(
+        SolveStatus::kProtocolError,
+        "frame length " + std::to_string(len) + " outside [" +
+            std::to_string(support::kBlobMinBytes + 9) + ", " +
+            std::to_string(max_frame_bytes) + "]");
+  }
+  std::vector<std::uint8_t> blob(len);
+  got = sock.recv_exact(blob, &eof);
+  if (!got.ok()) return Expected<Out>(got.error());
+  if (eof) {
+    return Expected<Out>(SolveStatus::kNetworkError,
+                         "peer closed between length prefix and frame body");
+  }
+  return Expected<Out>(Out{std::move(blob)});
+}
+
+}  // namespace msptrsv::net

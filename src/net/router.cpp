@@ -1,0 +1,139 @@
+#include "net/router.hpp"
+
+#include <utility>
+
+#include "net/metrics.hpp"
+#include "sparse/serialize.hpp"
+
+namespace msptrsv::net {
+
+namespace {
+
+using core::Expected;
+using core::SolveStatus;
+
+/// FNV-1a of a string: the shard identity seed. Not a great mixer on its
+/// own, which is fine -- rendezvous scoring re-mixes it below.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64-style finalizer: the rendezvous score of (plan, shard).
+/// Strong mixing is what delivers the uniform-balance property.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  clients_.reserve(options_.endpoints.size());
+  shard_seeds_.reserve(options_.endpoints.size());
+  for (const Endpoint& ep : options_.endpoints) {
+    ClientOptions c = options_.client;
+    c.host = ep.host;
+    c.port = ep.port;
+    // Decorrelate the shards' backoff jitter streams.
+    c.retry.seed = options_.client.retry.seed ^ fnv1a(ep.host) ^ ep.port;
+    clients_.push_back(std::make_unique<SolveClient>(std::move(c)));
+    shard_seeds_.push_back(
+        fnv1a(ep.host + ":" + std::to_string(ep.port)));
+  }
+}
+
+std::size_t Router::shard_of(std::uint64_t pattern_hash) const {
+  std::size_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t s = 0; s < shard_seeds_.size(); ++s) {
+    const std::uint64_t score = mix(pattern_hash ^ shard_seeds_[s]);
+    if (s == 0 || score > best_score) {
+      best = s;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Expected<RoutedHandle> Router::open(const sparse::CscMatrix& lower,
+                                    const std::string& backend_key) {
+  if (clients_.empty()) {
+    return Expected<RoutedHandle>(SolveStatus::kInvalidOptions,
+                                  "router has no endpoints");
+  }
+  const sparse::StructuralHash hash = sparse::hash_csc(lower);
+  const std::size_t shard = shard_of(hash.pattern);
+  Expected<PlanHandle> handle = clients_[shard]->open(lower, backend_key);
+  if (!handle.ok()) return Expected<RoutedHandle>(handle.error());
+  return RoutedHandle{shard, std::move(handle.value())};
+}
+
+Expected<std::vector<value_t>> Router::solve(
+    const RoutedHandle& plan, std::span<const value_t> b,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  return clients_[plan.shard]->solve(plan.handle, b, priority, deadline);
+}
+
+Expected<std::vector<value_t>> Router::solve_batch(
+    const RoutedHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  return clients_[plan.shard]->solve_batch(plan.handle, rhs, num_rhs,
+                                           priority, deadline);
+}
+
+std::future<Expected<std::vector<value_t>>> Router::submit_batch(
+    const RoutedHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  return clients_[plan.shard]->submit_batch(plan.handle, rhs, num_rhs,
+                                            priority, deadline);
+}
+
+Expected<WireStats> Router::fleet_stats(std::size_t* reachable) {
+  WireStats merged;
+  std::size_t answered = 0;
+  core::SolveError last{SolveStatus::kNetworkError, "router has no endpoints"};
+  for (const std::unique_ptr<SolveClient>& client : clients_) {
+    Expected<WireStats> shard = client->stats();
+    if (!shard.ok()) {
+      last = shard.error();
+      continue;
+    }
+    merged.merge(shard.value());
+    ++answered;
+  }
+  if (reachable != nullptr) *reachable = answered;
+  if (answered == 0) return Expected<WireStats>(last);
+  return merged;
+}
+
+Expected<std::string> Router::fleet_metrics() {
+  Expected<WireStats> merged = fleet_stats();
+  if (!merged.ok()) return Expected<std::string>(merged.error());
+  return render_prometheus(merged.value(), "fleet");
+}
+
+Expected<std::uint64_t> Router::drain_all() {
+  std::uint64_t completed = 0;
+  core::SolveError first_error{SolveStatus::kOk, ""};
+  for (const std::unique_ptr<SolveClient>& client : clients_) {
+    Expected<std::uint64_t> drained = client->drain();
+    if (drained.ok()) {
+      completed += drained.value();
+    } else if (first_error.status == SolveStatus::kOk) {
+      first_error = drained.error();
+    }
+  }
+  if (first_error.status != SolveStatus::kOk) {
+    return Expected<std::uint64_t>(first_error);
+  }
+  return completed;
+}
+
+}  // namespace msptrsv::net

@@ -1,0 +1,111 @@
+// Plan-hash routing across a fleet of solve-server processes.
+//
+// Scale-out story: one server process holds one SharedWorkerPool and one
+// plan table; N processes behind this router hold N of each. The router
+// assigns every PLAN (not every request) to a shard by RENDEZVOUS HASHING
+// of its structural pattern hash:
+//
+//   shard(plan) = argmax_s  mix(pattern_hash, identity(s))
+//
+// which buys three properties at once:
+//  * AFFINITY -- all traffic for one factor lands on one process, so its
+//    symbolic analysis is paid once, its warm plan and workspaces live in
+//    exactly one pool, and request coalescing still sees every rhs for
+//    that plan (routing per-request would split coalescable traffic);
+//  * BALANCE -- distinct factors spread uniformly across shards;
+//  * MINIMAL DISRUPTION -- adding or removing a shard remaps only the
+//    plans whose argmax changes (~1/N of them), with no ring to maintain.
+//
+// The router is a CLIENT-SIDE library tier: it owns one SolveClient per
+// endpoint and delegates; each client keeps its own retry/backoff policy
+// and reconnect replay. Shards share nothing but the optional on-disk
+// plan-blob directory (ServiceOptions::cache_dir pointed at common
+// storage), which turns N cold caches into one fleet-wide warm tier:
+// any shard can hash-ref-open a plan that any other shard analyzed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+
+namespace msptrsv::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterOptions {
+  std::vector<Endpoint> endpoints;
+  /// Per-shard client configuration (host/port are overridden per
+  /// endpoint).
+  ClientOptions client;
+};
+
+/// A plan opened through the router: the shard it lives on plus the
+/// underlying client handle.
+struct RoutedHandle {
+  std::size_t shard = 0;
+  PlanHandle handle;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+
+  std::size_t shard_count() const { return clients_.size(); }
+
+  /// The shard a pattern hash routes to (exposed for tests and for
+  /// operators answering "which process serves this factor?").
+  std::size_t shard_of(std::uint64_t pattern_hash) const;
+
+  /// Opens `lower` on its home shard (the factor is hashed locally, the
+  /// upload goes to exactly one process).
+  core::Expected<RoutedHandle> open(const sparse::CscMatrix& lower,
+                                    const std::string& backend_key);
+
+  core::Expected<std::vector<value_t>> solve(
+      const RoutedHandle& plan, std::span<const value_t> b,
+      service::Priority priority = service::Priority::kNormal,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  core::Expected<std::vector<value_t>> solve_batch(
+      const RoutedHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+      service::Priority priority = service::Priority::kNormal,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  /// One pipelined attempt on the plan's home shard (no retries).
+  std::future<core::Expected<std::vector<value_t>>> submit_batch(
+      const RoutedHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+      service::Priority priority = service::Priority::kNormal,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
+  /// Direct access to a shard's client (bench/ops plumbing).
+  SolveClient& shard_client(std::size_t shard) { return *clients_[shard]; }
+
+  /// Merged WireStats across every reachable shard: counters add,
+  /// histograms merge -- the fleet view. Shards that cannot be reached
+  /// are skipped (partial fleet beats no answer); `reachable` reports
+  /// how many answered.
+  core::Expected<WireStats> fleet_stats(std::size_t* reachable = nullptr);
+
+  /// The merged stats rendered as Prometheus text (one scrape for the
+  /// whole fleet).
+  core::Expected<std::string> fleet_metrics();
+
+  /// Drains every shard (errors reported after all were attempted).
+  core::Expected<std::uint64_t> drain_all();
+
+ private:
+  RouterOptions options_;
+  std::vector<std::unique_ptr<SolveClient>> clients_;
+  /// Rendezvous identity per shard: a hash of "host:port", fixed at
+  /// construction -- stable across router restarts and endpoint
+  /// reordering.
+  std::vector<std::uint64_t> shard_seeds_;
+};
+
+}  // namespace msptrsv::net

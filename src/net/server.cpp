@@ -1,0 +1,505 @@
+#include "net/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "net/metrics.hpp"
+#include "sparse/serialize.hpp"
+
+namespace msptrsv::net {
+
+namespace {
+
+using core::Expected;
+using core::SolveStatus;
+
+}  // namespace
+
+/// Per-connection state. The reader and pump threads hold a shared_ptr,
+/// so the struct outlives whichever side tears the connection down first.
+struct SolveServer::Connection {
+  Socket sock;
+  std::mutex write_mutex;
+  std::thread reader;
+  std::thread pump;
+
+  /// Solve replies in flight: the reader submits, the pump completes.
+  struct Pending {
+    std::uint64_t request_id = 0;
+    std::future<service::SolveService::Reply> reply;
+  };
+  std::mutex pump_mutex;
+  std::condition_variable pump_cv;
+  std::deque<Pending> pump_queue;
+  bool pump_closed = false;  ///< no more pushes; pump drains and exits
+
+  std::atomic<bool> finished{false};  ///< reader has exited (reapable)
+};
+
+SolveServer::SolveServer(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+  injected_remaining_.store(
+      options_.inject_status == SolveStatus::kOk ? 0 : options_.inject_count,
+      std::memory_order_relaxed);
+}
+
+SolveServer::~SolveServer() { stop(); }
+
+Expected<bool> SolveServer::start() {
+  Expected<ListenSocket> listener =
+      ListenSocket::open(options_.port, options_.backlog);
+  if (!listener.ok()) return Expected<bool>(listener.error());
+  listener_ = std::move(listener.value());
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void SolveServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // No new connections: closing the listener unblocks accept().
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // No new requests: half-close every read side. Readers fall out of
+  // read_frame with a clean EOF, close their pump (which flushes every
+  // queued reply -- the service answers all admitted work), and exit.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::shared_ptr<Connection>& c : connections_) {
+      c->sock.shutdown_read();
+    }
+  }
+  reap_finished(/*join_all=*/true);
+}
+
+void SolveServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Expected<Socket> accepted = listener_.accept();
+    if (!accepted.ok()) continue;  // closed listener ends the loop
+    reap_finished(/*join_all=*/false);
+    if (connections_active_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Bounded acceptor: tell the client why before closing, so its
+      // retry policy backs off instead of reconnect-hammering.
+      Socket sock = std::move(accepted.value());
+      const std::vector<std::uint8_t> wire = encode_error(
+          {0, SolveStatus::kOverloaded,
+           "server at its connection bound (" +
+               std::to_string(options_.max_connections) + ")"});
+      (void)sock.send_all(wire);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(accepted.value());
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+    }
+    conn->pump = std::thread([this, conn] { pump_loop(conn); });
+    conn->reader = std::thread([this, conn] { serve_connection(conn); });
+  }
+}
+
+void SolveServer::reap_finished(bool join_all) {
+  std::vector<std::shared_ptr<Connection>> reap;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto keep = connections_.begin();
+    for (std::shared_ptr<Connection>& c : connections_) {
+      if (join_all || c->finished.load(std::memory_order_acquire)) {
+        reap.push_back(std::move(c));
+      } else {
+        *keep++ = std::move(c);
+      }
+    }
+    connections_.erase(keep, connections_.end());
+  }
+  for (const std::shared_ptr<Connection>& c : reap) {
+    if (c->reader.joinable()) c->reader.join();
+    if (c->pump.joinable()) c->pump.join();
+  }
+}
+
+void SolveServer::write_reply(Connection& conn,
+                              const std::vector<std::uint8_t>& wire) {
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  Expected<bool> sent = conn.sock.send_all(wire);
+  if (!sent.ok()) {
+    // Peer is gone: kick the reader out of its blocking read so the
+    // connection unwinds (the pump keeps draining futures -- the service
+    // owes every admitted request an answer, delivered or not).
+    conn.sock.shutdown_read();
+  }
+}
+
+void SolveServer::serve_connection(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Expected<std::optional<std::vector<std::uint8_t>>> frame =
+        read_frame(conn->sock, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      if (frame.status() == SolveStatus::kProtocolError) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        write_reply(*conn, encode_error({0, SolveStatus::kProtocolError,
+                                         frame.message()}));
+      }
+      break;
+    }
+    if (!frame.value().has_value()) break;  // clean close
+    const std::vector<std::uint8_t>& blob = *frame.value();
+
+    Expected<FrameHead> head = peek_frame(blob);
+    if (!head.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      write_reply(*conn, encode_error({0, SolveStatus::kProtocolError,
+                                       head.message()}));
+      break;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+
+    bool protocol_ok = true;
+    switch (head.value().type) {
+      case FrameType::kHello:
+        handle_hello(*conn, head.value());
+        break;
+      case FrameType::kOpenPlan:
+        handle_open(*conn, head.value());
+        break;
+      case FrameType::kSolve:
+        handle_solve(*conn, head.value());
+        break;
+      case FrameType::kStats:
+        handle_stats(*conn, head.value());
+        break;
+      case FrameType::kDrain:
+        handle_drain(*conn, head.value());
+        break;
+      default:
+        // A reply type arriving at the server: the peer is not a client.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        write_reply(*conn,
+                    encode_error({head.value().request_id,
+                                  SolveStatus::kProtocolError,
+                                  "reply-type frame sent to a server"}));
+        protocol_ok = false;
+        break;
+    }
+    // Handlers latch decode failures on the reader; fail-stop on them.
+    if (!protocol_ok || !head.value().reader.ok()) break;
+  }
+  // Close the pump: it drains what is queued, then exits.
+  {
+    std::lock_guard<std::mutex> lock(conn->pump_mutex);
+    conn->pump_closed = true;
+  }
+  conn->pump_cv.notify_all();
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void SolveServer::pump_loop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Connection::Pending next;
+    {
+      std::unique_lock<std::mutex> lock(conn->pump_mutex);
+      conn->pump_cv.wait(lock, [&] {
+        return !conn->pump_queue.empty() || conn->pump_closed;
+      });
+      if (conn->pump_queue.empty()) {
+        // Closed and drained: the reader is gone and every queued reply
+        // is flushed. Send FIN so the peer sees EOF instead of a
+        // connection that lingers half-dead until the next reap.
+        conn->sock.shutdown_write();
+        return;
+      }
+      next = std::move(conn->pump_queue.front());
+      conn->pump_queue.pop_front();
+    }
+    service::SolveService::Reply reply = next.reply.get();
+    if (reply.ok()) {
+      SolveOkFrame ok;
+      ok.request_id = next.request_id;
+      ok.server_us = reply.value().wall_seconds * 1e6;
+      ok.x = std::move(reply.value().x);
+      write_reply(*conn, encode_solve_ok(ok));
+    } else {
+      write_reply(*conn, encode_error({next.request_id,
+                                       reply.error().status,
+                                       reply.error().message}));
+    }
+  }
+}
+
+void SolveServer::handle_hello(Connection& conn, FrameHead& head) {
+  Expected<HelloFrame> hello = decode_hello(head);
+  if (!hello.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    hello.message()}));
+    return;
+  }
+  if (hello.value().min_version > kProtocolVersion ||
+      hello.value().max_version < kProtocolVersion) {
+    // Not a wire violation -- both sides spoke valid frames -- but no
+    // common version: reply and let the client give up cleanly.
+    write_reply(conn,
+                encode_error({head.request_id, SolveStatus::kProtocolError,
+                              "no common protocol version: server speaks " +
+                                  std::to_string(kProtocolVersion)}));
+    head.reader.fail("version negotiation failed");
+    return;
+  }
+  HelloOkFrame ok;
+  ok.request_id = head.request_id;
+  ok.version = kProtocolVersion;
+  ok.max_frame_bytes = options_.max_frame_bytes;
+  ok.server_name = options_.server_name;
+  write_reply(conn, encode_hello_ok(ok));
+}
+
+void SolveServer::handle_open(Connection& conn, FrameHead& head) {
+  Expected<OpenPlanFrame> open = decode_open_plan(head);
+  if (!open.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    open.message()}));
+    return;
+  }
+  OpenPlanFrame& frame = open.value();
+
+  Expected<core::SolveOptions> options =
+      core::registry::service_options(frame.backend_key);
+  if (!options.ok()) {
+    write_reply(conn, encode_error({head.request_id, options.error().status,
+                                    options.error().message}));
+    return;
+  }
+
+  // Content identity first: a repeat open of a factor this server already
+  // holds -- by ANY connection, in any mode -- returns the existing id.
+  sparse::StructuralHash hash = frame.hash;
+  if (frame.mode == OpenMode::kMatrix) hash = sparse::hash_csc(frame.matrix);
+  if (frame.mode == OpenMode::kPlanBlob) {
+    // The hash is computable only after deserializing; probe below.
+    hash = {};
+  }
+  std::string key;
+  if (frame.mode != OpenMode::kPlanBlob) {
+    key = core::PlanCache::key_of(hash, options.value());
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    auto it = plans_by_key_.find(key);
+    if (it != plans_by_key_.end()) {
+      OpenOkFrame ok;
+      ok.request_id = head.request_id;
+      ok.plan_id = it->second;
+      ok.rows = plans_.at(it->second).rows();
+      ok.hash = hash;
+      ok.source = "open";
+      write_reply(conn, encode_open_ok(ok));
+      return;
+    }
+  }
+
+  Expected<core::SolverPlan> plan(SolveStatus::kInternalError, "unset");
+  std::string source;
+  switch (frame.mode) {
+    case OpenMode::kMatrix:
+      // Through the service's cache: analyze-on-first-use, disk-backed
+      // when the service has a cache_dir.
+      plan = service_.plan_for(frame.matrix, frame.backend_key);
+      source = "cache";
+      break;
+    case OpenMode::kPlanBlob:
+      plan = core::SolverPlan::deserialize(frame.plan_blob, options.value());
+      source = "deserialized";
+      break;
+    case OpenMode::kHashRef: {
+      // Not open here: the shared blob directory is the fleet's warm
+      // tier -- any sibling shard (or a previous life of this one) that
+      // analyzed this factor has left the plan there.
+      const std::string& dir = service_.options().cache_dir;
+      if (dir.empty()) {
+        plan = Expected<core::SolverPlan>(
+            SolveStatus::kBadSnapshot,
+            "hash-ref open, but this server has no plan-blob directory");
+      } else {
+        plan = core::SolverPlan::load(dir + "/" + key + ".plan",
+                                      options.value());
+      }
+      source = "disk";
+      break;
+    }
+  }
+  if (!plan.ok()) {
+    write_reply(conn, encode_error({head.request_id, plan.error().status,
+                                    plan.error().message}));
+    return;
+  }
+  if (frame.mode != OpenMode::kMatrix) {
+    hash = sparse::hash_csc(plan.value().factor());
+    key = core::PlanCache::key_of(hash, options.value());
+  }
+
+  OpenOkFrame ok;
+  ok.request_id = head.request_id;
+  ok.rows = plan.value().rows();
+  ok.hash = hash;
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    auto it = plans_by_key_.find(key);
+    if (it != plans_by_key_.end()) {
+      ok.plan_id = it->second;  // raced with another connection's open
+      ok.source = "open";
+    } else {
+      ok.plan_id = next_plan_id_++;
+      plans_.emplace(ok.plan_id, std::move(plan.value()));
+      plans_by_key_.emplace(key, ok.plan_id);
+      ok.source = source;
+    }
+  }
+  write_reply(conn, encode_open_ok(ok));
+}
+
+void SolveServer::handle_solve(Connection& conn, FrameHead& head) {
+  Expected<SolveFrame> solve = decode_solve(head);
+  if (!solve.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    solve.message()}));
+    return;
+  }
+  SolveFrame& frame = solve.value();
+
+  // Deterministic fault injection for the client retry tests.
+  std::uint64_t budget =
+      injected_remaining_.load(std::memory_order_relaxed);
+  while (budget > 0) {
+    if (injected_remaining_.compare_exchange_weak(
+            budget, budget - 1, std::memory_order_relaxed)) {
+      write_reply(conn, encode_error({head.request_id,
+                                      options_.inject_status,
+                                      "injected fault (testing)"}));
+      return;
+    }
+  }
+
+  const core::SolverPlan* plan = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    auto it = plans_.find(frame.plan_id);
+    if (it != plans_.end()) plan = &it->second;
+  }
+  if (plan == nullptr) {
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kBadSnapshot,
+                                    "unknown plan id " +
+                                        std::to_string(frame.plan_id)}));
+    return;
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(plan->rows()) *
+      static_cast<std::size_t>(frame.num_rhs);
+  if (frame.rhs.size() != expected) {
+    write_reply(conn,
+                encode_error({head.request_id, SolveStatus::kShapeMismatch,
+                              "rhs has " + std::to_string(frame.rhs.size()) +
+                                  " entries, want rows*num_rhs = " +
+                                  std::to_string(expected)}));
+    return;
+  }
+
+  service::SubmitOptions submit;
+  submit.priority = frame.priority;
+  submit.deadline = std::chrono::microseconds(frame.deadline_us);
+  // Plans are never erased while the server lives, and SolverPlan copies
+  // share state, so the pointer into plans_ stays valid across the
+  // asynchronous solve.
+  std::future<service::SolveService::Reply> reply = service_.submit_batch(
+      *plan, std::move(frame.rhs), frame.num_rhs, submit);
+  {
+    std::lock_guard<std::mutex> lock(conn.pump_mutex);
+    conn.pump_queue.push_back({head.request_id, std::move(reply)});
+  }
+  conn.pump_cv.notify_one();
+}
+
+void SolveServer::handle_stats(Connection& conn, FrameHead& head) {
+  Expected<StatsFrame> stats = decode_stats(head);
+  if (!stats.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    stats.message()}));
+    return;
+  }
+  StatsOkFrame ok;
+  ok.request_id = head.request_id;
+  ok.format = stats.value().format;
+  if (ok.format == StatsFormat::kPrometheus) {
+    ok.text = render_prometheus(wire_stats(), options_.server_name);
+  } else {
+    ok.stats = wire_stats();
+  }
+  write_reply(conn, encode_stats_ok(ok));
+}
+
+void SolveServer::handle_drain(Connection& conn, FrameHead& head) {
+  Expected<DrainFrame> drain = decode_drain(head);
+  if (!drain.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    drain.message()}));
+    return;
+  }
+  // Blocks THIS connection's reader until every admitted request (from
+  // any connection) is answered; other connections keep flowing.
+  service_.drain();
+  DrainOkFrame ok;
+  ok.request_id = head.request_id;
+  ok.completed = service_.stats().completed;
+  write_reply(conn, encode_drain_ok(ok));
+}
+
+WireStats SolveServer::wire_stats() const {
+  const service::ServiceStatsSnapshot snap = service_.stats();
+  WireStats out;
+  out.submitted = snap.submitted;
+  out.completed = snap.completed;
+  out.failed = snap.failed;
+  out.rejected = snap.rejected;
+  out.shed = snap.shed;
+  out.batches = snap.batches;
+  out.coalesced_rhs = snap.coalesced_rhs;
+  out.queue_depth = snap.queue_depth;
+  out.peak_queue_depth = snap.peak_queue_depth;
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  out.frames_received = frames_received_.load(std::memory_order_relaxed);
+  out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    out.plans_open = plans_.size();
+  }
+  out.latency = snap.latency_hist;
+  for (std::size_t c = 0; c < service::kNumPriorities; ++c) {
+    out.per_class[c].submitted = snap.per_class[c].submitted;
+    out.per_class[c].completed = snap.per_class[c].completed;
+    out.per_class[c].shed = snap.per_class[c].shed;
+    out.per_class[c].latency = snap.per_class[c].latency_hist;
+  }
+  return out;
+}
+
+}  // namespace msptrsv::net

@@ -1,0 +1,136 @@
+// The network-facing solve server: a bounded TCP acceptor speaking the
+// frame protocol (net/protocol.hpp) in front of a service::SolveService.
+//
+// Threading model, per connection:
+//  * a READER thread decodes frames and dispatches them. Control frames
+//    (hello, open, stats, drain) are answered inline; solve frames are
+//    submitted to the service and their futures queued to...
+//  * ...a COMPLETION-PUMP thread, which waits each future out in FIFO
+//    order and writes the reply. Pipelined solves therefore never block
+//    the reader: a client can keep dozens of request ids in flight and
+//    the connection stays responsive to control traffic throughout.
+//  * all writes to one socket are serialized by a per-connection mutex
+//    (the pump and the reader both reply).
+//
+// Failure policy is FAIL-STOP PER CONNECTION: the first malformed frame
+// (bad length prefix, CRC mismatch, unknown type, out-of-range field)
+// gets a best-effort kProtocolError reply and the connection is closed.
+// The process never dies on wire input -- hostile bytes are spent by the
+// same bounds-checked BlobReader that validates plan files -- and other
+// connections are unaffected.
+//
+// Graceful drain: stop() closes the acceptor, half-closes every
+// connection's read side (no NEW requests), lets the service finish every
+// admitted solve, flushes the pumps, and joins. A serving process wraps
+// stop() in its SIGTERM handler (tools/solve_serverd.cpp) so a deploy
+// never drops an in-flight solve.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "service/solve_service.hpp"
+
+namespace msptrsv::net {
+
+struct ServerOptions {
+  /// 0 = ephemeral; read the chosen port back with port().
+  std::uint16_t port = 0;
+  int backlog = 64;
+  /// Connections past this are answered kOverloaded and closed.
+  std::size_t max_connections = 64;
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Announced in hello-ok and stamped on Prometheus series.
+  std::string server_name = "msptrsv";
+  /// The wrapped service's configuration (its cache_dir doubles as the
+  /// shared blob directory hash-ref opens resolve against).
+  service::ServiceOptions service;
+
+  // ---- fault injection (tests only) ----------------------------------------
+  /// When != kOk, the first `inject_count` solve frames are answered with
+  /// this status instead of being submitted -- the deterministic way to
+  /// exercise client retry policy (injected kOverloaded never races real
+  /// backpressure).
+  core::SolveStatus inject_status = core::SolveStatus::kOk;
+  std::uint64_t inject_count = 0;
+};
+
+class SolveServer {
+ public:
+  explicit SolveServer(ServerOptions options = {});
+  /// stop()s if still running.
+  ~SolveServer();
+
+  SolveServer(const SolveServer&) = delete;
+  SolveServer& operator=(const SolveServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor. kNetworkError if the port
+  /// cannot be bound.
+  core::Expected<bool> start();
+
+  /// Graceful shutdown: no new connections, no new requests, every
+  /// admitted solve answered and flushed, all threads joined. Idempotent.
+  void stop();
+
+  /// The bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  service::SolveService& service() { return service_; }
+
+  /// Point-in-time mergeable stats: the service snapshot plus the wire
+  /// counters -- what the stats frame serves in both formats.
+  WireStats wire_stats() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reap_finished(bool join_all);
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void pump_loop(const std::shared_ptr<Connection>& conn);
+
+  /// Writes `wire` on the connection (serialized); on failure the
+  /// connection is torn down (reader kicked via shutdown).
+  void write_reply(Connection& conn, const std::vector<std::uint8_t>& wire);
+
+  void handle_hello(Connection& conn, FrameHead& head);
+  void handle_open(Connection& conn, FrameHead& head);
+  void handle_solve(Connection& conn, FrameHead& head);
+  void handle_stats(Connection& conn, FrameHead& head);
+  void handle_drain(Connection& conn, FrameHead& head);
+
+  ServerOptions options_;
+  service::SolveService service_;
+  ListenSocket listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  /// Plans opened over the wire, shared by every connection: id -> plan
+  /// (copies share symbolic state, so this is cheap), plus the
+  /// content-key index that deduplicates repeat opens of the same factor.
+  mutable std::mutex plans_mutex_;
+  std::unordered_map<std::uint64_t, core::SolverPlan> plans_;
+  std::unordered_map<std::string, std::uint64_t> plans_by_key_;
+  std::uint64_t next_plan_id_ = 1;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> injected_remaining_{0};
+};
+
+}  // namespace msptrsv::net

@@ -1,0 +1,107 @@
+#include "service/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace msptrsv::service {
+
+void LatencyHistogramSnapshot::merge(const LatencyHistogramSnapshot& other) {
+  count += other.count;
+  sum_us += other.sum_us;
+  if (other.counts.size() > counts.size()) counts.resize(other.counts.size());
+  for (std::size_t i = 0; i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+}
+
+double LatencyHistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based; q = 1 is the last sample.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return static_cast<double>(LatencyHistogram::bucket_floor(i));
+    }
+  }
+  return counts.empty()
+             ? 0.0
+             : static_cast<double>(
+                   LatencyHistogram::bucket_floor(counts.size() - 1));
+}
+
+double LatencyHistogramSnapshot::mean_us() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum_us) / static_cast<double>(count);
+}
+
+double LatencyHistogramSnapshot::max_us() const {
+  for (std::size_t i = counts.size(); i-- > 0;) {
+    if (counts[i] != 0) {
+      return static_cast<double>(LatencyHistogram::bucket_ceil(i));
+    }
+  }
+  return 0.0;
+}
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(new std::atomic<std::uint64_t>[kBuckets]) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t LatencyHistogram::index_of(std::uint64_t us) {
+  if (us < kSub) return static_cast<std::size_t>(us);
+  // Octave = position of the most significant bit above the linear region;
+  // sub-bucket = the next kSubBits bits below it.
+  const int msb = 63 - std::countl_zero(us);
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = (us >> shift) - kSub;  // in [0, kSub)
+  const std::size_t idx =
+      static_cast<std::size_t>(shift + 1) * kSub + static_cast<std::size_t>(sub);
+  return std::min(idx, kBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t idx) {
+  if (idx < kSub) return idx;
+  const std::size_t shift = idx / kSub - 1;
+  const std::uint64_t sub = idx % kSub;
+  return (kSub + sub) << shift;
+}
+
+std::uint64_t LatencyHistogram::bucket_ceil(std::size_t idx) {
+  if (idx < kSub) return idx;
+  const std::size_t shift = idx / kSub - 1;
+  const std::uint64_t sub = idx % kSub;
+  return (((kSub + sub + 1) << shift)) - 1;
+}
+
+void LatencyHistogram::record(double us) {
+  const std::uint64_t v =
+      us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(us));
+  counts_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(v, std::memory_order_relaxed);
+}
+
+LatencyHistogramSnapshot LatencyHistogram::snapshot() const {
+  LatencyHistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  std::size_t last = 0;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    if (counts[i] != 0) last = i + 1;
+  }
+  counts.resize(last);
+  s.counts = std::move(counts);
+  return s;
+}
+
+}  // namespace msptrsv::service

@@ -1,0 +1,82 @@
+// Mergeable HDR-style latency histogram: the aggregation-grade companion
+// of the ServiceStats latency rings.
+//
+// The rings (service_stats.hpp) answer "what are p50/p99 over the last N
+// completions" cheaply, but they cannot be merged across shards and they
+// forget everything older than the window. A fleet -- N server processes
+// behind a plan-hash router -- needs quantiles over EVERYTHING each shard
+// ever completed, combinable by plain bucket addition. This histogram is
+// the standard high-dynamic-range construction:
+//
+//  * values are microseconds, bucketed log-linearly: 32 linear sub-buckets
+//    per power-of-two octave, so every recorded value lands in a bucket
+//    whose width is at most 1/32 (~3.2%) of its value -- quantile error is
+//    bounded RELATIVE error, independent of the latency scale, from
+//    sub-microsecond cache hits to multi-minute stalls;
+//  * recording is one relaxed fetch_add into a fixed array -- lock-free,
+//    wait-free, constant-time, safe from any thread;
+//  * snapshots are plain count vectors: merging two is element-wise
+//    addition (LatencyHistogramSnapshot::merge), which is exactly what the
+//    router tier and the binary stats frame do, and what the Prometheus
+//    text endpoint renders as a classic cumulative histogram.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace msptrsv::service {
+
+/// A point-in-time copy of a LatencyHistogram, merge-able and queryable.
+/// `counts` is trimmed to the last non-empty bucket (the wire and merge
+/// formats stay small when latencies are small).
+struct LatencyHistogramSnapshot {
+  std::uint64_t count = 0;
+  /// Sum of recorded values in integer microseconds (mean = sum / count).
+  std::uint64_t sum_us = 0;
+  std::vector<std::uint64_t> counts;
+
+  /// Element-wise addition; the whole point of the representation.
+  void merge(const LatencyHistogramSnapshot& other);
+
+  /// The q-quantile (q in [0,1]) as the lower edge of the bucket holding
+  /// the q-th sample -- within one sub-bucket (~3.2% relative) of the true
+  /// value. 0 when empty.
+  double quantile(double q) const;
+  double mean_us() const;
+  double max_us() const;
+};
+
+class LatencyHistogram {
+ public:
+  /// Sub-buckets per octave: 2^5 = 32 linear slots, ~3.2% relative
+  /// resolution.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  /// Octaves above the linear region; covers values up to ~2^43 us
+  /// (~101 days), everything larger clamps into the top bucket.
+  static constexpr int kOctaves = 38;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kSub) * static_cast<std::size_t>(kOctaves + 1);
+
+  LatencyHistogram();
+
+  /// Records one latency (negative values clamp to 0). Lock-free.
+  void record(double us);
+
+  LatencyHistogramSnapshot snapshot() const;
+
+  /// Bucket index of an integer-microsecond value.
+  static std::size_t index_of(std::uint64_t us);
+  /// Inclusive value range [floor, ceil] covered by bucket `idx`.
+  static std::uint64_t bucket_floor(std::size_t idx);
+  static std::uint64_t bucket_ceil(std::size_t idx);
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+}  // namespace msptrsv::service

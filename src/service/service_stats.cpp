@@ -117,6 +117,8 @@ void ServiceStats::on_complete(const void* plan, index_t rows,
 
   record(overall_, latency_us);
   record(class_ring_[static_cast<std::size_t>(priority)], latency_us);
+  hist_overall_.record(latency_us);
+  hist_class_[static_cast<std::size_t>(priority)].record(latency_us);
 
   // Per-plan table: linear probe from a pointer-derived home slot; claim
   // an empty slot with CAS; overflow spills into other_.
@@ -186,6 +188,7 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
 
   quantiles(overall_, out.p50_latency_us, out.p99_latency_us,
             out.max_latency_us);
+  out.latency_hist = hist_overall_.snapshot();
   for (std::size_t c = 0; c < kNumPriorities; ++c) {
     PriorityClassStats& pc = out.per_class[c];
     pc.submitted = class_[c].submitted.load(std::memory_order_relaxed);
@@ -194,6 +197,7 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
     pc.queue_depth = class_[c].queue_depth.load(std::memory_order_relaxed);
     quantiles(class_ring_[c], pc.p50_latency_us, pc.p99_latency_us,
               pc.max_latency_us);
+    pc.latency_hist = hist_class_[c].snapshot();
   }
 
   // Both counters tick at dispatch time, so the ratio is coherent even

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "service/latency_histogram.hpp"
 #include "service/priority.hpp"
 #include "support/types.hpp"
 
@@ -52,6 +53,10 @@ struct PriorityClassStats {
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// Full-history mergeable latency histogram of this class (HDR-style
+  /// log-linear buckets; see latency_histogram.hpp) -- what the fleet
+  /// aggregation path sums across shards.
+  LatencyHistogramSnapshot latency_hist;
 };
 
 struct ServiceStatsSnapshot {
@@ -92,6 +97,11 @@ struct ServiceStatsSnapshot {
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// Full-history latency histogram across all classes: unlike the ring
+  /// quantiles above it never forgets a sample, and two snapshots (e.g.
+  /// from two router shards) merge by bucket addition -- the server-side
+  /// aggregation answer to the ring-window limitation.
+  LatencyHistogramSnapshot latency_hist;
   /// Per-class slices, indexed by static_cast<size_t>(Priority).
   std::array<PriorityClassStats, kNumPriorities> per_class{};
   /// Per-plan completion counts (plans beyond the table capacity are
@@ -172,6 +182,10 @@ class ServiceStats {
   std::atomic<std::uint64_t> peak_queue_depth_{0};
 
   Ring overall_;
+  /// Full-history mergeable histograms alongside the rings: the rings
+  /// answer "recent" cheaply, the histograms answer "ever" mergeably.
+  LatencyHistogram hist_overall_;
+  std::array<LatencyHistogram, kNumPriorities> hist_class_{};
   /// Per-class counters and rings, indexed by static_cast<size_t>(Priority).
   struct ClassCounters {
     std::atomic<std::uint64_t> submitted{0};

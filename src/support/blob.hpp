@@ -37,6 +37,15 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes);
 /// 1 on little-endian hosts, 2 on big-endian (the on-disk tag values).
 std::uint8_t host_endian_tag();
 
+/// Fixed framing overhead of every blob image: the 8-byte header plus the
+/// 4-byte CRC trailer. Consumers that size or sanity-check whole blob
+/// images (the wire protocol's length-prefixed frames ride this format)
+/// use these instead of re-deriving the layout.
+inline constexpr std::size_t kBlobHeaderBytes = 8;
+inline constexpr std::size_t kBlobTrailerBytes = 4;
+inline constexpr std::size_t kBlobMinBytes =
+    kBlobHeaderBytes + kBlobTrailerBytes;
+
 class BlobWriter {
  public:
   /// `format_version` is stamped into the header; readers reject blobs

@@ -1,0 +1,772 @@
+// The network tier's contract, tested at three layers:
+//
+//  * FRAMES: every frame type round-trips encode -> peek -> decode; a
+//    corrupt CRC, truncated image, trailing garbage, unknown type, or
+//    out-of-range field is a typed kProtocolError -- never a crash, never
+//    a partially-trusted value;
+//  * LOOPBACK: a real SolveServer on 127.0.0.1 answers solves BIT-FOR-BIT
+//    equal to direct plan.solve_batch; plan opens deduplicate by content
+//    across connections; all three open modes (matrix upload, plan blob,
+//    hash reference against the shared blob directory) resolve; hostile
+//    byte streams fail-stop one connection while the next is served
+//    normally; injected kOverloaded drives the client's deterministic
+//    retry/backoff tier, and non-retryable statuses come back on the
+//    FIRST attempt;
+//  * FLEET: a plan-hash Router over two live server processes gives every
+//    factor a home shard, both shards take traffic on a mixed workload,
+//    and fleet stats merge (counters add, histograms merge).
+//
+// Everything runs under the same ASan/UBSan CI config as the rest of the
+// suite -- the fuzz cases double as memory-safety tests of the frame
+// decoder.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+#include "net/client.hpp"
+#include "net/metrics.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "service/latency_histogram.hpp"
+
+namespace msptrsv {
+namespace {
+
+using core::SolveStatus;
+using net::FrameHead;
+using net::FrameType;
+using net::SolveClient;
+using net::SolveServer;
+using net::WireStats;
+using service::LatencyHistogram;
+
+sparse::CscMatrix net_matrix(std::uint64_t seed, index_t n = 400) {
+  return sparse::gen_layered_dag(n, 14, 6 * n, 0.5, seed);
+}
+
+std::vector<value_t> rhs_for(const sparse::CscMatrix& l, std::uint64_t seed) {
+  return sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, seed));
+}
+
+/// The blob image of an encoded frame (the wire bytes minus the u32
+/// length prefix) -- what peek_frame consumes.
+std::vector<std::uint8_t> blob_of(const std::vector<std::uint8_t>& wire) {
+  return {wire.begin() + 4, wire.end()};
+}
+
+// ---- frame layer -----------------------------------------------------------
+
+TEST(NetProtocol, HelloRoundTrip) {
+  net::HelloFrame f;
+  f.request_id = 42;
+  f.min_version = 1;
+  f.max_version = 3;
+  f.client_name = "round-trip";
+  const auto blob = blob_of(net::encode_hello(f));
+
+  auto head = net::peek_frame(blob);
+  ASSERT_TRUE(head.ok()) << head.message();
+  EXPECT_EQ(head.value().type, FrameType::kHello);
+  EXPECT_EQ(head.value().request_id, 42u);
+  const auto back = net::decode_hello(head.value());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().min_version, 1);
+  EXPECT_EQ(back.value().max_version, 3);
+  EXPECT_EQ(back.value().client_name, "round-trip");
+}
+
+TEST(NetProtocol, OpenPlanMatrixRoundTrip) {
+  net::OpenPlanFrame f;
+  f.request_id = 7;
+  f.mode = net::OpenMode::kMatrix;
+  f.backend_key = "cpu-syncfree";
+  f.matrix = net_matrix(3);
+  const auto blob = blob_of(net::encode_open_plan(f));
+
+  auto head = net::peek_frame(blob);
+  ASSERT_TRUE(head.ok());
+  const auto back = net::decode_open_plan(head.value());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().mode, net::OpenMode::kMatrix);
+  EXPECT_EQ(back.value().backend_key, "cpu-syncfree");
+  EXPECT_EQ(back.value().matrix.col_ptr, f.matrix.col_ptr);
+  EXPECT_EQ(back.value().matrix.row_idx, f.matrix.row_idx);
+  EXPECT_EQ(back.value().matrix.val, f.matrix.val);
+}
+
+TEST(NetProtocol, SolveRoundTripKeepsPriorityDeadlineAndBits) {
+  net::SolveFrame f;
+  f.request_id = 9;
+  f.plan_id = 5;
+  f.num_rhs = 2;
+  f.priority = service::Priority::kHigh;
+  f.deadline_us = 50000;
+  f.rhs = {1.5, -2.25, 3.0, 0.0625};
+  const auto blob = blob_of(net::encode_solve(f));
+
+  auto head = net::peek_frame(blob);
+  ASSERT_TRUE(head.ok());
+  const auto back = net::decode_solve(head.value());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().plan_id, 5u);
+  EXPECT_EQ(back.value().num_rhs, 2);
+  EXPECT_EQ(back.value().priority, service::Priority::kHigh);
+  EXPECT_EQ(back.value().deadline_us, 50000u);
+  EXPECT_EQ(back.value().rhs, f.rhs);  // bit-for-bit through the wire
+}
+
+TEST(NetProtocol, ErrorRoundTripCarriesTypedStatus) {
+  net::ErrorFrame f;
+  f.request_id = 11;
+  f.status = SolveStatus::kOverloaded;
+  f.message = "queue full";
+  const auto blob = blob_of(net::encode_error(f));
+
+  auto head = net::peek_frame(blob);
+  ASSERT_TRUE(head.ok());
+  const auto back = net::decode_error(head.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().status, SolveStatus::kOverloaded);
+  EXPECT_EQ(back.value().message, "queue full");
+}
+
+TEST(NetProtocol, StatsOkBinaryRoundTripMergesHistograms) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.record(static_cast<double>(i));
+
+  net::StatsOkFrame f;
+  f.request_id = 13;
+  f.format = net::StatsFormat::kBinary;
+  f.stats.submitted = 1000;
+  f.stats.completed = 990;
+  f.stats.shed = 10;
+  f.stats.peak_queue_depth = 77;
+  f.stats.latency = hist.snapshot();
+  f.stats.per_class[0].completed = 500;
+  f.stats.per_class[0].latency = hist.snapshot();
+  const auto blob = blob_of(net::encode_stats_ok(f));
+
+  auto head = net::peek_frame(blob);
+  ASSERT_TRUE(head.ok());
+  const auto back = net::decode_stats_ok(head.value());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().stats.completed, 990u);
+  EXPECT_EQ(back.value().stats.latency.count, 1000u);
+  EXPECT_EQ(back.value().stats.latency.counts, f.stats.latency.counts);
+  EXPECT_EQ(back.value().stats.per_class[0].latency.count, 1000u);
+  EXPECT_DOUBLE_EQ(back.value().stats.latency.quantile(0.5),
+                   f.stats.latency.quantile(0.5));
+}
+
+TEST(NetProtocol, CorruptCrcIsProtocolError) {
+  auto blob = blob_of(net::encode_drain({21}));
+  blob.back() ^= 0xFF;  // CRC trailer
+  const auto head = net::peek_frame(blob);
+  ASSERT_FALSE(head.ok());
+  EXPECT_EQ(head.status(), SolveStatus::kProtocolError);
+}
+
+TEST(NetProtocol, TruncatedBlobIsProtocolError) {
+  const auto blob = blob_of(net::encode_hello({1, 1, 1, "x"}));
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    const auto head = net::peek_frame(
+        std::span<const std::uint8_t>(blob.data(), len));
+    EXPECT_FALSE(head.ok()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(NetProtocol, TrailingGarbageIsProtocolError) {
+  // A drain-ok image handed to the drain decoder leaves its u64 payload
+  // unconsumed -- the decoder must treat leftover bytes as a violation.
+  const auto blob = blob_of(net::encode_drain_ok({3, 12345}));
+  auto head = net::peek_frame(blob);
+  ASSERT_TRUE(head.ok());
+  const auto back = net::decode_drain(head.value());
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status(), SolveStatus::kProtocolError);
+  EXPECT_FALSE(head.value().reader.ok());  // latched: connection fail-stops
+}
+
+TEST(NetProtocol, UnknownFrameTypeIsProtocolError) {
+  support::BlobWriter w(net::kProtocolVersion);
+  w.write_u8(99);  // not a FrameType
+  w.write_u64(1);
+  const auto blob = std::move(w).finish();
+  const auto head = net::peek_frame(blob);
+  ASSERT_FALSE(head.ok());
+  EXPECT_EQ(head.status(), SolveStatus::kProtocolError);
+}
+
+TEST(NetProtocol, OutOfRangePriorityIsProtocolError) {
+  support::BlobWriter w(net::kProtocolVersion);
+  w.write_u8(static_cast<std::uint8_t>(FrameType::kSolve));
+  w.write_u64(1);
+  w.write_u64(1);  // plan_id
+  w.write_i32(1);  // num_rhs
+  w.write_u8(7);   // priority: out of range
+  w.write_u64(0);  // deadline
+  w.write_span<value_t>(std::vector<value_t>{1.0});
+  const auto blob = std::move(w).finish();
+  auto head = net::peek_frame(blob);
+  ASSERT_TRUE(head.ok());
+  const auto back = net::decode_solve(head.value());
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status(), SolveStatus::kProtocolError);
+}
+
+TEST(NetProtocol, WireStatsMergeAddsCountersAndHistograms) {
+  LatencyHistogram ha, hb;
+  ha.record(100);
+  ha.record(200);
+  hb.record(400);
+
+  WireStats a, b;
+  a.completed = 2;
+  a.queue_depth = 3;
+  a.peak_queue_depth = 9;
+  a.latency = ha.snapshot();
+  b.completed = 1;
+  b.queue_depth = 4;
+  b.peak_queue_depth = 5;
+  b.latency = hb.snapshot();
+
+  a.merge(b);
+  EXPECT_EQ(a.completed, 3u);
+  EXPECT_EQ(a.queue_depth, 7u);       // gauges of disjoint shards: sum
+  EXPECT_EQ(a.peak_queue_depth, 9u);  // peaks do not add: max
+  EXPECT_EQ(a.latency.count, 3u);
+  EXPECT_EQ(a.latency.sum_us, 700u);
+}
+
+// ---- latency histogram -----------------------------------------------------
+
+TEST(LatencyHistogram, BucketsAreContiguousAndMonotonic) {
+  // Every integer edge maps into a bucket whose [floor, ceil] contains it,
+  // and bucket indexes never decrease as values grow.
+  std::size_t prev = 0;
+  for (std::uint64_t us : {0ull, 1ull, 31ull, 32ull, 63ull, 64ull, 65ull,
+                           1000ull, 4096ull, 1000000ull, 1ull << 40}) {
+    const std::size_t idx = LatencyHistogram::index_of(us);
+    EXPECT_GE(idx, prev);
+    EXPECT_LE(LatencyHistogram::bucket_floor(idx), us);
+    EXPECT_GE(LatencyHistogram::bucket_ceil(idx), us);
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogram, QuantileHasBoundedRelativeError) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 100000; ++i) hist.record(static_cast<double>(i));
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100000u);
+  for (double q : {0.10, 0.50, 0.90, 0.99}) {
+    const double want = q * 100000.0;
+    const double got = snap.quantile(q);
+    // The bucket edge is within one sub-bucket (1/32 ~ 3.2%) of the truth.
+    EXPECT_NEAR(got, want, want * 0.04) << "q=" << q;
+  }
+  EXPECT_NEAR(snap.mean_us(), 50000.5, 100.0);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, both;
+  for (int i = 1; i <= 500; ++i) {
+    a.record(static_cast<double>(i));
+    both.record(static_cast<double>(i));
+  }
+  for (int i = 1000; i <= 2000; ++i) {
+    b.record(static_cast<double>(i));
+    both.record(static_cast<double>(i));
+  }
+  auto merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const auto want = both.snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum_us, want.sum_us);
+  EXPECT_EQ(merged.counts, want.counts);
+}
+
+// ---- loopback server -------------------------------------------------------
+
+TEST(NetLoopback, ServedSolveIsBitForBitEqualToDirect) {
+  SolveServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  const sparse::CscMatrix l = net_matrix(17);
+  const std::vector<value_t> b = rhs_for(l, 1);
+
+  net::ClientOptions copt;
+  copt.port = server.port();
+  SolveClient client(copt);
+  const auto handle = client.open(l, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok()) << handle.message();
+  EXPECT_EQ(handle.value().rows, l.rows);
+
+  const auto direct = server.service().plan_for(l, "cpu-syncfree");
+  ASSERT_TRUE(direct.ok());
+  const std::vector<value_t> want = direct->solve(b).value().x;
+
+  const auto x = client.solve(handle.value(), b);
+  ASSERT_TRUE(x.ok()) << x.message();
+  EXPECT_EQ(x.value(), want);
+
+  // Batch path: 3 rhs fused, still bit-for-bit.
+  std::vector<value_t> rhs;
+  for (std::uint64_t s : {2u, 3u, 4u}) {
+    const auto col = rhs_for(l, s);
+    rhs.insert(rhs.end(), col.begin(), col.end());
+  }
+  const std::vector<value_t> want_batch =
+      direct->solve_batch(rhs, 3).value().x;
+  const auto xb = client.solve_batch(handle.value(), rhs, 3);
+  ASSERT_TRUE(xb.ok()) << xb.message();
+  EXPECT_EQ(xb.value(), want_batch);
+
+  server.stop();
+}
+
+TEST(NetLoopback, OpensDeduplicateByContentAcrossConnections) {
+  SolveServer server;
+  ASSERT_TRUE(server.start().ok());
+  const sparse::CscMatrix l = net_matrix(23);
+
+  net::ClientOptions copt;
+  copt.port = server.port();
+  SolveClient a(copt), b(copt);
+  const auto first = a.open(l, "cpu-syncfree");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().source, "cache");  // analyzed on first use
+  const auto second = b.open(l, "cpu-syncfree");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().source, "open");  // deduped against a's open
+  EXPECT_EQ(server.wire_stats().plans_open, 1u);
+  server.stop();
+}
+
+TEST(NetLoopback, PlanBlobUploadSkipsServerAnalysis) {
+  SolveServer server;
+  ASSERT_TRUE(server.start().ok());
+  const sparse::CscMatrix l = net_matrix(29);
+
+  const auto options = core::registry::service_options("cpu-syncfree");
+  ASSERT_TRUE(options.ok());
+  const auto plan = core::SolverPlan::analyze(l, options.value());
+  ASSERT_TRUE(plan.ok());
+  auto blob = plan.value().serialize();
+  ASSERT_TRUE(blob.ok());
+
+  net::ClientOptions copt;
+  copt.port = server.port();
+  SolveClient client(copt);
+  const auto handle =
+      client.open_plan_blob(std::move(blob.value()), "cpu-syncfree");
+  ASSERT_TRUE(handle.ok()) << handle.message();
+  EXPECT_EQ(handle.value().source, "deserialized");
+
+  const std::vector<value_t> b = rhs_for(l, 1);
+  const std::vector<value_t> want = plan.value().solve(b).value().x;
+  const auto x = client.solve(handle.value(), b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value(), want);
+  server.stop();
+}
+
+TEST(NetLoopback, HashRefResolvesAgainstSharedBlobDirectory) {
+  const std::string dir =
+      ::testing::TempDir() + "net_warm_tier_" +
+      std::to_string(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  std::filesystem::create_directories(dir);
+  const sparse::CscMatrix l = net_matrix(31);
+  const sparse::StructuralHash hash = sparse::hash_csc(l);
+
+  // Server A analyzes the factor; its cache_dir persists the plan blob.
+  {
+    net::ServerOptions sopt;
+    sopt.service.cache_dir = dir;
+    SolveServer a(sopt);
+    ASSERT_TRUE(a.start().ok());
+    net::ClientOptions copt;
+    copt.port = a.port();
+    SolveClient client(copt);
+    ASSERT_TRUE(client.open(l, "cpu-syncfree").ok());
+    a.stop();
+  }
+
+  // Server B never saw the matrix: a hash-ref open is a DISK hit against
+  // the shared directory -- the fleet-wide warm tier.
+  net::ServerOptions sopt;
+  sopt.service.cache_dir = dir;
+  SolveServer bsrv(sopt);
+  ASSERT_TRUE(bsrv.start().ok());
+  net::ClientOptions copt;
+  copt.port = bsrv.port();
+  SolveClient client(copt);
+  const auto handle = client.open_by_hash(hash, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok()) << handle.message();
+  EXPECT_EQ(handle.value().source, "disk");
+
+  const std::vector<value_t> b = rhs_for(l, 1);
+  const auto direct = bsrv.service().plan_for(l, "cpu-syncfree");
+  const auto x = client.solve(handle.value(), b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value(), direct->solve(b).value().x);
+
+  // An unknown hash is a typed kBadSnapshot, not a protocol error.
+  sparse::StructuralHash unknown = hash;
+  unknown.pattern ^= 0xDEADBEEF;
+  const auto miss = client.open_by_hash(unknown, "cpu-syncfree");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status(), SolveStatus::kBadSnapshot);
+
+  bsrv.stop();
+  std::filesystem::remove_all(dir);
+}
+
+/// Sends raw bytes to the server, then verifies the server (a) closed
+/// THIS connection and (b) still serves a fresh well-formed client.
+void expect_fail_stop(SolveServer& server,
+                      const std::vector<std::uint8_t>& raw) {
+  const std::uint64_t errors_before = server.wire_stats().protocol_errors;
+  auto sock = net::tcp_connect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(sock.value().send_all(raw).ok());
+  // The server answers with a best-effort error frame and/or closes; the
+  // read side observing EOF (or an error reply) is the fail-stop signal.
+  std::vector<std::uint8_t> sink(4096);
+  bool eof = false;
+  while (true) {
+    const auto got = sock.value().recv_exact(
+        std::span<std::uint8_t>(sink.data(), 1), &eof);
+    if (!got.ok() || eof) break;
+  }
+  EXPECT_GT(server.wire_stats().protocol_errors, errors_before);
+
+  // The process shrugged it off: a well-formed client still gets served.
+  const sparse::CscMatrix l = net_matrix(37, 200);
+  net::ClientOptions copt;
+  copt.port = server.port();
+  SolveClient client(copt);
+  const auto handle = client.open(l, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok()) << handle.message();
+  const std::vector<value_t> b = rhs_for(l, 1);
+  EXPECT_TRUE(client.solve(handle.value(), b).ok());
+}
+
+TEST(NetLoopback, MalformedFramesFailStopTheConnectionNotTheProcess) {
+  SolveServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  const auto with_prefix = [](std::vector<std::uint8_t> blob) {
+    const std::uint32_t len = static_cast<std::uint32_t>(blob.size());
+    std::vector<std::uint8_t> wire = {
+        static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+        static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 24)};
+    wire.insert(wire.end(), blob.begin(), blob.end());
+    return wire;
+  };
+
+  // Garbage bytes where a blob image should be.
+  expect_fail_stop(server, with_prefix(std::vector<std::uint8_t>(64, 0xAB)));
+  // Length prefix larger than the frame bound: rejected BEFORE allocation.
+  expect_fail_stop(server, {0xFF, 0xFF, 0xFF, 0xFF});
+  // Length prefix smaller than any valid frame.
+  expect_fail_stop(server, {0x04, 0x00, 0x00, 0x00, 1, 2, 3, 4});
+  // Valid frame with its CRC trailer flipped.
+  {
+    auto wire = net::encode_drain({1});
+    wire.back() ^= 0xFF;
+    expect_fail_stop(server, wire);
+  }
+  // Unknown frame type inside a valid blob.
+  {
+    support::BlobWriter w(net::kProtocolVersion);
+    w.write_u8(200);
+    w.write_u64(1);
+    expect_fail_stop(server, with_prefix(std::move(w).finish()));
+  }
+  // A REPLY frame sent to the server.
+  expect_fail_stop(server, net::encode_solve_ok({1, 0.0, {1.0}}));
+  // Out-of-range priority in an otherwise valid solve frame.
+  {
+    support::BlobWriter w(net::kProtocolVersion);
+    w.write_u8(static_cast<std::uint8_t>(FrameType::kSolve));
+    w.write_u64(1);
+    w.write_u64(1);
+    w.write_i32(1);
+    w.write_u8(9);
+    w.write_u64(0);
+    w.write_span<value_t>(std::vector<value_t>{1.0});
+    expect_fail_stop(server, with_prefix(std::move(w).finish()));
+  }
+
+  // Truncated body: prefix promises 1000 bytes, the peer hangs up early.
+  {
+    auto sock = net::tcp_connect("127.0.0.1", server.port());
+    ASSERT_TRUE(sock.ok());
+    std::vector<std::uint8_t> partial = {0xE8, 0x03, 0x00, 0x00, 1, 2, 3};
+    ASSERT_TRUE(sock.value().send_all(partial).ok());
+    sock.value().close();
+  }
+  // Connection-level counters saw every hostile stream.
+  EXPECT_GE(server.wire_stats().protocol_errors, 7u);
+  server.stop();
+}
+
+TEST(NetLoopback, InjectedOverloadDrivesRetryToSuccess) {
+  net::ServerOptions sopt;
+  sopt.inject_status = SolveStatus::kOverloaded;
+  sopt.inject_count = 3;
+  SolveServer server(sopt);
+  ASSERT_TRUE(server.start().ok());
+
+  const sparse::CscMatrix l = net_matrix(41);
+  net::ClientOptions copt;
+  copt.port = server.port();
+  copt.retry.max_attempts = 4;
+  copt.retry.initial_backoff = std::chrono::microseconds(100);
+  SolveClient client(copt);
+  const auto handle = client.open(l, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok());
+
+  const std::vector<value_t> b = rhs_for(l, 1);
+  const auto x = client.solve(handle.value(), b);
+  ASSERT_TRUE(x.ok()) << x.message();  // 3 injected rejections, then served
+
+  const net::ClientMetrics m = client.metrics_local();
+  EXPECT_EQ(m.solves, 1u);
+  EXPECT_EQ(m.attempts, 4u);
+  EXPECT_EQ(m.retries, 3u);
+  EXPECT_GT(m.backoff_us, 0u);
+  server.stop();
+}
+
+TEST(NetLoopback, RetryExhaustionReturnsOverloaded) {
+  net::ServerOptions sopt;
+  sopt.inject_status = SolveStatus::kOverloaded;
+  sopt.inject_count = 100;
+  SolveServer server(sopt);
+  ASSERT_TRUE(server.start().ok());
+
+  const sparse::CscMatrix l = net_matrix(43);
+  net::ClientOptions copt;
+  copt.port = server.port();
+  copt.retry.max_attempts = 3;
+  copt.retry.initial_backoff = std::chrono::microseconds(100);
+  SolveClient client(copt);
+  const auto handle = client.open(l, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok());
+
+  const auto x = client.solve(handle.value(), rhs_for(l, 1));
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status(), SolveStatus::kOverloaded);
+  EXPECT_EQ(client.metrics_local().attempts, 3u);
+  server.stop();
+}
+
+TEST(NetLoopback, NonRetryableStatusesAreNotRetried) {
+  net::ServerOptions sopt;
+  sopt.inject_status = SolveStatus::kDeadlineExceeded;
+  sopt.inject_count = 1;
+  SolveServer server(sopt);
+  ASSERT_TRUE(server.start().ok());
+
+  const sparse::CscMatrix l = net_matrix(47);
+  net::ClientOptions copt;
+  copt.port = server.port();
+  SolveClient client(copt);
+  const auto handle = client.open(l, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok());
+
+  // A shed deadline comes back on the FIRST attempt: re-sending the same
+  // doomed deadline would only burn server time.
+  const auto x = client.solve(handle.value(), rhs_for(l, 1));
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status(), SolveStatus::kDeadlineExceeded);
+  EXPECT_EQ(client.metrics_local().attempts, 1u);
+  EXPECT_EQ(client.metrics_local().retries, 0u);
+
+  // Same for a mis-shaped rhs: the server's typed kShapeMismatch comes
+  // back immediately -- retrying identical bad input cannot fare better.
+  const auto wrong_shape =
+      client.solve(handle.value(), std::vector<value_t>(l.rows + 1, 1.0));
+  ASSERT_FALSE(wrong_shape.ok());
+  EXPECT_EQ(wrong_shape.status(), SolveStatus::kShapeMismatch);
+  server.stop();
+}
+
+TEST(NetLoopback, DrainCompletesEverythingAdmitted) {
+  SolveServer server;
+  ASSERT_TRUE(server.start().ok());
+  const sparse::CscMatrix l = net_matrix(53);
+
+  net::ClientOptions copt;
+  copt.port = server.port();
+  SolveClient client(copt);
+  const auto handle = client.open(l, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok());
+
+  const std::vector<value_t> b = rhs_for(l, 1);
+  std::vector<std::future<core::Expected<std::vector<value_t>>>> inflight;
+  for (int i = 0; i < 16; ++i) {
+    inflight.push_back(client.submit_batch(handle.value(), b, 1));
+  }
+  const auto drained = client.drain();
+  ASSERT_TRUE(drained.ok()) << drained.message();
+  // The connection processes frames in order: all 16 solves were admitted
+  // before the drain, so the barrier covers every one of them.
+  EXPECT_EQ(drained.value(), 16u);
+  for (auto& fut : inflight) {
+    const auto x = fut.get();
+    ASSERT_TRUE(x.ok()) << x.message();
+  }
+  EXPECT_EQ(server.wire_stats().completed, 16u);
+  server.stop();
+}
+
+TEST(NetLoopback, PrometheusMetricsRenderTheServedTraffic) {
+  SolveServer server;
+  ASSERT_TRUE(server.start().ok());
+  const sparse::CscMatrix l = net_matrix(59);
+
+  net::ClientOptions copt;
+  copt.port = server.port();
+  SolveClient client(copt);
+  const auto handle = client.open(l, "cpu-syncfree");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(
+      client.solve(handle.value(), rhs_for(l, 1), service::Priority::kHigh)
+          .ok());
+
+  const auto text = client.metrics();
+  ASSERT_TRUE(text.ok());
+  const std::string& t = text.value();
+  EXPECT_NE(t.find("msptrsv_rhs_completed_total{instance=\"msptrsv\"} 1"),
+            std::string::npos);
+  EXPECT_NE(t.find("msptrsv_plans_open{instance=\"msptrsv\"} 1"),
+            std::string::npos);
+  EXPECT_NE(t.find("msptrsv_solve_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(t.find("class=\"high\""), std::string::npos);
+  EXPECT_NE(t.find("# TYPE msptrsv_solve_latency_seconds histogram"),
+            std::string::npos);
+
+  // The binary stats frame agrees with the text.
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().completed, 1u);
+  EXPECT_EQ(stats.value().per_class[0].completed, 1u);  // kHigh
+  server.stop();
+}
+
+// ---- router / fleet --------------------------------------------------------
+
+TEST(NetRouter, PlansGetAHomeShardAndBothShardsTakeTraffic) {
+  SolveServer s0, s1;
+  ASSERT_TRUE(s0.start().ok());
+  ASSERT_TRUE(s1.start().ok());
+
+  net::RouterOptions ropt;
+  ropt.endpoints = {{"127.0.0.1", s0.port()}, {"127.0.0.1", s1.port()}};
+  net::Router router(ropt);
+  ASSERT_EQ(router.shard_count(), 2u);
+
+  // Pick factor seeds whose homes COVER both shards. shard_of is pure, so
+  // the mixed workload can be chosen by construction instead of hoping a
+  // fixed seed set happens to split (ephemeral ports reseed the hash every
+  // run).
+  std::vector<std::uint64_t> seeds = {100, 101, 102, 103};
+  std::set<std::size_t> covered;
+  for (const std::uint64_t seed : seeds) {
+    covered.insert(
+        router.shard_of(sparse::hash_csc(net_matrix(seed, 300)).pattern));
+  }
+  for (std::uint64_t seed = 104; covered.size() < 2 && seed < 200; ++seed) {
+    const std::size_t home =
+        router.shard_of(sparse::hash_csc(net_matrix(seed, 300)).pattern);
+    if (!covered.count(home)) {
+      covered.insert(home);
+      seeds.push_back(seed);
+    }
+  }
+  ASSERT_EQ(covered.size(), 2u) << "96 factors all hashed to one shard";
+
+  std::set<std::size_t> shards_used;
+  for (const std::uint64_t seed : seeds) {
+    const sparse::CscMatrix l = net_matrix(seed, 300);
+    const auto routed = router.open(l, "cpu-syncfree");
+    ASSERT_TRUE(routed.ok()) << routed.message();
+    EXPECT_EQ(routed.value().shard,
+              router.shard_of(sparse::hash_csc(l).pattern));
+    shards_used.insert(routed.value().shard);
+
+    const std::vector<value_t> b = rhs_for(l, 1);
+    const auto x = router.solve(routed.value(), b);
+    ASSERT_TRUE(x.ok());
+    // Bit-for-bit against a direct plan on the HOME shard's service.
+    SolveServer& home = routed.value().shard == 0 ? s0 : s1;
+    const auto direct = home.service().plan_for(l, "cpu-syncfree");
+    EXPECT_EQ(x.value(), direct->solve(b).value().x);
+  }
+  EXPECT_EQ(shards_used.size(), 2u);
+
+  // Every plan lives on exactly ONE process.
+  const WireStats w0 = s0.wire_stats();
+  const WireStats w1 = s1.wire_stats();
+  EXPECT_EQ(w0.plans_open + w1.plans_open, seeds.size());
+  EXPECT_GT(w0.completed, 0u);
+  EXPECT_GT(w1.completed, 0u);
+
+  // Fleet stats merge: counters add across shards, histograms combine.
+  std::size_t reachable = 0;
+  const auto fleet = router.fleet_stats(&reachable);
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_EQ(reachable, 2u);
+  EXPECT_EQ(fleet.value().completed, w0.completed + w1.completed);
+  EXPECT_EQ(fleet.value().latency.count,
+            w0.latency.count + w1.latency.count);
+
+  const auto fleet_text = router.fleet_metrics();
+  ASSERT_TRUE(fleet_text.ok());
+  EXPECT_NE(fleet_text.value().find("instance=\"fleet\""),
+            std::string::npos);
+
+  const auto drained = router.drain_all();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained.value(), w0.completed + w1.completed);
+
+  s0.stop();
+  s1.stop();
+}
+
+TEST(NetRouter, RendezvousIsStableAndBalancedEnough) {
+  net::RouterOptions ropt;
+  ropt.endpoints = {{"127.0.0.1", 1111}, {"127.0.0.1", 2222},
+                    {"127.0.0.1", 3333}};
+  // No live servers needed: shard_of is pure.
+  net::Router router(ropt);
+  std::array<int, 3> histogram{};
+  for (std::uint64_t h = 0; h < 3000; ++h) {
+    const std::size_t s = router.shard_of(h * 0x9E3779B97F4A7C15ULL);
+    ASSERT_LT(s, 3u);
+    EXPECT_EQ(s, router.shard_of(h * 0x9E3779B97F4A7C15ULL));  // stable
+    ++histogram[s];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 700);  // ~1000 each; grossly unbalanced = broken mix
+    EXPECT_LT(count, 1300);
+  }
+}
+
+}  // namespace
+}  // namespace msptrsv

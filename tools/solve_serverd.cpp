@@ -1,0 +1,121 @@
+// solve_serverd: the deployable solve-server daemon.
+//
+//   solve_serverd --port=7450 --backend=cpu-syncfree --threads=8 \
+//                 --cache-dir=/var/lib/msptrsv/plans
+//
+// Serves the wire protocol (docs/PROTOCOL.md) until SIGTERM/SIGINT, then
+// DRAINS: in-flight solves complete and are flushed before exit(0) -- a
+// rolling restart behind a router never drops an admitted request.
+//
+// Scale-out: run N of these (one per shard) behind a net::Router. Use
+// --threads to cap each shard's worker pool so N shards share a machine
+// honestly, and point every shard's --cache-dir at the same directory so
+// a plan analyzed by one shard is a disk hit for the rest (hash-ref
+// opens).
+//
+//   --port=0 picks an ephemeral port; --port-file writes the chosen port
+//   (atomically, via rename) for supervisors that need to discover it.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "core/worker_pool.hpp"
+#include "net/server.hpp"
+#include "support/blob.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; main blocks on read.
+// Everything a handler may touch must be async-signal-safe -- write(2)
+// is, the server's mutex-taking stop() is not.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msptrsv;
+
+  support::CliParser cli(
+      "msptrsv solve server: serves the binary wire protocol in front of a "
+      "multi-tenant SolveService; drains on SIGTERM.");
+  cli.add_option("port", "0", "TCP port to listen on (0 = ephemeral)");
+  cli.add_option("port-file", "",
+                 "write the chosen port to this file (atomic rename)");
+  cli.add_option("threads", "0",
+                 "worker-pool size cap for this process (0 = all cores); "
+                 "use to split a machine across shards");
+  cli.add_option("cache-dir", "",
+                 "plan-blob directory (shared across shards = fleet warm "
+                 "tier for hash-ref opens)");
+  cli.add_option("max-pending", "1024",
+                 "admission bound in outstanding right-hand sides");
+  cli.add_option("max-connections", "64", "concurrent connection bound");
+  cli.add_option("name", "msptrsv", "server name (hello-ok + metrics label)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Must precede any plan/service work: the process-wide pool is sized
+  // once, on first use.
+  core::SharedWorkerPool::configure_instance_threads(
+      static_cast<int>(cli.get_int("threads")));
+
+  net::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  options.max_connections =
+      static_cast<std::size_t>(cli.get_int("max-connections"));
+  options.server_name = cli.get_string("name");
+  options.service.max_pending_rhs =
+      static_cast<std::size_t>(cli.get_int("max-pending"));
+  options.service.cache_dir = cli.get_string("cache-dir");
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  net::SolveServer server(options);
+  core::Expected<bool> started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "solve_serverd: %s\n",
+                 started.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "solve_serverd: listening on 127.0.0.1:%u\n",
+               server.port());
+
+  const std::string port_file = cli.get_string("port-file");
+  if (!port_file.empty()) {
+    const std::string text = std::to_string(server.port()) + "\n";
+    if (!support::write_file(
+            port_file,
+            {reinterpret_cast<const std::uint8_t*>(text.data()),
+             text.size()})) {
+      std::fprintf(stderr, "solve_serverd: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+
+  // Block until a signal arrives (EINTR restarts the read).
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) < 0) {
+  }
+  std::fprintf(stderr, "solve_serverd: draining...\n");
+  server.stop();
+  const net::WireStats final_stats = server.wire_stats();
+  std::fprintf(stderr,
+               "solve_serverd: drained; %llu rhs completed, %llu frames, "
+               "%llu protocol errors\n",
+               static_cast<unsigned long long>(final_stats.completed),
+               static_cast<unsigned long long>(final_stats.frames_received),
+               static_cast<unsigned long long>(final_stats.protocol_errors));
+  return 0;
+}
