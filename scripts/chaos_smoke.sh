@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Chaos smoke test: a two-shard fleet loses its HOME shard to kill -9
+# MID-TRAFFIC and must not lose a single request.
+#
+#  1. start two solve_serverd shards on ephemeral ports, pointed at one
+#     shared --cache-dir (the fleet warm tier failover re-opens plans
+#     from);
+#  2. run example_fleet_client against both: it routes by plan hash,
+#     writes the home shard's port to a file after the FIRST verified
+#     solve (traffic provably live), and keeps solving;
+#  3. kill -9 the home shard the moment that file appears -- no sleeps,
+#     the signal lands with requests in flight;
+#  4. require the client to exit 0: every solve answered bit-for-bit,
+#     at least one via failover (--require-failover);
+#  5. SIGTERM the surviving shard and require a clean drain (exit 0).
+#
+# Usage: scripts/chaos_smoke.sh [build-dir]   (default: ./build)
+set -u
+
+build_dir="${1:-build}"
+cd "$(dirname "$0")/.."
+
+serverd="$build_dir/solve_serverd"
+client="$build_dir/example_fleet_client"
+for bin in "$serverd" "$client"; do
+  if [ ! -x "$bin" ]; then
+    echo "chaos smoke FAILED: $bin is missing (build first)"
+    exit 1
+  fi
+done
+
+workdir=$(mktemp -d)
+trap 'kill -KILL $(jobs -p) 2>/dev/null; rm -rf "$workdir"' EXIT
+
+# Wait (up to ~10s) for a --port-file to appear; echoes the port.
+# Fails fast -- with a clear message -- when the daemon dies or never
+# publishes, instead of hanging until the CI step timeout.
+wait_port_file() {
+  local file="$1" pid="$2" port=""
+  for _ in $(seq 1 500); do
+    if [ -s "$file" ]; then
+      head -n1 "$file"
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "chaos smoke FAILED: shard died before listening" >&2
+      return 1
+    fi
+    sleep 0.02
+  done
+  echo "chaos smoke FAILED: no port file $file after 10s" >&2
+  return 1
+}
+
+pids=()
+ports=()
+for s in 0 1; do
+  "$serverd" --port=0 --port-file="$workdir/port_$s" \
+             --cache-dir="$workdir/plans" --threads=2 &
+  pids[$s]=$!
+  if ! ports[$s]=$(wait_port_file "$workdir/port_$s" "${pids[$s]}"); then
+    exit 1
+  fi
+done
+echo "fleet up: shards on ports ${ports[0]} and ${ports[1]}"
+
+home_file="$workdir/home_port"
+"$client" --ports="${ports[0]},${ports[1]}" --solves=300 --interval-us=5000 \
+          --home-file="$home_file" --require-failover=true &
+client_pid=$!
+
+# The client publishes the home port only after a verified solve: when
+# this file appears, traffic is live and the kill lands mid-run.
+home_port=""
+for _ in $(seq 1 500); do
+  if [ -s "$home_file" ]; then
+    home_port=$(head -n1 "$home_file")
+    break
+  fi
+  if ! kill -0 "$client_pid" 2>/dev/null; then
+    echo "chaos smoke FAILED: client died before its first solve"
+    exit 1
+  fi
+  sleep 0.02
+done
+if [ -z "$home_port" ]; then
+  echo "chaos smoke FAILED: client never reported a home shard"
+  exit 1
+fi
+
+home_idx=0
+[ "$home_port" = "${ports[1]}" ] && home_idx=1
+survivor_idx=$((1 - home_idx))
+echo "killing home shard (port $home_port) with traffic in flight"
+kill -KILL "${pids[$home_idx]}"
+wait "${pids[$home_idx]}" 2>/dev/null
+
+wait "$client_pid"
+client_rc=$?
+if [ "$client_rc" -ne 0 ]; then
+  echo "chaos smoke FAILED: client lost requests (exit $client_rc)"
+  exit 1
+fi
+
+kill -TERM "${pids[$survivor_idx]}"
+wait "${pids[$survivor_idx]}"
+survivor_rc=$?
+if [ "$survivor_rc" -ne 0 ]; then
+  echo "chaos smoke FAILED: survivor did not drain cleanly (exit $survivor_rc)"
+  exit 1
+fi
+
+echo "chaos smoke OK: home shard kill -9'd mid-traffic, zero lost requests," \
+     "failover engaged, survivor drained clean"

@@ -26,12 +26,15 @@ done
 
 workdir=$(mktemp -d)
 port_file="$workdir/port"
-trap 'rm -rf "$workdir"' EXIT
+trap 'kill -KILL $(jobs -p) 2>/dev/null; rm -rf "$workdir"' EXIT
 
 "$serverd" --port=0 --port-file="$port_file" --cache-dir="$workdir/plans" &
 server_pid=$!
 
 # Wait (up to ~10s) for the daemon to come up and publish its port.
+# Every exit from this loop is EXPLICIT -- daemon died, or the deadline
+# passed -- with the reason printed; nothing here can hang until a CI
+# step timeout reaps the job with no diagnosis.
 port=""
 for _ in $(seq 1 500); do
   if [ -s "$port_file" ]; then
@@ -45,17 +48,39 @@ for _ in $(seq 1 500); do
   sleep 0.02
 done
 if [ -z "$port" ]; then
-  echo "net smoke FAILED: no port file after 10s"
+  echo "net smoke FAILED: solve_serverd never wrote $port_file within 10s" \
+       "(still running; killing it)"
   kill -KILL "$server_pid" 2>/dev/null
   exit 1
 fi
 
-"$client" --port="$port" --solves=8 --n=2000
+# The client verifies bits itself; the timeout guards against a wedged
+# server turning this step into a silent hang.
+timeout 120 "$client" --port="$port" --solves=8 --n=2000
 client_rc=$?
+if [ "$client_rc" -eq 124 ]; then
+  echo "net smoke FAILED: client hung for 120s (server wedged?)"
+  kill -KILL "$server_pid" 2>/dev/null
+  exit 1
+fi
 
+# Bounded drain: a SIGTERM'd daemon that cannot finish its in-flight
+# work within 30s is a failed drain, reported as such.
 kill -TERM "$server_pid"
-wait "$server_pid"
-server_rc=$?
+server_rc=1
+for _ in $(seq 1 1500); do
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    wait "$server_pid"
+    server_rc=$?
+    break
+  fi
+  sleep 0.02
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "net smoke FAILED: server did not exit within 30s of SIGTERM"
+  kill -KILL "$server_pid" 2>/dev/null
+  exit 1
+fi
 
 if [ "$client_rc" -ne 0 ]; then
   echo "net smoke FAILED: client exited $client_rc"

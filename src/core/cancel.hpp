@@ -1,0 +1,97 @@
+// Cooperative cancellation for in-flight solves.
+//
+// A CancelToken carries (either or both of) a shared cancellation flag and
+// a steady-clock deadline. The host kernels check it at their natural sync
+// points -- level barriers, component-claim strides -- so a solve that
+// exceeds SolveOptions::time_budget stops MID-EXECUTION with
+// kDeadlineExceeded (not after burning the full solve), and a draining
+// service can abandon everything in flight by flipping one CancelSource.
+//
+// Cost discipline: a default-constructed token is inert and free to test
+// (`active()` is one null/bool check), so plumbing a `const CancelToken*`
+// through the kernels costs a predictable branch when no budget is set --
+// the <=1% bench_micro acceptance bound. Clock reads are the expensive
+// part of deadline checks; the kernels stride them (every level / every
+// K components), never per entry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace msptrsv::core {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: never cancelled, free to check.
+  CancelToken() = default;
+
+  /// Token that expires `seconds` from now (a SolveOptions::time_budget
+  /// turned into an absolute execution deadline at solve entry).
+  static CancelToken with_budget(double seconds) {
+    CancelToken t;
+    t.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(seconds));
+    t.has_deadline_ = true;
+    return t;
+  }
+
+  /// This token with its deadline tightened to at most `seconds` from now
+  /// (keeps the flag). How a caller-supplied token composes with a plan's
+  /// own time_budget: the earlier of the two wins.
+  CancelToken capped(double seconds) const {
+    const Clock::time_point cap =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    CancelToken t = *this;
+    if (!t.has_deadline_ || cap < t.deadline_) t.deadline_ = cap;
+    t.has_deadline_ = true;
+    return t;
+  }
+
+  /// False for the inert default token: callers skip all checks.
+  bool active() const { return flag_ != nullptr || has_deadline_; }
+
+  /// Flag-only check (no clock read; safe at any frequency).
+  bool flag_cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// Deadline-only check (one clock read).
+  bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Either condition. The kernels call this on a stride.
+  bool cancelled() const { return flag_cancelled() || deadline_expired(); }
+
+ private:
+  friend class CancelSource;
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// The owning side: cancel() flips every token handed out, immediately and
+/// irrevocably (sources are one-shot; make a new one to "reset"). The
+/// solve service holds one per lifetime for abandon-on-shutdown.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  CancelToken token() const {
+    CancelToken t;
+    t.flag_ = flag_;
+    return t;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace msptrsv::core

@@ -5,6 +5,7 @@
 
 #include "sparse/triangular.hpp"
 #include "support/contracts.hpp"
+#include "support/failpoint.hpp"
 
 namespace msptrsv::core {
 
@@ -38,10 +39,11 @@ inline void gather_and_solve(const sparse::CsrMatrix& rows, index_t i,
 
 }  // namespace
 
-void solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
+bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
                                 std::span<const value_t> b, index_t num_rhs,
                                 const sparse::LevelAnalysis& analysis,
-                                SolveWorkspace& ws, std::span<value_t> x) {
+                                SolveWorkspace& ws, std::span<value_t> x,
+                                const CancelToken* cancel) {
   const index_t n = row_form.rows;
   const std::size_t un = static_cast<std::size_t>(n);
   MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
@@ -62,6 +64,13 @@ void solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
   // `threads` is the ACTUAL party count of this run (a shared-pool gang
   // may be narrower than the cap); the level stride and the barrier --
   // resized by run_parallel -- both follow it.
+  //
+  // Abort protocol: tid 0 checks the token AFTER its level work and
+  // stores the flag BEFORE arriving at the barrier; every party reads it
+  // after leaving. All parties therefore pass the same number of barriers
+  // and exit at the same level -- the barrier stays coherent and the
+  // workspace needs no repair.
+  std::atomic<bool> abort{false};
   ws.run_parallel([&](int tid, int threads) {
     value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
     for (index_t l = 0; l < analysis.num_levels; ++l) {
@@ -74,16 +83,27 @@ void solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
                          analysis.order[static_cast<std::size_t>(p)], b, k, un,
                          acc, x);
       }
+      if (tid == 0) {
+        // Chaos seam: delay/pause here stretches the level without
+        // touching the clock-driven budget logic under test.
+        (void)MSPTRSV_FAILPOINT("kernel.level");
+        if (cancel != nullptr && cancel->cancelled()) {
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
       sync.arrive_and_wait();
+      if (abort.load(std::memory_order_relaxed)) return;
     }
   });
+  return !abort.load(std::memory_order_relaxed);
 }
 
-void solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
+bool solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
                                 const sparse::CsrMatrix& row_form,
                                 std::span<const value_t> b, index_t num_rhs,
                                 std::span<const index_t> in_degrees,
-                                SolveWorkspace& ws, std::span<value_t> x) {
+                                SolveWorkspace& ws, std::span<value_t> x,
+                                const CancelToken* cancel) {
   const index_t n = lower.rows;
   const std::size_t un = static_cast<std::size_t>(n);
   MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
@@ -106,20 +126,44 @@ void solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
   // Ascending work claiming: thread-safe and deadlock-free (see header) --
   // and indifferent to the party count, so a shrunk shared-pool gang just
   // claims more components per thread.
+  //
+  // Abort protocol: any thread that observes the token fired raises the
+  // shared flag; claimants check it per claim and spinners on EVERY turn
+  // (a component whose producer aborted would otherwise be waited on
+  // forever). The clock itself is only read on a stride.
+  std::atomic<bool> abort{false};
   std::atomic<index_t> next{0};
   ws.run_parallel([&](int tid, int /*threads*/) {
     value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
+    std::uint64_t checks = 0;
     for (;;) {
       const index_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      if (abort.load(std::memory_order_relaxed)) return;
+      // Chaos seam, evaluated on EVERY real claim (not just tid 0): on a
+      // sequential chain one warm worker can drain the whole solve before
+      // another party ever claims, so gating on a tid would let a `pause`
+      // arming miss the solve entirely.
+      (void)MSPTRSV_FAILPOINT("kernel.task");
+      if (cancel != nullptr && (++checks & 255) == 0 && cancel->cancelled()) {
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
       // Lock-wait phase: ONE spin per component per batch. The acquire
       // load pairs with the producers' delivery increments, making their
       // final x entries visible to the gather below.
       const std::uint64_t target =
           generation *
           static_cast<std::uint64_t>(in_degrees[static_cast<std::size_t>(i)]);
+      std::uint64_t spins = 0;
       while (delivered[static_cast<std::size_t>(i)].load(
                  std::memory_order_acquire) < target) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        if (cancel != nullptr && (++spins & 1023) == 0 &&
+            cancel->cancelled()) {
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
         std::this_thread::yield();
       }
       gather_and_solve(row_form, i, b, k, un, acc, x);
@@ -132,6 +176,13 @@ void solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
       }
     }
   });
+  if (abort.load(std::memory_order_relaxed)) {
+    // The generation's deliveries are torn; rewind the counters so the
+    // next solve on this workspace computes targets from a clean slate.
+    ws.reset_delivery();
+    return false;
+  }
+  return true;
 }
 
 std::vector<value_t> solve_lower_levelset_threads(

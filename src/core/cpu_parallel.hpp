@@ -41,6 +41,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/workspace.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
@@ -54,19 +55,33 @@ namespace msptrsv::core {
 /// n x num_rhs (entry i of rhs r at [r*n + i]); `x` must be sized
 /// n*num_rhs. No input validation: the caller (SolverPlan) established
 /// the solvable-lower invariants at analysis time.
-void solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
+///
+/// Cancellation: `cancel` (may be null) is checked by tid 0 once per level
+/// BEFORE the level barrier; the abort flag is read by every party after
+/// leaving it, so the whole gang exits at the same level with the barrier
+/// coherent and the workspace immediately reusable. Returns false -- `x`
+/// partially written, contents unspecified -- on abort, true on completion.
+bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
                                 std::span<const value_t> b, index_t num_rhs,
                                 const sparse::LevelAnalysis& analysis,
-                                SolveWorkspace& ws, std::span<value_t> x);
+                                SolveWorkspace& ws, std::span<value_t> x,
+                                const CancelToken* cancel = nullptr);
 
 /// Fused synchronization-free forward substitution; same batch layout and
 /// workspace contract as solve_lower_levelset_fused. `lower` supplies the
 /// column structure for the delivery fan-out, `row_form` the gather view.
-void solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
+///
+/// Cancellation: checked on a stride inside the claim loop and on every
+/// turn of the delivery spin (a cancelled gang must not spin on deliveries
+/// that will never arrive). On abort the workspace's delivery counters are
+/// mid-generation; the kernel resets them (reset_delivery) before
+/// returning false, so the next solve on this workspace starts clean.
+bool solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
                                 const sparse::CsrMatrix& row_form,
                                 std::span<const value_t> b, index_t num_rhs,
                                 std::span<const index_t> in_degrees,
-                                SolveWorkspace& ws, std::span<value_t> x);
+                                SolveWorkspace& ws, std::span<value_t> x,
+                                const CancelToken* cancel = nullptr);
 
 /// Level-set parallel forward substitution. `num_threads <= 0` uses
 /// std::thread::hardware_concurrency(). The analysis is taken as input so

@@ -19,6 +19,7 @@
 #include "sparse/triangular.hpp"
 #include "support/blob.hpp"
 #include "support/contracts.hpp"
+#include "support/failpoint.hpp"
 
 namespace msptrsv::core {
 
@@ -43,6 +44,22 @@ sparse::CscMatrix reverse_upper_unchecked(const sparse::CscMatrix& upper) {
     }
   }
   return sparse::csc_from_coo(std::move(coo));
+}
+
+/// What a fired token means for the caller: a passed deadline is the
+/// time_budget contract (kDeadlineExceeded); a raised flag with no passed
+/// deadline is an administrative abandon (service shutdown), which reports
+/// kOverloaded like every other shutting-down refusal.
+Expected<SolveResult> cancel_error(const CancelToken& cancel) {
+  if (cancel.deadline_expired()) {
+    return Expected<SolveResult>(
+        SolveStatus::kDeadlineExceeded,
+        "execution time budget exhausted mid-solve (the partial solution "
+        "was discarded; the plan remains usable)");
+  }
+  return Expected<SolveResult>(
+      SolveStatus::kOverloaded,
+      "solve abandoned: cancellation requested (service shutting down)");
 }
 
 bool backend_is_multi_gpu(Backend b) {
@@ -265,10 +282,22 @@ Expected<SolverPlan> SolverPlan::analyze_upper(sparse::CscMatrix upper,
   return SolverPlan(std::move(built.value()));
 }
 
-SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
-                                        index_t num_rhs) const {
+Expected<SolveResult> SolverPlan::run_batch_lower(
+    std::span<const value_t> b, index_t num_rhs,
+    const CancelToken* cancel) const {
   const State& st = *state_;
   const sparse::CscMatrix& lower = *st.lower;
+  // Chaos seam: `delay` stretches a solve (the "hung shard" script);
+  // `error(N)` injects the SolveStatus with that code, generalizing the
+  // old server-side inject_status knob down to the core.
+  if (const auto fp = MSPTRSV_FAILPOINT("core.solve");
+      fp.kind == support::FailpointHit::Kind::kError) {
+    const auto status = static_cast<SolveStatus>(fp.arg);
+    return Expected<SolveResult>(status, "injected by failpoint core.solve");
+  }
+  // Entry check covers every backend (the simulated ones never look
+  // again: their "execution" is an event simulation, not wall time).
+  if (cancel != nullptr && cancel->cancelled()) return cancel_error(*cancel);
   SolveResult out;
   if (lower.rows == 0) {
     // Vacuous system: every backend returns the empty solution for free.
@@ -281,7 +310,11 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
   switch (st.options.backend) {
     case Backend::kSerial: {
       const auto t0 = steady_clock::now();
-      out.x = solve_lower_serial_fused(lower, b, num_rhs);
+      out.x.resize(static_cast<std::size_t>(lower.rows) *
+                   static_cast<std::size_t>(num_rhs));
+      if (!solve_lower_serial_fused(lower, b, num_rhs, cancel, out.x)) {
+        return cancel_error(*cancel);
+      }
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
@@ -292,8 +325,11 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
       out.x.resize(static_cast<std::size_t>(lower.rows) *
                    static_cast<std::size_t>(num_rhs));
       const auto t0 = steady_clock::now();
-      solve_lower_levelset_fused(*st.snapshot.row_form, b, num_rhs, *st.snapshot.levels,
-                                 lease.ws(), out.x);
+      if (!solve_lower_levelset_fused(*st.snapshot.row_form, b, num_rhs,
+                                      *st.snapshot.levels, lease.ws(), out.x,
+                                      cancel)) {
+        return cancel_error(*cancel);
+      }
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
@@ -304,8 +340,11 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
       out.x.resize(static_cast<std::size_t>(lower.rows) *
                    static_cast<std::size_t>(num_rhs));
       const auto t0 = steady_clock::now();
-      solve_lower_syncfree_fused(lower, *st.snapshot.row_form, b, num_rhs,
-                                 st.snapshot.in_degrees, lease.ws(), out.x);
+      if (!solve_lower_syncfree_fused(lower, *st.snapshot.row_form, b,
+                                      num_rhs, st.snapshot.in_degrees,
+                                      lease.ws(), out.x, cancel)) {
+        return cancel_error(*cancel);
+      }
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
@@ -379,29 +418,50 @@ SolveResult SolverPlan::run_batch_lower(std::span<const value_t> b,
   return out;
 }
 
-SolveResult SolverPlan::run_one(std::span<const value_t> b) const {
-  if (!state_->snapshot.upper) return run_batch_lower(b, 1);
+Expected<SolveResult> SolverPlan::run_one(std::span<const value_t> b,
+                                          const CancelToken* cancel) const {
+  if (!state_->snapshot.upper) return run_batch_lower(b, 1, cancel);
   // Backward substitution executes on the reversed factor; the O(n) vector
   // transforms stay outside the timed regions (run_batch_lower times only
   // the backend execution).
   const std::vector<value_t> rb = reversed(b);
-  SolveResult r = run_batch_lower(rb, 1);
-  r.x = reversed(r.x);
+  Expected<SolveResult> r = run_batch_lower(rb, 1, cancel);
+  if (!r.ok()) return r;
+  r.value().x = reversed(r.value().x);
   return r;
 }
 
+CancelToken SolverPlan::effective_token(const CancelToken& cancel) const {
+  if (state_->options.time_budget > 0.0) {
+    return cancel.capped(state_->options.time_budget);
+  }
+  return cancel;
+}
+
 Expected<SolveResult> SolverPlan::solve(std::span<const value_t> b) const {
+  return solve(b, CancelToken());
+}
+
+Expected<SolveResult> SolverPlan::solve(std::span<const value_t> b,
+                                        const CancelToken& cancel) const {
   if (b.size() != static_cast<std::size_t>(rows())) {
     return Expected<SolveResult>(
         SolveStatus::kShapeMismatch,
         "rhs length " + std::to_string(b.size()) +
             " does not match the matrix dimension " + std::to_string(rows()));
   }
-  return run_one(b);
+  const CancelToken tok = effective_token(cancel);
+  return run_one(b, tok.active() ? &tok : nullptr);
 }
 
 Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
                                               index_t num_rhs) const {
+  return solve_batch(rhs, num_rhs, CancelToken());
+}
+
+Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
+                                              index_t num_rhs,
+                                              const CancelToken& cancel) const {
   if (num_rhs < 1) {
     return Expected<SolveResult>(
         SolveStatus::kShapeMismatch,
@@ -417,25 +477,31 @@ Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
             std::to_string(rhs.size()));
   }
 
+  const CancelToken tok = effective_token(cancel);
+  const CancelToken* cancel_ptr = tok.active() ? &tok : nullptr;
+
   if (!state_->options.fuse_batch) {
     // Looped mode (the PR 1 semantics): independent solves, reports
-    // accumulate. Kept for apples-to-apples amortization measurements.
+    // accumulate. The budget covers the WHOLE batch (the token is shared
+    // across the loop), so a slow batch aborts partway with nothing kept.
     SolveResult out;
     out.x.reserve(expected);
     for (index_t j = 0; j < num_rhs; ++j) {
-      SolveResult r = run_one(rhs.subspan(static_cast<std::size_t>(j) * n, n));
-      out.x.insert(out.x.end(), r.x.begin(), r.x.end());
-      out.wall_seconds += r.wall_seconds;
+      Expected<SolveResult> r =
+          run_one(rhs.subspan(static_cast<std::size_t>(j) * n, n), cancel_ptr);
+      if (!r.ok()) return r;
+      out.x.insert(out.x.end(), r.value().x.begin(), r.value().x.end());
+      out.wall_seconds += r.value().wall_seconds;
       if (j == 0) {
-        out.report = std::move(r.report);
+        out.report = std::move(r.value().report);
       } else {
-        out.report.accumulate(r.report);
+        out.report.accumulate(r.value().report);
       }
     }
     return out;
   }
 
-  if (!state_->snapshot.upper) return run_batch_lower(rhs, num_rhs);
+  if (!state_->snapshot.upper) return run_batch_lower(rhs, num_rhs, cancel_ptr);
 
   // Upper plans: per-column vector reversal in, solve the reversed-lower
   // batch fused, reverse each solution column back. The O(n*k) transforms
@@ -447,7 +513,9 @@ Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
       rb[base + i] = rhs[base + (n - 1 - i)];
     }
   }
-  SolveResult out = run_batch_lower(rb, num_rhs);
+  Expected<SolveResult> solved = run_batch_lower(rb, num_rhs, cancel_ptr);
+  if (!solved.ok()) return solved;
+  SolveResult out = std::move(solved.value());
   for (index_t j = 0; j < num_rhs; ++j) {
     const auto begin =
         out.x.begin() + static_cast<std::ptrdiff_t>(j) *

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/solver.hpp"
 #include "core/status.hpp"
 #include "sparse/level_analysis.hpp"
@@ -105,6 +106,20 @@ class SolverPlan {
   ///    sums, max_solve_us tracks the slowest single solve).
   Expected<SolveResult> solve_batch(std::span<const value_t> rhs,
                                     index_t num_rhs) const;
+
+  /// Cancellable forms: `cancel` (a CancelSource token, a budget token, or
+  /// both) is checked cooperatively inside the host kernels at level/claim
+  /// boundaries; a fired token aborts MID-SOLVE with kDeadlineExceeded
+  /// (deadline) or kOverloaded (flag -- the service's abandon-on-shutdown
+  /// path), leaving the plan and its workspaces immediately reusable.
+  /// Composes with options().time_budget: the earlier deadline wins.
+  /// Simulated backends check only at entry. The plain overloads above are
+  /// equivalent to passing an inert token.
+  Expected<SolveResult> solve(std::span<const value_t> b,
+                              const CancelToken& cancel) const;
+  Expected<SolveResult> solve_batch(std::span<const value_t> rhs,
+                                    index_t num_rhs,
+                                    const CancelToken& cancel) const;
 
   /// Value-only refresh: replaces the factor's numeric values while
   /// reusing every cached analysis (levels, in-degrees, partition,
@@ -239,9 +254,16 @@ class SolverPlan {
                                       std::chrono::steady_clock::time_point t0);
 
   /// Fused execution of num_rhs rhs (column-major) on the lower factor.
-  SolveResult run_batch_lower(std::span<const value_t> b,
-                              index_t num_rhs) const;
-  SolveResult run_one(std::span<const value_t> b) const;
+  /// `cancel` may be null (no checks); a fired token maps to
+  /// kDeadlineExceeded / kOverloaded.
+  Expected<SolveResult> run_batch_lower(std::span<const value_t> b,
+                                        index_t num_rhs,
+                                        const CancelToken* cancel) const;
+  Expected<SolveResult> run_one(std::span<const value_t> b,
+                                const CancelToken* cancel) const;
+  /// The caller-visible token composed with options().time_budget
+  /// (earlier deadline wins); inert when neither is set.
+  CancelToken effective_token(const CancelToken& cancel) const;
 
   /// Shared by all copies of the plan; mutable only through
   /// update_values() and the internal workspace pool (which is

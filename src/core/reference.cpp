@@ -38,16 +38,31 @@ std::vector<value_t> solve_lower_serial_prevalidated(
 std::vector<value_t> solve_lower_serial_fused(const sparse::CscMatrix& lower,
                                               std::span<const value_t> b,
                                               index_t num_rhs) {
+  std::vector<value_t> x(static_cast<std::size_t>(lower.rows) *
+                         static_cast<std::size_t>(num_rhs));
+  solve_lower_serial_fused(lower, b, num_rhs, nullptr, x);
+  return x;
+}
+
+bool solve_lower_serial_fused(const sparse::CscMatrix& lower,
+                              std::span<const value_t> b, index_t num_rhs,
+                              const CancelToken* cancel,
+                              std::span<value_t> x) {
   const index_t n = lower.rows;
   const std::size_t un = static_cast<std::size_t>(n);
   const std::size_t k = static_cast<std::size_t>(num_rhs);
-  MSPTRSV_REQUIRE(num_rhs >= 1 && b.size() == un * k,
+  MSPTRSV_REQUIRE(num_rhs >= 1 && b.size() == un * k && x.size() == b.size(),
                   "batch must be column-major n x num_rhs");
-  std::vector<value_t> x(un * k);
+  // Check stride: one clock read per ~4096 components keeps the budget
+  // check invisible next to the gather work.
+  constexpr index_t kCancelStride = 4096;
   // Component-major accumulators keep the per-component RHS sweep
   // contiguous (and vectorizable: no atomics on the serial path).
   std::vector<value_t> left_sum(un * k, 0.0);
   for (index_t i = 0; i < n; ++i) {
+    if (cancel != nullptr && (i % kCancelStride) == 0 && cancel->cancelled()) {
+      return false;
+    }
     const offset_t d = lower.col_ptr[i];
     const value_t diag = lower.val[d];
     value_t* acc = left_sum.data() + static_cast<std::size_t>(i) * k;
@@ -64,7 +79,7 @@ std::vector<value_t> solve_lower_serial_fused(const sparse::CscMatrix& lower,
       }
     }
   }
-  return x;
+  return true;
 }
 
 std::vector<value_t> solve_upper_serial(const sparse::CscMatrix& upper,

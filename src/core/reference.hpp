@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "sparse/csc.hpp"
 
 namespace msptrsv::core {
@@ -28,6 +29,15 @@ std::vector<value_t> solve_lower_serial_prevalidated(
 std::vector<value_t> solve_lower_serial_fused(const sparse::CscMatrix& lower,
                                               std::span<const value_t> b,
                                               index_t num_rhs);
+
+/// Cancellable form of the fused serial sweep: writes into `x` (sized
+/// n*num_rhs by the caller) and checks `cancel` every few thousand
+/// components. Returns false -- with `x` partially written, contents
+/// unspecified -- when the token fires mid-solve. `cancel` may be null.
+bool solve_lower_serial_fused(const sparse::CscMatrix& lower,
+                              std::span<const value_t> b, index_t num_rhs,
+                              const CancelToken* cancel,
+                              std::span<value_t> x);
 
 /// Backward substitution for Ux = b on an upper-triangular CSC matrix with
 /// a nonzero diagonal terminating each column.

@@ -74,6 +74,16 @@ struct SolveOptions {
   /// full-width gang. Results are bit-identical either way (the pull-based
   /// gather order does not depend on the party count).
   bool use_shared_pool = false;
+  /// Execution-time budget in wall-clock seconds per solve/solve_batch
+  /// call (0 = unlimited). Unlike a service start-by deadline -- which
+  /// only sheds requests BEFORE they run -- the budget is enforced
+  /// MID-EXECUTION: the host kernels check a cancellation token at their
+  /// level/claim boundaries and the call returns kDeadlineExceeded with
+  /// the workspace immediately reusable. Simulated backends check only at
+  /// batch entry (their "execution" is an event simulation, not wall
+  /// time). When no budget is set the kernels skip every check (one null
+  /// test per solve).
+  double time_budget = 0.0;
 };
 
 struct SolveResult {

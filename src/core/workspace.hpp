@@ -154,6 +154,19 @@ class SolveWorkspace {
   /// generation * in_degree(i).
   std::uint64_t begin_generation() { return ++generation_; }
 
+  /// Rewinds the delivery protocol after an ABORTED sync-free solve: a
+  /// cancelled generation leaves the counters partially advanced, so the
+  /// next generation's targets would never be reached. Zeroes every
+  /// materialized counter and restarts the generation count. Must only be
+  /// called by the lease holder with no solve running (single-tenant, like
+  /// every other workspace mutation).
+  void reset_delivery() {
+    for (std::size_t i = 0; i < delivered_capacity_; ++i) {
+      delivered_[i].store(0, std::memory_order_relaxed);
+    }
+    generation_ = 0;
+  }
+
  private:
   int parties_;
   SharedWorkerPool* shared_;

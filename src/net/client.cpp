@@ -11,6 +11,8 @@ namespace {
 using core::Expected;
 using core::SolveStatus;
 
+}  // namespace
+
 /// Decodes a raw reply blob expected to be SolveOk into the solution
 /// vector; an Error frame comes back as its typed status.
 Expected<std::vector<value_t>> decode_solve_reply(
@@ -33,8 +35,6 @@ Expected<std::vector<value_t>> decode_solve_reply(
   if (!ok.ok()) return Expected<std::vector<value_t>>(ok.error());
   return std::move(ok.value().x);
 }
-
-}  // namespace
 
 SolveClient::SolveClient(ClientOptions options)
     : options_(std::move(options)),
@@ -406,6 +406,22 @@ Expected<std::vector<value_t>> SolveClient::solve_batch(
   return solve_with_retry(plan.spec, rhs, num_rhs, priority, deadline);
 }
 
+std::future<SolveClient::RawReply> SolveClient::submit_batch_raw(
+    const PlanHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+    service::Priority priority, std::chrono::microseconds deadline) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  const std::uint64_t id = next_request_id_++;
+  SolveFrame frame;
+  frame.request_id = id;
+  frame.plan_id = plan.spec < specs_.size() ? specs_[plan.spec].plan_id : 0;
+  frame.num_rhs = num_rhs;
+  frame.priority = priority;
+  frame.deadline_us = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, deadline.count()));
+  frame.rhs.assign(rhs.begin(), rhs.end());
+  return request_locked(id, encode_solve(frame));
+}
+
 std::future<Expected<std::vector<value_t>>> SolveClient::submit_batch(
     const PlanHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
     service::Priority priority, std::chrono::microseconds deadline) {
@@ -507,9 +523,82 @@ Expected<std::uint64_t> SolveClient::drain() {
   return ok.value().completed;
 }
 
+Expected<bool> SolveClient::ping(std::chrono::milliseconds timeout) {
+  Expected<bool> up = connect();
+  if (!up.ok()) return up;
+  std::future<RawReply> future;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    future = request_locked(id, encode_ping({id}));
+  }
+  if (future.wait_for(timeout) != std::future_status::ready) {
+    // A peer that cannot echo a ping inside the bound is not a peer we
+    // can trust with queued solves: tear the connection down (failing
+    // every pending future, this ping's included) so the next call
+    // reconnects instead of queueing behind a hung server.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (connected_) {
+      connected_ = false;
+      sock_.shutdown_read();
+      fail_pending_locked("ping timed out after " +
+                          std::to_string(timeout.count()) + "ms");
+    }
+    return Expected<bool>(SolveStatus::kNetworkError,
+                          "ping timed out after " +
+                              std::to_string(timeout.count()) + "ms");
+  }
+  RawReply raw = future.get();
+  if (!raw.ok()) return Expected<bool>(raw.error());
+  Expected<FrameHead> head = peek_frame(raw.value());
+  if (!head.ok()) return Expected<bool>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<bool>(err.error());
+    return Expected<bool>(err.value().status, err.value().message);
+  }
+  Expected<PongFrame> pong = decode_pong(head.value());
+  if (!pong.ok()) return Expected<bool>(pong.error());
+  return true;
+}
+
+Expected<std::uint32_t> SolveClient::set_failpoint(const std::string& name,
+                                                   const std::string& spec) {
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<std::uint32_t>(up.error());
+  std::future<RawReply> future;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    future = request_locked(id, encode_failpoint({id, name, spec}));
+  }
+  RawReply raw = future.get();
+  if (!raw.ok()) return Expected<std::uint32_t>(raw.error());
+  Expected<FrameHead> head = peek_frame(raw.value());
+  if (!head.ok()) return Expected<std::uint32_t>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<std::uint32_t>(err.error());
+    return Expected<std::uint32_t>(err.value().status, err.value().message);
+  }
+  Expected<FailpointOkFrame> ok = decode_failpoint_ok(head.value());
+  if (!ok.ok()) return Expected<std::uint32_t>(ok.error());
+  return ok.value().armed;
+}
+
 ClientMetrics SolveClient::metrics_local() const {
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   return stats_;
+}
+
+void SolveClient::note_hedge() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  stats_.hedges += 1;
+}
+
+void SolveClient::note_failover() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  stats_.failovers += 1;
 }
 
 }  // namespace msptrsv::net

@@ -82,10 +82,21 @@ struct ClientMetrics {
   std::uint64_t retries = 0;       ///< attempts after the first
   std::uint64_t reconnects = 0;    ///< successful re-handshakes
   std::uint64_t backoff_us = 0;    ///< total time slept backing off
+  std::uint64_t hedges = 0;        ///< solves duplicated to a backup shard
+  std::uint64_t failovers = 0;     ///< solves answered by a non-home shard
 };
+
+/// Decodes a raw solve reply blob (SolveOk or Error frame) into the
+/// solution vector / typed status. Exposed for callers of
+/// submit_batch_raw (the router's hedged sends).
+core::Expected<std::vector<value_t>> decode_solve_reply(
+    std::vector<std::uint8_t> blob);
 
 class SolveClient {
  public:
+  /// A reply blob or the typed failure that prevented one.
+  using RawReply = core::Expected<std::vector<std::uint8_t>>;
+
   explicit SolveClient(ClientOptions options);
   /// Closes the connection; outstanding futures complete kNetworkError.
   ~SolveClient();
@@ -134,6 +145,16 @@ class SolveClient {
       service::Priority priority = service::Priority::kNormal,
       std::chrono::microseconds deadline = std::chrono::microseconds{0});
 
+  /// Like submit_batch but returns the raw reply future straight off the
+  /// pending map -- a promise-backed future, so wait_for() actually polls
+  /// (submit_batch wraps it in a DEFERRED adapter, which wait_for cannot
+  /// observe). The router's hedged sends race two of these; decode with
+  /// decode_solve_reply.
+  std::future<RawReply> submit_batch_raw(
+      const PlanHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
+      service::Priority priority = service::Priority::kNormal,
+      std::chrono::microseconds deadline = std::chrono::microseconds{0});
+
   // ---- observability / control ---------------------------------------------
 
   /// The server's /metrics answer (Prometheus text).
@@ -143,12 +164,28 @@ class SolveClient {
   /// Blocks until the server has answered everything admitted so far.
   core::Expected<std::uint64_t> drain();
 
+  /// Liveness probe with a HARD timeout: a pong within `timeout` returns
+  /// true; anything else -- no connection, no reply in time -- is
+  /// kNetworkError, and a timed-out ping tears the connection down (a
+  /// peer that cannot echo a ping cannot be trusted with queued solves;
+  /// the next call reconnects). The router's health prober calls this.
+  core::Expected<bool> ping(std::chrono::milliseconds timeout);
+
+  /// Arms (or clears: spec "off" / empty name = clear all) a failpoint in
+  /// the SERVER process. Returns the server's armed-site count. The
+  /// server refuses with kInvalidOptions unless started with
+  /// --enable-failpoints.
+  core::Expected<std::uint32_t> set_failpoint(const std::string& name,
+                                              const std::string& spec);
+
   ClientMetrics metrics_local() const;
 
- private:
-  /// A reply blob or the typed failure that prevented one.
-  using RawReply = core::Expected<std::vector<std::uint8_t>>;
+  /// Router bookkeeping: robustness actions taken on this client's shard
+  /// (counted here so they surface next to the retries they complement).
+  void note_hedge();
+  void note_failover();
 
+ private:
   struct OpenSpec {
     OpenMode mode = OpenMode::kMatrix;
     std::string backend_key;

@@ -218,6 +218,27 @@ std::vector<std::uint8_t> encode_drain_ok(const DrainOkFrame& f) {
   return seal(std::move(w));
 }
 
+std::vector<std::uint8_t> encode_ping(const PingFrame& f) {
+  return seal(begin_frame(FrameType::kPing, f.request_id));
+}
+
+std::vector<std::uint8_t> encode_pong(const PongFrame& f) {
+  return seal(begin_frame(FrameType::kPong, f.request_id));
+}
+
+std::vector<std::uint8_t> encode_failpoint(const FailpointFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kFailpoint, f.request_id);
+  w.write_string(f.name);
+  w.write_string(f.spec);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_failpoint_ok(const FailpointOkFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kFailpointOk, f.request_id);
+  w.write_u32(f.armed);
+  return seal(std::move(w));
+}
+
 // ---- decoders --------------------------------------------------------------
 
 Expected<FrameHead> peek_frame(std::span<const std::uint8_t> blob) {
@@ -229,7 +250,7 @@ Expected<FrameHead> peek_frame(std::span<const std::uint8_t> blob) {
                                "bad frame: " + r.error());
   }
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kDrainOk)) {
+      type > static_cast<std::uint8_t>(FrameType::kFailpointOk)) {
     return Expected<FrameHead>(SolveStatus::kProtocolError,
                                "unknown frame type " + std::to_string(type));
   }
@@ -401,6 +422,33 @@ Expected<DrainOkFrame> decode_drain_ok(FrameHead& head) {
   f.request_id = head.request_id;
   f.completed = head.reader.read_u64();
   return finish_decode(head, std::move(f), "drain-ok");
+}
+
+Expected<PingFrame> decode_ping(FrameHead& head) {
+  PingFrame f;
+  f.request_id = head.request_id;
+  return finish_decode(head, std::move(f), "ping");
+}
+
+Expected<PongFrame> decode_pong(FrameHead& head) {
+  PongFrame f;
+  f.request_id = head.request_id;
+  return finish_decode(head, std::move(f), "pong");
+}
+
+Expected<FailpointFrame> decode_failpoint(FrameHead& head) {
+  FailpointFrame f;
+  f.request_id = head.request_id;
+  f.name = head.reader.read_string();
+  f.spec = head.reader.read_string();
+  return finish_decode(head, std::move(f), "failpoint");
+}
+
+Expected<FailpointOkFrame> decode_failpoint_ok(FrameHead& head) {
+  FailpointOkFrame f;
+  f.request_id = head.request_id;
+  f.armed = head.reader.read_u32();
+  return finish_decode(head, std::move(f), "failpoint-ok");
 }
 
 // ---- socket framing --------------------------------------------------------

@@ -72,6 +72,10 @@ enum class FrameType : std::uint8_t {
   kStatsOk = 9,
   kDrain = 10,
   kDrainOk = 11,
+  kPing = 12,
+  kPong = 13,
+  kFailpoint = 14,
+  kFailpointOk = 15,
 };
 
 struct HelloFrame {
@@ -225,6 +229,36 @@ struct DrainOkFrame {
   std::uint64_t completed = 0;
 };
 
+/// Liveness probe: the server answers Pong from the connection thread
+/// without touching the solve path, so a Pong proves "process up, accept
+/// loop alive, this connection's reader/writer intact" -- exactly what the
+/// router's health prober needs -- while saying nothing about solve
+/// latency (that is what the stats frame is for).
+struct PingFrame {
+  std::uint64_t request_id = 0;
+};
+
+struct PongFrame {
+  std::uint64_t request_id = 0;
+};
+
+/// Remote failpoint control (TEST BUILDS ONLY: the server refuses this
+/// frame with kInvalidOptions unless it was started with failpoint control
+/// explicitly enabled -- see ServerOptions::allow_failpoint_control).
+/// Empty `name` clears every armed failpoint; otherwise `spec` follows the
+/// support/failpoint.hpp grammar ("error(8)*2", "delay(5000)", "off", ...).
+struct FailpointFrame {
+  std::uint64_t request_id = 0;
+  std::string name;
+  std::string spec;
+};
+
+struct FailpointOkFrame {
+  std::uint64_t request_id = 0;
+  /// Number of failpoints armed in the server process after applying.
+  std::uint32_t armed = 0;
+};
+
 // ---- encoding --------------------------------------------------------------
 // Each encode_* returns the complete WIRE bytes: length prefix + blob
 // image. Writers never fail.
@@ -240,6 +274,10 @@ std::vector<std::uint8_t> encode_stats(const StatsFrame& f);
 std::vector<std::uint8_t> encode_stats_ok(const StatsOkFrame& f);
 std::vector<std::uint8_t> encode_drain(const DrainFrame& f);
 std::vector<std::uint8_t> encode_drain_ok(const DrainOkFrame& f);
+std::vector<std::uint8_t> encode_ping(const PingFrame& f);
+std::vector<std::uint8_t> encode_pong(const PongFrame& f);
+std::vector<std::uint8_t> encode_failpoint(const FailpointFrame& f);
+std::vector<std::uint8_t> encode_failpoint_ok(const FailpointOkFrame& f);
 
 // ---- decoding --------------------------------------------------------------
 
@@ -270,6 +308,10 @@ core::Expected<StatsFrame> decode_stats(FrameHead& head);
 core::Expected<StatsOkFrame> decode_stats_ok(FrameHead& head);
 core::Expected<DrainFrame> decode_drain(FrameHead& head);
 core::Expected<DrainOkFrame> decode_drain_ok(FrameHead& head);
+core::Expected<PingFrame> decode_ping(FrameHead& head);
+core::Expected<PongFrame> decode_pong(FrameHead& head);
+core::Expected<FailpointFrame> decode_failpoint(FrameHead& head);
+core::Expected<FailpointOkFrame> decode_failpoint_ok(FrameHead& head);
 
 // ---- socket framing --------------------------------------------------------
 

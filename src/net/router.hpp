@@ -16,6 +16,24 @@
 //  * MINIMAL DISRUPTION -- adding or removing a shard remaps only the
 //    plans whose argmax changes (~1/N of them), with no ring to maintain.
 //
+// SELF-HEALING: each shard carries a circuit breaker fed by its transport
+// outcomes (and, optionally, by an active ping prober):
+//
+//   closed --[threshold consecutive network failures]--> open
+//   open   --[cooldown elapsed]--> half-open (trial traffic allowed)
+//   half-open --success--> closed          --failure--> open again
+//
+// While a plan's home shard is open, solves FAIL OVER down the plan's
+// rendezvous ranking: the next-highest shard re-opens the plan by hash-ref
+// against the shared blob directory (the fleet-wide warm tier) and serves
+// it -- the same ranking every router instance computes, so failover needs
+// no coordination. High-priority solves can additionally be HEDGED: sent
+// to the home shard and the best healthy backup at once, first answer
+// wins (the kernels are bit-deterministic, so either answer is THE
+// answer). All of it is observable: per-shard breaker state in
+// fleet_status(), `msptrsv_shard_up` / breaker gauges in fleet_metrics(),
+// hedge/failover counts in the clients' ClientMetrics.
+//
 // The router is a CLIENT-SIDE library tier: it owns one SolveClient per
 // endpoint and delegates; each client keeps its own retry/backoff policy
 // and reconnect replay. Shards share nothing but the optional on-disk
@@ -24,9 +42,14 @@
 // any shard can hash-ref-open a plan that any other shard analyzed.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/client.hpp"
@@ -38,29 +61,95 @@ struct Endpoint {
   std::uint16_t port = 0;
 };
 
+/// Per-shard circuit-breaker state (see file comment for the transitions).
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,   ///< healthy: traffic flows
+  kOpen = 1,     ///< unhealthy: traffic skips this shard until cooldown
+  kHalfOpen = 2  ///< cooling done: trial traffic decides open vs closed
+};
+
+constexpr const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 struct RouterOptions {
   std::vector<Endpoint> endpoints;
   /// Per-shard client configuration (host/port are overridden per
   /// endpoint).
   ClientOptions client;
+
+  // ---- health + failover ---------------------------------------------------
+  /// Consecutive transport failures (network errors / failed probes) that
+  /// open a shard's breaker.
+  int breaker_failure_threshold = 3;
+  /// How long an open breaker blocks traffic before allowing a half-open
+  /// trial. 0 = the very next request is the trial (what the chaos tests
+  /// use: recovery timing stays failpoint-driven, not wall-clock-raced).
+  std::chrono::milliseconds breaker_cooldown{500};
+  /// Ping deadline for probe_now() / the background prober.
+  std::chrono::milliseconds probe_timeout{250};
+  /// Background prober period; 0 (default) disables the thread and health
+  /// is driven passively plus by explicit probe_now() calls.
+  std::chrono::milliseconds probe_interval{0};
+  /// Re-home solves whose home shard is broken onto the next-ranked
+  /// healthy shard (needs the fleet-shared blob directory for the
+  /// hash-ref re-open; without one the failover open fails typed and the
+  /// next shard is tried).
+  bool allow_failover = true;
+  /// Send high-priority solves to the home shard AND the best healthy
+  /// backup simultaneously, first answer wins. Costs a duplicate solve;
+  /// buys tail latency immunity to one slow/dying shard.
+  bool hedge_high_priority = false;
 };
 
-/// A plan opened through the router: the shard it lives on plus the
-/// underlying client handle.
+/// A plan opened through the router: the home shard plus the underlying
+/// client handle (and the backend key, kept so failover can re-open the
+/// plan elsewhere by hash-ref).
 struct RoutedHandle {
   std::size_t shard = 0;
   PlanHandle handle;
+  std::string backend_key;
+};
+
+/// Point-in-time health of one shard, reported explicitly (a fleet view
+/// that silently skipped dead shards would read as a healthy fleet).
+struct ShardStatus {
+  Endpoint endpoint;
+  BreakerState breaker = BreakerState::kClosed;
+  /// False when the last contact (stats pull or probe) failed.
+  bool reachable = true;
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t failures_total = 0;
+  std::uint64_t probes_sent = 0;
+  /// Times the breaker transitioned closed/half-open -> open.
+  std::uint64_t breaker_opens = 0;
+  /// Last transport failure observed ("" when none yet).
+  std::string last_error;
 };
 
 class Router {
  public:
   explicit Router(RouterOptions options);
+  /// Stops the background prober (if any).
+  ~Router();
 
-  std::size_t shard_count() const { return clients_.size(); }
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
 
   /// The shard a pattern hash routes to (exposed for tests and for
   /// operators answering "which process serves this factor?").
   std::size_t shard_of(std::uint64_t pattern_hash) const;
+
+  /// The full rendezvous ranking for a pattern hash, best first --
+  /// element 0 is shard_of(), element 1 is where failover re-homes.
+  std::vector<std::size_t> shard_order(std::uint64_t pattern_hash) const;
 
   /// Opens `lower` on its home shard (the factor is hashed locally, the
   /// upload goes to exactly one process).
@@ -77,35 +166,106 @@ class Router {
       service::Priority priority = service::Priority::kNormal,
       std::chrono::microseconds deadline = std::chrono::microseconds{0});
 
-  /// One pipelined attempt on the plan's home shard (no retries).
+  /// One pipelined attempt on the plan's home shard (no retries, no
+  /// breaker/failover involvement).
   std::future<core::Expected<std::vector<value_t>>> submit_batch(
       const RoutedHandle& plan, std::span<const value_t> rhs, index_t num_rhs,
       service::Priority priority = service::Priority::kNormal,
       std::chrono::microseconds deadline = std::chrono::microseconds{0});
 
+  /// Pings every shard once (bounded by probe_timeout) and feeds the
+  /// breakers: a live shard's failures reset (half-open -> closed), a
+  /// dead one's count climbs toward open. Returns how many answered.
+  /// This is the deterministic hook the chaos tests drive recovery with;
+  /// the background prober (probe_interval > 0) just calls it on a timer.
+  std::size_t probe_now();
+
+  /// Per-shard health, reported explicitly -- breaker state, failure
+  /// counters, last error. Never blocks on the network.
+  std::vector<ShardStatus> fleet_status() const;
+
   /// Direct access to a shard's client (bench/ops plumbing).
-  SolveClient& shard_client(std::size_t shard) { return *clients_[shard]; }
+  SolveClient& shard_client(std::size_t shard) {
+    return *shards_[shard]->client;
+  }
 
   /// Merged WireStats across every reachable shard: counters add,
-  /// histograms merge -- the fleet view. Shards that cannot be reached
-  /// are skipped (partial fleet beats no answer); `reachable` reports
-  /// how many answered.
-  core::Expected<WireStats> fleet_stats(std::size_t* reachable = nullptr);
+  /// histograms merge -- the fleet view. Unreachable shards are NOT
+  /// silently dropped: `statuses` (when non-null) reports each shard's
+  /// reachability and last error explicitly, and `reachable` counts the
+  /// shards that answered. Errors only when NO shard answered.
+  core::Expected<WireStats> fleet_stats(
+      std::size_t* reachable = nullptr,
+      std::vector<ShardStatus>* statuses = nullptr);
 
   /// The merged stats rendered as Prometheus text (one scrape for the
-  /// whole fleet).
+  /// whole fleet), with per-shard `msptrsv_shard_up` /
+  /// `msptrsv_shard_breaker_state` / `msptrsv_shard_failures_total`
+  /// series appended so a dead shard is visible IN the scrape.
   core::Expected<std::string> fleet_metrics();
 
   /// Drains every shard (errors reported after all were attempted).
   core::Expected<std::uint64_t> drain_all();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One endpoint's client plus its breaker (mutex-guarded: solves,
+  /// probes, and the stats pull all feed it).
+  struct Shard {
+    Endpoint endpoint;
+    std::unique_ptr<SolveClient> client;
+    std::uint64_t seed = 0;
+
+    mutable std::mutex mutex;
+    BreakerState state = BreakerState::kClosed;
+    int consecutive = 0;
+    std::uint64_t failures_total = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t opens = 0;
+    Clock::time_point opened_at{};
+    std::string last_error;
+    bool last_contact_ok = true;
+  };
+
+  /// May THIS request run on the shard right now? Open breakers say no
+  /// until the cooldown elapses, then flip to half-open and admit the
+  /// trial.
+  bool breaker_allows(Shard& shard);
+  void breaker_on_success(Shard& shard);
+  void breaker_on_failure(Shard& shard, const std::string& error);
+  ShardStatus status_of(const Shard& shard) const;
+
+  /// The plan's handle on shard `s`: the caller's own handle on the home
+  /// shard, a (cached) hash-ref re-open anywhere else.
+  core::Expected<PlanHandle> handle_on(std::size_t s,
+                                       const RoutedHandle& plan);
+
+  core::Expected<std::vector<value_t>> solve_routed(
+      const RoutedHandle& plan, std::span<const value_t> rhs,
+      index_t num_rhs, service::Priority priority,
+      std::chrono::microseconds deadline);
+  core::Expected<std::vector<value_t>> solve_hedged(
+      const RoutedHandle& plan, std::size_t backup,
+      const PlanHandle& backup_handle, std::span<const value_t> rhs,
+      index_t num_rhs, service::Priority priority,
+      std::chrono::microseconds deadline);
+
+  void prober_loop();
+
   RouterOptions options_;
-  std::vector<std::unique_ptr<SolveClient>> clients_;
-  /// Rendezvous identity per shard: a hash of "host:port", fixed at
-  /// construction -- stable across router restarts and endpoint
-  /// reordering.
-  std::vector<std::uint64_t> shard_seeds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Hash-ref handles failover opened on non-home shards, keyed by
+  /// (shard, backend, structural hash) -- re-homing a plan pays one
+  /// open, not one per solve.
+  std::mutex failover_mutex_;
+  std::unordered_map<std::string, PlanHandle> failover_handles_;
+
+  std::mutex prober_mutex_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
 };
 
 }  // namespace msptrsv::net

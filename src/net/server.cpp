@@ -9,6 +9,7 @@
 #include "core/registry.hpp"
 #include "net/metrics.hpp"
 #include "sparse/serialize.hpp"
+#include "support/failpoint.hpp"
 
 namespace msptrsv::net {
 
@@ -179,6 +180,12 @@ void SolveServer::serve_connection(const std::shared_ptr<Connection>& conn) {
         break;
       case FrameType::kDrain:
         handle_drain(*conn, head.value());
+        break;
+      case FrameType::kPing:
+        handle_ping(*conn, head.value());
+        break;
+      case FrameType::kFailpoint:
+        handle_failpoint(*conn, head.value());
         break;
       default:
         // A reply type arriving at the server: the peer is not a client.
@@ -468,6 +475,60 @@ void SolveServer::handle_drain(Connection& conn, FrameHead& head) {
   ok.request_id = head.request_id;
   ok.completed = service_.stats().completed;
   write_reply(conn, encode_drain_ok(ok));
+}
+
+void SolveServer::handle_ping(Connection& conn, FrameHead& head) {
+  Expected<PingFrame> ping = decode_ping(head);
+  if (!ping.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    ping.message()}));
+    return;
+  }
+  // Answered from the reader thread without touching the solve path: a
+  // pong certifies the process, acceptor, and this connection are alive,
+  // nothing more (health probers want exactly that and no queue coupling).
+  write_reply(conn, encode_pong({head.request_id}));
+}
+
+void SolveServer::handle_failpoint(Connection& conn, FrameHead& head) {
+  Expected<FailpointFrame> frame = decode_failpoint(head);
+  if (!frame.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    frame.message()}));
+    return;
+  }
+  if (!options_.allow_failpoint_control) {
+    write_reply(conn,
+                encode_error({head.request_id, SolveStatus::kInvalidOptions,
+                              "failpoint control is disabled on this server "
+                              "(start it with --enable-failpoints)"}));
+    return;
+  }
+  if (!support::failpoints_compiled()) {
+    write_reply(conn,
+                encode_error({head.request_id, SolveStatus::kInvalidOptions,
+                              "this server was built without failpoints "
+                              "(MSPTRSV_FAILPOINTS=OFF)"}));
+    return;
+  }
+  if (frame.value().name.empty()) {
+    support::failpoint_clear_all();
+  } else if (!support::failpoint_set(frame.value().name,
+                                     frame.value().spec)) {
+    write_reply(conn,
+                encode_error({head.request_id, SolveStatus::kInvalidOptions,
+                              "failpoint spec did not parse: '" +
+                                  frame.value().spec + "'"}));
+    return;
+  }
+  FailpointOkFrame ok;
+  ok.request_id = head.request_id;
+  ok.armed = static_cast<std::uint32_t>(support::failpoint_armed_count());
+  write_reply(conn, encode_failpoint_ok(ok));
 }
 
 WireStats SolveServer::wire_stats() const {

@@ -62,6 +62,11 @@ struct ServerOptions {
   /// backpressure).
   core::SolveStatus inject_status = core::SolveStatus::kOk;
   std::uint64_t inject_count = 0;
+  /// Accept kFailpoint frames (arm/clear support/failpoint.hpp sites in
+  /// this process over the wire). OFF by default: a production server must
+  /// never let a peer inject faults; the chaos tests start solve_serverd
+  /// with --enable-failpoints.
+  bool allow_failpoint_control = false;
 };
 
 class SolveServer {
@@ -107,6 +112,8 @@ class SolveServer {
   void handle_solve(Connection& conn, FrameHead& head);
   void handle_stats(Connection& conn, FrameHead& head);
   void handle_drain(Connection& conn, FrameHead& head);
+  void handle_ping(Connection& conn, FrameHead& head);
+  void handle_failpoint(Connection& conn, FrameHead& head);
 
   ServerOptions options_;
   service::SolveService service_;

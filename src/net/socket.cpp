@@ -7,9 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <string>
+
+#include "support/failpoint.hpp"
 
 namespace msptrsv::net {
 
@@ -34,9 +37,26 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 }
 
 Expected<bool> Socket::send_all(std::span<const std::uint8_t> bytes) {
+  // Chaos seam: error() kills the write before any byte moves; partial(N)
+  // is a TORN write -- the first N bytes reach the wire and then the call
+  // reports the connection dead, so the peer sees a truncated frame (the
+  // corrupt-stream case the frame decoder must fail-stop on).
+  std::size_t limit = bytes.size();
+  bool torn = false;
+  if (const support::FailpointHit fp = MSPTRSV_FAILPOINT("net.sock.send")) {
+    if (fp.kind == support::FailpointHit::Kind::kError) {
+      return Expected<bool>(SolveStatus::kNetworkError,
+                            "injected by failpoint net.sock.send");
+    }
+    if (fp.kind == support::FailpointHit::Kind::kPartial) {
+      limit = std::min(
+          limit, static_cast<std::size_t>(fp.arg > 0 ? fp.arg : 0));
+      torn = true;
+    }
+  }
   std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+  while (sent < limit) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, limit - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -47,11 +67,23 @@ Expected<bool> Socket::send_all(std::span<const std::uint8_t> bytes) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  if (torn) {
+    return Expected<bool>(
+        SolveStatus::kNetworkError,
+        "injected torn write: " + std::to_string(limit) + " of " +
+            std::to_string(bytes.size()) +
+            " bytes sent (failpoint net.sock.send)");
+  }
   return true;
 }
 
 Expected<bool> Socket::recv_exact(std::span<std::uint8_t> bytes, bool* eof) {
   if (eof != nullptr) *eof = false;
+  if (const support::FailpointHit fp = MSPTRSV_FAILPOINT("net.sock.recv");
+      fp.kind == support::FailpointHit::Kind::kError) {
+    return Expected<bool>(SolveStatus::kNetworkError,
+                          "injected by failpoint net.sock.recv");
+  }
   std::size_t got = 0;
   while (got < bytes.size()) {
     const ssize_t n = ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);

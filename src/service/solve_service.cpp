@@ -8,6 +8,7 @@
 
 #include "core/registry.hpp"
 #include "core/workspace.hpp"
+#include "support/failpoint.hpp"
 
 namespace msptrsv::service {
 
@@ -320,17 +321,30 @@ void SolveService::execute_group(std::vector<SolveRequest>& batch) noexcept {
 
   try {
     Reply result = [&]() -> Reply {
+      // Chaos seam: fail or stall a whole dispatch group here without
+      // involving the kernels (error arg = the SolveStatus to inject).
+      if (const support::FailpointHit fp =
+              MSPTRSV_FAILPOINT("service.dispatch");
+          fp.kind == support::FailpointHit::Kind::kError) {
+        return Reply(static_cast<core::SolveStatus>(fp.arg),
+                     "injected by failpoint service.dispatch");
+      }
+      // The service-lifetime abandon token rides every dispatch so
+      // abandon_inflight() stops mid-execution solves; the plan tightens
+      // it with its own time_budget (core::SolverPlan::effective_token).
+      const core::CancelToken cancel = abandon_.token();
       if (batch.size() == 1) {
         // The common un-coalesced case: solve straight from the client's
         // buffer, no concatenation copy.
-        return plan.solve_batch(batch.front().rhs, batch.front().num_rhs);
+        return plan.solve_batch(batch.front().rhs, batch.front().num_rhs,
+                                cancel);
       }
       std::vector<value_t> concat;
       concat.reserve(n * static_cast<std::size_t>(total_rhs));
       for (const SolveRequest& r : batch) {
         concat.insert(concat.end(), r.rhs.begin(), r.rhs.end());
       }
-      return plan.solve_batch(concat, total_rhs);
+      return plan.solve_batch(concat, total_rhs, cancel);
     }();
 
     if (!result.ok()) {

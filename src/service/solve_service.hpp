@@ -70,6 +70,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
 #include "core/worker_pool.hpp"
@@ -172,6 +173,16 @@ class SolveService {
   /// Blocks until every request admitted so far has been answered.
   void drain();
 
+  /// Abandons every in-flight solve: the dispatch token is cancelled, the
+  /// host kernels notice at their next level/claim boundary, and each
+  /// affected request is answered kOverloaded with its workspace returned
+  /// clean. One-shot and irreversible -- after this call every future
+  /// dispatch on this service is abandoned too, so it belongs immediately
+  /// before destruction when a bounded shutdown matters more than
+  /// finishing queued work. drain() afterwards completes in kernel-stride
+  /// time instead of full-solve time.
+  void abandon_inflight() { abandon_.cancel(); }
+
   ServiceStatsSnapshot stats() const { return stats_.snapshot(); }
   core::PlanCache& plan_cache() { return cache_; }
   core::SharedWorkerPool& pool() { return *pool_; }
@@ -211,6 +222,10 @@ class SolveService {
   /// path dispatch_shards exists to scale).
   std::atomic<std::uint64_t> queued_rhs_{0};
   std::array<std::atomic<std::uint64_t>, kNumPriorities> queued_by_class_{};
+
+  /// Lifetime cancellation source: its token rides every dispatched
+  /// solve_batch, so abandon_inflight() can stop mid-execution work.
+  core::CancelSource abandon_;
 
   std::mutex pending_mutex_;
   std::condition_variable pending_cv_;

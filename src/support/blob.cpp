@@ -8,6 +8,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "support/failpoint.hpp"
+
 namespace msptrsv::support {
 
 namespace {
@@ -147,6 +149,10 @@ BlobReader::BlobReader(std::span<const std::uint8_t> bytes,
     : bytes_(bytes) {
   constexpr std::size_t kHeaderSize = 8;
   constexpr std::size_t kTrailerSize = 4;
+  if (MSPTRSV_FAILPOINT("blob.decode").kind == FailpointHit::Kind::kError) {
+    fail("injected by failpoint blob.decode");
+    return;
+  }
   if (bytes_.size() < kHeaderSize + kTrailerSize) {
     fail("blob truncated: " + std::to_string(bytes_.size()) +
          " bytes is smaller than header + CRC trailer");
@@ -249,6 +255,27 @@ std::string BlobReader::read_string() {
 // ---- file I/O --------------------------------------------------------------
 
 bool write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  // (The pause action parks the caller HERE, before anything touches the
+  // filesystem -- what the fsck-vs-writer race test uses to freeze a
+  // writer at the seam.)
+  if (const FailpointHit fp = MSPTRSV_FAILPOINT("cache.disk.write");
+      fp.kind == FailpointHit::Kind::kError) {
+    return false;
+  } else if (fp.kind == FailpointHit::Kind::kPartial) {
+    // Torn-write simulation: publish only the first `arg` bytes AT THE
+    // FINAL PATH, skipping the tmp+rename discipline below -- the blob a
+    // crashed pre-atomic-rename writer (or a dying disk) leaves behind,
+    // which fsck must flag as CRC-corrupt.
+    const std::size_t n =
+        std::min(bytes.size(),
+                 static_cast<std::size_t>(fp.arg > 0 ? fp.arg : 0));
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(bytes.data(), 1, n, f);
+      std::fclose(f);
+    }
+    return false;
+  }
   // Write-to-temp + rename: concurrent writers of the same path each
   // publish a complete blob instead of interleaving into a CRC-invalid
   // file. The temp name must be unique across processes AND across
@@ -271,6 +298,10 @@ bool write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
 
 bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
   out.clear();
+  if (MSPTRSV_FAILPOINT("cache.disk.read").kind ==
+      FailpointHit::Kind::kError) {
+    return false;
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
   // Size the buffer up front and read in one call: plan blobs are tens of

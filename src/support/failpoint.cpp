@@ -1,0 +1,256 @@
+#include "support/failpoint.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace msptrsv::support {
+
+namespace {
+
+struct Entry {
+  FailpointHit::Kind kind = FailpointHit::Kind::kOff;
+  std::int64_t arg = 0;
+  std::int64_t remaining = -1;  ///< fires left; -1 = unlimited
+  std::int64_t skip = 0;        ///< evaluations to let through first
+  std::uint64_t seq = 0;        ///< bumped on re-arm; pause waiters key on it
+  bool crash = false;           ///< crash action (kind unused for it)
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::condition_variable cv;  ///< wakes pause waiters and wait_hits pollers
+  std::unordered_map<std::string, Entry> armed;
+  std::unordered_map<std::string, std::uint64_t> hits;
+  std::uint64_t next_seq = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+/// Number of armed sites; <0 = environment not parsed yet. The macro's
+/// fast path is one relaxed load of this.
+std::atomic<int> g_armed{-1};
+
+bool parse_i64(const std::string& s, std::size_t begin, std::size_t end,
+               std::int64_t* out) {
+  if (begin >= end) return false;
+  std::int64_t v = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses `action[(arg)][*N][@K]` into `out`. Returns false on malformed
+/// specs so tests cannot silently arm the wrong thing.
+bool parse_spec(const std::string& spec, Entry* out) {
+  std::size_t i = 0;
+  while (i < spec.size() && spec[i] != '(' && spec[i] != '*' && spec[i] != '@')
+    ++i;
+  const std::string action = spec.substr(0, i);
+  Entry e;
+  if (action == "error") {
+    e.kind = FailpointHit::Kind::kError;
+    e.arg = 1;
+  } else if (action == "delay") {
+    e.kind = FailpointHit::Kind::kDelay;
+  } else if (action == "partial") {
+    e.kind = FailpointHit::Kind::kPartial;
+  } else if (action == "pause") {
+    e.kind = FailpointHit::Kind::kPause;
+  } else if (action == "crash") {
+    e.crash = true;
+  } else {
+    return false;
+  }
+  if (i < spec.size() && spec[i] == '(') {
+    const std::size_t close = spec.find(')', i + 1);
+    if (close == std::string::npos) return false;
+    if (!parse_i64(spec, i + 1, close, &e.arg)) return false;
+    i = close + 1;
+  }
+  while (i < spec.size()) {
+    const char mod = spec[i];
+    std::size_t j = i + 1;
+    while (j < spec.size() && spec[j] != '*' && spec[j] != '@') ++j;
+    std::int64_t v = 0;
+    if (!parse_i64(spec, i + 1, j, &v)) return false;
+    if (mod == '*') {
+      e.remaining = v;
+    } else if (mod == '@') {
+      e.skip = v;
+    } else {
+      return false;
+    }
+    i = j;
+  }
+  *out = e;
+  return true;
+}
+
+/// Arms an entry under the lock (shared by the API and the env parser).
+bool set_locked(Registry& r, const std::string& name, const std::string& spec) {
+  Entry e;
+  if (spec == "off") {
+    const auto it = r.armed.find(name);
+    if (it != r.armed.end()) {
+      r.armed.erase(it);
+      g_armed.store(static_cast<int>(r.armed.size()),
+                    std::memory_order_relaxed);
+      r.cv.notify_all();
+    }
+    return true;
+  }
+  if (!parse_spec(spec, &e)) return false;
+  e.seq = r.next_seq++;
+  r.armed[name] = e;
+  g_armed.store(static_cast<int>(r.armed.size()), std::memory_order_relaxed);
+  r.cv.notify_all();
+  return true;
+}
+
+/// First-use environment parse: MSPTRSV_FAILPOINTS="name=spec;name=spec"
+/// (';' or ',' separated). Malformed entries are skipped -- an env typo
+/// must not take the process down.
+void init_from_env() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (g_armed.load(std::memory_order_relaxed) >= 0) return;  // lost the race
+  const char* env = std::getenv("MSPTRSV_FAILPOINTS");
+  if (env != nullptr) {
+    const std::string all(env);
+    std::size_t begin = 0;
+    while (begin <= all.size()) {
+      std::size_t end = all.find_first_of(";,", begin);
+      if (end == std::string::npos) end = all.size();
+      const std::string item = all.substr(begin, end - begin);
+      const std::size_t eq = item.find('=');
+      if (eq != std::string::npos && eq > 0) {
+        set_locked(r, item.substr(0, eq), item.substr(eq + 1));
+      }
+      begin = end + 1;
+    }
+  }
+  g_armed.store(static_cast<int>(r.armed.size()), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool failpoints_compiled() {
+#if defined(MSPTRSV_FAILPOINTS) && MSPTRSV_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool failpoint_set(const std::string& name, const std::string& spec) {
+  if (!failpoints_compiled()) return false;
+  if (g_armed.load(std::memory_order_relaxed) < 0) init_from_env();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return set_locked(r, name, spec);
+}
+
+void failpoint_clear(const std::string& name) {
+  if (g_armed.load(std::memory_order_relaxed) < 0) init_from_env();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  set_locked(r, name, "off");
+}
+
+void failpoint_clear_all() {
+  if (g_armed.load(std::memory_order_relaxed) < 0) init_from_env();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed.clear();
+  g_armed.store(0, std::memory_order_relaxed);
+  r.cv.notify_all();
+}
+
+std::size_t failpoint_armed_count() {
+  if (g_armed.load(std::memory_order_relaxed) < 0) init_from_env();
+  const int n = g_armed.load(std::memory_order_relaxed);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+std::uint64_t failpoint_hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.hits.find(name);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+bool failpoint_wait_hits(const std::string& name, std::uint64_t min_hits,
+                         int timeout_ms) {
+  Registry& r = registry();
+  std::unique_lock<std::mutex> lock(r.mutex);
+  return r.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    const auto it = r.hits.find(name);
+    return it != r.hits.end() && it->second >= min_hits;
+  });
+}
+
+FailpointHit failpoint_eval(const char* name) {
+  if (g_armed.load(std::memory_order_relaxed) < 0) init_from_env();
+  Registry& r = registry();
+  std::unique_lock<std::mutex> lock(r.mutex);
+  const auto it = r.armed.find(name);
+  if (it == r.armed.end()) return {};
+  Entry& e = it->second;
+  if (e.skip > 0) {
+    --e.skip;
+    return {};
+  }
+  if (e.remaining == 0) return {};
+  if (e.remaining > 0) --e.remaining;
+  ++r.hits[name];
+  r.cv.notify_all();  // wait_hits observers see the counter move
+
+  if (e.crash) {
+    // Immediate, drain-free death -- the "kill -9 from the inside" the
+    // chaos kill scripts use. _Exit skips atexit and static destructors.
+    std::_Exit(e.arg != 0 ? static_cast<int>(e.arg) : 137);
+  }
+  FailpointHit hit{e.kind, e.arg};
+  if (e.kind == FailpointHit::Kind::kDelay) {
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(hit.arg));
+    return hit;
+  }
+  if (e.kind == FailpointHit::Kind::kPause) {
+    // Park until this arming is cleared or replaced. The key is the seq
+    // stamped at arm time, so a re-arm (even with another pause) releases
+    // the current waiters.
+    const std::string key(name);
+    const std::uint64_t seq = e.seq;
+    r.cv.wait(lock, [&] {
+      const auto cur = r.armed.find(key);
+      return cur == r.armed.end() || cur->second.seq != seq;
+    });
+    return hit;
+  }
+  return hit;
+}
+
+namespace detail {
+
+bool failpoints_armed() {
+  const int n = g_armed.load(std::memory_order_relaxed);
+  if (n > 0) return true;
+  if (n == 0) return false;
+  init_from_env();
+  return g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace detail
+
+}  // namespace msptrsv::support

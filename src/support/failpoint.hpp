@@ -1,0 +1,100 @@
+// Deterministic fault injection for the chaos tests.
+//
+// A failpoint is a NAMED site compiled into a hot seam (socket read/write,
+// blob decode, plan-cache disk IO, dispatch, kernel level loops) that does
+// nothing until a test arms it with an action:
+//
+//   error(CODE)   the site reports a failure carrying CODE
+//   delay(USEC)   the site sleeps USEC microseconds, then proceeds
+//   crash         the process exits immediately (no atexit, no drain)
+//   partial(N)    the site truncates its effect to the first N bytes
+//   pause         the site BLOCKS until the failpoint is cleared/re-armed
+//
+// plus two modifiers: `*N` fires at most N times (then the site goes quiet)
+// and `@K` skips the first K evaluations. `error(7)*2@1` reads: let the
+// first hit through, then fail twice with code 7, then behave normally.
+//
+// Arming is per-process, by API (failpoint_set) or environment
+// (MSPTRSV_FAILPOINTS="name=spec;name=spec"), and -- on servers started
+// with --enable-failpoints -- over the wire (net/protocol.hpp kFailpoint).
+// `pause` plus failpoint_wait_hits() is what replaces wall-clock sleeps in
+// race tests: freeze the victim at the seam, observe it parked via its hit
+// counter, run the racing actor, release.
+//
+// Cost when compiled in but not armed: one relaxed atomic load per site
+// (a process-wide armed count). Cost when compiled out
+// (-DMSPTRSV_FAILPOINTS=0 / cmake -DMSPTRSV_FAILPOINTS=OFF): zero -- the
+// MSPTRSV_FAILPOINT macro expands to an empty result object that constant-
+// folds away, so production builds carry no trace of the sites.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace msptrsv::support {
+
+struct FailpointHit {
+  enum class Kind : std::uint8_t {
+    kOff = 0,   ///< site not armed (or exhausted): proceed normally
+    kError,     ///< report a failure; `arg` is the injected code
+    kDelay,     ///< the sleep already happened inside eval; proceed
+    kPartial,   ///< truncate the site's effect to the first `arg` bytes
+    kPause,     ///< the block already happened inside eval; proceed
+  };
+  Kind kind = Kind::kOff;
+  std::int64_t arg = 0;
+  explicit operator bool() const { return kind != Kind::kOff; }
+};
+
+/// True when the sites are compiled in (MSPTRSV_FAILPOINTS build option).
+/// Tests that need injection skip themselves when this is false.
+bool failpoints_compiled();
+
+/// Arms `name` with `spec` (grammar above). Replacing an armed site wakes
+/// any evaluation paused on it. Returns false on a parse error or when the
+/// framework is compiled out.
+bool failpoint_set(const std::string& name, const std::string& spec);
+
+/// Disarms `name`, waking any evaluation paused on it. Idempotent.
+void failpoint_clear(const std::string& name);
+
+/// Disarms everything (test teardown).
+void failpoint_clear_all();
+
+/// Number of currently armed sites (0 when compiled out) -- echoed in the
+/// wire protocol's failpoint-ok frame so tests can assert arming took.
+std::size_t failpoint_armed_count();
+
+/// Times `name` has FIRED (skip-modifier passes and exhausted evaluations
+/// do not count). Survives clear -- counters reset only on process exit.
+std::uint64_t failpoint_hits(const std::string& name);
+
+/// Blocks until failpoint_hits(name) >= min_hits or timeout_ms elapses.
+/// The deterministic replacement for "sleep and hope": a test arms `pause`,
+/// starts the victim thread, and waits here until the victim is provably
+/// parked at the seam before racing it.
+bool failpoint_wait_hits(const std::string& name, std::uint64_t min_hits,
+                         int timeout_ms);
+
+/// Full evaluation of a site (called via the macro, not directly): applies
+/// delay/pause/crash inline and returns what the site should do. Exhausted
+/// and skipped evaluations return kOff.
+FailpointHit failpoint_eval(const char* name);
+
+namespace detail {
+/// One relaxed load; lazily parses MSPTRSV_FAILPOINTS from the environment
+/// on the first call so env-armed sites fire without any API call.
+bool failpoints_armed();
+}  // namespace detail
+
+}  // namespace msptrsv::support
+
+#if defined(MSPTRSV_FAILPOINTS) && MSPTRSV_FAILPOINTS
+#define MSPTRSV_FAILPOINT(name)                     \
+  (::msptrsv::support::detail::failpoints_armed()   \
+       ? ::msptrsv::support::failpoint_eval(name)   \
+       : ::msptrsv::support::FailpointHit{})
+#else
+#define MSPTRSV_FAILPOINT(name) (::msptrsv::support::FailpointHit{})
+#endif

@@ -1,0 +1,190 @@
+// The failpoint framework (support/failpoint.hpp) and its compiled-in
+// sites: spec parsing, fire-count/skip modifiers, hit counters and
+// wait_hits, the pause/release protocol, and the seams wired into blob
+// decode, plan-cache disk IO, and the solve entry.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+#include "support/blob.hpp"
+#include "support/failpoint.hpp"
+
+namespace msptrsv {
+namespace {
+
+using support::FailpointHit;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!support::failpoints_compiled()) {
+      GTEST_SKIP() << "built with MSPTRSV_FAILPOINTS=OFF";
+    }
+    support::failpoint_clear_all();
+  }
+  void TearDown() override { support::failpoint_clear_all(); }
+};
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(support::failpoint_set("t.site", "bogus"));
+  EXPECT_FALSE(support::failpoint_set("t.site", "error("));
+  EXPECT_FALSE(support::failpoint_set("t.site", "error(x)"));
+  EXPECT_FALSE(support::failpoint_set("t.site", "error(7)*"));
+  EXPECT_FALSE(support::failpoint_set("t.site", "error(7)@"));
+  EXPECT_FALSE(support::failpoint_set("t.site", ""));
+  // Nothing armed by any of the rejects.
+  EXPECT_EQ(support::failpoint_armed_count(), 0u);
+  EXPECT_FALSE(support::failpoint_eval("t.site"));
+}
+
+TEST_F(FailpointTest, ErrorActionCarriesItsCodeAndHonorsCountAndSkip) {
+  // error(7)*2@1: let one evaluation through, fail twice with code 7,
+  // then go quiet.
+  ASSERT_TRUE(support::failpoint_set("t.site", "error(7)*2@1"));
+  EXPECT_EQ(support::failpoint_eval("t.site").kind, FailpointHit::Kind::kOff);
+  for (int i = 0; i < 2; ++i) {
+    const FailpointHit hit = support::failpoint_eval("t.site");
+    EXPECT_EQ(hit.kind, FailpointHit::Kind::kError);
+    EXPECT_EQ(hit.arg, 7);
+  }
+  EXPECT_EQ(support::failpoint_eval("t.site").kind, FailpointHit::Kind::kOff);
+  // Only the two real fires counted.
+  EXPECT_EQ(support::failpoint_hits("t.site"), 2u);
+}
+
+TEST_F(FailpointTest, DelayAndPartialActionsReportTheirKind) {
+  ASSERT_TRUE(support::failpoint_set("t.delay", "delay(100)"));
+  EXPECT_EQ(support::failpoint_eval("t.delay").kind,
+            FailpointHit::Kind::kDelay);
+  ASSERT_TRUE(support::failpoint_set("t.partial", "partial(8)"));
+  const FailpointHit hit = support::failpoint_eval("t.partial");
+  EXPECT_EQ(hit.kind, FailpointHit::Kind::kPartial);
+  EXPECT_EQ(hit.arg, 8);
+}
+
+TEST_F(FailpointTest, ArmedCountTracksSetAndClear) {
+  EXPECT_EQ(support::failpoint_armed_count(), 0u);
+  ASSERT_TRUE(support::failpoint_set("t.a", "error"));
+  ASSERT_TRUE(support::failpoint_set("t.b", "delay(1)"));
+  EXPECT_EQ(support::failpoint_armed_count(), 2u);
+  ASSERT_TRUE(support::failpoint_set("t.a", "off"));
+  EXPECT_EQ(support::failpoint_armed_count(), 1u);
+  support::failpoint_clear_all();
+  EXPECT_EQ(support::failpoint_armed_count(), 0u);
+}
+
+TEST_F(FailpointTest, PauseParksTheCallerUntilClearedAndWaitHitsSeesIt) {
+  // Hit counters are CUMULATIVE across clear_all (process-lifetime), so a
+  // park proof must wait for a hit BEYOND the baseline -- waiting for an
+  // absolute count would pass vacuously after any earlier test fired the
+  // same site, releasing the pause before the victim ever parked.
+  const std::uint64_t base = support::failpoint_hits("t.pause");
+  ASSERT_TRUE(support::failpoint_set("t.pause", "pause"));
+  std::atomic<bool> released{false};
+  std::thread victim([&] {
+    (void)support::failpoint_eval("t.pause");
+    released.store(true);
+  });
+  // The victim is PROVABLY parked: its hit counted, release flag unset.
+  ASSERT_TRUE(support::failpoint_wait_hits("t.pause", base + 1, 10000));
+  EXPECT_FALSE(released.load());
+  support::failpoint_clear("t.pause");
+  victim.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST_F(FailpointTest, ReArmingReleasesCurrentPauseWaiters) {
+  const std::uint64_t base = support::failpoint_hits("t.pause");
+  ASSERT_TRUE(support::failpoint_set("t.pause", "pause"));
+  std::thread victim([&] { (void)support::failpoint_eval("t.pause"); });
+  ASSERT_TRUE(support::failpoint_wait_hits("t.pause", base + 1, 10000));
+  // Replacing the arming (even with another pause) wakes the old waiters:
+  // they were keyed on the previous arming's sequence number.
+  ASSERT_TRUE(support::failpoint_set("t.pause", "pause"));
+  victim.join();
+  support::failpoint_clear("t.pause");
+}
+
+TEST_F(FailpointTest, WaitHitsTimesOutWhenTheSiteNeverFires) {
+  EXPECT_FALSE(support::failpoint_wait_hits("t.never", 1, 50));
+}
+
+// ---- compiled-in sites -----------------------------------------------------
+
+TEST_F(FailpointTest, BlobDecodeSiteFailsTheReaderTyped) {
+  support::BlobWriter w(1);
+  w.write_u32(42);
+  const std::vector<std::uint8_t> bytes = std::move(w).finish();
+
+  ASSERT_TRUE(support::failpoint_set("blob.decode", "error*1"));
+  support::BlobReader injected(bytes, 1);
+  EXPECT_FALSE(injected.ok());
+  EXPECT_NE(injected.error().find("blob.decode"), std::string::npos);
+
+  // One-shot: the next decode of the SAME bytes succeeds.
+  support::BlobReader clean(bytes, 1);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.read_u32(), 42u);
+}
+
+TEST_F(FailpointTest, DiskSitesFailReadsAndWritesAndSimulateTornWrites) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "failpoint_disk_" +
+                          std::to_string(static_cast<unsigned>(::getpid()));
+  fs::create_directories(dir);
+  support::BlobWriter w(1);
+  w.write_string("payload payload payload");
+  const std::vector<std::uint8_t> bytes = std::move(w).finish();
+  const std::string path = dir + "/victim.blob";
+
+  ASSERT_TRUE(support::failpoint_set("cache.disk.write", "error*1"));
+  EXPECT_FALSE(support::write_file(path, bytes));
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(support::write_file(path, bytes));  // one-shot exhausted
+
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(support::failpoint_set("cache.disk.read", "error*1"));
+  EXPECT_FALSE(support::read_file(path, back));
+  EXPECT_TRUE(support::read_file(path, back));
+  EXPECT_EQ(back, bytes);
+
+  // partial(N) publishes a TRUNCATED image at the final path -- the torn
+  // write the atomic tmp+rename discipline normally makes impossible, and
+  // exactly what fsck must catch as CRC-corrupt.
+  ASSERT_TRUE(support::failpoint_set("cache.disk.write", "partial(10)*1"));
+  EXPECT_FALSE(support::write_file(path, bytes));
+  ASSERT_TRUE(support::read_file(path, back));
+  EXPECT_EQ(back.size(), 10u);
+  EXPECT_FALSE(support::BlobReader(back, 1).ok());
+
+  fs::remove_all(dir);
+}
+
+TEST_F(FailpointTest, CoreSolveSiteInjectsTypedStatuses) {
+  const sparse::CscMatrix l = sparse::gen_layered_dag(200, 8, 800, 0.5, 5);
+  core::SolveOptions o = core::registry::options_for("serial").value();
+  const auto plan = core::SolverPlan::analyze(l, o);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 6));
+
+  // error(7) == kOverloaded; the site generalizes the old server-side
+  // inject knob down to the core, so ANY layer above sees a typed error
+  // indistinguishable from the real condition.
+  ASSERT_TRUE(support::failpoint_set("core.solve", "error(7)*1"));
+  const auto injected = plan->solve(b);
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.status(), core::SolveStatus::kOverloaded);
+  EXPECT_TRUE(plan->solve(b).ok());
+  EXPECT_GE(support::failpoint_hits("core.solve"), 1u);
+}
+
+}  // namespace
+}  // namespace msptrsv

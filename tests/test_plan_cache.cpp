@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/msptrsv.hpp"
+#include "support/failpoint.hpp"
 
 namespace msptrsv {
 namespace {
@@ -289,6 +290,73 @@ TEST(PlanCache, FsckValidatesAndPrunesTheBlobDirectory) {
   core::PlanCache no_dir(2);
   EXPECT_EQ(no_dir.fsck().scanned, 0);
 
+  fs::remove_all(dir);
+}
+
+TEST(PlanCache, FsckRacesAConcurrentWriterDeterministically) {
+  // fsck's sweep must coexist with a LIVE writer: the torn blob a dying
+  // writer left behind is prunable while a healthy writer of the same key
+  // is frozen mid-store, and the healthy writer's atomic rename then
+  // publishes a valid blob that the next sweep certifies. The writer is
+  // frozen at the disk seam by a failpoint and PROVEN parked via its hit
+  // counter -- no sleep anywhere decides the interleaving.
+  if (!support::failpoints_compiled()) GTEST_SKIP();
+  namespace fs = std::filesystem;
+  const std::string dir =
+      ::testing::TempDir() + "plan_cache_fsck_race_" +
+      std::to_string(static_cast<unsigned>(::getpid()));
+  fs::create_directories(dir);
+  const core::SolveOptions o = opts("mg-zerocopy");
+  const sparse::CscMatrix a = matrix_seeded(6);
+  const std::string blob_path =
+      dir + "/" + core::PlanCache::key_of(a, o) + ".plan";
+
+  // Act 1 -- a dying writer: partial(64) publishes 64 truncated bytes at
+  // the FINAL path (the pre-atomic-rename crash fsck exists for). Hit
+  // counters are cumulative across clear_all, so the park proofs below
+  // count from this baseline.
+  const std::uint64_t base = support::failpoint_hits("cache.disk.write");
+  core::PlanCache torn_cache(4);
+  torn_cache.set_disk_directory(dir);
+  ASSERT_TRUE(support::failpoint_set("cache.disk.write", "partial(64)*1"));
+  ASSERT_TRUE(torn_cache.get_or_analyze(a, o).ok());  // analysis ok, store torn
+  EXPECT_EQ(torn_cache.stats().disk_stores, 0u);
+  ASSERT_TRUE(fs::exists(blob_path));
+
+  // Act 2 -- a healthy writer of the SAME key, frozen at the disk seam.
+  core::PlanCache writer_cache(4);
+  writer_cache.set_disk_directory(dir);
+  ASSERT_TRUE(support::failpoint_set("cache.disk.write", "pause"));
+  std::thread writer(
+      [&] { ASSERT_TRUE(writer_cache.get_or_analyze(a, o).ok()); });
+  ASSERT_TRUE(support::failpoint_wait_hits("cache.disk.write", base + 2, 20000));
+
+  // Act 3 -- fsck races the parked writer: the torn blob is pruned, and
+  // the sweep completes without waiting on (or tripping over) the store
+  // in flight.
+  core::PlanCache::FsckReport mid = writer_cache.fsck(/*repair=*/true);
+  EXPECT_EQ(mid.scanned, 1);
+  EXPECT_EQ(mid.corrupt, 1);
+  EXPECT_EQ(mid.pruned, 1);
+  EXPECT_FALSE(fs::exists(blob_path));
+
+  // Act 4 -- release the writer: its tmp+rename publishes a blob fsck
+  // never saw half-written.
+  support::failpoint_clear("cache.disk.write");
+  writer.join();
+  EXPECT_EQ(writer_cache.stats().disk_stores, 1u);
+  core::PlanCache::FsckReport after = writer_cache.fsck(/*repair=*/false);
+  EXPECT_EQ(after.scanned, 1);
+  EXPECT_EQ(after.valid, 1);
+  EXPECT_EQ(after.corrupt, 0);
+
+  // The published blob is genuinely loadable: a cold cache disk-hits it.
+  core::PlanCache fresh(4);
+  fresh.set_disk_directory(dir);
+  ASSERT_TRUE(fresh.get_or_analyze(a, o).ok());
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+
+  support::failpoint_clear_all();
   fs::remove_all(dir);
 }
 

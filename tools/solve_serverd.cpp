@@ -17,6 +17,7 @@
 //   (atomically, via rename) for supervisors that need to discover it.
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <unistd.h>
 
@@ -58,6 +59,9 @@ int main(int argc, char** argv) {
                  "admission bound in outstanding right-hand sides");
   cli.add_option("max-connections", "64", "concurrent connection bound");
   cli.add_option("name", "msptrsv", "server name (hello-ok + metrics label)");
+  cli.add_option("enable-failpoints", "false",
+                 "accept failpoint frames (fault injection) over the wire; "
+                 "chaos tests only -- never in production");
   if (!cli.parse(argc, argv)) return 0;
 
   // Must precede any plan/service work: the process-wide pool is sized
@@ -73,6 +77,20 @@ int main(int argc, char** argv) {
   options.service.max_pending_rhs =
       static_cast<std::size_t>(cli.get_int("max-pending"));
   options.service.cache_dir = cli.get_string("cache-dir");
+  if (!options.service.cache_dir.empty()) {
+    // Create the blob directory up front: the cache's disk stores fail
+    // SILENTLY on a missing directory (by design -- the warm tier is an
+    // optimization), which in a fleet means every failover hash-ref open
+    // misses. Refuse to start rather than run with a dark warm tier.
+    std::error_code ec;
+    std::filesystem::create_directories(options.service.cache_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "solve_serverd: cannot create --cache-dir %s: %s\n",
+                   options.service.cache_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+  options.allow_failpoint_control = cli.get_bool("enable-failpoints");
 
   if (pipe(g_signal_pipe) != 0) {
     std::perror("pipe");
