@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -76,6 +78,33 @@ void print_table(const std::string& caption, const support::Table& table,
 
 double average_speedup(const std::vector<double>& speedups) {
   return support::geomean(speedups);
+}
+
+PairedStudy paired_median_study(const std::function<double()>& baseline,
+                                const std::function<double()>& candidate,
+                                int rounds) {
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  };
+  std::vector<double> ratios, noises, baselines, candidates;
+  for (int round = 0; round < rounds; ++round) {
+    const double a = baseline();
+    const double mid = candidate();
+    const double b = baseline();
+    ratios.push_back(mid / (0.5 * (a + b)));
+    noises.push_back(std::abs(a - b) / std::min(a, b));
+    baselines.push_back(0.5 * (a + b));
+    candidates.push_back(mid);
+  }
+  PairedStudy s;
+  s.baseline_us = median(baselines);
+  s.candidate_us = median(candidates);
+  s.ratio = median(ratios);
+  s.noise_pct = 100.0 * median(noises);
+  s.overhead_pct = 100.0 * (s.ratio - 1.0);
+  return s;
 }
 
 }  // namespace msptrsv::bench

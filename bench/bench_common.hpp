@@ -9,6 +9,7 @@
 //   --csv            additionally emit CSV after the human-readable table
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,5 +64,34 @@ void print_table(const std::string& caption, const support::Table& table,
 
 /// Geometric-mean label row helper: "Avg." in the paper's figures.
 double average_speedup(const std::vector<double>& speedups);
+
+/// Noise-guarded paired comparison of two timed code paths -- the
+/// statistic every wall-clock CI gate in this repo uses.
+///
+/// Each round brackets the candidate between two baseline samples
+/// (A, candidate, B); the round's ratio is candidate / mean(A, B), so
+/// load drift within the round cancels. The reported ratio is the MEDIAN
+/// across rounds (immune to any single scheduler hiccup), and the noise
+/// floor is measured on IDENTICAL code the same way: median of
+/// |A - B| / min(A, B). Gate against `max(floor_pct, margin_pct +
+/// noise_pct)` so an unlucky box cannot flake the build while a real
+/// regression (tens of percent) cannot hide behind either term.
+struct PairedStudy {
+  double baseline_us = 0.0;   ///< median bracketed baseline sample
+  double candidate_us = 0.0;  ///< median candidate sample
+  double ratio = 1.0;         ///< median paired candidate/baseline ratio
+  double noise_pct = 0.0;     ///< median |A - B| / min(A, B), in percent
+  /// 100 * (median ratio - 1): how much SLOWER the candidate is than the
+  /// baseline (negative = candidate is faster).
+  double overhead_pct = 0.0;
+};
+
+/// Runs `rounds` bracketed rounds of the two samplers (each sampler
+/// returns the microseconds one sample took; batch several operations
+/// per sample if a single one is too short to time). Callers should warm
+/// both paths once before the study.
+PairedStudy paired_median_study(const std::function<double()>& baseline,
+                                const std::function<double()>& candidate,
+                                int rounds = 15);
 
 }  // namespace msptrsv::bench

@@ -5,7 +5,10 @@
 #     to an existing file or directory;
 #  2. every repo path named in docs/*.md prose and tables
 #     (src/..., bench/..., examples/..., scripts/..., tests/...) exists
-#     -- so ARCHITECTURE.md cannot drift from the tree it describes.
+#     -- so ARCHITECTURE.md cannot drift from the tree it describes;
+#  3. required sections exist: docs features that CI gates on (kernel
+#     tuning, failure modes, ...) must keep their operator docs -- a
+#     refactor that drops the section fails here, not in a reader's lap.
 #
 # Pure grep/sed; no dependencies beyond coreutils.
 set -u
@@ -26,6 +29,23 @@ broken=$(
       [ -e "$base_dir/$path" ] || echo "BROKEN link in $md: $target"
     done
   done
+  # 3. required sections (file<TAB>heading pairs, literal match)
+  while IFS='	' read -r file heading; do
+    [ -n "$file" ] || continue
+    if [ ! -f "$file" ]; then
+      echo "BROKEN required-doc file missing: $file"
+    elif ! grep -qF "$heading" "$file"; then
+      echo "BROKEN required section missing in $file: $heading"
+    fi
+  done <<'SECTIONS'
+docs/OPERATIONS.md	## Kernel tuning
+docs/OPERATIONS.md	### Reading BENCH_kernel.json
+docs/OPERATIONS.md	## Failure modes & recovery
+docs/OPERATIONS.md	## Backpressure and overload semantics
+docs/ARCHITECTURE.md	## Invariants
+docs/PROTOCOL.md	## Framing
+docs/PROTOCOL.md	## Error statuses and retryability
+SECTIONS
   # 2. repo paths mentioned in the docs
   for md in docs/*.md; do
     [ -f "$md" ] || continue

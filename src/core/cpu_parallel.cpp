@@ -3,6 +3,10 @@
 #include <atomic>
 #include <thread>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 #include "sparse/triangular.hpp"
 #include "support/contracts.hpp"
 #include "support/failpoint.hpp"
@@ -11,10 +15,61 @@ namespace msptrsv::core {
 
 namespace {
 
+// ---- Inner RHS-sweep kernel, runtime-dispatched ----------------------------
+//
+// acc[r] += lv * xc[r] over the unit-stride interleaved panel slice of one
+// dependency. Written as separate multiply and add EVERYWHERE (the build
+// sets -ffp-contract=off as well): an FMA would round once where the
+// scalar reference rounds twice, and the bit-for-bit contract across
+// layouts, thread counts, and dispatch targets is the whole point.
+// Per-lane arithmetic is identical in all three bodies -- lane r always
+// computes round(acc[r] + round(lv * xc[r])) -- so which one runs is
+// unobservable in the results.
+
+using AxpyFn = void (*)(value_t* acc, const value_t* xc, value_t lv,
+                        std::size_t k);
+
+void axpy_scalar(value_t* acc, const value_t* xc, value_t lv, std::size_t k) {
+#pragma omp simd
+  for (std::size_t r = 0; r < k; ++r) acc[r] += lv * xc[r];
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void axpy_avx2(value_t* acc, const value_t* xc,
+                                               value_t lv, std::size_t k) {
+  const __m256d vlv = _mm256_set1_pd(lv);
+  std::size_t r = 0;
+  for (; r + 4 <= k; r += 4) {
+    const __m256d a = _mm256_loadu_pd(acc + r);
+    const __m256d xv = _mm256_loadu_pd(xc + r);
+    // mul then add, never _mm256_fmadd_pd -- see the dispatch comment.
+    _mm256_storeu_pd(acc + r, _mm256_add_pd(a, _mm256_mul_pd(vlv, xv)));
+  }
+  for (; r < k; ++r) acc[r] += lv * xc[r];
+}
+#endif
+
+/// Dispatch target resolved once per process (same idiom as the crc32c
+/// hardware probe in support/blob.cpp).
+AxpyFn resolve_axpy() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return axpy_avx2;
+#endif
+  return axpy_scalar;
+}
+
+AxpyFn axpy_kernel() {
+  static const AxpyFn fn = resolve_axpy();
+  return fn;
+}
+
+// ---- Per-component gather-and-solve, one per layout ------------------------
+
 /// Gathers component i's solution for every rhs by PULLING the final x
 /// entries of its dependencies through the row form (ascending column
 /// order: deterministic regardless of thread count or batch width). The
-/// diagonal terminates row i of a solvable lower factor.
+/// diagonal terminates row i of a solvable lower factor. Column-major
+/// batch: the inner RHS loop strides by n.
 inline void gather_and_solve(const sparse::CsrMatrix& rows, index_t i,
                              std::span<const value_t> b, std::size_t num_rhs,
                              std::size_t n, value_t* acc,
@@ -37,23 +92,43 @@ inline void gather_and_solve(const sparse::CsrMatrix& rows, index_t i,
   }
 }
 
-}  // namespace
+/// Interleaved-panel variant: b and x are component-major n x k panels
+/// (entry i of rhs r at [i*k + r]), so the dependency read is ONE
+/// contiguous k-vector and the whole gather is the dispatched axpy. Same
+/// per-rhs operation order as the column-major form: ascending column
+/// gather, then one divide -- bit-for-bit identical results.
+inline void gather_and_solve_interleaved(const sparse::CsrMatrix& rows,
+                                         index_t i, const value_t* b,
+                                         std::size_t k, value_t* acc,
+                                         value_t* x, AxpyFn axpy) {
+  const offset_t rb = rows.row_ptr[static_cast<std::size_t>(i)];
+  const offset_t re = rows.row_ptr[static_cast<std::size_t>(i) + 1];
+  const value_t diag = rows.val[static_cast<std::size_t>(re - 1)];
+  for (std::size_t r = 0; r < k; ++r) acc[r] = 0.0;
+  for (offset_t e = rb; e < re - 1; ++e) {
+    const std::size_t c =
+        static_cast<std::size_t>(rows.col_idx[static_cast<std::size_t>(e)]);
+    axpy(acc, x + c * k, rows.val[static_cast<std::size_t>(e)], k);
+  }
+  const value_t* bi = b + static_cast<std::size_t>(i) * k;
+  value_t* xi = x + static_cast<std::size_t>(i) * k;
+#pragma omp simd
+  for (std::size_t r = 0; r < k; ++r) {
+    xi[r] = (bi[r] - acc[r]) / diag;
+  }
+}
 
-bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
-                                std::span<const value_t> b, index_t num_rhs,
-                                const sparse::LevelAnalysis& analysis,
-                                SolveWorkspace& ws, std::span<value_t> x,
-                                const CancelToken* cancel) {
-  const index_t n = row_form.rows;
-  const std::size_t un = static_cast<std::size_t>(n);
-  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
-  MSPTRSV_REQUIRE(b.size() == un * static_cast<std::size_t>(num_rhs) &&
-                      x.size() == b.size(),
-                  "batch must be column-major n x num_rhs");
-  MSPTRSV_REQUIRE(analysis.n == n, "analysis belongs to a different matrix");
+// ---- Scheduling drivers, shared by both layouts ----------------------------
+//
+// The barrier/claim protocols and the abort machinery are layout-blind;
+// only the per-component body differs. solve_one(i, acc) must fully solve
+// component i for the whole batch using the thread-private accumulator.
 
+template <typename SolveOne>
+bool drive_levelset(const sparse::LevelAnalysis& analysis, index_t num_rhs,
+                    SolveWorkspace& ws, const CancelToken* cancel,
+                    SolveOne&& solve_one) {
   SpinBarrier& sync = ws.level_barrier();
-  const std::size_t k = static_cast<std::size_t>(num_rhs);
   // Workspace-owned per-thread accumulators: nothing allocates (or can
   // throw) inside the parallel region once the batch width has been seen.
   // Sized for the workspace's party CAP, so a shared-pool gang of any
@@ -79,9 +154,7 @@ bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
       for (offset_t p = begin + tid; p < end; p += threads) {
         // Every dependency sits in an earlier level, already final behind
         // the barrier; ONE barrier wave resolves the whole batch.
-        gather_and_solve(row_form,
-                         analysis.order[static_cast<std::size_t>(p)], b, k, un,
-                         acc, x);
+        solve_one(analysis.order[static_cast<std::size_t>(p)], acc);
       }
       if (tid == 0) {
         // Chaos seam: delay/pause here stretches the level without
@@ -98,28 +171,18 @@ bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
   return !abort.load(std::memory_order_relaxed);
 }
 
-bool solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
-                                const sparse::CsrMatrix& row_form,
-                                std::span<const value_t> b, index_t num_rhs,
-                                std::span<const index_t> in_degrees,
-                                SolveWorkspace& ws, std::span<value_t> x,
-                                const CancelToken* cancel) {
+template <typename SolveOne>
+bool drive_syncfree(const sparse::CscMatrix& lower,
+                    std::span<const index_t> in_degrees, index_t num_rhs,
+                    SolveWorkspace& ws, const CancelToken* cancel,
+                    SolveOne&& solve_one) {
   const index_t n = lower.rows;
-  const std::size_t un = static_cast<std::size_t>(n);
-  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
-  MSPTRSV_REQUIRE(b.size() == un * static_cast<std::size_t>(num_rhs) &&
-                      x.size() == b.size(),
-                  "batch must be column-major n x num_rhs");
-  MSPTRSV_REQUIRE(row_form.rows == n && in_degrees.size() == un,
-                  "row form / in-degrees sized for a different matrix");
-
   std::atomic<std::uint64_t>* delivered = ws.delivered(n);
   // Generation tagging replaces the per-solve countdown copy: each batch
   // delivers exactly in_degree(i) updates to component i (one per incoming
   // edge, regardless of num_rhs), so in generation g the ready target is
   // g * in_degree(i) and the counters are never reset.
   const std::uint64_t generation = ws.begin_generation();
-  const std::size_t k = static_cast<std::size_t>(num_rhs);
   value_t* scratch = ws.gather_scratch(num_rhs);
   const std::size_t stride = ws.gather_stride();
 
@@ -166,7 +229,7 @@ bool solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
         }
         std::this_thread::yield();
       }
-      gather_and_solve(row_form, i, b, k, un, acc, x);
+      solve_one(i, acc);
       // Delivery fan-out down column i: one increment per edge per batch
       // (the x stores above must be visible first, hence release).
       const offset_t d = lower.col_ptr[i];
@@ -183,6 +246,80 @@ bool solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
+                                std::span<const value_t> b, index_t num_rhs,
+                                const sparse::LevelAnalysis& analysis,
+                                SolveWorkspace& ws, std::span<value_t> x,
+                                const CancelToken* cancel) {
+  const index_t n = row_form.rows;
+  const std::size_t un = static_cast<std::size_t>(n);
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(b.size() == un * static_cast<std::size_t>(num_rhs) &&
+                      x.size() == b.size(),
+                  "batch must be column-major n x num_rhs");
+  MSPTRSV_REQUIRE(analysis.n == n, "analysis belongs to a different matrix");
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  return drive_levelset(analysis, num_rhs, ws, cancel,
+                        [&](index_t i, value_t* acc) {
+                          gather_and_solve(row_form, i, b, k, un, acc, x);
+                        });
+}
+
+bool solve_lower_levelset_fused_interleaved(
+    const sparse::CsrMatrix& row_form, const value_t* b, index_t num_rhs,
+    const sparse::LevelAnalysis& analysis, SolveWorkspace& ws, value_t* x,
+    const CancelToken* cancel) {
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(analysis.n == row_form.rows,
+                  "analysis belongs to a different matrix");
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  const AxpyFn axpy = axpy_kernel();
+  return drive_levelset(
+      analysis, num_rhs, ws, cancel, [&](index_t i, value_t* acc) {
+        gather_and_solve_interleaved(row_form, i, b, k, acc, x, axpy);
+      });
+}
+
+bool solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
+                                const sparse::CsrMatrix& row_form,
+                                std::span<const value_t> b, index_t num_rhs,
+                                std::span<const index_t> in_degrees,
+                                SolveWorkspace& ws, std::span<value_t> x,
+                                const CancelToken* cancel) {
+  const index_t n = lower.rows;
+  const std::size_t un = static_cast<std::size_t>(n);
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(b.size() == un * static_cast<std::size_t>(num_rhs) &&
+                      x.size() == b.size(),
+                  "batch must be column-major n x num_rhs");
+  MSPTRSV_REQUIRE(row_form.rows == n && in_degrees.size() == un,
+                  "row form / in-degrees sized for a different matrix");
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  return drive_syncfree(lower, in_degrees, num_rhs, ws, cancel,
+                        [&](index_t i, value_t* acc) {
+                          gather_and_solve(row_form, i, b, k, un, acc, x);
+                        });
+}
+
+bool solve_lower_syncfree_fused_interleaved(
+    const sparse::CscMatrix& lower, const sparse::CsrMatrix& row_form,
+    const value_t* b, index_t num_rhs, std::span<const index_t> in_degrees,
+    SolveWorkspace& ws, value_t* x, const CancelToken* cancel) {
+  const index_t n = lower.rows;
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(row_form.rows == n &&
+                      in_degrees.size() == static_cast<std::size_t>(n),
+                  "row form / in-degrees sized for a different matrix");
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  const AxpyFn axpy = axpy_kernel();
+  return drive_syncfree(
+      lower, in_degrees, num_rhs, ws, cancel, [&](index_t i, value_t* acc) {
+        gather_and_solve_interleaved(row_form, i, b, k, acc, x, axpy);
+      });
 }
 
 std::vector<value_t> solve_lower_levelset_threads(

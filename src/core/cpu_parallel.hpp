@@ -67,6 +67,20 @@ bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
                                 SolveWorkspace& ws, std::span<value_t> x,
                                 const CancelToken* cancel = nullptr);
 
+/// Interleaved-panel form of the fused level-set kernel: `b` and `x` are
+/// component-major n x num_rhs panels (entry i of rhs r at [i*num_rhs + r],
+/// typically the workspace's panel_b/panel_x; pack_interleaved /
+/// unpack_interleaved in reference.hpp do the boundary transposes). The
+/// per-dependency gather becomes ONE contiguous axpy over the rhs
+/// dimension, runtime-dispatched to AVX2 where available; per-rhs
+/// operation order is unchanged, so results are bit-for-bit identical to
+/// the column-major kernel at any thread count. Same workspace, barrier,
+/// and cancel contracts as the column-major form.
+bool solve_lower_levelset_fused_interleaved(
+    const sparse::CsrMatrix& row_form, const value_t* b, index_t num_rhs,
+    const sparse::LevelAnalysis& analysis, SolveWorkspace& ws, value_t* x,
+    const CancelToken* cancel = nullptr);
+
 /// Fused synchronization-free forward substitution; same batch layout and
 /// workspace contract as solve_lower_levelset_fused. `lower` supplies the
 /// column structure for the delivery fan-out, `row_form` the gather view.
@@ -82,6 +96,15 @@ bool solve_lower_syncfree_fused(const sparse::CscMatrix& lower,
                                 std::span<const index_t> in_degrees,
                                 SolveWorkspace& ws, std::span<value_t> x,
                                 const CancelToken* cancel = nullptr);
+
+/// Interleaved-panel form of the fused sync-free kernel (see the
+/// level-set variant above for the panel contract). Same delivery
+/// protocol, generation tagging, and abort/reset behavior as the
+/// column-major form; bit-for-bit identical results.
+bool solve_lower_syncfree_fused_interleaved(
+    const sparse::CscMatrix& lower, const sparse::CsrMatrix& row_form,
+    const value_t* b, index_t num_rhs, std::span<const index_t> in_degrees,
+    SolveWorkspace& ws, value_t* x, const CancelToken* cancel = nullptr);
 
 /// Level-set parallel forward substitution. `num_threads <= 0` uses
 /// std::thread::hardware_concurrency(). The analysis is taken as input so

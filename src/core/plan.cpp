@@ -62,6 +62,22 @@ Expected<SolveResult> cancel_error(const CancelToken& cancel) {
       "solve abandoned: cancellation requested (service shutting down)");
 }
 
+/// Best-effort page-placement hint for the host-parallel gather view: the
+/// row form's value/index arrays are the big shared READ-ONLY streams of
+/// every solve, and with no hint they home entirely on the node of the
+/// thread that built them. MPOL_INTERLEAVE spreads their pages so each
+/// socket's memory controllers serve an equal share of the gather
+/// traffic. No-op without a policy, on single-node machines, and on
+/// non-Linux builds (see support/numa.hpp).
+void apply_numa_hints(const SolveOptions& options, PlanSnapshot& snap) {
+  if (options.numa_policy == support::NumaPolicy::kNone) return;
+  if (!snap.row_form.has_value()) return;
+  sparse::CsrMatrix& rf = *snap.row_form;
+  support::interleave_pages(rf.val.data(), rf.val.size() * sizeof(value_t));
+  support::interleave_pages(rf.col_idx.data(),
+                            rf.col_idx.size() * sizeof(index_t));
+}
+
 bool backend_is_multi_gpu(Backend b) {
   switch (b) {
     case Backend::kMgUnified:
@@ -137,6 +153,10 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
   st->snapshot.backend = options.backend;
   st->snapshot.tasks_per_gpu = options.tasks_per_gpu;
   st->snapshot.num_gpus = options.machine.num_gpus();
+  // The RHS layout is resolved (never kAuto past this point) and recorded
+  // as part of the symbolic result: a saved plan replays the same layout.
+  st->snapshot.rhs_layout =
+      resolve_rhs_layout(options.rhs_layout, options.backend);
 
   if (lower.rows == 0) {
     // A 0x0 system is vacuously solvable by every backend: the plan
@@ -198,9 +218,13 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
   if (options.backend == Backend::kCpuLevelSet ||
       options.backend == Backend::kCpuSyncFree) {
     st->snapshot.row_form = sparse::csr_from_csc(lower);
+    apply_numa_hints(options, st->snapshot);
+    PoolOptions pool_opts;
+    pool_opts.numa_policy = options.numa_policy;
     st->workspaces = std::make_unique<WorkspacePool>(
         resolve_cpu_threads(options.cpu_threads),
-        options.use_shared_pool ? &SharedWorkerPool::instance() : nullptr);
+        options.use_shared_pool ? &SharedWorkerPool::instance() : nullptr,
+        pool_opts);
   }
 
   st->analysis_seconds = seconds_since(t0);
@@ -307,12 +331,35 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
     out.report.num_rhs = num_rhs;
     return out;
   }
+  // The interleaved layout engages only for a real batch: at num_rhs == 1
+  // the two layouts are the same bytes and the transposes would be pure
+  // overhead. The public API stays column-major either way -- the panel
+  // transposes below are the workspace-boundary cost the layout pays, so
+  // they sit INSIDE the timed region (wall_seconds reports what a caller
+  // actually waits).
+  const bool interleave =
+      st.snapshot.rhs_layout == RhsLayout::kInterleaved && num_rhs > 1;
+  const std::size_t total =
+      static_cast<std::size_t>(lower.rows) * static_cast<std::size_t>(num_rhs);
   switch (st.options.backend) {
     case Backend::kSerial: {
       const auto t0 = steady_clock::now();
-      out.x.resize(static_cast<std::size_t>(lower.rows) *
-                   static_cast<std::size_t>(num_rhs));
-      if (!solve_lower_serial_fused(lower, b, num_rhs, cancel, out.x)) {
+      out.x.resize(total);
+      if (interleave) {
+        // The serial backend has no workspace; per-batch vectors stand in
+        // for the panels (steady-state serial batches are rare enough
+        // that an owned panel cache is not worth a workspace pool).
+        std::vector<value_t> panel_b(total);
+        std::vector<value_t> panel_x(total);
+        pack_interleaved(b, lower.rows, num_rhs, panel_b.data());
+        if (!solve_lower_serial_fused_interleaved(lower, panel_b.data(),
+                                                  num_rhs, cancel,
+                                                  panel_x.data())) {
+          return cancel_error(*cancel);
+        }
+        unpack_interleaved(panel_x.data(), lower.rows, num_rhs, out.x);
+      } else if (!solve_lower_serial_fused(lower, b, num_rhs, cancel,
+                                           out.x)) {
         return cancel_error(*cancel);
       }
       out.wall_seconds = seconds_since(t0);
@@ -322,14 +369,23 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
     }
     case Backend::kCpuLevelSet: {
       WorkspacePool::Lease lease = st.workspaces->acquire();
-      out.x.resize(static_cast<std::size_t>(lower.rows) *
-                   static_cast<std::size_t>(num_rhs));
+      out.x.resize(total);
       const auto t0 = steady_clock::now();
-      if (!solve_lower_levelset_fused(*st.snapshot.row_form, b, num_rhs,
-                                      *st.snapshot.levels, lease.ws(), out.x,
-                                      cancel)) {
-        return cancel_error(*cancel);
+      bool done;
+      if (interleave) {
+        value_t* pb = lease.ws().panel_b(total);
+        value_t* px = lease.ws().panel_x(total);
+        pack_interleaved(b, lower.rows, num_rhs, pb);
+        done = solve_lower_levelset_fused_interleaved(
+            *st.snapshot.row_form, pb, num_rhs, *st.snapshot.levels,
+            lease.ws(), px, cancel);
+        if (done) unpack_interleaved(px, lower.rows, num_rhs, out.x);
+      } else {
+        done = solve_lower_levelset_fused(*st.snapshot.row_form, b, num_rhs,
+                                          *st.snapshot.levels, lease.ws(),
+                                          out.x, cancel);
       }
+      if (!done) return cancel_error(*cancel);
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
@@ -337,14 +393,23 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
     }
     case Backend::kCpuSyncFree: {
       WorkspacePool::Lease lease = st.workspaces->acquire();
-      out.x.resize(static_cast<std::size_t>(lower.rows) *
-                   static_cast<std::size_t>(num_rhs));
+      out.x.resize(total);
       const auto t0 = steady_clock::now();
-      if (!solve_lower_syncfree_fused(lower, *st.snapshot.row_form, b,
-                                      num_rhs, st.snapshot.in_degrees,
-                                      lease.ws(), out.x, cancel)) {
-        return cancel_error(*cancel);
+      bool done;
+      if (interleave) {
+        value_t* pb = lease.ws().panel_b(total);
+        value_t* px = lease.ws().panel_x(total);
+        pack_interleaved(b, lower.rows, num_rhs, pb);
+        done = solve_lower_syncfree_fused_interleaved(
+            lower, *st.snapshot.row_form, pb, num_rhs, st.snapshot.in_degrees,
+            lease.ws(), px, cancel);
+        if (done) unpack_interleaved(px, lower.rows, num_rhs, out.x);
+      } else {
+        done = solve_lower_syncfree_fused(lower, *st.snapshot.row_form, b,
+                                          num_rhs, st.snapshot.in_degrees,
+                                          lease.ws(), out.x, cancel);
       }
+      if (!done) return cancel_error(*cancel);
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
       out.report.machine_name = "host";
@@ -660,6 +725,11 @@ Expected<std::vector<std::uint8_t>> SolverPlan::serialize() const {
   return serialize_snapshot(state_->snapshot, *state_->lower);
 }
 
+Expected<std::vector<std::uint8_t>> SolverPlan::serialize(
+    SnapshotWriteOptions write_options) const {
+  return serialize_snapshot(state_->snapshot, *state_->lower, write_options);
+}
+
 Expected<bool> SolverPlan::save(const std::string& path) const {
   const std::vector<std::uint8_t> blob =
       serialize_snapshot(state_->snapshot, *state_->lower);
@@ -776,12 +846,9 @@ Expected<SolverPlan> SolverPlan::restore(
       return Result(SolveStatus::kBadSnapshot,
                     "snapshot lacks the in-degree state its backend needs");
     }
-    const bool needs_row_form = options.backend == Backend::kCpuLevelSet ||
-                                options.backend == Backend::kCpuSyncFree;
-    if (needs_row_form && !snap.row_form.has_value()) {
-      return Result(SolveStatus::kBadSnapshot,
-                    "snapshot lacks the row-form view its backend needs");
-    }
+    // The row form is NOT required of the blob: the lean v2 format omits
+    // it by design and it is rebuilt below from whichever factor the plan
+    // ends up solving against.
   }
 
   auto st = std::make_shared<State>();
@@ -829,6 +896,28 @@ Expected<SolverPlan> SolverPlan::restore(
     snap.partition = partition_for(options, n);
   }
 
+  // Row-form view for the host-parallel gather: lean (v2) blobs do not
+  // carry it, so rebuild it from the resolved factor -- one O(nnz)
+  // transpose, the same memory-speed pass analyze pays. Fat blobs (v1,
+  // or v2 written with include_row_form) keep their stored copy; the
+  // borrowed value-refresh above already re-synced it when needed.
+  const bool needs_row_form = options.backend == Backend::kCpuLevelSet ||
+                              options.backend == Backend::kCpuSyncFree;
+  if (n > 0 && needs_row_form && !snap.row_form.has_value()) {
+    snap.row_form = sparse::csr_from_csc(*st->lower);
+  }
+
+  // RHS layout: explicit options win; otherwise trust the stored resolved
+  // value; v1 blobs (which deserialize as kAuto) re-resolve by backend,
+  // which reproduces exactly what v1-era plans did implicitly.
+  if (options.rhs_layout != RhsLayout::kAuto) {
+    snap.rhs_layout = resolve_rhs_layout(options.rhs_layout, options.backend);
+  } else if (snap.rhs_layout == RhsLayout::kAuto) {
+    snap.rhs_layout = resolve_rhs_layout(RhsLayout::kAuto, options.backend);
+  }
+
+  apply_numa_hints(options, snap);
+
   // The sync-free host kernel SPINS on its delivery counters: in-degrees
   // that disagree with the factor would hang the worker threads, not just
   // mis-answer, so re-derive them and compare (one streaming pass over
@@ -854,9 +943,12 @@ Expected<SolverPlan> SolverPlan::restore(
   st->analysis_seconds = 0.0;
   if (n > 0 && (st->options.backend == Backend::kCpuLevelSet ||
                 st->options.backend == Backend::kCpuSyncFree)) {
+    PoolOptions pool_opts;
+    pool_opts.numa_policy = st->options.numa_policy;
     st->workspaces = std::make_unique<WorkspacePool>(
         resolve_cpu_threads(st->options.cpu_threads),
-        st->options.use_shared_pool ? &SharedWorkerPool::instance() : nullptr);
+        st->options.use_shared_pool ? &SharedWorkerPool::instance() : nullptr,
+        pool_opts);
   }
   st->load_seconds = seconds_since(t0);
   return SolverPlan(std::move(st));
@@ -865,6 +957,8 @@ Expected<SolverPlan> SolverPlan::restore(
 index_t SolverPlan::rows() const { return state_->lower->rows; }
 
 bool SolverPlan::is_upper() const { return state_->snapshot.upper; }
+
+RhsLayout SolverPlan::rhs_layout() const { return state_->snapshot.rhs_layout; }
 
 const SolveOptions& SolverPlan::options() const { return state_->options; }
 

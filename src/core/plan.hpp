@@ -63,7 +63,8 @@
 
 namespace msptrsv::core {
 
-struct SnapshotBlob;  // core/plan_snapshot.hpp
+struct SnapshotBlob;          // core/plan_snapshot.hpp
+struct SnapshotWriteOptions;  // core/plan_snapshot.hpp
 
 class SolverPlan {
  public:
@@ -150,8 +151,14 @@ class SolverPlan {
 
   /// Sealed blob image of this plan (works on borrowed plans too -- the
   /// factor is read through the plan's view). Cheap relative to analysis:
-  /// one pass over the stored arrays.
+  /// one pass over the stored arrays. Since v2 the image is LEAN: the
+  /// row-form view is rebuilt at load instead of stored (it duplicates
+  /// every factor value). The overload takes explicit format knobs --
+  /// v1-format or fat images for compatibility tests and the restore-cost
+  /// bench.
   Expected<std::vector<std::uint8_t>> serialize() const;
+  Expected<std::vector<std::uint8_t>> serialize(
+      SnapshotWriteOptions write_options) const;
 
   /// serialize() + atomic-enough file write. kBadSnapshot on I/O failure.
   Expected<bool> save(const std::string& path) const;
@@ -189,6 +196,10 @@ class SolverPlan {
   index_t rows() const;
   /// True for plans built by analyze_upper.
   bool is_upper() const;
+  /// The plan's RESOLVED internal RHS layout (never kAuto; see
+  /// resolve_rhs_layout). Persisted with the plan, so a loaded plan
+  /// reports what its solves will actually run.
+  RhsLayout rhs_layout() const;
   const SolveOptions& options() const;
   /// The lower-triangular factor solves execute against (for upper plans:
   /// the reversed form).

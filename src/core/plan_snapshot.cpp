@@ -1,6 +1,7 @@
 #include "core/plan_snapshot.hpp"
 
 #include "core/registry.hpp"
+#include "support/contracts.hpp"
 
 namespace msptrsv::core {
 
@@ -17,8 +18,12 @@ enum SectionFlags : std::uint32_t {
 }  // namespace
 
 std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
-                                             const sparse::CscMatrix& factor) {
-  support::BlobWriter w(kPlanBlobVersion);
+                                             const sparse::CscMatrix& factor,
+                                             SnapshotWriteOptions options) {
+  MSPTRSV_REQUIRE(options.format_version >= 1 &&
+                      options.format_version <= kPlanBlobVersion,
+                  "unsupported plan blob format version");
+  support::BlobWriter w(options.format_version);
 
   // Identity section. The backend travels as its canonical registry key,
   // not the enum value, so enumerator reordering can never misload a blob.
@@ -26,6 +31,11 @@ std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
   w.write_i32(snap.tasks_per_gpu);
   w.write_i32(snap.num_gpus);
   w.write_u8(snap.upper ? 1 : 0);
+  if (options.format_version >= 2) {
+    // v2: the plan's resolved RHS layout, immediately after the identity
+    // byte it extends. v1 streams carry no layout and re-resolve at load.
+    w.write_u8(static_cast<std::uint8_t>(snap.rhs_layout));
+  }
   w.write_f64(snap.analysis_us);
 
   const sparse::StructuralHash hash = sparse::hash_csc(factor);
@@ -34,10 +44,18 @@ std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
 
   sparse::write_csc(w, factor);
 
+  // Lean by default since v2: the row form duplicates every factor value
+  // (it is csr_from_csc(factor), bit for bit), so storing it doubled the
+  // dominant payload for the host-parallel backends. The load path
+  // rebuilds it at memory speed; tests opt back in to exercise the fat
+  // read path.
+  const bool store_row_form =
+      snap.row_form.has_value() &&
+      (options.format_version == 1 || options.include_row_form);
   std::uint32_t flags = 0;
   if (!snap.in_degrees.empty()) flags |= kHasInDegrees;
   if (snap.levels.has_value()) flags |= kHasLevels;
-  if (snap.row_form.has_value()) flags |= kHasRowForm;
+  if (store_row_form) flags |= kHasRowForm;
   w.write_u32(flags);
   if (flags & kHasInDegrees) {
     w.write_span(std::span<const index_t>(snap.in_degrees));
@@ -50,13 +68,37 @@ std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
 
 std::string deserialize_snapshot(std::span<const std::uint8_t> bytes,
                                  SnapshotBlob& out, SnapshotRead mode) {
-  support::BlobReader r(bytes, kPlanBlobVersion);
+  // Version acceptance: the header pins the stored version at bytes 4-5
+  // (little-endian, after the 4-byte magic). BlobReader hard-rejects any
+  // version other than the one it is told to expect -- the right contract
+  // for a cache format -- so to accept BOTH the current format and the
+  // still-loadable v1, peek the stored version first and construct the
+  // reader against it when it is one we understand; unknown versions fall
+  // through to the reader's canonical mismatch diagnostic.
+  std::uint16_t stored = kPlanBlobVersion;
+  if (bytes.size() >= 6) {
+    stored = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(bytes[4]) |
+        (static_cast<std::uint16_t>(bytes[5]) << 8));
+  }
+  const bool known = stored >= 1 && stored <= kPlanBlobVersion;
+  support::BlobReader r(bytes, known ? stored : kPlanBlobVersion);
   if (!r.ok()) return r.error();
 
   const std::string backend_key = r.read_string();
   out.snapshot.tasks_per_gpu = r.read_i32();
   out.snapshot.num_gpus = r.read_i32();
   out.snapshot.upper = r.read_u8() != 0;
+  if (r.version() >= 2) {
+    const std::uint8_t layout = r.read_u8();
+    if (layout > static_cast<std::uint8_t>(RhsLayout::kInterleaved)) {
+      return "snapshot carries unknown rhs-layout value " +
+             std::to_string(layout);
+    }
+    out.snapshot.rhs_layout = static_cast<RhsLayout>(layout);
+  }
+  // v1 blobs leave rhs_layout at kAuto; the restore path re-resolves it
+  // by backend, reproducing what v1-era plans did implicitly.
   out.snapshot.analysis_us = r.read_f64();
   out.factor_hash.pattern = r.read_u64();
   out.factor_hash.values = r.read_u64();

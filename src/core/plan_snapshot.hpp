@@ -47,22 +47,44 @@ struct PlanSnapshot {
   /// Level-set analysis (level-scheduled backends).
   std::optional<sparse::LevelAnalysis> levels;
   /// CSR view of the factor for the host-parallel pull-based gather.
-  /// Carries values, so value refreshes rewrite it.
+  /// Carries values, so value refreshes rewrite it. NOT serialized by the
+  /// v2 lean format -- it is a deterministic O(nnz) transpose of the
+  /// factor (sparse::csr_from_csc) and storing it doubled the blob's
+  /// value payload; the load path rebuilds it. v1 blobs (and fat v2 ones
+  /// written for tests) still carry it and are honored.
   std::optional<sparse::CsrMatrix> row_form;
+  /// The RESOLVED RhsLayout of the plan (never kAuto after analysis; see
+  /// resolve_rhs_layout). Persisted by v2 blobs; v1 blobs deserialize it
+  /// as kAuto and the load path re-resolves by backend -- which lands on
+  /// the same answer, since resolution depends only on the backend.
+  RhsLayout rhs_layout = RhsLayout::kAuto;
   /// One-time simulated analysis charge (comm/analysis sizing; 0 for the
   /// real host backends and for LOADED plans, which never paid it).
   sim_time_t analysis_us = 0.0;
 };
 
-/// On-disk format version of plan blobs. Bump on any layout change; the
-/// reader rejects other versions outright (kBadSnapshot), which is the
-/// honest contract for a cache format.
-inline constexpr std::uint16_t kPlanBlobVersion = 1;
+/// On-disk format version of plan blobs. The reader accepts the current
+/// version AND v1 (pre-layout, fat row-form blobs) -- a plan cache must
+/// outlive a binary upgrade; anything else is rejected (kBadSnapshot).
+/// v2: adds the rhs_layout byte, stops storing the row-form section.
+inline constexpr std::uint16_t kPlanBlobVersion = 2;
+
+/// Serialization knobs, defaulted to the production format. Tests and the
+/// bench use these to produce v1-format and fat (row-form-carrying) blobs
+/// for the compatibility and restore-cost studies.
+struct SnapshotWriteOptions {
+  /// 1 or 2. Version 1 writes the exact pre-v2 byte stream (no layout
+  /// byte, row form included when present).
+  std::uint16_t format_version = kPlanBlobVersion;
+  /// v2 only: force the row-form section in despite the lean default.
+  bool include_row_form = false;
+};
 
 /// Serializes `snap` plus the analyzed factor (and its structural hash)
 /// into a sealed blob image ready for write_file.
-std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
-                                             const sparse::CscMatrix& factor);
+std::vector<std::uint8_t> serialize_snapshot(
+    const PlanSnapshot& snap, const sparse::CscMatrix& factor,
+    SnapshotWriteOptions options = {});
 
 /// Parse result of a plan blob.
 struct SnapshotBlob {

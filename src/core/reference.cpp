@@ -82,6 +82,70 @@ bool solve_lower_serial_fused(const sparse::CscMatrix& lower,
   return true;
 }
 
+bool solve_lower_serial_fused_interleaved(const sparse::CscMatrix& lower,
+                                          const value_t* b, index_t num_rhs,
+                                          const CancelToken* cancel,
+                                          value_t* x) {
+  const index_t n = lower.rows;
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  constexpr index_t kCancelStride = 4096;
+  // The accumulators were already component-major in the column-major
+  // sweep; with the panels interleaved too, EVERY loop below is
+  // unit-stride and the compiler's vectorizer (plus omp simd) gets
+  // straight-line contiguous arithmetic.
+  std::vector<value_t> left_sum(static_cast<std::size_t>(n) * k, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    if (cancel != nullptr && (i % kCancelStride) == 0 && cancel->cancelled()) {
+      return false;
+    }
+    const offset_t d = lower.col_ptr[i];
+    const value_t diag = lower.val[d];
+    const value_t* acc = left_sum.data() + static_cast<std::size_t>(i) * k;
+    const value_t* bi = b + static_cast<std::size_t>(i) * k;
+    value_t* xi = x + static_cast<std::size_t>(i) * k;
+#pragma omp simd
+    for (std::size_t r = 0; r < k; ++r) {
+      xi[r] = (bi[r] - acc[r]) / diag;
+    }
+    for (offset_t e = d + 1; e < lower.col_ptr[i + 1]; ++e) {
+      const value_t lv = lower.val[e];
+      value_t* dep =
+          left_sum.data() + static_cast<std::size_t>(lower.row_idx[e]) * k;
+#pragma omp simd
+      for (std::size_t r = 0; r < k; ++r) {
+        dep[r] += lv * xi[r];
+      }
+    }
+  }
+  return true;
+}
+
+void pack_interleaved(std::span<const value_t> column_major, index_t n,
+                      index_t num_rhs, value_t* panel) {
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  // Output-sequential: the writes stream; the k read streams (one per
+  // rhs, stride n apart) each advance a cache line at a time.
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t r = 0; r < k; ++r) {
+      panel[i * k + r] = column_major[r * un + i];
+    }
+  }
+}
+
+void unpack_interleaved(const value_t* panel, index_t n, index_t num_rhs,
+                        std::span<value_t> column_major) {
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  // Output-sequential the other way round.
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t i = 0; i < un; ++i) {
+      column_major[r * un + i] = panel[i * k + r];
+    }
+  }
+}
+
 std::vector<value_t> solve_upper_serial(const sparse::CscMatrix& upper,
                                         std::span<const value_t> b) {
   MSPTRSV_REQUIRE(upper.is_square(), "triangular solve requires a square matrix");

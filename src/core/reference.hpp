@@ -39,6 +39,30 @@ bool solve_lower_serial_fused(const sparse::CscMatrix& lower,
                               const CancelToken* cancel,
                               std::span<value_t> x);
 
+/// Interleaved-panel form of the fused serial sweep: `b` and `x` are
+/// component-major n x num_rhs panels (entry i of rhs r at [i*num_rhs + r],
+/// see RhsLayout::kInterleaved in solver.hpp), so every inner loop --
+/// accumulator read, solve, fan-out update -- is unit-stride over the RHS
+/// dimension. The per-rhs floating-point operation ORDER is identical to
+/// the column-major sweep above, so the two layouts (and looped single
+/// solves) agree bit-for-bit; only the addresses differ. Same cancel
+/// contract as the column-major form.
+bool solve_lower_serial_fused_interleaved(const sparse::CscMatrix& lower,
+                                          const value_t* b, index_t num_rhs,
+                                          const CancelToken* cancel,
+                                          value_t* x);
+
+/// Transposes a column-major n x num_rhs batch (entry i of rhs r at
+/// [r*n + i]) into a component-major panel ([i*num_rhs + r]). The one
+/// place the interleaved layout pays its transposition cost: once per
+/// batch at the workspace boundary, O(n*k) sequential writes.
+void pack_interleaved(std::span<const value_t> column_major, index_t n,
+                      index_t num_rhs, value_t* panel);
+
+/// Inverse of pack_interleaved: panel back to column-major.
+void unpack_interleaved(const value_t* panel, index_t n, index_t num_rhs,
+                        std::span<value_t> column_major);
+
 /// Backward substitution for Ux = b on an upper-triangular CSC matrix with
 /// a nonzero diagonal terminating each column.
 std::vector<value_t> solve_upper_serial(const sparse::CscMatrix& upper,

@@ -12,7 +12,7 @@ int resolve_cpu_threads(int num_threads) {
   return hw == 0 ? 2 : static_cast<int>(hw);
 }
 
-WorkerPool::WorkerPool(int parties) {
+WorkerPool::WorkerPool(int parties, PoolOptions options) : options_(options) {
   MSPTRSV_REQUIRE(parties >= 1, "WorkerPool needs at least one party");
   workers_.reserve(static_cast<std::size_t>(parties - 1));
   for (int t = 1; t < parties; ++t) {
@@ -59,6 +59,12 @@ void WorkerPool::run_job(Job job) {
 }
 
 void WorkerPool::worker_loop(int tid) {
+  // Pin once at spawn: the gang's tid doubles as the placement index (the
+  // caller runs tid 0 unpinned, so workers start at index 1 -- compact
+  // placement leaves CPU 0's slot for it). Best-effort; a refused
+  // affinity call leaves the worker where the OS put it.
+  support::pin_current_thread(
+      support::numa_cpu_for_worker(options_.numa_policy, tid));
   std::uint64_t seen = 0;
   for (;;) {
     Job job{nullptr, nullptr};
@@ -85,7 +91,8 @@ void WorkerPool::worker_loop(int tid) {
 
 // ---- SharedWorkerPool ------------------------------------------------------
 
-SharedWorkerPool::SharedWorkerPool(int threads) {
+SharedWorkerPool::SharedWorkerPool(int threads, PoolOptions options)
+    : options_(options) {
   MSPTRSV_REQUIRE(threads >= 1, "SharedWorkerPool needs at least one worker");
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
@@ -111,6 +118,9 @@ SharedWorkerPool::~SharedWorkerPool() {
 namespace {
 /// Pre-first-use size request for the process-wide pool (0 = hardware).
 std::atomic<int> g_instance_threads{0};
+/// Pre-first-use NUMA policy for the process-wide pool.
+std::atomic<unsigned char> g_instance_numa{
+    static_cast<unsigned char>(support::NumaPolicy::kNone)};
 std::atomic<bool> g_instance_built{false};
 }  // namespace
 
@@ -121,8 +131,13 @@ SharedWorkerPool& SharedWorkerPool::instance() {
   // pool outlives every client by construction.
   static SharedWorkerPool* pool = [] {
     g_instance_built.store(true, std::memory_order_release);
-    return new SharedWorkerPool(resolve_cpu_threads(
-        g_instance_threads.load(std::memory_order_acquire)));
+    PoolOptions opts;
+    opts.numa_policy = static_cast<support::NumaPolicy>(
+        g_instance_numa.load(std::memory_order_acquire));
+    return new SharedWorkerPool(
+        resolve_cpu_threads(
+            g_instance_threads.load(std::memory_order_acquire)),
+        opts);
   }();
   return *pool;
 }
@@ -132,6 +147,13 @@ bool SharedWorkerPool::configure_instance_threads(int threads) {
   g_instance_threads.store(threads, std::memory_order_release);
   // The instance may have been built between the check and the store; the
   // flag is re-checked so callers get an honest answer either way.
+  return !g_instance_built.load(std::memory_order_acquire);
+}
+
+bool SharedWorkerPool::configure_instance_numa(support::NumaPolicy policy) {
+  if (g_instance_built.load(std::memory_order_acquire)) return false;
+  g_instance_numa.store(static_cast<unsigned char>(policy),
+                        std::memory_order_release);
   return !g_instance_built.load(std::memory_order_acquire);
 }
 
@@ -220,6 +242,11 @@ bool SharedWorkerPool::take_task(int self, std::function<void()>& out) {
 }
 
 void SharedWorkerPool::worker_loop(int self) {
+  // Pin once at spawn by worker index (stable for the pool's lifetime, so
+  // a worker's stolen tasks and gang slots always run near the pages it
+  // first-touched). Best-effort.
+  support::pin_current_thread(
+      support::numa_cpu_for_worker(options_.numa_policy, self));
   Worker& me = *workers_[static_cast<std::size_t>(self)];
   for (;;) {
     GangRun* gang = nullptr;

@@ -38,12 +38,26 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/numa.hpp"
+
 namespace msptrsv::core {
+
+/// Construction-time knobs shared by both pool designs. Placement is a
+/// pool property (workers pin once, at spawn) rather than a per-run one:
+/// re-pinning per solve would cost a syscall on the hot path and migrate
+/// already-touched pages away from their first-touch node.
+struct PoolOptions {
+  /// Worker CPU placement (see support::NumaPolicy). Workers pin
+  /// themselves as they start; the CALLING thread (tid 0 of every
+  /// gang/run) is never pinned -- the pool does not own it. kNone spawns
+  /// byte-for-byte the pre-NUMA workers.
+  support::NumaPolicy numa_policy = support::NumaPolicy::kNone;
+};
 
 class WorkerPool {
  public:
   /// Spawns `parties - 1` parked worker threads (requires parties >= 1).
-  explicit WorkerPool(int parties);
+  explicit WorkerPool(int parties, PoolOptions options = {});
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -73,6 +87,7 @@ class WorkerPool {
   void run_job(Job job);
   void worker_loop(int tid);
 
+  PoolOptions options_;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
@@ -146,7 +161,7 @@ class SpinBarrier {
 class SharedWorkerPool {
  public:
   /// Spawns `threads` parked workers (>= 1).
-  explicit SharedWorkerPool(int threads);
+  explicit SharedWorkerPool(int threads, PoolOptions options = {});
   ~SharedWorkerPool();
 
   SharedWorkerPool(const SharedWorkerPool&) = delete;
@@ -164,6 +179,14 @@ class SharedWorkerPool {
   /// (tools/solve_serverd --threads). Returns false (and changes nothing)
   /// once the instance already exists; 0 restores the default.
   static bool configure_instance_threads(int threads);
+
+  /// Sets the process-wide instance's NUMA policy BEFORE its first use
+  /// (same pre-first-use contract as configure_instance_threads): the
+  /// next instance() call spawns its workers under `policy`. Returns
+  /// false once the instance already exists. Single-node machines are
+  /// unaffected by any value (pinning degrades to sequential CPUs and
+  /// the page hints no-op).
+  static bool configure_instance_numa(support::NumaPolicy policy);
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
@@ -292,6 +315,7 @@ class SharedWorkerPool {
   int run_claimed(GangRun& gang, int parties);
   void finish_member(GangRun& gang, std::exception_ptr thrown);
 
+  PoolOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   /// Parking lot: guards parked flags, gang assignments, pending count,
   /// and the stop flag. Task deques have their own mutexes so stealing

@@ -1,0 +1,156 @@
+#include "support/numa.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace msptrsv::support {
+
+namespace {
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into CPU ids.
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    char* end = nullptr;
+    const long lo = std::strtol(list.c_str() + pos, &end, 10);
+    if (end == list.c_str() + pos) break;
+    pos = static_cast<std::size_t>(end - list.c_str());
+    long hi = lo;
+    if (pos < list.size() && list[pos] == '-') {
+      ++pos;
+      hi = std::strtol(list.c_str() + pos, &end, 10);
+      pos = static_cast<std::size_t>(end - list.c_str());
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+    if (pos < list.size() && list[pos] == ',') ++pos;
+  }
+  return cpus;
+}
+
+bool read_small_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[got] = '\0';
+  out.assign(buf);
+  return got > 0;
+}
+
+NumaTopology discover_topology() {
+  NumaTopology topo;
+#if defined(__linux__)
+  // Node ids need not be dense; probe a generous range and keep the hits.
+  for (int node = 0; node < 256; ++node) {
+    std::string list;
+    if (!read_small_file("/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist",
+                         list)) {
+      continue;
+    }
+    std::vector<int> cpus = parse_cpulist(list);
+    if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (topo.node_cpus.empty()) {
+    // No /sys view (non-Linux, masked container): one synthetic node
+    // covering hardware concurrency, so the worker->CPU mapping still
+    // exists and kCompact/kSpread degrade to plain sequential pinning.
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::vector<int> cpus(hw == 0 ? 1 : hw);
+    for (std::size_t i = 0; i < cpus.size(); ++i) cpus[i] = static_cast<int>(i);
+    topo.node_cpus.push_back(std::move(cpus));
+  }
+  return topo;
+}
+
+}  // namespace
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = discover_topology();
+  return topo;
+}
+
+int numa_cpu_for_worker(NumaPolicy policy, int worker_index) {
+  if (policy == NumaPolicy::kNone || worker_index < 0) return -1;
+  const NumaTopology& topo = numa_topology();
+  std::size_t total = 0;
+  for (const auto& cpus : topo.node_cpus) total += cpus.size();
+  // Oversubscribed pool: pinning would stack several workers on one CPU
+  // and serialize the gang; leave the excess to the OS scheduler.
+  if (static_cast<std::size_t>(worker_index) >= total) return -1;
+  const std::size_t w = static_cast<std::size_t>(worker_index);
+  if (policy == NumaPolicy::kCompact) {
+    std::size_t skip = w;
+    for (const auto& cpus : topo.node_cpus) {
+      if (skip < cpus.size()) return cpus[skip];
+      skip -= cpus.size();
+    }
+    return -1;
+  }
+  // kSpread: worker i lands on node i % nodes, taking that node's next
+  // unused CPU (i / nodes-th), wrapping only when every CPU is assigned.
+  const std::size_t nodes = topo.node_cpus.size();
+  std::size_t node = w % nodes;
+  std::size_t slot = w / nodes;
+  // Nodes can be uneven (offlined CPUs); walk forward until a node still
+  // has a CPU at this slot. Bounded by `total`, checked above.
+  for (std::size_t tries = 0; tries < total; ++tries) {
+    if (slot < topo.node_cpus[node].size()) return topo.node_cpus[node][slot];
+    node = (node + 1) % nodes;
+    if (node == w % nodes) ++slot;
+  }
+  return -1;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool interleave_pages(void* p, std::size_t bytes) {
+#if defined(__linux__) && defined(SYS_mbind)
+  const int nodes = numa_topology().num_nodes();
+  if (nodes < 2 || p == nullptr || bytes == 0) return false;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  // Align the range outward to page boundaries (mbind requires it).
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t begin = addr & ~static_cast<std::uintptr_t>(page - 1);
+  const std::uintptr_t end =
+      (addr + bytes + static_cast<std::uintptr_t>(page - 1)) &
+      ~static_cast<std::uintptr_t>(page - 1);
+  unsigned long nodemask = (nodes >= 64) ? ~0ul : ((1ul << nodes) - 1ul);
+  constexpr int kMpolInterleave = 3;  // MPOL_INTERLEAVE
+  constexpr unsigned kMpolMfMove = 1u << 1;  // MPOL_MF_MOVE
+  return syscall(SYS_mbind, reinterpret_cast<void*>(begin), end - begin,
+                 kMpolInterleave, &nodemask, sizeof(nodemask) * 8 + 1,
+                 kMpolMfMove) == 0;
+#else
+  (void)p;
+  (void)bytes;
+  return false;
+#endif
+}
+
+}  // namespace msptrsv::support
