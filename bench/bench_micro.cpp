@@ -21,6 +21,7 @@
 
 #include "bench_common.hpp"
 #include "core/msptrsv.hpp"
+#include "support/trace.hpp"
 
 using namespace msptrsv;
 
@@ -1000,6 +1001,152 @@ int write_budget_json() {
   return 0;
 }
 
+// ---- BENCH_trace.json ------------------------------------------------------
+// Gate on the tracing layer's tax (ISSUE 9 acceptance): ARMED span
+// recording -- every macro site live, kernel leaders emitting per-level /
+// per-sweep spans into their rings -- must sit within 3% of the disarmed
+// path (whose cost is one relaxed load per site), plus the machine's own
+// same-code jitter. Same statistic and flake guard as the budget study:
+// median paired ratios over bracketed rounds, gate
+// median_overhead <= max(5%, 3% + noise).
+//
+// Also writes trace_sample.json -- the armed run's collected span
+// document -- which CI validates with scripts/check_trace.py, so the
+// Perfetto-loadable shape is pinned by the build, not just by unit tests.
+
+int write_trace_json() {
+  const char* path_env = std::getenv("MSPTRSV_BENCH_TRACE_JSON");
+  const std::string path = path_env ? path_env : "BENCH_trace.json";
+  const char* sample_env = std::getenv("MSPTRSV_BENCH_TRACE_SAMPLE");
+  const std::string sample_path = sample_env ? sample_env : "trace_sample.json";
+  const auto& l = bench_matrix();
+  const auto& b = bench_rhs();
+
+  struct TraceCase {
+    std::string backend;
+    double disarmed_us;
+    double armed_us;
+    double noise_pct;
+    double overhead_pct;
+  };
+  std::vector<TraceCase> cases;
+  bool gate_ok = true;
+  const bool compiled = support::trace::trace_compiled();
+
+  for (const char* key : {"cpu-syncfree", "cpu-levelset"}) {
+    core::SolveOptions o = core::registry::options_for(key).value();
+    // Single worker, as in the budget study: the macro sites under test
+    // run identically, without gang-scheduling jitter swamping the signal.
+    o.cpu_threads = 1;
+    const core::SolverPlan plan = core::SolverPlan::analyze(l, o).value();
+
+    constexpr int kRounds = 15;
+    constexpr int kSolvesPerSample = 8;
+    auto sample_us = [&](bool armed) {
+      support::trace::trace_set_enabled(armed);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kSolvesPerSample; ++i) {
+        const auto r = plan.solve(b);
+        if (!r.ok()) {
+          std::fprintf(stderr, "trace-study solve failed: %s\n",
+                       r.message().c_str());
+          std::exit(3);
+        }
+      }
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    sample_us(false);  // warm the pool + caches off the record
+    sample_us(true);
+
+    const bench::PairedStudy study = bench::paired_median_study(
+        [&] { return sample_us(false); }, [&] { return sample_us(true); },
+        kRounds);
+    support::trace::trace_set_enabled(false);
+    support::trace::trace_clear();  // the rings the armed rounds filled
+    TraceCase c;
+    c.backend = key;
+    c.disarmed_us = study.baseline_us / kSolvesPerSample;
+    c.armed_us = study.candidate_us / kSolvesPerSample;
+    c.noise_pct = study.noise_pct;
+    c.overhead_pct = study.overhead_pct;
+    if (compiled && c.overhead_pct > std::max(5.0, 3.0 + c.noise_pct)) {
+      gate_ok = false;
+    }
+    cases.push_back(c);
+  }
+
+  // The CI-validated sample: one armed, trace-context'd solve, dumped as
+  // the document an operator would pull with kTraceDump.
+  if (compiled) {
+    support::trace::trace_clear();
+    support::trace::trace_set_enabled(true);
+    {
+      const support::trace::TraceId id = support::trace::make_trace_id();
+      support::trace::ScopedTraceContext ctx(id);
+      core::SolveOptions o = core::registry::options_for("cpu-syncfree").value();
+      o.cpu_threads = 1;
+      const core::SolverPlan plan = core::SolverPlan::analyze(l, o).value();
+      const auto r = plan.solve(b);
+      if (!r.ok()) {
+        std::fprintf(stderr, "trace-sample solve failed: %s\n",
+                     r.message().c_str());
+        std::exit(3);
+      }
+    }
+    support::trace::trace_set_enabled(false);
+    const std::string doc = support::trace::trace_collect_json();
+    support::trace::trace_clear();
+    std::FILE* sf = std::fopen(sample_path.c_str(), "w");
+    if (sf == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", sample_path.c_str());
+      return 3;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), sf);
+    std::fclose(sf);
+    std::printf("wrote %s (%zu bytes)\n", sample_path.c_str(), doc.size());
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 3;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"armed-tracing overhead\",\n"
+               "  \"matrix\": {\"rows\": %d, \"nnz\": %lld},\n"
+               "  \"cpu_threads\": 1,\n  \"trace_compiled\": %s,\n"
+               "  \"gate\": \"median overhead <= max(5%%, 3%% + measured "
+               "noise)\",\n  \"cases\": [\n",
+               l.rows, static_cast<long long>(l.nnz()),
+               compiled ? "true" : "false");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const TraceCase& c = cases[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"disarmed_us\": %.2f, "
+                 "\"armed_us\": %.2f, \"overhead_pct\": %.2f, "
+                 "\"noise_pct\": %.2f}%s\n",
+                 c.backend.c_str(), c.disarmed_us, c.armed_us, c.overhead_pct,
+                 c.noise_pct, i + 1 < cases.size() ? "," : "");
+    std::printf("BENCH_trace %-13s disarmed %8.2f us  armed %8.2f us  "
+                "overhead %+.2f%% (noise %.2f%%)\n",
+                c.backend.c_str(), c.disarmed_us, c.armed_us, c.overhead_pct,
+                c.noise_pct);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "armed-tracing overhead gate FAILED: recording spans costs "
+                 "more than max(5%%, 3%% + noise) over the disarmed path "
+                 "(see above)\n");
+    return 4;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1011,6 +1158,8 @@ int main(int argc, char** argv) {
   if (rc_batch != 0) return rc_batch;
   const int rc_budget = write_budget_json();
   if (rc_budget != 0) return rc_budget;
+  const int rc_trace = write_trace_json();
+  if (rc_trace != 0) return rc_trace;
   const int rc_kernel = write_kernel_json();
   if (rc_kernel != 0) return rc_kernel;
   return write_plan_io_json();

@@ -109,6 +109,19 @@ int main(int argc, char** argv) {
   std::printf("server metrics scraped (%zu bytes of Prometheus text)\n",
               metrics.value().size());
 
+  // The trace endpoint must answer alongside metrics -- even after the
+  // drain barrier, and whether or not the server is armed (a disarmed
+  // server serves a valid empty document, never an error).
+  const auto trace = client.trace_dump();
+  if (!trace.ok() ||
+      trace.value().json.rfind("{\"traceEvents\":[", 0) != 0) {
+    std::fprintf(stderr, "trace dump failed or malformed: %s\n",
+                 trace.ok() ? "bad envelope" : trace.message().c_str());
+    return 1;
+  }
+  std::printf("server trace dumped (%zu bytes of trace-event JSON)\n",
+              trace.value().json.size());
+
   const net::ClientMetrics m = client.metrics_local();
   std::printf("client: %llu attempts for %llu solves, %llu retries\n",
               static_cast<unsigned long long>(m.attempts),

@@ -12,7 +12,10 @@
 #     the signal lands with requests in flight;
 #  4. require the client to exit 0: every solve answered bit-for-bit,
 #     at least one via failover (--require-failover);
-#  5. SIGTERM the surviving shard and require a clean drain (exit 0).
+#  5. SIGTERM the surviving shard and require a clean drain (exit 0);
+#  6. validate the survivor's --trace-dir dumps: well-formed trace-event
+#     JSON with real spans (it served the failed-over traffic) and a
+#     metrics file carrying the per-phase series.
 #
 # Usage: scripts/chaos_smoke.sh [build-dir]   (default: ./build)
 set -u
@@ -56,7 +59,8 @@ pids=()
 ports=()
 for s in 0 1; do
   "$serverd" --port=0 --port-file="$workdir/port_$s" \
-             --cache-dir="$workdir/plans" --threads=2 &
+             --cache-dir="$workdir/plans" --threads=2 \
+             --trace-dir="$workdir/obs" &
   pids[$s]=$!
   if ! ports[$s]=$(wait_port_file "$workdir/port_$s" "${pids[$s]}"); then
     exit 1
@@ -110,5 +114,20 @@ if [ "$survivor_rc" -ne 0 ]; then
   exit 1
 fi
 
+# The survivor served the failed-over traffic, so its drain dump must
+# hold real traced spans -- the home shard died by SIGKILL and gets no
+# dump (that IS the failure mode the trace dir is for diagnosing).
+survivor_port=${ports[$survivor_idx]}
+if ! python3 scripts/check_trace.py "$workdir/obs/trace_$survivor_port.json" \
+       --min-events=1 --require-span=net.rx; then
+  echo "chaos smoke FAILED: survivor trace dump is missing or malformed"
+  exit 1
+fi
+if ! grep -q msptrsv_solve_phase_seconds \
+     "$workdir/obs/metrics_$survivor_port.prom"; then
+  echo "chaos smoke FAILED: survivor metrics dump lacks phase series"
+  exit 1
+fi
+
 echo "chaos smoke OK: home shard kill -9'd mid-traffic, zero lost requests," \
-     "failover engaged, survivor drained clean"
+     "failover engaged, survivor drained clean and dumped a valid trace"

@@ -42,9 +42,11 @@ docs/OPERATIONS.md	## Kernel tuning
 docs/OPERATIONS.md	### Reading BENCH_kernel.json
 docs/OPERATIONS.md	## Failure modes & recovery
 docs/OPERATIONS.md	## Backpressure and overload semantics
+docs/OPERATIONS.md	## Tracing a slow solve
 docs/ARCHITECTURE.md	## Invariants
 docs/PROTOCOL.md	## Framing
 docs/PROTOCOL.md	## Error statuses and retryability
+docs/PROTOCOL.md	## Trace propagation
 SECTIONS
   # 2. repo paths mentioned in the docs
   for md in docs/*.md; do

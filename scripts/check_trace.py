@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON document (Perfetto-loadable).
+
+Usage: scripts/check_trace.py TRACE.json [--min-events=N] [--require-span=NAME]
+
+Checks, in order:
+  * the file parses as JSON and is an object with a `traceEvents` array
+    (the envelope trace_collect_json / --trace-dir / kTraceDump emit);
+  * every event is an object carrying the complete-event essentials --
+    string `name`, `ph`, numeric `ts`, integer `pid`/`tid` -- and every
+    ph=="X" event has a numeric `dur` >= 0 (a negative duration means a
+    clock bug, not a slow span);
+  * optionally, at least --min-events events (default 0: an EMPTY trace
+    is valid -- a disarmed or idle server dumps `[]`);
+  * optionally, some event is named --require-span (repeatable), so CI
+    can pin "the kernel actually traced" and not just "valid JSON".
+
+Exit 0 = valid; exit 1 = malformed, with the first offense printed.
+Stdlib only -- runs anywhere CI has python3.
+"""
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(msg):
+    print(f"check_trace FAILED: {msg}")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=0)
+    ap.add_argument("--require-span", action="append", default=[])
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(f"{args.trace}: no traceEvents object envelope")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(f"{args.trace}: traceEvents is not an array")
+
+    names = set()
+    for i, ev in enumerate(events):
+        where = f"{args.trace}: event {i}"
+        if not isinstance(ev, dict):
+            return fail(f"{where} is not an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            return fail(f"{where} has no name")
+        if not isinstance(ev.get("ph"), str):
+            return fail(f"{where} ({ev['name']}) has no phase")
+        if not isinstance(ev.get("ts"), numbers.Real):
+            return fail(f"{where} ({ev['name']}) has no numeric ts")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                return fail(f"{where} ({ev['name']}) has no integer {field}")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, numbers.Real):
+                return fail(f"{where} ({ev['name']}) ph=X without numeric dur")
+            if dur < 0:
+                return fail(f"{where} ({ev['name']}) has negative dur {dur}")
+        names.add(ev["name"])
+
+    if len(events) < args.min_events:
+        return fail(
+            f"{args.trace}: {len(events)} events, required >= {args.min_events}"
+        )
+    for span in args.require_span:
+        if span not in names:
+            return fail(f"{args.trace}: required span '{span}' never appears")
+
+    print(f"check_trace OK: {args.trace}: {len(events)} valid events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,15 @@
 #  1. start solve_serverd on an ephemeral port (--port=0), discovering the
 #     chosen port through --port-file (written atomically once listening);
 #  2. run example_solve_client against it -- open, content-dedup re-open,
-#     bit-for-bit verified solves, drain, and a Prometheus metrics scrape
-#     (the client exits non-zero on any mismatch);
+#     bit-for-bit verified solves, drain, then a Prometheus metrics scrape
+#     AND a trace dump over the wire (both endpoints must answer after the
+#     drain barrier; the client exits non-zero on any mismatch);
 #  3. SIGTERM the daemon and require a CLEAN drain: exit code 0 means
-#     every admitted solve was answered before the process died.
+#     every admitted solve was answered before the process died;
+#  4. validate the --trace-dir dumps the drained daemon wrote: the trace
+#     must be well-formed trace-event JSON holding real server spans
+#     (scripts/check_trace.py), the metrics file must carry the per-phase
+#     and plan-cache series.
 #
 # Usage: scripts/net_smoke.sh [build-dir]   (default: ./build)
 set -u
@@ -28,7 +33,8 @@ workdir=$(mktemp -d)
 port_file="$workdir/port"
 trap 'kill -KILL $(jobs -p) 2>/dev/null; rm -rf "$workdir"' EXIT
 
-"$serverd" --port=0 --port-file="$port_file" --cache-dir="$workdir/plans" &
+"$serverd" --port=0 --port-file="$port_file" --cache-dir="$workdir/plans" \
+           --trace-dir="$workdir/obs" &
 server_pid=$!
 
 # Wait (up to ~10s) for the daemon to come up and publish its port.
@@ -90,4 +96,22 @@ if [ "$server_rc" -ne 0 ]; then
   echo "net smoke FAILED: server did not drain cleanly (exit $server_rc)"
   exit 1
 fi
-echo "net smoke OK: served bit-for-bit over the wire and drained on SIGTERM"
+
+# The drained daemon dumped its observability state: a Perfetto-loadable
+# trace with real server spans (net.rx proves requests were traced at the
+# wire) and a metrics file carrying the per-phase + plan-cache series.
+trace_json="$workdir/obs/trace_$port.json"
+metrics_prom="$workdir/obs/metrics_$port.prom"
+if ! python3 scripts/check_trace.py "$trace_json" \
+       --min-events=1 --require-span=net.rx; then
+  echo "net smoke FAILED: --trace-dir dump is missing or malformed"
+  exit 1
+fi
+for series in msptrsv_solve_phase_seconds msptrsv_plan_cache_hits_total; do
+  if ! grep -q "$series" "$metrics_prom"; then
+    echo "net smoke FAILED: $metrics_prom lacks $series"
+    exit 1
+  fi
+done
+echo "net smoke OK: served bit-for-bit over the wire, scraped metrics and" \
+     "trace endpoints, drained on SIGTERM, and dumped a valid trace"

@@ -10,6 +10,7 @@
 #include "sparse/triangular.hpp"
 #include "support/contracts.hpp"
 #include "support/failpoint.hpp"
+#include "support/trace.hpp"
 
 namespace msptrsv::core {
 
@@ -148,7 +149,13 @@ bool drive_levelset(const sparse::LevelAnalysis& analysis, index_t num_rhs,
   std::atomic<bool> abort{false};
   ws.run_parallel([&](int tid, int threads) {
     value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
+    // Tracing is leader-only: the gang leader is the dispatching thread,
+    // so its thread-local context carries the request's trace id into the
+    // kernel; one span per LEVEL (start -> barrier passed), never per row.
+    const bool lead_trace = tid == 0 && MSPTRSV_TRACE_ARMED();
     for (index_t l = 0; l < analysis.num_levels; ++l) {
+      const std::uint64_t lvl_t0 =
+          lead_trace ? support::trace::trace_now_ns() : 0;
       const offset_t begin = analysis.level_ptr[static_cast<std::size_t>(l)];
       const offset_t end = analysis.level_ptr[static_cast<std::size_t>(l) + 1];
       for (offset_t p = begin + tid; p < end; p += threads) {
@@ -165,6 +172,12 @@ bool drive_levelset(const sparse::LevelAnalysis& analysis, index_t num_rhs,
         }
       }
       sync.arrive_and_wait();
+      if (lead_trace) {
+        support::trace::trace_emit_here(
+            "kernel.level", lvl_t0, support::trace::trace_now_ns(), "level",
+            static_cast<std::int64_t>(l), "rows",
+            static_cast<std::int64_t>(end - begin));
+      }
       if (abort.load(std::memory_order_relaxed)) return;
     }
   });
@@ -199,10 +212,31 @@ bool drive_syncfree(const sparse::CscMatrix& lower,
   ws.run_parallel([&](int tid, int /*threads*/) {
     value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
     std::uint64_t checks = 0;
+    // Leader-only, one span for the leader's whole claim loop (the
+    // sync-free sweep has no level structure to hang per-phase spans on;
+    // per-component spans would be per-row noise). `claimed` counts the
+    // components THIS thread solved.
+    const bool lead_trace = tid == 0 && MSPTRSV_TRACE_ARMED();
+    const std::uint64_t sweep_t0 =
+        lead_trace ? support::trace::trace_now_ns() : 0;
+    std::int64_t claimed = 0;
+    const auto emit_sweep = [&] {
+      if (lead_trace) {
+        support::trace::trace_emit_here(
+            "kernel.sweep", sweep_t0, support::trace::trace_now_ns(),
+            "claimed", claimed, "rows", static_cast<std::int64_t>(n));
+      }
+    };
     for (;;) {
       const index_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      if (abort.load(std::memory_order_relaxed)) return;
+      if (i >= n) {
+        emit_sweep();
+        return;
+      }
+      if (abort.load(std::memory_order_relaxed)) {
+        emit_sweep();
+        return;
+      }
       // Chaos seam, evaluated on EVERY real claim (not just tid 0): on a
       // sequential chain one warm worker can drain the whole solve before
       // another party ever claims, so gating on a tid would let a `pause`
@@ -210,6 +244,7 @@ bool drive_syncfree(const sparse::CscMatrix& lower,
       (void)MSPTRSV_FAILPOINT("kernel.task");
       if (cancel != nullptr && (++checks & 255) == 0 && cancel->cancelled()) {
         abort.store(true, std::memory_order_relaxed);
+        emit_sweep();
         return;
       }
       // Lock-wait phase: ONE spin per component per batch. The acquire
@@ -221,15 +256,20 @@ bool drive_syncfree(const sparse::CscMatrix& lower,
       std::uint64_t spins = 0;
       while (delivered[static_cast<std::size_t>(i)].load(
                  std::memory_order_acquire) < target) {
-        if (abort.load(std::memory_order_relaxed)) return;
+        if (abort.load(std::memory_order_relaxed)) {
+          emit_sweep();
+          return;
+        }
         if (cancel != nullptr && (++spins & 1023) == 0 &&
             cancel->cancelled()) {
           abort.store(true, std::memory_order_relaxed);
+          emit_sweep();
           return;
         }
         std::this_thread::yield();
       }
       solve_one(i, acc);
+      ++claimed;
       // Delivery fan-out down column i: one increment per edge per batch
       // (the x stores above must be visible first, hence release).
       const offset_t d = lower.col_ptr[i];

@@ -20,6 +20,7 @@
 #include "support/blob.hpp"
 #include "support/contracts.hpp"
 #include "support/failpoint.hpp"
+#include "support/trace.hpp"
 
 namespace msptrsv::core {
 
@@ -29,6 +30,11 @@ using steady_clock = std::chrono::steady_clock;
 
 double seconds_since(steady_clock::time_point t0) {
   return std::chrono::duration<double>(steady_clock::now() - t0).count();
+}
+
+double us_since(steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(steady_clock::now() - t0)
+      .count();
 }
 
 /// Structural reversal U(i,j) -> L(n-1-i, n-1-j) without the throwing
@@ -322,6 +328,13 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
   // Entry check covers every backend (the simulated ones never look
   // again: their "execution" is an event simulation, not wall time).
   if (cancel != nullptr && cancel->cancelled()) return cancel_error(*cancel);
+  // Phase attribution: the deep layers (gang claim, packs, kernels) run on
+  // THIS thread and deposit their durations into its scratch; the service
+  // reads the totals after solve_batch returns. Reset per batch so stale
+  // figures from an earlier solve on this thread never leak in.
+  support::trace::PhaseScratch& scratch = support::trace::phase_scratch();
+  scratch.reset();
+  MSPTRSV_TRACE_SPAN("core.solve_batch", "num_rhs", num_rhs);
   SolveResult out;
   if (lower.rows == 0) {
     // Vacuous system: every backend returns the empty solution for free.
@@ -329,6 +342,7 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
     out.report.machine_name =
         is_simulated(st.options.backend) ? st.options.machine.name : "host";
     out.report.num_rhs = num_rhs;
+    out.completed_ns = support::trace::trace_now_ns();
     return out;
   }
   // The interleaved layout engages only for a real batch: at num_rhs == 1
@@ -352,15 +366,22 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
         std::vector<value_t> panel_b(total);
         std::vector<value_t> panel_x(total);
         pack_interleaved(b, lower.rows, num_rhs, panel_b.data());
+        scratch.pack_us += us_since(t0);
+        const auto tk = steady_clock::now();
         if (!solve_lower_serial_fused_interleaved(lower, panel_b.data(),
                                                   num_rhs, cancel,
                                                   panel_x.data())) {
           return cancel_error(*cancel);
         }
+        scratch.kernel_us += us_since(tk);
+        const auto tu = steady_clock::now();
         unpack_interleaved(panel_x.data(), lower.rows, num_rhs, out.x);
+        scratch.unpack_us += us_since(tu);
       } else if (!solve_lower_serial_fused(lower, b, num_rhs, cancel,
                                            out.x)) {
         return cancel_error(*cancel);
+      } else {
+        scratch.kernel_us += us_since(t0);
       }
       out.wall_seconds = seconds_since(t0);
       out.report.solver_name = backend_name(st.options.backend);
@@ -376,14 +397,22 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
         value_t* pb = lease.ws().panel_b(total);
         value_t* px = lease.ws().panel_x(total);
         pack_interleaved(b, lower.rows, num_rhs, pb);
+        scratch.pack_us += us_since(t0);
+        const auto tk = steady_clock::now();
         done = solve_lower_levelset_fused_interleaved(
             *st.snapshot.row_form, pb, num_rhs, *st.snapshot.levels,
             lease.ws(), px, cancel);
-        if (done) unpack_interleaved(px, lower.rows, num_rhs, out.x);
+        scratch.kernel_us += us_since(tk);
+        if (done) {
+          const auto tu = steady_clock::now();
+          unpack_interleaved(px, lower.rows, num_rhs, out.x);
+          scratch.unpack_us += us_since(tu);
+        }
       } else {
         done = solve_lower_levelset_fused(*st.snapshot.row_form, b, num_rhs,
                                           *st.snapshot.levels, lease.ws(),
                                           out.x, cancel);
+        scratch.kernel_us += us_since(t0);
       }
       if (!done) return cancel_error(*cancel);
       out.wall_seconds = seconds_since(t0);
@@ -400,14 +429,22 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
         value_t* pb = lease.ws().panel_b(total);
         value_t* px = lease.ws().panel_x(total);
         pack_interleaved(b, lower.rows, num_rhs, pb);
+        scratch.pack_us += us_since(t0);
+        const auto tk = steady_clock::now();
         done = solve_lower_syncfree_fused_interleaved(
             lower, *st.snapshot.row_form, pb, num_rhs, st.snapshot.in_degrees,
             lease.ws(), px, cancel);
-        if (done) unpack_interleaved(px, lower.rows, num_rhs, out.x);
+        scratch.kernel_us += us_since(tk);
+        if (done) {
+          const auto tu = steady_clock::now();
+          unpack_interleaved(px, lower.rows, num_rhs, out.x);
+          scratch.unpack_us += us_since(tu);
+        }
       } else {
         done = solve_lower_syncfree_fused(lower, *st.snapshot.row_form, b,
                                           num_rhs, st.snapshot.in_degrees,
                                           lease.ws(), out.x, cancel);
+        scratch.kernel_us += us_since(t0);
       }
       if (!done) return cancel_error(*cancel);
       out.wall_seconds = seconds_since(t0);
@@ -480,6 +517,14 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
   // A fused batch is one solve: its makespan is both the total and the
   // slowest-single-solve figure.
   out.report.max_solve_us = out.report.solve_us;
+  // The gang claim ran INSIDE the timed kernel region (workspace
+  // run_parallel claims before the sweep); report it separately and
+  // subtract it so the phases partition the observable latency.
+  out.phases.claim_us = scratch.claim_us;
+  out.phases.pack_us = scratch.pack_us;
+  out.phases.kernel_us = std::max(0.0, scratch.kernel_us - scratch.claim_us);
+  out.phases.unpack_us = scratch.unpack_us;
+  out.completed_ns = support::trace::trace_now_ns();
   return out;
 }
 
@@ -557,6 +602,11 @@ Expected<SolveResult> SolverPlan::solve_batch(std::span<const value_t> rhs,
       if (!r.ok()) return r;
       out.x.insert(out.x.end(), r.value().x.begin(), r.value().x.end());
       out.wall_seconds += r.value().wall_seconds;
+      out.phases.claim_us += r.value().phases.claim_us;
+      out.phases.pack_us += r.value().phases.pack_us;
+      out.phases.kernel_us += r.value().phases.kernel_us;
+      out.phases.unpack_us += r.value().phases.unpack_us;
+      out.completed_ns = r.value().completed_ns;
       if (j == 0) {
         out.report = std::move(r.value().report);
       } else {

@@ -26,6 +26,7 @@
 #include "sparse/csc.hpp"
 #include "sparse/partition.hpp"
 #include "support/numa.hpp"
+#include "support/trace.hpp"
 
 namespace msptrsv::core {
 
@@ -136,6 +137,12 @@ struct SolveResult {
   sim::RunReport report;
   /// Wall-clock seconds for the real host backends (0 for simulated).
   double wall_seconds = 0.0;
+  /// Per-phase latency attribution (claim/pack/kernel/unpack measured by
+  /// the host backends; queue/coalesce/reply stamped by the layers above).
+  support::trace::PhaseBreakdown phases;
+  /// trace_now_ns() at batch completion -- lets the completion pump
+  /// attribute the reply phase without re-deriving the finish time.
+  std::uint64_t completed_ns = 0;
 };
 
 /// One-shot convenience: solves lower * x = b with the configured backend.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/contracts.hpp"
+#include "support/trace.hpp"
 
 namespace msptrsv::core {
 
@@ -307,6 +308,10 @@ void SharedWorkerPool::worker_loop(int self) {
 
 void SharedWorkerPool::claim_members(int max_extra, GangRun& gang) {
   if (max_extra < 0) max_extra = 0;
+  // Attribution: the claim is the contended part of a shared-pool solve
+  // (mutex + idle-list scan), so it gets its own phase figure and -- when
+  // tracing is armed -- its own span under the caller's context.
+  const std::uint64_t claim_t0 = support::trace::trace_now_ns();
   // Reservation hint: cap this gang at its equal share of the pool,
   // counting the gangs already running PLUS this one. Purely a cap on the
   // ask -- the claim below still takes only workers idle right now, so
@@ -336,6 +341,13 @@ void SharedWorkerPool::claim_members(int max_extra, GangRun& gang) {
   gang_members_.fetch_add(static_cast<std::uint64_t>(take),
                           std::memory_order_relaxed);
   if (take < max_extra) gang_shrinks_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t claim_t1 = support::trace::trace_now_ns();
+  support::trace::phase_scratch().claim_us +=
+      static_cast<double>(claim_t1 - claim_t0) * 1e-3;
+  if (MSPTRSV_TRACE_ARMED()) {
+    support::trace::trace_emit_here("pool.claim", claim_t0, claim_t1,
+                                    "members", take, "active_gangs", active);
+  }
 }
 
 int SharedWorkerPool::run_claimed(GangRun& gang, int parties) {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
+
+#include "support/trace.hpp"
 
 namespace msptrsv::net {
 
@@ -338,6 +341,23 @@ Expected<std::vector<value_t>> SolveClient::solve_with_retry(
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     stats_.solves += 1;
   }
+  // One trace identity per LOGICAL solve: every retry attempt -- and any
+  // open replay a reconnect performs underneath -- carries the SAME id,
+  // so a stitched trace shows the attempts side by side. The caller's
+  // thread context wins when set; otherwise a fresh id is minted, but
+  // only while tracing is armed (untraced deployments send byte-identical
+  // legacy solve frames).
+  support::trace::TraceId trace_id = support::trace::current_trace_id();
+  std::optional<support::trace::ScopedTraceContext> trace_ctx;
+  if (!support::trace::trace_id_set(trace_id) && MSPTRSV_TRACE_ARMED()) {
+    trace_id = support::trace::make_trace_id();
+    trace_ctx.emplace(trace_id);
+  }
+  std::optional<support::trace::TraceSpan> solve_span;
+  if (support::trace::trace_id_set(trace_id) && MSPTRSV_TRACE_ARMED()) {
+    solve_span.emplace("client.solve", "num_rhs",
+                       static_cast<std::int64_t>(num_rhs));
+  }
   core::SolveError last{SolveStatus::kNetworkError, "no attempt made"};
   const int max_attempts = std::max(1, options_.retry.max_attempts);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -361,9 +381,11 @@ Expected<std::vector<value_t>> SolveClient::solve_with_retry(
         frame.priority = priority;
         frame.deadline_us = static_cast<std::uint64_t>(
             std::max<std::int64_t>(0, deadline.count()));
+        frame.trace_id = trace_id;
         frame.rhs.assign(rhs.begin(), rhs.end());
         future = request_locked(id, encode_solve(frame));
       }
+      if (solve_span) solve_span->set_arg("attempts", attempt);
       Expected<std::vector<value_t>> result =
           [&]() -> Expected<std::vector<value_t>> {
         RawReply raw = future.get();
@@ -418,6 +440,9 @@ std::future<SolveClient::RawReply> SolveClient::submit_batch_raw(
   frame.priority = priority;
   frame.deadline_us = static_cast<std::uint64_t>(
       std::max<std::int64_t>(0, deadline.count()));
+  // Pipelined path: no auto-minting -- callers owning their own policy
+  // also own their trace identity (the thread context, when set, rides).
+  frame.trace_id = support::trace::current_trace_id();
   frame.rhs.assign(rhs.begin(), rhs.end());
   return request_locked(id, encode_solve(frame));
 }
@@ -436,6 +461,7 @@ std::future<Expected<std::vector<value_t>>> SolveClient::submit_batch(
     frame.priority = priority;
     frame.deadline_us = static_cast<std::uint64_t>(
         std::max<std::int64_t>(0, deadline.count()));
+    frame.trace_id = support::trace::current_trace_id();
     frame.rhs.assign(rhs.begin(), rhs.end());
     raw = request_locked(id, encode_solve(frame));
   }
@@ -584,6 +610,33 @@ Expected<std::uint32_t> SolveClient::set_failpoint(const std::string& name,
   Expected<FailpointOkFrame> ok = decode_failpoint_ok(head.value());
   if (!ok.ok()) return Expected<std::uint32_t>(ok.error());
   return ok.value().armed;
+}
+
+Expected<TraceDumpOkFrame> SolveClient::trace_dump(const std::string& filter,
+                                                   bool include_slow) {
+  Expected<bool> up = connect();
+  if (!up.ok()) return Expected<TraceDumpOkFrame>(up.error());
+  std::future<RawReply> future;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const std::uint64_t id = next_request_id_++;
+    TraceDumpFrame frame;
+    frame.request_id = id;
+    frame.filter = filter;
+    frame.include_slow = include_slow;
+    future = request_locked(id, encode_trace_dump(frame));
+  }
+  RawReply raw = future.get();
+  if (!raw.ok()) return Expected<TraceDumpOkFrame>(raw.error());
+  Expected<FrameHead> head = peek_frame(raw.value());
+  if (!head.ok()) return Expected<TraceDumpOkFrame>(head.error());
+  if (head.value().type == FrameType::kError) {
+    Expected<ErrorFrame> err = decode_error(head.value());
+    if (!err.ok()) return Expected<TraceDumpOkFrame>(err.error());
+    return Expected<TraceDumpOkFrame>(err.value().status,
+                                      err.value().message);
+  }
+  return decode_trace_dump_ok(head.value());
 }
 
 ClientMetrics SolveClient::metrics_local() const {

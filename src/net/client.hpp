@@ -178,6 +178,13 @@ class SolveClient {
   core::Expected<std::uint32_t> set_failpoint(const std::string& name,
                                               const std::string& spec);
 
+  /// The SERVER's trace buffers as Chrome trace-event JSON (plus the
+  /// slow-request sampler's retained traces when include_slow). `filter`
+  /// is "" for everything or one 32-hex trace id. Always answered -- a
+  /// disarmed or trace-compiled-out server serves empty documents.
+  core::Expected<TraceDumpOkFrame> trace_dump(const std::string& filter = "",
+                                              bool include_slow = true);
+
   ClientMetrics metrics_local() const;
 
   /// Router bookkeeping: robustness actions taken on this client's shard

@@ -6,6 +6,7 @@
 
 #include "service/latency_histogram.hpp"
 #include "service/priority.hpp"
+#include "support/trace.hpp"
 
 namespace msptrsv::net {
 
@@ -239,6 +240,101 @@ std::string render_prometheus(const WireStats& s,
     out += "\n";
     out += "msptrsv_class_solve_latency_seconds_count";
     out += label_set(instance, class_label(c));
+    out += " ";
+    out += std::to_string(h.count);
+    out += "\n";
+  }
+
+  // ---- plan cache ------------------------------------------------------------
+  counter(out, "msptrsv_plan_cache_hits_total",
+          "Plan-cache lookups answered from memory.", base, s.cache_hits);
+  counter(out, "msptrsv_plan_cache_misses_total",
+          "Plan-cache lookups that paid a symbolic analysis.", base,
+          s.cache_misses);
+  counter(out, "msptrsv_plan_cache_evictions_total",
+          "Plans evicted by the count capacity.", base, s.cache_evictions);
+  counter(out, "msptrsv_plan_cache_byte_evictions_total",
+          "Plans evicted by the byte budget.", base, s.cache_byte_evictions);
+  counter(out, "msptrsv_plan_cache_disk_hits_total",
+          "Plan-cache misses warmed from the blob directory.", base,
+          s.cache_disk_hits);
+  counter(out, "msptrsv_plan_cache_disk_stores_total",
+          "Analyzed plans persisted to the blob directory.", base,
+          s.cache_disk_stores);
+
+  // ---- per-phase latency attribution ----------------------------------------
+  // The seven phases (support/trace.hpp) partition each reply's latency:
+  // queue/coalesce/claim/pack/kernel/unpack measured by the service and
+  // core layers, reply by the completion pump. One histogram family with
+  // a phase label, plus a pre-digested summary family for dashboards
+  // that want quantiles without a histogram_quantile() query.
+  const auto phase_label = [](std::size_t p) {
+    return "phase=\"" + std::string(support::trace::kPhaseNames[p]) + "\"";
+  };
+  out += "# HELP msptrsv_solve_phase_seconds Per-phase share of solve "
+         "latency (phases partition the solve).\n"
+         "# TYPE msptrsv_solve_phase_seconds histogram\n";
+  for (std::size_t p = 0; p < s.phases.size(); ++p) {
+    const LatencyHistogramSnapshot& h = s.phases[p];
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      cumulative += h.counts[i];
+      const double le_s =
+          static_cast<double>(LatencyHistogram::bucket_ceil(i)) * 1e-6;
+      char le[32];
+      std::snprintf(le, sizeof(le), "%.9g", le_s);
+      out += "msptrsv_solve_phase_seconds_bucket";
+      out += label_set(instance, phase_label(p) + ",le=\"" + le + "\"");
+      out += " ";
+      out += std::to_string(cumulative);
+      out += "\n";
+    }
+    out += "msptrsv_solve_phase_seconds_bucket";
+    out += label_set(instance, phase_label(p) + ",le=\"+Inf\"");
+    out += " ";
+    out += std::to_string(h.count);
+    out += "\n";
+    char sum[40];
+    std::snprintf(sum, sizeof(sum), "%.9g",
+                  static_cast<double>(h.sum_us) * 1e-6);
+    out += "msptrsv_solve_phase_seconds_sum";
+    out += label_set(instance, phase_label(p));
+    out += " ";
+    out += sum;
+    out += "\n";
+    out += "msptrsv_solve_phase_seconds_count";
+    out += label_set(instance, phase_label(p));
+    out += " ";
+    out += std::to_string(h.count);
+    out += "\n";
+  }
+  out += "# HELP msptrsv_solve_phase_summary_seconds Per-phase latency "
+         "quantiles (p50/p90/p99 from the HDR buckets).\n"
+         "# TYPE msptrsv_solve_phase_summary_seconds summary\n";
+  for (std::size_t p = 0; p < s.phases.size(); ++p) {
+    const LatencyHistogramSnapshot& h = s.phases[p];
+    for (const double q : {0.5, 0.9, 0.99}) {
+      char qs[16], vs[40];
+      std::snprintf(qs, sizeof(qs), "%g", q);
+      std::snprintf(vs, sizeof(vs), "%.9g", h.quantile(q) * 1e-6);
+      out += "msptrsv_solve_phase_summary_seconds";
+      out += label_set(instance,
+                       phase_label(p) + ",quantile=\"" + qs + "\"");
+      out += " ";
+      out += vs;
+      out += "\n";
+    }
+    char sum[40];
+    std::snprintf(sum, sizeof(sum), "%.9g",
+                  static_cast<double>(h.sum_us) * 1e-6);
+    out += "msptrsv_solve_phase_summary_seconds_sum";
+    out += label_set(instance, phase_label(p));
+    out += " ";
+    out += sum;
+    out += "\n";
+    out += "msptrsv_solve_phase_summary_seconds_count";
+    out += label_set(instance, phase_label(p));
     out += " ";
     out += std::to_string(h.count);
     out += "\n";

@@ -73,6 +73,28 @@ service::LatencyHistogramSnapshot read_hist(BlobReader& r) {
   return h;
 }
 
+/// The 16-byte trace id travels as two little-endian u64 halves.
+void write_trace_id(BlobWriter& w, const support::trace::TraceId& id) {
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi |= static_cast<std::uint64_t>(id[i]) << (8 * i);
+    lo |= static_cast<std::uint64_t>(id[8 + i]) << (8 * i);
+  }
+  w.write_u64(hi);
+  w.write_u64(lo);
+}
+
+support::trace::TraceId read_trace_id(BlobReader& r) {
+  const std::uint64_t hi = r.read_u64();
+  const std::uint64_t lo = r.read_u64();
+  support::trace::TraceId id{};
+  for (int i = 0; i < 8; ++i) {
+    id[i] = static_cast<std::uint8_t>(hi >> (8 * i));
+    id[8 + i] = static_cast<std::uint8_t>(lo >> (8 * i));
+  }
+  return id;
+}
+
 }  // namespace
 
 void WireStats::merge(const WireStats& other) {
@@ -90,12 +112,21 @@ void WireStats::merge(const WireStats& other) {
   frames_received += other.frames_received;
   protocol_errors += other.protocol_errors;
   plans_open += other.plans_open;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  cache_byte_evictions += other.cache_byte_evictions;
+  cache_disk_hits += other.cache_disk_hits;
+  cache_disk_stores += other.cache_disk_stores;
   latency.merge(other.latency);
   for (std::size_t c = 0; c < per_class.size(); ++c) {
     per_class[c].submitted += other.per_class[c].submitted;
     per_class[c].completed += other.per_class[c].completed;
     per_class[c].shed += other.per_class[c].shed;
     per_class[c].latency.merge(other.per_class[c].latency);
+  }
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    phases[p].merge(other.phases[p]);
   }
 }
 
@@ -153,6 +184,11 @@ std::vector<std::uint8_t> encode_solve(const SolveFrame& f) {
   w.write_u8(static_cast<std::uint8_t>(f.priority));
   w.write_u64(f.deadline_us);
   w.write_span<value_t>(f.rhs);
+  // Optional tail: the trace id rides only when set, so untraced frames
+  // are byte-identical to the pre-trace grammar.
+  if (support::trace::trace_id_set(f.trace_id)) {
+    write_trace_id(w, f.trace_id);
+  }
   return seal(std::move(w));
 }
 
@@ -160,6 +196,16 @@ std::vector<std::uint8_t> encode_solve_ok(const SolveOkFrame& f) {
   BlobWriter w = begin_frame(FrameType::kSolveOk, f.request_id);
   w.write_f64(f.server_us);
   w.write_span<value_t>(f.x);
+  // Optional tail: seven f64 microsecond fields in PhaseBreakdown order.
+  if (f.has_phases) {
+    w.write_f64(f.phases.queue_us);
+    w.write_f64(f.phases.coalesce_us);
+    w.write_f64(f.phases.claim_us);
+    w.write_f64(f.phases.pack_us);
+    w.write_f64(f.phases.kernel_us);
+    w.write_f64(f.phases.unpack_us);
+    w.write_f64(f.phases.reply_us);
+  }
   return seal(std::move(w));
 }
 
@@ -204,6 +250,17 @@ std::vector<std::uint8_t> encode_stats_ok(const StatsOkFrame& f) {
       w.write_u64(pc.shed);
       write_hist(w, pc.latency);
     }
+    // Extension tail (decoded only when present, so pre-trace peers
+    // still parse the prefix): plan-cache counters + per-phase hists.
+    w.write_u64(s.cache_hits);
+    w.write_u64(s.cache_misses);
+    w.write_u64(s.cache_evictions);
+    w.write_u64(s.cache_byte_evictions);
+    w.write_u64(s.cache_disk_hits);
+    w.write_u64(s.cache_disk_stores);
+    for (const service::LatencyHistogramSnapshot& ph : s.phases) {
+      write_hist(w, ph);
+    }
   }
   return seal(std::move(w));
 }
@@ -239,6 +296,20 @@ std::vector<std::uint8_t> encode_failpoint_ok(const FailpointOkFrame& f) {
   return seal(std::move(w));
 }
 
+std::vector<std::uint8_t> encode_trace_dump(const TraceDumpFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kTraceDump, f.request_id);
+  w.write_string(f.filter);
+  w.write_u8(f.include_slow ? 1 : 0);
+  return seal(std::move(w));
+}
+
+std::vector<std::uint8_t> encode_trace_dump_ok(const TraceDumpOkFrame& f) {
+  BlobWriter w = begin_frame(FrameType::kTraceDumpOk, f.request_id);
+  w.write_string(f.json);
+  w.write_string(f.slow_json);
+  return seal(std::move(w));
+}
+
 // ---- decoders --------------------------------------------------------------
 
 Expected<FrameHead> peek_frame(std::span<const std::uint8_t> blob) {
@@ -250,7 +321,7 @@ Expected<FrameHead> peek_frame(std::span<const std::uint8_t> blob) {
                                "bad frame: " + r.error());
   }
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kFailpointOk)) {
+      type > static_cast<std::uint8_t>(FrameType::kTraceDumpOk)) {
     return Expected<FrameHead>(SolveStatus::kProtocolError,
                                "unknown frame type " + std::to_string(type));
   }
@@ -334,6 +405,10 @@ Expected<SolveFrame> decode_solve(FrameHead& head) {
   } else {
     f.priority = static_cast<service::Priority>(priority);
   }
+  // Optional trace-id tail: absent in frames from pre-trace clients.
+  if (head.reader.ok() && head.reader.remaining() > 0) {
+    f.trace_id = read_trace_id(head.reader);
+  }
   return finish_decode(head, std::move(f), "solve");
 }
 
@@ -342,6 +417,17 @@ Expected<SolveOkFrame> decode_solve_ok(FrameHead& head) {
   f.request_id = head.request_id;
   f.server_us = head.reader.read_f64();
   f.x = head.reader.read_vector<value_t>();
+  // Optional phase-breakdown tail: absent in replies from pre-trace servers.
+  if (head.reader.ok() && head.reader.remaining() > 0) {
+    f.phases.queue_us = head.reader.read_f64();
+    f.phases.coalesce_us = head.reader.read_f64();
+    f.phases.claim_us = head.reader.read_f64();
+    f.phases.pack_us = head.reader.read_f64();
+    f.phases.kernel_us = head.reader.read_f64();
+    f.phases.unpack_us = head.reader.read_f64();
+    f.phases.reply_us = head.reader.read_f64();
+    f.has_phases = head.reader.ok();
+  }
   return finish_decode(head, std::move(f), "solve-ok");
 }
 
@@ -407,6 +493,17 @@ Expected<StatsOkFrame> decode_stats_ok(FrameHead& head) {
       pc.shed = head.reader.read_u64();
       pc.latency = read_hist(head.reader);
     }
+    if (head.reader.ok() && head.reader.remaining() > 0) {
+      s.cache_hits = head.reader.read_u64();
+      s.cache_misses = head.reader.read_u64();
+      s.cache_evictions = head.reader.read_u64();
+      s.cache_byte_evictions = head.reader.read_u64();
+      s.cache_disk_hits = head.reader.read_u64();
+      s.cache_disk_stores = head.reader.read_u64();
+      for (service::LatencyHistogramSnapshot& ph : s.phases) {
+        ph = read_hist(head.reader);
+      }
+    }
   }
   return finish_decode(head, std::move(f), "stats-ok");
 }
@@ -449,6 +546,28 @@ Expected<FailpointOkFrame> decode_failpoint_ok(FrameHead& head) {
   f.request_id = head.request_id;
   f.armed = head.reader.read_u32();
   return finish_decode(head, std::move(f), "failpoint-ok");
+}
+
+Expected<TraceDumpFrame> decode_trace_dump(FrameHead& head) {
+  TraceDumpFrame f;
+  f.request_id = head.request_id;
+  f.filter = head.reader.read_string();
+  if (!f.filter.empty()) {
+    support::trace::TraceId parsed{};
+    if (!support::trace::trace_id_parse(f.filter, &parsed)) {
+      head.reader.fail("trace filter is not a 32-hex-char trace id");
+    }
+  }
+  f.include_slow = head.reader.read_u8() != 0;
+  return finish_decode(head, std::move(f), "trace-dump");
+}
+
+Expected<TraceDumpOkFrame> decode_trace_dump_ok(FrameHead& head) {
+  TraceDumpOkFrame f;
+  f.request_id = head.request_id;
+  f.json = head.reader.read_string();
+  f.slow_json = head.reader.read_string();
+  return finish_decode(head, std::move(f), "trace-dump-ok");
 }
 
 // ---- socket framing --------------------------------------------------------

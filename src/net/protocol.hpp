@@ -46,6 +46,7 @@
 #include "sparse/csc.hpp"
 #include "sparse/serialize.hpp"
 #include "support/blob.hpp"
+#include "support/trace.hpp"
 #include "support/types.hpp"
 
 namespace msptrsv::net {
@@ -76,6 +77,8 @@ enum class FrameType : std::uint8_t {
   kPong = 13,
   kFailpoint = 14,
   kFailpointOk = 15,
+  kTraceDump = 16,
+  kTraceDumpOk = 17,
 };
 
 struct HelloFrame {
@@ -144,6 +147,12 @@ struct SolveFrame {
   std::uint64_t deadline_us = 0;
   /// num_rhs columns, column-major, length = rows * num_rhs.
   std::vector<value_t> rhs;
+  /// OPTIONAL TAIL FIELD (since the tracing layer): a 16-byte trace id
+  /// propagated end to end. All-zero = absent; on the wire the 16 bytes
+  /// are simply appended when set and omitted when not, so frames from
+  /// pre-trace peers decode unchanged (docs/PROTOCOL.md, "Trace
+  /// propagation").
+  support::trace::TraceId trace_id{};
 };
 
 struct SolveOkFrame {
@@ -152,6 +161,12 @@ struct SolveOkFrame {
   /// coalesce wait included; the wire adds more on top).
   double server_us = 0.0;
   std::vector<value_t> x;
+  /// OPTIONAL TAIL FIELD: per-reply phase attribution (7 f64
+  /// microsecond fields in declaration order), appended when
+  /// `has_phases`; absent frames from pre-trace servers decode with
+  /// has_phases == false.
+  bool has_phases = false;
+  support::trace::PhaseBreakdown phases;
 };
 
 struct ErrorFrame {
@@ -194,6 +209,16 @@ struct WireStats {
   std::uint64_t protocol_errors = 0;
   std::uint64_t plans_open = 0;
 
+  // Plan-cache counters (core::PlanCache::Stats, lifted to the wire so
+  // the fleet's warm-tier effectiveness is scrapeable: msptrsv_plan_cache_*
+  // in render_prometheus).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_byte_evictions = 0;
+  std::uint64_t cache_disk_hits = 0;
+  std::uint64_t cache_disk_stores = 0;
+
   service::LatencyHistogramSnapshot latency;
   struct PerClass {
     std::uint64_t submitted = 0;
@@ -202,6 +227,11 @@ struct WireStats {
     service::LatencyHistogramSnapshot latency;
   };
   std::array<PerClass, service::kNumPriorities> per_class{};
+
+  /// Per-phase latency histograms (support::trace::kPhaseNames order):
+  /// where a reply's microseconds went, mergeable like the others.
+  std::array<service::LatencyHistogramSnapshot, support::trace::kNumPhases>
+      phases{};
 
   /// Fleet aggregation: counters add, histograms merge. queue_depth and
   /// connections_active sum (they are gauges of disjoint shards);
@@ -259,6 +289,26 @@ struct FailpointOkFrame {
   std::uint32_t armed = 0;
 };
 
+/// Trace-dump request: asks the server for its buffered spans as Chrome
+/// trace-event JSON. Read-only (safe to leave enabled in production --
+/// dumping reveals only timings the stats frame already aggregates).
+struct TraceDumpFrame {
+  std::uint64_t request_id = 0;
+  /// 32-hex-char trace id filter; empty = every buffered event.
+  std::string filter;
+  /// Also include the slow-request sampler's retained trees.
+  bool include_slow = true;
+};
+
+struct TraceDumpOkFrame {
+  std::uint64_t request_id = 0;
+  /// {"traceEvents":[...]} document (empty array when tracing is
+  /// disarmed or compiled out).
+  std::string json;
+  /// The slow sampler's document ("" unless include_slow was set).
+  std::string slow_json;
+};
+
 // ---- encoding --------------------------------------------------------------
 // Each encode_* returns the complete WIRE bytes: length prefix + blob
 // image. Writers never fail.
@@ -278,6 +328,8 @@ std::vector<std::uint8_t> encode_ping(const PingFrame& f);
 std::vector<std::uint8_t> encode_pong(const PongFrame& f);
 std::vector<std::uint8_t> encode_failpoint(const FailpointFrame& f);
 std::vector<std::uint8_t> encode_failpoint_ok(const FailpointOkFrame& f);
+std::vector<std::uint8_t> encode_trace_dump(const TraceDumpFrame& f);
+std::vector<std::uint8_t> encode_trace_dump_ok(const TraceDumpOkFrame& f);
 
 // ---- decoding --------------------------------------------------------------
 
@@ -312,6 +364,8 @@ core::Expected<PingFrame> decode_ping(FrameHead& head);
 core::Expected<PongFrame> decode_pong(FrameHead& head);
 core::Expected<FailpointFrame> decode_failpoint(FrameHead& head);
 core::Expected<FailpointOkFrame> decode_failpoint_ok(FrameHead& head);
+core::Expected<TraceDumpFrame> decode_trace_dump(FrameHead& head);
+core::Expected<TraceDumpOkFrame> decode_trace_dump_ok(FrameHead& head);
 
 // ---- socket framing --------------------------------------------------------
 

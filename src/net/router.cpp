@@ -1,6 +1,7 @@
 #include "net/router.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "net/metrics.hpp"
@@ -174,6 +175,7 @@ ShardStatus Router::status_of(const Shard& shard) const {
   st.failures_total = shard.failures_total;
   st.probes_sent = shard.probes;
   st.breaker_opens = shard.opens;
+  st.probe_rtt_us = shard.last_rtt_us;
   st.last_error = shard.last_error;
   return st;
 }
@@ -185,9 +187,17 @@ std::size_t Router::probe_now() {
       std::lock_guard<std::mutex> lock(shard->mutex);
       ++shard->probes;
     }
+    const Clock::time_point t0 = Clock::now();
     Expected<bool> pong = shard->client->ping(options_.probe_timeout);
     if (pong.ok()) {
+      const double rtt_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count();
       breaker_on_success(*shard);
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->last_rtt_us = rtt_us;
+      }
       ++healthy;
     } else {
       breaker_on_failure(*shard, pong.error().message);
@@ -450,7 +460,62 @@ Expected<std::string> Router::fleet_metrics() {
             std::to_string(st.endpoint.port) + "\"} " +
             std::to_string(st.failures_total) + "\n";
   }
+  text += "# HELP msptrsv_shard_probe_rtt_us Round-trip time of the last "
+          "successful ping probe, microseconds.\n";
+  text += "# TYPE msptrsv_shard_probe_rtt_us gauge\n";
+  for (const ShardStatus& st : statuses) {
+    if (st.probe_rtt_us < 0) continue;  // no successful probe yet
+    char rtt[32];
+    std::snprintf(rtt, sizeof(rtt), "%.1f", st.probe_rtt_us);
+    text += "msptrsv_shard_probe_rtt_us{shard=\"" + st.endpoint.host + ":" +
+            std::to_string(st.endpoint.port) + "\"} " + rtt + "\n";
+  }
   return text;
+}
+
+Expected<std::string> Router::fleet_trace(const std::string& filter,
+                                          std::size_t* reachable) {
+  std::string body;
+  std::size_t answered = 0;
+  core::SolveError last{SolveStatus::kNetworkError, "router has no endpoints"};
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Expected<TraceDumpOkFrame> dump =
+        shards_[s]->client->trace_dump(filter, /*include_slow=*/true);
+    if (!dump.ok()) {
+      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      shards_[s]->last_contact_ok = false;
+      shards_[s]->last_error = dump.error().message;
+      last = dump.error();
+      continue;
+    }
+    ++answered;
+    // Splice the shard's two documents (live rings + retained slow
+    // traces) into the fleet body, re-homing their events onto this
+    // shard's own pid lane so Perfetto draws the members side by side.
+    // The documents are our own trace_collect_json output -- a flat
+    // {"traceEvents":[...]} with "pid":1 on every event -- so the
+    // string-level splice is against a known grammar, not arbitrary JSON.
+    const std::string lane = "\"pid\":" + std::to_string(s + 1) + ",";
+    for (std::string* doc : {&dump.value().json, &dump.value().slow_json}) {
+      const std::size_t open = doc->find('[');
+      const std::size_t close = doc->rfind(']');
+      if (open == std::string::npos || close == std::string::npos ||
+          close <= open + 1) {
+        continue;  // empty or malformed document: nothing to splice
+      }
+      std::string events = doc->substr(open + 1, close - open - 1);
+      std::size_t at = 0;
+      while ((at = events.find("\"pid\":1,", at)) != std::string::npos) {
+        events.replace(at, 8, lane);
+        at += lane.size();
+      }
+      if (!body.empty()) body += ",";
+      body += events;
+    }
+  }
+  if (reachable != nullptr) *reachable = answered;
+  if (answered == 0) return Expected<std::string>(last);
+  return "{\"traceEvents\":[" + body + "]}";
 }
 
 Expected<std::uint64_t> Router::drain_all() {

@@ -128,6 +128,10 @@ struct ShardStatus {
   std::uint64_t probes_sent = 0;
   /// Times the breaker transitioned closed/half-open -> open.
   std::uint64_t breaker_opens = 0;
+  /// Round-trip time of the last SUCCESSFUL ping probe, in microseconds;
+  /// negative until a probe has succeeded. Surfaces per shard as the
+  /// msptrsv_shard_probe_rtt_us gauge in fleet_metrics().
+  double probe_rtt_us = -1.0;
   /// Last transport failure observed ("" when none yet).
   std::string last_error;
 };
@@ -200,9 +204,22 @@ class Router {
 
   /// The merged stats rendered as Prometheus text (one scrape for the
   /// whole fleet), with per-shard `msptrsv_shard_up` /
-  /// `msptrsv_shard_breaker_state` / `msptrsv_shard_failures_total`
-  /// series appended so a dead shard is visible IN the scrape.
+  /// `msptrsv_shard_breaker_state` / `msptrsv_shard_failures_total` /
+  /// `msptrsv_shard_probe_rtt_us` series appended so a dead shard is
+  /// visible IN the scrape.
   core::Expected<std::string> fleet_metrics();
+
+  /// One stitched Chrome trace-event document across every reachable
+  /// shard: each member's kTraceDump answer (buffered spans plus the slow
+  /// sampler's retained trees) spliced into a single traceEvents array,
+  /// with each shard given its own pid lane so Perfetto shows the fleet
+  /// side by side. Spans of one request share its trace id (in the event
+  /// args), so a cross-shard solve -- hedged, failed over, retried --
+  /// reads as one story. `filter` is "" or one 32-hex trace id;
+  /// `reachable` (when non-null) reports how many shards answered.
+  /// Errors only when NO shard answered.
+  core::Expected<std::string> fleet_trace(const std::string& filter = "",
+                                          std::size_t* reachable = nullptr);
 
   /// Drains every shard (errors reported after all were attempted).
   core::Expected<std::uint64_t> drain_all();
@@ -223,6 +240,7 @@ class Router {
     std::uint64_t failures_total = 0;
     std::uint64_t probes = 0;
     std::uint64_t opens = 0;
+    double last_rtt_us = -1.0;
     Clock::time_point opened_at{};
     std::string last_error;
     bool last_contact_ok = true;

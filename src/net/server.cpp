@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <optional>
 #include <utility>
 
 #include "core/registry.hpp"
@@ -32,6 +33,11 @@ struct SolveServer::Connection {
   struct Pending {
     std::uint64_t request_id = 0;
     std::future<service::SolveService::Reply> reply;
+    /// Trace identity the reader decoded (all-zero = untraced) and the rx
+    /// span the reply span parents under -- the pump thread has no
+    /// thread-local context of its own.
+    support::trace::TraceId trace_id{};
+    std::uint64_t parent_span = 0;
   };
   std::mutex pump_mutex;
   std::condition_variable pump_cv;
@@ -187,6 +193,9 @@ void SolveServer::serve_connection(const std::shared_ptr<Connection>& conn) {
       case FrameType::kFailpoint:
         handle_failpoint(*conn, head.value());
         break;
+      case FrameType::kTraceDump:
+        handle_trace_dump(*conn, head.value());
+        break;
       default:
         // A reply type arriving at the server: the peer is not a client.
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -234,7 +243,26 @@ void SolveServer::pump_loop(const std::shared_ptr<Connection>& conn) {
       ok.request_id = next.request_id;
       ok.server_us = reply.value().wall_seconds * 1e6;
       ok.x = std::move(reply.value().x);
+      // Reply-phase attribution: completion -> here covers the pump's
+      // FIFO wait plus the result move; what rides IN the frame cannot
+      // include its own socket flush, so the histogram figure recorded
+      // after write_reply below is the fuller (and authoritative) one.
+      const std::uint64_t done_ns = reply.value().completed_ns;
+      ok.has_phases = true;
+      ok.phases = reply.value().phases;
+      if (done_ns != 0) {
+        ok.phases.reply_us =
+            static_cast<double>(support::trace::trace_now_ns() - done_ns) *
+            1e-3;
+      }
       write_reply(*conn, encode_solve_ok(ok));
+      const std::uint64_t flushed_ns = support::trace::trace_now_ns();
+      if (done_ns != 0) {
+        service_.record_reply_us(static_cast<double>(flushed_ns - done_ns) *
+                                 1e-3);
+        support::trace::trace_emit("net.reply", done_ns, flushed_ns,
+                                   next.trace_id, next.parent_span);
+      }
     } else {
       write_reply(*conn, encode_error({next.request_id,
                                        reply.error().status,
@@ -424,9 +452,28 @@ void SolveServer::handle_solve(Connection& conn, FrameHead& head) {
     return;
   }
 
+  // Traced request: the rx span is the server-side ROOT of this
+  // request's tree (the client's matching span shares only the trace id
+  // -- span ids are per-process). Everything downstream (queue wait,
+  // gang claim, kernel levels, the reply) parents under it. A frame
+  // WITHOUT a trace id on an armed server gets one minted here: tracing
+  // and slow-sampling must work against legacy clients too, they just
+  // cannot stitch the client half.
+  std::optional<support::trace::ScopedTraceContext> trace_ctx;
+  std::optional<support::trace::TraceSpan> rx_span;
+  if (MSPTRSV_TRACE_ARMED()) {
+    if (!support::trace::trace_id_set(frame.trace_id)) {
+      frame.trace_id = support::trace::make_trace_id();
+    }
+    trace_ctx.emplace(frame.trace_id);
+    rx_span.emplace("net.rx");
+  }
+
   service::SubmitOptions submit;
   submit.priority = frame.priority;
   submit.deadline = std::chrono::microseconds(frame.deadline_us);
+  submit.trace_id = frame.trace_id;
+  submit.parent_span = rx_span ? rx_span->span_id() : 0;
   // Plans are never erased while the server lives, and SolverPlan copies
   // share state, so the pointer into plans_ stays valid across the
   // asynchronous solve.
@@ -434,9 +481,39 @@ void SolveServer::handle_solve(Connection& conn, FrameHead& head) {
       *plan, std::move(frame.rhs), frame.num_rhs, submit);
   {
     std::lock_guard<std::mutex> lock(conn.pump_mutex);
-    conn.pump_queue.push_back({head.request_id, std::move(reply)});
+    conn.pump_queue.push_back({head.request_id, std::move(reply),
+                               frame.trace_id, submit.parent_span});
   }
   conn.pump_cv.notify_one();
+}
+
+void SolveServer::handle_trace_dump(Connection& conn, FrameHead& head) {
+  Expected<TraceDumpFrame> frame = decode_trace_dump(head);
+  if (!frame.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    write_reply(conn, encode_error({head.request_id,
+                                    SolveStatus::kProtocolError,
+                                    frame.message()}));
+    return;
+  }
+  // Served even when span recording is compiled out or disarmed: the
+  // reply is then an empty trace document, which a stitching router
+  // treats the same as "this shard saw nothing".
+  TraceDumpOkFrame ok;
+  ok.request_id = head.request_id;
+  if (!frame.value().filter.empty()) {
+    support::trace::TraceId id{};
+    (void)support::trace::trace_id_parse(frame.value().filter, &id);
+    ok.json = support::trace::trace_collect_json(id);
+  } else {
+    ok.json = support::trace::trace_collect_json();
+  }
+  if (frame.value().include_slow) {
+    ok.slow_json = support::trace::trace_slow_json();
+  } else {
+    ok.slow_json = "{\"traceEvents\":[]}";
+  }
+  write_reply(conn, encode_trace_dump_ok(ok));
 }
 
 void SolveServer::handle_stats(Connection& conn, FrameHead& head) {
@@ -560,6 +637,14 @@ WireStats SolveServer::wire_stats() const {
     out.per_class[c].shed = snap.per_class[c].shed;
     out.per_class[c].latency = snap.per_class[c].latency_hist;
   }
+  const core::PlanCache::Stats cache = service_.plan_cache().stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.cache_byte_evictions = cache.byte_evictions;
+  out.cache_disk_hits = cache.disk_hits;
+  out.cache_disk_stores = cache.disk_stores;
+  out.phases = snap.phase_hist;
   return out;
 }
 

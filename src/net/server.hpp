@@ -114,6 +114,7 @@ class SolveServer {
   void handle_drain(Connection& conn, FrameHead& head);
   void handle_ping(Connection& conn, FrameHead& head);
   void handle_failpoint(Connection& conn, FrameHead& head);
+  void handle_trace_dump(Connection& conn, FrameHead& head);
 
   ServerOptions options_;
   service::SolveService service_;

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "support/trace.hpp"
+
 namespace msptrsv::service {
 
 /// Scheduling class of a request. Order matters: smaller enum value =
@@ -44,6 +46,13 @@ struct SubmitOptions {
   /// that still starts late is shed with kDeadlineExceeded rather than
   /// solved for a client that has already given up.
   std::chrono::microseconds deadline{0};
+  /// Request-scoped trace identity (all-zero = untraced) and the span the
+  /// submitting side opened for this request: the dispatcher installs
+  /// both as the executing thread's trace context so the server-side span
+  /// tree (queue wait, gang claim, kernel levels) stitches under the
+  /// caller's. See support/trace.hpp.
+  support::trace::TraceId trace_id{};
+  std::uint64_t parent_span = 0;
 };
 
 }  // namespace msptrsv::service

@@ -68,6 +68,12 @@ struct SolveRequest {
       std::chrono::steady_clock::time_point::max();
   std::promise<core::Expected<core::SolveResult>> promise;
   std::chrono::steady_clock::time_point submitted;
+  /// Request-scoped trace identity (all-zero = untraced) and the span the
+  /// submitting side opened for this request -- the dispatcher installs
+  /// them as the executing thread's context so server-side spans stitch
+  /// under the client's tree. See support/trace.hpp.
+  support::trace::TraceId trace_id{};
+  std::uint64_t parent_span = 0;
 };
 
 /// Scheduling configuration of one queue shard.

@@ -145,6 +145,20 @@ void ServiceStats::on_complete(const void* plan, index_t rows,
   other_.fetch_add(num_rhs, std::memory_order_relaxed);
 }
 
+void ServiceStats::on_phases(const support::trace::PhaseBreakdown& phases) {
+  hist_phase_[0].record(phases.queue_us);
+  hist_phase_[1].record(phases.coalesce_us);
+  hist_phase_[2].record(phases.claim_us);
+  hist_phase_[3].record(phases.pack_us);
+  hist_phase_[4].record(phases.kernel_us);
+  hist_phase_[5].record(phases.unpack_us);
+  // [6] (reply) is recorded by on_reply_phase from the server pump.
+}
+
+void ServiceStats::on_reply_phase(double reply_us) {
+  hist_phase_[support::trace::kNumPhases - 1].record(reply_us);
+}
+
 void ServiceStats::on_shed(Priority priority, std::uint64_t num_rhs) {
   shed_.fetch_add(num_rhs, std::memory_order_relaxed);
   class_[static_cast<std::size_t>(priority)].shed.fetch_add(
@@ -189,6 +203,9 @@ ServiceStatsSnapshot ServiceStats::snapshot() const {
   quantiles(overall_, out.p50_latency_us, out.p99_latency_us,
             out.max_latency_us);
   out.latency_hist = hist_overall_.snapshot();
+  for (std::size_t p = 0; p < hist_phase_.size(); ++p) {
+    out.phase_hist[p] = hist_phase_[p].snapshot();
+  }
   for (std::size_t c = 0; c < kNumPriorities; ++c) {
     PriorityClassStats& pc = out.per_class[c];
     pc.submitted = class_[c].submitted.load(std::memory_order_relaxed);

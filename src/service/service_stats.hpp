@@ -29,6 +29,7 @@
 
 #include "service/latency_histogram.hpp"
 #include "service/priority.hpp"
+#include "support/trace.hpp"
 #include "support/types.hpp"
 
 namespace msptrsv::service {
@@ -102,6 +103,12 @@ struct ServiceStatsSnapshot {
   /// from two router shards) merge by bucket addition -- the server-side
   /// aggregation answer to the ring-window limitation.
   LatencyHistogramSnapshot latency_hist;
+  /// Per-PHASE latency histograms, indexed in support::trace::kPhaseNames
+  /// order (queue/coalesce/claim/pack/kernel/unpack/reply): where inside
+  /// the pipeline the latency above actually went. Full-history and
+  /// mergeable like latency_hist.
+  std::array<LatencyHistogramSnapshot, support::trace::kNumPhases>
+      phase_hist{};
   /// Per-class slices, indexed by static_cast<size_t>(Priority).
   std::array<PriorityClassStats, kNumPriorities> per_class{};
   /// Per-plan completion counts (plans beyond the table capacity are
@@ -142,6 +149,13 @@ class ServiceStats {
                    bool ok, Priority priority, double latency_us);
   /// One request shed with kDeadlineExceeded (not a completion).
   void on_shed(Priority priority, std::uint64_t num_rhs);
+  /// Per-phase attribution of one completed request. The first six phases
+  /// (queue..unpack) are known at completion time and recorded here;
+  /// reply_us is ignored -- the reply phase ends on the SOCKET, after the
+  /// service handed the result off, so the server pump reports it
+  /// separately through on_reply_phase once the frame is flushed.
+  void on_phases(const support::trace::PhaseBreakdown& phases);
+  void on_reply_phase(double reply_us);
   /// Queue-depth gauge (pending rhs, total and per class); also tracks
   /// the high-water mark of the total.
   void on_queue_depth(std::uint64_t depth,
@@ -186,6 +200,8 @@ class ServiceStats {
   /// answer "recent" cheaply, the histograms answer "ever" mergeably.
   LatencyHistogram hist_overall_;
   std::array<LatencyHistogram, kNumPriorities> hist_class_{};
+  /// Per-phase histograms (kPhaseNames order); lock-free like the rest.
+  std::array<LatencyHistogram, support::trace::kNumPhases> hist_phase_{};
   /// Per-class counters and rings, indexed by static_cast<size_t>(Priority).
   struct ClassCounters {
     std::atomic<std::uint64_t> submitted{0};

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "core/registry.hpp"
 #include "core/workspace.hpp"
 #include "support/failpoint.hpp"
+#include "support/trace.hpp"
 
 namespace msptrsv::service {
 
@@ -18,6 +20,15 @@ using Clock = std::chrono::steady_clock;
 
 double us_since(Clock::time_point t0, Clock::time_point now) {
   return std::chrono::duration<double, std::micro>(now - t0).count();
+}
+
+/// steady_clock time_point -> the trace layer's nanosecond time base
+/// (both are time_since_epoch of the same clock).
+std::uint64_t ns_of(Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
 }
 
 /// A future already carrying its answer (the rejection/validation path).
@@ -138,6 +149,8 @@ std::future<SolveService::Reply> SolveService::enqueue(
   if (submit.deadline.count() > 0) {
     request.deadline = request.submitted + submit.deadline;
   }
+  request.trace_id = submit.trace_id;
+  request.parent_span = submit.parent_span;
   std::future<Reply> future = request.promise.get_future();
 
   // Admission counts OUTSTANDING rhs -- admitted but not yet answered --
@@ -298,6 +311,32 @@ void SolveService::execute_group(std::vector<SolveRequest>& batch) noexcept {
   for (const SolveRequest& r : batch) total_rhs += r.num_rhs;
   stats_.on_dispatch(total_rhs, batch.size());
 
+  // Execution start / coalesce end: queue_us is each request's
+  // submit-to-here wait; coalesce_us is the part of that wait spent
+  // gathering companions (submit to the YOUNGEST member's submit).
+  const Clock::time_point exec_start = Clock::now();
+  Clock::time_point youngest = batch.front().submitted;
+  for (const SolveRequest& r : batch) {
+    youngest = std::max(youngest, r.submitted);
+  }
+  // Synthetic spans for the wait the requests already served: emitted
+  // with the stored timestamps, parented under each request's own client
+  // span (the tree is per-request even when the dispatch is fused).
+  if (MSPTRSV_TRACE_ARMED()) {
+    const std::uint64_t exec_ns = ns_of(exec_start);
+    const std::uint64_t youngest_ns = ns_of(youngest);
+    for (const SolveRequest& r : batch) {
+      if (!support::trace::trace_id_set(r.trace_id)) continue;
+      const std::uint64_t sub_ns = ns_of(r.submitted);
+      support::trace::trace_emit("service.queue", sub_ns, exec_ns, r.trace_id,
+                                 r.parent_span, "rhs",
+                                 static_cast<std::int64_t>(r.num_rhs));
+      support::trace::trace_emit(
+          "service.coalesce", sub_ns, youngest_ns, r.trace_id, r.parent_span,
+          "companions", static_cast<std::int64_t>(batch.size() - 1));
+    }
+  }
+
   // Answer exactly once per request, in order; `answered` makes the
   // catch-all below safe (a promise set twice would itself throw).
   std::size_t answered = 0;
@@ -306,6 +345,9 @@ void SolveService::execute_group(std::vector<SolveRequest>& batch) noexcept {
     stats_.on_complete(plan.state_id(), plan.rows(),
                        static_cast<std::uint64_t>(r.num_rhs), ok, r.priority,
                        latency);
+    // Slow-request sampler: report every completion (no-op when tracing
+    // is disarmed or the request is untraced).
+    support::trace::trace_note_completion(r.trace_id, latency);
     r.promise.set_value(std::move(reply));
     ++answered;
     {
@@ -329,6 +371,22 @@ void SolveService::execute_group(std::vector<SolveRequest>& batch) noexcept {
         return Reply(static_cast<core::SolveStatus>(fp.arg),
                      "injected by failpoint service.dispatch");
       }
+      // The fused solve is ONE kernel run: its spans (gang claim, kernel
+      // levels) record under the FIRST traced request of the batch -- the
+      // executing thread is tid 0 of the gang, so installing the context
+      // here is what carries the id all the way into the kernels. Riders
+      // still get their own queue/coalesce spans and phase figures.
+      std::optional<support::trace::ScopedTraceContext> trace_ctx;
+      if (MSPTRSV_TRACE_ARMED()) {
+        for (const SolveRequest& r : batch) {
+          if (support::trace::trace_id_set(r.trace_id)) {
+            trace_ctx.emplace(r.trace_id, r.parent_span);
+            break;
+          }
+        }
+      }
+      MSPTRSV_TRACE_SPAN("service.execute", "rhs",
+                         static_cast<std::int64_t>(total_rhs));
       // The service-lifetime abandon token rides every dispatch so
       // abandon_inflight() stops mid-execution solves; the plan tightens
       // it with its own time_budget (core::SolverPlan::effective_token).
@@ -355,7 +413,18 @@ void SolveService::execute_group(std::vector<SolveRequest>& batch) noexcept {
     }
 
     core::SolveResult& whole = result.value();
+    // Per-request phase attribution: claim/pack/kernel/unpack are batch
+    // figures from the core (shared by every rider -- the fused run IS
+    // their solve); queue/coalesce are each request's own wait. reply_us
+    // stays 0 here -- the server pump stamps it once the frame flushes.
+    const auto stamp_phases = [&](SolveRequest& r, core::SolveResult& reply) {
+      reply.phases.queue_us = us_since(r.submitted, exec_start);
+      reply.phases.coalesce_us = us_since(r.submitted, youngest);
+      reply.completed_ns = whole.completed_ns;
+      stats_.on_phases(reply.phases);
+    };
     if (batch.size() == 1) {
+      stamp_phases(batch.front(), whole);
       answer(batch.front(), std::move(whole), /*ok=*/true);
       return;
     }
@@ -372,6 +441,8 @@ void SolveService::execute_group(std::vector<SolveRequest>& batch) noexcept {
       reply.report = whole.report;
       reply.report.num_rhs = r.num_rhs;
       reply.wall_seconds = whole.wall_seconds;
+      reply.phases = whole.phases;
+      stamp_phases(r, reply);
       answer(r, std::move(reply), /*ok=*/true);
       offset += cols;
     }

@@ -184,7 +184,13 @@ class SolveService {
   void abandon_inflight() { abandon_.cancel(); }
 
   ServiceStatsSnapshot stats() const { return stats_.snapshot(); }
+  /// Reply-phase figure from the layer that actually flushes replies (the
+  /// network server's completion pump): completion-to-socket-flush, in
+  /// microseconds. Completes the per-phase histograms the first six
+  /// phases of which the service records itself.
+  void record_reply_us(double us) { stats_.on_reply_phase(us); }
   core::PlanCache& plan_cache() { return cache_; }
+  const core::PlanCache& plan_cache() const { return cache_; }
   core::SharedWorkerPool& pool() { return *pool_; }
   const ServiceOptions& options() const { return options_; }
   int shard_count() const { return static_cast<int>(shards_.size()); }

@@ -22,9 +22,11 @@
 #include <unistd.h>
 
 #include "core/worker_pool.hpp"
+#include "net/metrics.hpp"
 #include "net/server.hpp"
 #include "support/blob.hpp"
 #include "support/cli.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -62,6 +64,10 @@ int main(int argc, char** argv) {
   cli.add_option("enable-failpoints", "false",
                  "accept failpoint frames (fault injection) over the wire; "
                  "chaos tests only -- never in production");
+  cli.add_option("trace-dir", "",
+                 "arm span tracing and, on drain, dump trace_<port>.json "
+                 "(buffered + slow-sampled spans, Perfetto-loadable) and "
+                 "metrics_<port>.prom into this directory");
   if (!cli.parse(argc, argv)) return 0;
 
   // Must precede any plan/service work: the process-wide pool is sized
@@ -91,6 +97,23 @@ int main(int argc, char** argv) {
     }
   }
   options.allow_failpoint_control = cli.get_bool("enable-failpoints");
+
+  const std::string trace_dir = cli.get_string("trace-dir");
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "solve_serverd: cannot create --trace-dir %s: %s\n",
+                   trace_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    if (!support::trace::trace_set_enabled(true)) {
+      std::fprintf(stderr,
+                   "solve_serverd: --trace-dir set but span tracing is "
+                   "compiled out (MSPTRSV_TRACE=OFF); dumps will hold only "
+                   "empty documents\n");
+    }
+  }
 
   if (pipe(g_signal_pipe) != 0) {
     std::perror("pipe");
@@ -129,6 +152,43 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "solve_serverd: draining...\n");
   server.stop();
   const net::WireStats final_stats = server.wire_stats();
+  if (!trace_dir.empty()) {
+    // One Perfetto-loadable document per shard: the live rings plus the
+    // slow sampler's retained trees, spliced into a single traceEvents
+    // array (both documents are our own trace_collect_json output, so
+    // the string-level splice is against a known grammar).
+    std::string body;
+    for (const std::string& doc : {support::trace::trace_collect_json(),
+                                   support::trace::trace_slow_json()}) {
+      const std::size_t open = doc.find('[');
+      const std::size_t close = doc.rfind(']');
+      if (open == std::string::npos || close == std::string::npos ||
+          close <= open + 1) {
+        continue;
+      }
+      if (!body.empty()) body += ",";
+      body += doc.substr(open + 1, close - open - 1);
+    }
+    const std::string trace_doc = "{\"traceEvents\":[" + body + "]}";
+    const std::string trace_path =
+        trace_dir + "/trace_" + std::to_string(server.port()) + ".json";
+    const std::string metrics_text =
+        net::render_prometheus(final_stats, options.server_name);
+    const std::string metrics_path =
+        trace_dir + "/metrics_" + std::to_string(server.port()) + ".prom";
+    const auto dump = [](const std::string& path, const std::string& text) {
+      return support::write_file(
+          path, {reinterpret_cast<const std::uint8_t*>(text.data()),
+                 text.size()});
+    };
+    if (!dump(trace_path, trace_doc) || !dump(metrics_path, metrics_text)) {
+      std::fprintf(stderr, "solve_serverd: cannot write trace dumps to %s\n",
+                   trace_dir.c_str());
+    } else {
+      std::fprintf(stderr, "solve_serverd: wrote %s (%zu bytes)\n",
+                   trace_path.c_str(), trace_doc.size());
+    }
+  }
   std::fprintf(stderr,
                "solve_serverd: drained; %llu rhs completed, %llu frames, "
                "%llu protocol errors\n",
