@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the solver core.
+#
+# Builds a Debug tree with --coverage instrumentation, runs the full test
+# suite, and aggregates LINE coverage over the library's two load-bearing
+# layers -- src/core/ and src/sparse/ (.cpp files; the glue under net/,
+# service/, support/ is exercised by its own smokes and not gated here).
+# The number is compared against scripts/coverage_baseline.txt: a PR that
+# drops core coverage below the recorded floor fails, a PR that raises it
+# should raise the floor in the same commit.
+#
+# Uses gcovr when available (CI installs it); falls back to parsing
+# `gcov -n` output so the gate also runs on a bare toolchain.
+#
+#   scripts/coverage.sh            # build + test + gate
+#   MSPTRSV_COV_SKIP_GATE=1 ...    # report only (for measuring a new floor)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${MSPTRSV_COV_BUILD:-build-cov}
+BASELINE_FILE=scripts/coverage_baseline.txt
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage
+cmake --build "$BUILD" -j "$(nproc)"
+# Stale counters from a previous run would inflate the number.
+find "$BUILD" -name '*.gcda' -delete
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root . --object-directory "$BUILD" \
+    --filter 'src/core/' --filter 'src/sparse/' \
+    --txt "$BUILD/coverage.txt" --html-details "$BUILD/coverage.html" || true
+  [ -f "$BUILD/coverage.txt" ] && cat "$BUILD/coverage.txt"
+  PCT=$(gcovr --root . --object-directory "$BUILD" \
+    --filter 'src/core/' --filter 'src/sparse/' --print-summary 2>/dev/null |
+    awk '/^lines:/ { sub(/%.*/, "", $2); print $2 }')
+else
+  # Bare-gcov fallback: every test links the static library, so its
+  # per-object .gcda counters already hold the union of all test runs.
+  # Count each layer .cpp once (headers would be multi-counted per
+  # including object, so they are left to gcovr runs).
+  PCT=$(gcov -n $(find "$BUILD/CMakeFiles/msptrsv.dir" -name '*.gcda') 2>/dev/null |
+    awk '
+      /^File /            { keep = ($0 ~ /src\/(core|sparse)\/[^\/]+\.cpp/) }
+      keep && /^Lines executed:/ {
+        split($0, a, ":"); split(a[2], b, "% of ")
+        exec_lines += b[1] / 100.0 * b[2]; total += b[2]; keep = 0
+      }
+      END {
+        if (total == 0) { print "0.0"; exit }
+        printf "%.1f\n", 100.0 * exec_lines / total
+      }')
+fi
+
+if [ -z "${PCT:-}" ] || [ "$PCT" = "0.0" ]; then
+  echo "coverage: no counters found under $BUILD -- instrumentation broken" >&2
+  exit 1
+fi
+echo "coverage: src/core + src/sparse line coverage = ${PCT}%"
+
+if [ "${MSPTRSV_COV_SKIP_GATE:-0}" = "1" ]; then
+  exit 0
+fi
+BASELINE=$(cat "$BASELINE_FILE")
+# Gate: measured >= baseline (awk handles the decimal compare).
+if ! awk -v got="$PCT" -v floor="$BASELINE" 'BEGIN { exit !(got + 0 >= floor + 0) }'; then
+  echo "coverage gate FAILED: ${PCT}% < baseline ${BASELINE}% (${BASELINE_FILE})" >&2
+  echo "either restore the lost tests or lower the floor deliberately in this commit" >&2
+  exit 1
+fi
+echo "coverage gate OK: ${PCT}% >= baseline ${BASELINE}%"

@@ -288,7 +288,140 @@ bool drive_syncfree(const sparse::CscMatrix& lower,
   return true;
 }
 
+template <typename SolveOne>
+bool drive_taskgraph(const sparse::TaskGraph& graph, index_t num_rhs,
+                     SolveWorkspace& ws, const CancelToken* cancel,
+                     SolveOne&& solve_one) {
+  const index_t num_tasks = graph.num_tasks;
+  value_t* scratch = ws.gather_scratch(num_rhs);
+  const std::size_t stride = ws.gather_stride();
+  // The sync-free delivery machinery, lifted from rows to tasks: the
+  // counters are indexed by TASK id and the per-batch target of task t is
+  // generation * in_degree[t] (one delivery per distinct incoming
+  // cross-task edge).
+  std::atomic<std::uint64_t>* delivered = ws.delivered(num_tasks);
+  const std::uint64_t generation = ws.begin_generation();
+
+  // Ascending task claiming is deadlock-free for the same reason the
+  // sync-free row claim is: every edge goes from a lower task id to a
+  // strictly higher one (tasks are numbered in level order), so the
+  // smallest unsolved task is always claimed and its predecessors done.
+  //
+  // Cancellation is checked at TASK boundaries -- every claim, and on a
+  // stride inside the delivery spin (a cancelled gang must not wait on
+  // deliveries that will never arrive). Tasks are coarse by construction,
+  // so a per-claim clock read is already amortized.
+  std::atomic<bool> abort{false};
+  std::atomic<index_t> next{0};
+  ws.run_parallel([&](int tid, int /*threads*/) {
+    value_t* acc = scratch + static_cast<std::size_t>(tid) * stride;
+    // Leader-only, one span for the whole claim loop (mirrors the
+    // sync-free sweep; per-task spans would be noise on fine DAGs).
+    const bool lead_trace = tid == 0 && MSPTRSV_TRACE_ARMED();
+    const std::uint64_t sweep_t0 =
+        lead_trace ? support::trace::trace_now_ns() : 0;
+    std::int64_t claimed = 0;
+    const auto emit_sweep = [&] {
+      if (lead_trace) {
+        support::trace::trace_emit_here(
+            "kernel.tasks", sweep_t0, support::trace::trace_now_ns(),
+            "claimed", claimed, "tasks",
+            static_cast<std::int64_t>(num_tasks));
+      }
+    };
+    for (;;) {
+      const index_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= num_tasks || abort.load(std::memory_order_relaxed)) {
+        emit_sweep();
+        return;
+      }
+      // Chaos seam shared with the sync-free kernel: a `pause` armed on
+      // kernel.task stalls a task hand-off mid-solve.
+      (void)MSPTRSV_FAILPOINT("kernel.task");
+      if (cancel != nullptr && cancel->cancelled()) {
+        abort.store(true, std::memory_order_relaxed);
+        emit_sweep();
+        return;
+      }
+      const std::uint64_t target =
+          generation * static_cast<std::uint64_t>(
+                           graph.in_degree[static_cast<std::size_t>(t)]);
+      std::uint64_t spins = 0;
+      while (delivered[static_cast<std::size_t>(t)].load(
+                 std::memory_order_acquire) < target) {
+        if (abort.load(std::memory_order_relaxed)) {
+          emit_sweep();
+          return;
+        }
+        if (cancel != nullptr && (++spins & 1023) == 0 &&
+            cancel->cancelled()) {
+          abort.store(true, std::memory_order_relaxed);
+          emit_sweep();
+          return;
+        }
+        std::this_thread::yield();
+      }
+      // The task body: rows in stored order (level order for chains --
+      // which is exactly what satisfies intra-task dependencies -- and a
+      // single level's independent rows for blocks).
+      for (offset_t p = graph.task_ptr[static_cast<std::size_t>(t)];
+           p < graph.task_ptr[static_cast<std::size_t>(t) + 1]; ++p) {
+        solve_one(graph.task_rows[static_cast<std::size_t>(p)], acc);
+      }
+      ++claimed;
+      // Delivery fan-out to successor tasks: one increment per distinct
+      // cross-task edge per batch (the x stores above must be visible
+      // first, hence release semantics).
+      for (offset_t e = graph.succ_ptr[static_cast<std::size_t>(t)];
+           e < graph.succ_ptr[static_cast<std::size_t>(t) + 1]; ++e) {
+        delivered[static_cast<std::size_t>(
+                      graph.succ[static_cast<std::size_t>(e)])]
+            .fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  });
+  if (abort.load(std::memory_order_relaxed)) {
+    ws.reset_delivery();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool solve_lower_taskgraph_fused(const sparse::TaskGraph& graph,
+                                 const sparse::CsrMatrix& row_form,
+                                 std::span<const value_t> b, index_t num_rhs,
+                                 SolveWorkspace& ws, std::span<value_t> x,
+                                 const CancelToken* cancel) {
+  const index_t n = row_form.rows;
+  const std::size_t un = static_cast<std::size_t>(n);
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(b.size() == un * static_cast<std::size_t>(num_rhs) &&
+                      x.size() == b.size(),
+                  "batch must be column-major n x num_rhs");
+  MSPTRSV_REQUIRE(graph.n == n, "task graph belongs to a different matrix");
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  return drive_taskgraph(graph, num_rhs, ws, cancel,
+                         [&](index_t i, value_t* acc) {
+                           gather_and_solve(row_form, i, b, k, un, acc, x);
+                         });
+}
+
+bool solve_lower_taskgraph_fused_interleaved(
+    const sparse::TaskGraph& graph, const sparse::CsrMatrix& row_form,
+    const value_t* b, index_t num_rhs, SolveWorkspace& ws, value_t* x,
+    const CancelToken* cancel) {
+  MSPTRSV_REQUIRE(num_rhs >= 1, "num_rhs must be >= 1");
+  MSPTRSV_REQUIRE(graph.n == row_form.rows,
+                  "task graph belongs to a different matrix");
+  const std::size_t k = static_cast<std::size_t>(num_rhs);
+  const AxpyFn axpy = axpy_kernel();
+  return drive_taskgraph(
+      graph, num_rhs, ws, cancel, [&](index_t i, value_t* acc) {
+        gather_and_solve_interleaved(row_form, i, b, k, acc, x, axpy);
+      });
+}
 
 bool solve_lower_levelset_fused(const sparse::CsrMatrix& row_form,
                                 std::span<const value_t> b, index_t num_rhs,

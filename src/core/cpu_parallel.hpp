@@ -46,6 +46,7 @@
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/level_analysis.hpp"
+#include "sparse/task_graph.hpp"
 
 namespace msptrsv::core {
 
@@ -105,6 +106,35 @@ bool solve_lower_syncfree_fused_interleaved(
     const sparse::CscMatrix& lower, const sparse::CsrMatrix& row_form,
     const value_t* b, index_t num_rhs, std::span<const index_t> in_degrees,
     SolveWorkspace& ws, value_t* x, const CancelToken* cancel = nullptr);
+
+/// Fused task-graph forward substitution: executes a coarsened task DAG
+/// (sparse::coarsen_levels) with the sync-free claim/delivery protocol
+/// lifted from rows to TASKS. Threads claim tasks in ascending id order
+/// and spin on per-task delivery counters (one per distinct cross-task
+/// edge per batch); a task's rows then solve sequentially with the same
+/// pull-based gather as the level-set kernel, so a fused chain of 1000
+/// narrow levels costs one claim instead of 1000 barriers. The per-row
+/// gather order is a property of the structure, not the schedule --
+/// results are bit-for-bit identical to the level-set and sync-free
+/// kernels at any thread count.
+///
+/// Cancellation: checked at TASK boundaries (every claim, and on a stride
+/// inside the delivery spin). Same abort/reset_delivery contract as the
+/// sync-free kernel; same batch layout and workspace contract as
+/// solve_lower_levelset_fused.
+bool solve_lower_taskgraph_fused(const sparse::TaskGraph& graph,
+                                 const sparse::CsrMatrix& row_form,
+                                 std::span<const value_t> b, index_t num_rhs,
+                                 SolveWorkspace& ws, std::span<value_t> x,
+                                 const CancelToken* cancel = nullptr);
+
+/// Interleaved-panel form of the fused task-graph kernel (see the
+/// level-set variant above for the panel contract). Bit-for-bit identical
+/// results to every other host kernel.
+bool solve_lower_taskgraph_fused_interleaved(
+    const sparse::TaskGraph& graph, const sparse::CsrMatrix& row_form,
+    const value_t* b, index_t num_rhs, SolveWorkspace& ws, value_t* x,
+    const CancelToken* cancel = nullptr);
 
 /// Level-set parallel forward substitution. `num_threads <= 0` uses
 /// std::thread::hardware_concurrency(). The analysis is taken as input so

@@ -96,6 +96,58 @@ bool backend_is_multi_gpu(Backend b) {
   }
 }
 
+bool backend_is_host_parallel(Backend b) {
+  return b == Backend::kCpuLevelSet || b == Backend::kCpuSyncFree ||
+         b == Backend::kCpuTaskGraph;
+}
+
+/// The analyze-time schedule autotuner. Inputs are purely structural
+/// (level-width histogram, chain-run lengths, nnz/row), so the decision
+/// is deterministic for a matrix + thread budget and can be persisted.
+/// The rules follow the cost model the coarsener itself uses:
+///  * no level ever exceeds the narrow threshold -> there is nothing for
+///    a gang to win anywhere; solve serially (gang width 1);
+///  * mostly narrow levels with real depth -> the flat schedule pays a
+///    gang synchronization per (nearly empty) level; run the coarsened
+///    task graph, whose chain fusion collapses those syncs;
+///  * otherwise -> wide levels amortize their barrier; flat level sets.
+/// Every candidate is bit-for-bit identical, so the tuner can only cost
+/// or save time, never change results.
+TunedDecision autotune_decision(const sparse::CscMatrix& lower,
+                                const sparse::LevelAnalysis& levels,
+                                int requested_threads) {
+  TunedDecision d;
+  d.autotuned = true;
+  d.coarsen = sparse::resolve_coarsen_options({}, levels);
+  d.features =
+      sparse::schedule_features(levels, lower.nnz(), d.coarsen.narrow_width);
+  const sparse::ScheduleFeatures& f = d.features;
+  const int hw = resolve_cpu_threads(requested_threads);
+  if (lower.rows <= 256 ||
+      (f.max_level_width <= d.coarsen.narrow_width &&
+       f.avg_level_width < 2.0)) {
+    // Tiny system, or a pure chain with no exploitable width anywhere:
+    // every parallel schedule only adds claim/barrier overhead.
+    d.backend = Backend::kSerial;
+    d.gang_width = 1;
+  } else if (f.narrow_level_fraction >= 0.5 && f.num_levels >= 64) {
+    d.backend = Backend::kCpuTaskGraph;
+    // Ready tasks at any instant are bounded by the widest level's block
+    // count (chains serialize); one spare party overlaps claim latency.
+    const double blocks = static_cast<double>(f.max_level_width) /
+                          static_cast<double>(d.coarsen.block_rows);
+    d.gang_width = std::clamp(static_cast<int>(blocks) + 2, 2, hw);
+  } else {
+    d.backend = Backend::kCpuLevelSet;
+    // A gang wider than the average level leaves parties idle at every
+    // barrier; clamp to the structural parallelism.
+    d.gang_width =
+        std::clamp(static_cast<int>(f.avg_level_width + 0.5), 2, hw);
+  }
+  d.schedule = d.backend == Backend::kCpuTaskGraph ? 1 : 0;
+  return d;
+}
+
 }  // namespace
 
 struct SolverPlan::State {
@@ -181,6 +233,31 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
     }
   }
 
+  // Analyze-time autotune: replace the (placeholder) host backend with the
+  // structurally chosen one before any backend-keyed state is built. Only
+  // host schedules participate -- an explicit simulated/multi-GPU request
+  // is a statement about WHICH engine to model, not a tuning question.
+  if (options.autotune && (options.backend == Backend::kSerial ||
+                           backend_is_host_parallel(options.backend))) {
+    sparse::LevelAnalysis levels =
+        sparse::analyze_levels(lower, /*validate=*/false);
+    TunedDecision tuned =
+        autotune_decision(lower, levels, options.cpu_threads);
+    st->options.backend = tuned.backend;
+    st->options.cpu_threads = tuned.gang_width;
+    st->snapshot.tuned = tuned;
+    // Re-stamp the identity the tuner just changed: the snapshot must
+    // describe the CHOSEN configuration, layout resolution included.
+    st->snapshot.backend = tuned.backend;
+    st->snapshot.rhs_layout =
+        resolve_rhs_layout(options.rhs_layout, tuned.backend);
+    // Hand the analysis forward instead of recomputing it in the switch.
+    if (tuned.backend == Backend::kCpuLevelSet ||
+        tuned.backend == Backend::kCpuTaskGraph) {
+      st->snapshot.levels = std::move(levels);
+    }
+  }
+
   // Only the multi-GPU engines consume a partition; host/single-GPU plans
   // compute one on demand in partition()/footprint() instead of paying an
   // O(n) build per plan (and per legacy one-shot solve).
@@ -194,7 +271,11 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
     case Backend::kSerial:
       break;
     case Backend::kCpuLevelSet:
-      st->snapshot.levels = sparse::analyze_levels(lower, /*validate=*/false);
+    case Backend::kCpuTaskGraph:
+      // The autotune path above may have handed its analysis forward.
+      if (!st->snapshot.levels.has_value()) {
+        st->snapshot.levels = sparse::analyze_levels(lower, /*validate=*/false);
+      }
       break;
     case Backend::kCpuSyncFree:
       st->snapshot.in_degrees = sparse::compute_in_degrees(lower, /*validate=*/false);
@@ -221,10 +302,28 @@ Expected<std::shared_ptr<SolverPlan::State>> SolverPlan::analyze_state(
   // of the factor, both built here once. The pool is lazy: workspaces
   // (and their threads) materialize on first solve, one per concurrent
   // caller.
-  if (options.backend == Backend::kCpuLevelSet ||
-      options.backend == Backend::kCpuSyncFree) {
+  if (backend_is_host_parallel(options.backend)) {
     st->snapshot.row_form = sparse::csr_from_csc(lower);
     apply_numa_hints(options, st->snapshot);
+    if (options.backend == Backend::kCpuTaskGraph) {
+      // Every cpu-taskgraph plan carries a tuned record, autotuned or not:
+      // the coarsening thresholds in it are what the load path rebuilds
+      // the graph from (the sync-cost measurement behind the defaults is
+      // per-process and must not be re-derived on another machine).
+      if (!st->snapshot.tuned.has_value()) {
+        TunedDecision tuned;
+        tuned.backend = Backend::kCpuTaskGraph;
+        tuned.schedule = 1;
+        tuned.gang_width = options.cpu_threads;
+        tuned.coarsen =
+            sparse::resolve_coarsen_options({}, *st->snapshot.levels);
+        tuned.features = sparse::schedule_features(
+            *st->snapshot.levels, lower.nnz(), tuned.coarsen.narrow_width);
+        st->snapshot.tuned = tuned;
+      }
+      st->snapshot.tasks = sparse::coarsen_levels(
+          lower, *st->snapshot.levels, st->snapshot.tuned->coarsen);
+    }
     PoolOptions pool_opts;
     pool_opts.numa_policy = options.numa_policy;
     st->workspaces = std::make_unique<WorkspacePool>(
@@ -444,6 +543,38 @@ Expected<SolveResult> SolverPlan::run_batch_lower(
         done = solve_lower_syncfree_fused(lower, *st.snapshot.row_form, b,
                                           num_rhs, st.snapshot.in_degrees,
                                           lease.ws(), out.x, cancel);
+        scratch.kernel_us += us_since(t0);
+      }
+      if (!done) return cancel_error(*cancel);
+      out.wall_seconds = seconds_since(t0);
+      out.report.solver_name = backend_name(st.options.backend);
+      out.report.machine_name = "host";
+      break;
+    }
+    case Backend::kCpuTaskGraph: {
+      WorkspacePool::Lease lease = st.workspaces->acquire();
+      out.x.resize(total);
+      const auto t0 = steady_clock::now();
+      bool done;
+      if (interleave) {
+        value_t* pb = lease.ws().panel_b(total);
+        value_t* px = lease.ws().panel_x(total);
+        pack_interleaved(b, lower.rows, num_rhs, pb);
+        scratch.pack_us += us_since(t0);
+        const auto tk = steady_clock::now();
+        done = solve_lower_taskgraph_fused_interleaved(
+            *st.snapshot.tasks, *st.snapshot.row_form, pb, num_rhs,
+            lease.ws(), px, cancel);
+        scratch.kernel_us += us_since(tk);
+        if (done) {
+          const auto tu = steady_clock::now();
+          unpack_interleaved(px, lower.rows, num_rhs, out.x);
+          scratch.unpack_us += us_since(tu);
+        }
+      } else {
+        done = solve_lower_taskgraph_fused(*st.snapshot.tasks,
+                                           *st.snapshot.row_form, b, num_rhs,
+                                           lease.ws(), out.x, cancel);
         scratch.kernel_us += us_since(t0);
       }
       if (!done) return cancel_error(*cancel);
@@ -846,6 +977,14 @@ Expected<SolverPlan> SolverPlan::restore(
   using Result = Expected<SolverPlan>;
   PlanSnapshot& snap = parsed.snapshot;
 
+  // An autotune load ADOPTS the stored decision instead of demanding the
+  // caller guess which backend the tuner picked at analyze time: the plan
+  // replays the persisted choice (backend and gang width) verbatim.
+  if (options.autotune) {
+    options.backend = snap.backend;
+    if (snap.tuned.has_value()) options.cpu_threads = snap.tuned->gang_width;
+  }
+
   // The snapshot is only valid for the configuration that produced it:
   // pairing it with different symbolic-phase inputs would execute a
   // schedule computed for another machine shape.
@@ -884,6 +1023,7 @@ Expected<SolverPlan> SolverPlan::restore(
   const index_t n = parsed.factor.rows;
   if (n > 0) {
     const bool needs_levels = options.backend == Backend::kCpuLevelSet ||
+                              options.backend == Backend::kCpuTaskGraph ||
                               options.backend == Backend::kGpuLevelSet;
     const bool needs_in_degrees =
         options.backend == Backend::kCpuSyncFree ||
@@ -951,10 +1091,19 @@ Expected<SolverPlan> SolverPlan::restore(
   // transpose, the same memory-speed pass analyze pays. Fat blobs (v1,
   // or v2 written with include_row_form) keep their stored copy; the
   // borrowed value-refresh above already re-synced it when needed.
-  const bool needs_row_form = options.backend == Backend::kCpuLevelSet ||
-                              options.backend == Backend::kCpuSyncFree;
-  if (n > 0 && needs_row_form && !snap.row_form.has_value()) {
+  if (n > 0 && backend_is_host_parallel(options.backend) &&
+      !snap.row_form.has_value()) {
     snap.row_form = sparse::csr_from_csc(*st->lower);
+  }
+
+  // The task DAG is never serialized (like the lean row form): rebuild it
+  // from the stored levels under the PERSISTED coarsening thresholds --
+  // the defaults embed a per-process sync-cost measurement, and the graph
+  // the plan runs must be the graph the analysis chose.
+  if (n > 0 && options.backend == Backend::kCpuTaskGraph) {
+    const sparse::CoarsenOptions coarsen =
+        snap.tuned.has_value() ? snap.tuned->coarsen : sparse::CoarsenOptions{};
+    snap.tasks = sparse::coarsen_levels(*st->lower, *snap.levels, coarsen);
   }
 
   // RHS layout: explicit options win; otherwise trust the stored resolved
@@ -991,8 +1140,7 @@ Expected<SolverPlan> SolverPlan::restore(
   // is reported separately via load_us().
   st->snapshot.analysis_us = 0.0;
   st->analysis_seconds = 0.0;
-  if (n > 0 && (st->options.backend == Backend::kCpuLevelSet ||
-                st->options.backend == Backend::kCpuSyncFree)) {
+  if (n > 0 && backend_is_host_parallel(st->options.backend)) {
     PoolOptions pool_opts;
     pool_opts.numa_policy = st->options.numa_policy;
     st->workspaces = std::make_unique<WorkspacePool>(
@@ -1026,6 +1174,14 @@ std::span<const index_t> SolverPlan::in_degrees() const {
 
 const sparse::LevelAnalysis* SolverPlan::level_analysis() const {
   return state_->snapshot.levels ? &*state_->snapshot.levels : nullptr;
+}
+
+const TunedDecision* SolverPlan::tuned() const {
+  return state_->snapshot.tuned ? &*state_->snapshot.tuned : nullptr;
+}
+
+const sparse::TaskGraph* SolverPlan::task_graph() const {
+  return state_->snapshot.tasks ? &*state_->snapshot.tasks : nullptr;
 }
 
 std::size_t SolverPlan::workspace_count() const {
@@ -1067,6 +1223,15 @@ std::size_t SolverPlan::resident_bytes() const {
     bytes += vector_bytes(snap.row_form->row_ptr) +
              vector_bytes(snap.row_form->col_idx) +
              vector_bytes(snap.row_form->val);
+  }
+  if (snap.tasks.has_value()) {
+    bytes += vector_bytes(snap.tasks->task_ptr) +
+             vector_bytes(snap.tasks->task_rows) +
+             vector_bytes(snap.tasks->kind) +
+             vector_bytes(snap.tasks->task_of) +
+             vector_bytes(snap.tasks->in_degree) +
+             vector_bytes(snap.tasks->succ_ptr) +
+             vector_bytes(snap.tasks->succ);
   }
   if (snap.partition.has_value()) {
     // Partition internals: per-component owner map dominates.

@@ -61,10 +61,15 @@
 #include "sparse/level_analysis.hpp"
 #include "sparse/partition.hpp"
 
+namespace msptrsv::sparse {
+struct TaskGraph;  // sparse/task_graph.hpp
+}
+
 namespace msptrsv::core {
 
 struct SnapshotBlob;          // core/plan_snapshot.hpp
 struct SnapshotWriteOptions;  // core/plan_snapshot.hpp
+struct TunedDecision;         // core/plan_snapshot.hpp
 
 class SolverPlan {
  public:
@@ -212,6 +217,13 @@ class SolverPlan {
   std::span<const index_t> in_degrees() const;
   /// Level-set analysis (null for backends that do not use it).
   const sparse::LevelAnalysis* level_analysis() const;
+  /// The analyze-time schedule decision: present on every autotuned plan
+  /// (SolveOptions::autotune / registry preset "auto") and on every
+  /// cpu-taskgraph plan; null otherwise. Round-trips through v3 plan
+  /// blobs, so a LOADED plan reports the choice its analysis made.
+  const TunedDecision* tuned() const;
+  /// The coarsened task DAG (cpu-taskgraph plans only; null otherwise).
+  const sparse::TaskGraph* task_graph() const;
 
   /// Host workspaces materialized so far: 0 before the first solve on a
   /// host-parallel backend (and always for other backends), then one per

@@ -13,7 +13,59 @@ enum SectionFlags : std::uint32_t {
   kHasInDegrees = 1u << 0,
   kHasLevels = 1u << 1,
   kHasRowForm = 1u << 2,
+  /// v3+: the analyze-time tuned decision (autotuner choice + features +
+  /// coarsening thresholds). Never set by v1/v2 streams.
+  kHasTuned = 1u << 3,
 };
+
+void write_tuned(support::BlobWriter& w, const TunedDecision& d) {
+  w.write_u8(d.autotuned ? 1 : 0);
+  // The chosen backend travels as its registry key, like the identity
+  // section's backend: enumerator reordering must never flip a decision.
+  w.write_string(registry::entry_of(d.backend).key);
+  w.write_u8(d.schedule);
+  w.write_i32(d.gang_width);
+  w.write_i32(static_cast<std::int32_t>(d.coarsen.narrow_width));
+  w.write_i32(static_cast<std::int32_t>(d.coarsen.block_rows));
+  w.write_f64(d.features.nnz_per_row);
+  w.write_i32(static_cast<std::int32_t>(d.features.num_levels));
+  w.write_i32(static_cast<std::int32_t>(d.features.max_level_width));
+  w.write_f64(d.features.avg_level_width);
+  w.write_f64(d.features.narrow_level_fraction);
+  w.write_i32(static_cast<std::int32_t>(d.features.longest_narrow_run));
+  w.write_f64(d.features.avg_narrow_run);
+}
+
+std::string read_tuned(support::BlobReader& r, TunedDecision& d) {
+  d.autotuned = r.read_u8() != 0;
+  const std::string backend_key = r.read_string();
+  d.schedule = r.read_u8();
+  d.gang_width = r.read_i32();
+  d.coarsen.narrow_width = static_cast<index_t>(r.read_i32());
+  d.coarsen.block_rows = static_cast<index_t>(r.read_i32());
+  d.features.nnz_per_row = r.read_f64();
+  d.features.num_levels = static_cast<index_t>(r.read_i32());
+  d.features.max_level_width = static_cast<index_t>(r.read_i32());
+  d.features.avg_level_width = r.read_f64();
+  d.features.narrow_level_fraction = r.read_f64();
+  d.features.longest_narrow_run = static_cast<index_t>(r.read_i32());
+  d.features.avg_narrow_run = r.read_f64();
+  if (!r.ok()) return r.error();
+  const Expected<Backend> backend = registry::parse_backend(backend_key);
+  if (!backend.ok()) {
+    return "tuned section names unknown backend '" + backend_key + "'";
+  }
+  d.backend = backend.value();
+  if (d.schedule > 1) {
+    return "tuned section carries unknown schedule value " +
+           std::to_string(d.schedule);
+  }
+  if (d.coarsen.narrow_width < 0 || d.coarsen.block_rows < 0 ||
+      d.gang_width < 0) {
+    return "tuned section carries negative thresholds";
+  }
+  return {};
+}
 
 }  // namespace
 
@@ -52,16 +104,22 @@ std::vector<std::uint8_t> serialize_snapshot(const PlanSnapshot& snap,
   const bool store_row_form =
       snap.row_form.has_value() &&
       (options.format_version == 1 || options.include_row_form);
+  // The tuned decision is a v3 section: older-format writes drop it (a
+  // v1/v2 reader would choke on an unknown flag bit).
+  const bool store_tuned =
+      snap.tuned.has_value() && options.format_version >= 3;
   std::uint32_t flags = 0;
   if (!snap.in_degrees.empty()) flags |= kHasInDegrees;
   if (snap.levels.has_value()) flags |= kHasLevels;
   if (store_row_form) flags |= kHasRowForm;
+  if (store_tuned) flags |= kHasTuned;
   w.write_u32(flags);
   if (flags & kHasInDegrees) {
     w.write_span(std::span<const index_t>(snap.in_degrees));
   }
   if (flags & kHasLevels) sparse::write_levels(w, *snap.levels);
   if (flags & kHasRowForm) sparse::write_csr(w, *snap.row_form);
+  if (flags & kHasTuned) write_tuned(w, *snap.tuned);
 
   return std::move(w).finish();
 }
@@ -117,11 +175,20 @@ std::string deserialize_snapshot(std::span<const std::uint8_t> bytes,
   out.snapshot.backend = backend.value();
 
   const std::uint32_t flags = r.read_u32();
+  if (r.version() < 3 && (flags & kHasTuned)) {
+    return "pre-v3 snapshot carries a tuned-decision section";
+  }
   if (flags & kHasInDegrees) {
     out.snapshot.in_degrees = r.read_vector<index_t>();
   }
   if (flags & kHasLevels) out.snapshot.levels = sparse::read_levels(r);
   if (flags & kHasRowForm) out.snapshot.row_form = sparse::read_csr(r);
+  if (flags & kHasTuned) {
+    TunedDecision d;
+    const std::string err = read_tuned(r, d);
+    if (!err.empty()) return err;
+    out.snapshot.tuned = d;
+  }
   if (!r.ok()) return r.error();
   if (!r.at_end()) return "trailing bytes after the last snapshot section";
 
@@ -140,6 +207,10 @@ std::string deserialize_snapshot(std::span<const std::uint8_t> bytes,
        out.snapshot.row_form->cols != out.factor.cols ||
        out.snapshot.row_form->nnz() != out.factor_nnz)) {
     return "row-form section does not match the factor shape";
+  }
+  if (out.snapshot.tuned.has_value() &&
+      out.snapshot.tuned->backend != out.snapshot.backend) {
+    return "tuned section disagrees with the snapshot backend";
   }
   return {};
 }

@@ -27,8 +27,31 @@
 #include "sparse/level_analysis.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/serialize.hpp"
+#include "sparse/task_graph.hpp"
 
 namespace msptrsv::core {
+
+/// The analyze-time schedule decision (autotuned plans and every
+/// cpu-taskgraph plan), persisted as a v3 blob section so a loaded plan
+/// reports -- and replays -- exactly the choice the analysis made, instead
+/// of re-tuning against whatever the loading machine measures.
+struct TunedDecision {
+  /// The decision came from the autotuner (vs an explicit cpu-taskgraph
+  /// request, which records only its coarsening parameters here).
+  bool autotuned = false;
+  /// Chosen backend (== PlanSnapshot::backend after analysis).
+  Backend backend = Backend::kSerial;
+  /// 0 = flat (backend-native) schedule, 1 = coarsened task graph.
+  std::uint8_t schedule = 0;
+  /// Chosen gang width (SolveOptions::cpu_threads semantics; 0 = hw).
+  int gang_width = 0;
+  /// Coarsening thresholds the task graph was (or would be) built with.
+  /// Pinned in the blob: the per-process sync-cost measurement may differ
+  /// on the loading machine, and the rebuilt graph must be THIS one.
+  sparse::CoarsenOptions coarsen;
+  /// Structural features the decision was made from (observability).
+  sparse::ScheduleFeatures features;
+};
 
 struct PlanSnapshot {
   /// Configuration identity: the load path refuses to marry this snapshot
@@ -61,22 +84,34 @@ struct PlanSnapshot {
   /// One-time simulated analysis charge (comm/analysis sizing; 0 for the
   /// real host backends and for LOADED plans, which never paid it).
   sim_time_t analysis_us = 0.0;
+  /// Analyze-time schedule decision (autotune / cpu-taskgraph plans;
+  /// absent otherwise). Serialized by v3 blobs; older formats drop it and
+  /// the load path falls back to default coarsening thresholds.
+  std::optional<TunedDecision> tuned;
+  /// Coarsened task DAG of the cpu-taskgraph backend. NOT serialized --
+  /// like the lean row form, it is a deterministic O(n + nnz) function of
+  /// the levels and the (persisted) coarsening thresholds, and the load
+  /// path rebuilds it.
+  std::optional<sparse::TaskGraph> tasks;
 };
 
 /// On-disk format version of plan blobs. The reader accepts the current
-/// version AND v1 (pre-layout, fat row-form blobs) -- a plan cache must
-/// outlive a binary upgrade; anything else is rejected (kBadSnapshot).
+/// version AND every older one back to v1 -- a plan cache must outlive a
+/// binary upgrade; anything else is rejected (kBadSnapshot).
 /// v2: adds the rhs_layout byte, stops storing the row-form section.
-inline constexpr std::uint16_t kPlanBlobVersion = 2;
+/// v3: adds the tuned-decision section (autotuner choice + features +
+///     coarsening thresholds; the task graph itself is rebuilt at load).
+inline constexpr std::uint16_t kPlanBlobVersion = 3;
 
 /// Serialization knobs, defaulted to the production format. Tests and the
-/// bench use these to produce v1-format and fat (row-form-carrying) blobs
-/// for the compatibility and restore-cost studies.
+/// bench use these to produce older-format and fat (row-form-carrying)
+/// blobs for the compatibility and restore-cost studies.
 struct SnapshotWriteOptions {
-  /// 1 or 2. Version 1 writes the exact pre-v2 byte stream (no layout
-  /// byte, row form included when present).
+  /// 1..kPlanBlobVersion. Version 1 writes the exact pre-v2 byte stream
+  /// (no layout byte, row form included when present); version 2 the
+  /// pre-v3 stream (no tuned section).
   std::uint16_t format_version = kPlanBlobVersion;
-  /// v2 only: force the row-form section in despite the lean default.
+  /// v2+ only: force the row-form section in despite the lean default.
   bool include_row_form = false;
 };
 

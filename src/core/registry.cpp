@@ -10,13 +10,16 @@ namespace msptrsv::core::registry {
 
 namespace {
 
-constexpr std::array<BackendEntry, 8> kBackends{{
+constexpr std::array<BackendEntry, 9> kBackends{{
     {Backend::kSerial, "serial",
      "host reference, Algorithm 1 column sweep", false, false, true},
     {Backend::kCpuLevelSet, "cpu-levelset",
      "real-thread level-set (Naumov on the host)", false, false, true},
     {Backend::kCpuSyncFree, "cpu-syncfree",
      "real-thread sync-free (Liu on the host)", false, false, true},
+    {Backend::kCpuTaskGraph, "cpu-taskgraph",
+     "real-thread coarsened task DAG (chain-fused levels)", false, false,
+     true},
     {Backend::kGpuLevelSet, "gpu-levelset",
      "simulated cuSPARSE csrsv2 level-set baseline", true, false, true},
     {Backend::kMgUnified, "mg-unified",
@@ -65,6 +68,7 @@ Expected<Backend> parse_backend(std::string_view key) {
   if (k == "shmem") return Backend::kMgShmem;
   if (k == "zerocopy" || k == "zero-copy") return Backend::kMgZeroCopy;
   if (k == "syncfree") return Backend::kCpuSyncFree;
+  if (k == "taskgraph" || k == "task-graph") return Backend::kCpuTaskGraph;
   return Expected<Backend>(SolveStatus::kUnknownBackend,
                            "unknown backend '" + std::string(key) +
                                "'; known backends: " + backend_keys());
@@ -88,6 +92,15 @@ SolveOptions default_options(Backend b) {
 }
 
 Expected<SolveOptions> options_for(std::string_view key) {
+  // "auto" is a PRESET, not a backend: the analyze-time autotuner picks
+  // the backend (and schedule, and gang width) per matrix and overwrites
+  // options.backend with the decision. The placeholder backend only names
+  // what a 0x0 matrix (which has no features) falls back to.
+  if (lower_key(key) == "auto") {
+    SolveOptions opt = default_options(Backend::kCpuLevelSet);
+    opt.autotune = true;
+    return opt;
+  }
   Expected<Backend> b = parse_backend(key);
   if (!b.ok()) return Expected<SolveOptions>(b.error());
   return default_options(b.value());

@@ -54,6 +54,9 @@ Expected<Backend> parse_backend(std::string_view key);
 SolveOptions default_options(Backend b);
 
 /// parse_backend + default_options in one step (the common bench path).
+/// Additionally accepts the preset key "auto": default host options with
+/// SolveOptions::autotune set, so the analyze phase picks backend +
+/// schedule + gang width from the matrix structure.
 Expected<SolveOptions> options_for(std::string_view key);
 
 /// Comma-separated canonical key list ("serial, cpu-levelset, ...") for

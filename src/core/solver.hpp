@@ -5,6 +5,7 @@
 //   kSerial         Algorithm 1 (host reference)
 //   kCpuLevelSet    real-thread level-set (Naumov on the host)
 //   kCpuSyncFree    real-thread sync-free (Liu on the host)
+//   kCpuTaskGraph   real-thread coarsened task DAG (chain-fused levels)
 //   kGpuLevelSet    simulated cuSPARSE csrsv2 (Fig. 10 baseline)
 //   kMgUnified      "4GPU-Unified":      Algorithm 2, block distribution
 //   kMgUnifiedTask  "4GPU-Unified+task": Algorithm 2 + task pool
@@ -34,6 +35,7 @@ enum class Backend {
   kSerial,
   kCpuLevelSet,
   kCpuSyncFree,
+  kCpuTaskGraph,
   kGpuLevelSet,
   kMgUnified,
   kMgUnifiedTask,
@@ -129,6 +131,17 @@ struct SolveOptions {
   /// time). When no budget is set the kernels skip every check (one null
   /// test per solve).
   double time_budget = 0.0;
+  /// Analyze-time schedule autotuner (registry preset "auto"): the
+  /// symbolic phase extracts structural features from the level analysis
+  /// (level-width histogram, chain-run lengths, nnz/row), picks the host
+  /// backend + schedule (flat levels vs coarsened task graph) + gang
+  /// width, and OVERWRITES `backend`/`cpu_threads` with the decision.
+  /// The choice and its features are recorded in the plan snapshot
+  /// (SolverPlan::tuned()) and persist through v3 plan blobs; loading a
+  /// blob with autotune set adopts the stored decision instead of
+  /// requiring a backend match. Schedule choice never changes bits --
+  /// every candidate backend is bit-for-bit identical.
+  bool autotune = false;
 };
 
 struct SolveResult {

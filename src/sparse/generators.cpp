@@ -251,6 +251,52 @@ CscMatrix gen_layered_dag(index_t n, index_t num_levels, offset_t target_nnz,
   return finalize_structure(std::move(coo), seed);
 }
 
+CscMatrix gen_chain_heavy(index_t num_segments, index_t chain_len,
+                          index_t fan_width, index_t extra_edges,
+                          std::uint64_t seed) {
+  MSPTRSV_REQUIRE(num_segments > 0 && chain_len > 0 && fan_width > 0,
+                  "segment shape must be positive");
+  MSPTRSV_REQUIRE(extra_edges >= 0, "extra_edges must be non-negative");
+  Xoshiro256 rng(seed);
+  const index_t seg = chain_len + fan_width;
+  const index_t n = num_segments * seg;
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  for (index_t s = 0; s < num_segments; ++s) {
+    const index_t base = s * seg;
+    // The chain: each row depends on its predecessor; the first chain row
+    // of segment s > 0 roots in the previous segment's first fan row, so
+    // the critical path threads every segment.
+    for (index_t c = 0; c < chain_len; ++c) {
+      const index_t i = base + c;
+      coo.add(i, i, 0.0);
+      if (c > 0) {
+        coo.add(i, i - 1, 0.0);
+      } else if (s > 0) {
+        coo.add(i, base - fan_width, 0.0);
+      }
+    }
+    // The fan: fan_width mutually independent rows hanging off the chain
+    // tail (one wide level), plus random extra dependencies on the chain
+    // for gather weight.
+    const index_t tail = base + chain_len - 1;
+    for (index_t f = 0; f < fan_width; ++f) {
+      const index_t i = base + chain_len + f;
+      coo.add(i, i, 0.0);
+      coo.add(i, tail, 0.0);
+    }
+    for (index_t e = 0; e < extra_edges; ++e) {
+      const index_t i =
+          base + chain_len +
+          static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(fan_width)));
+      const index_t j = base + static_cast<index_t>(rng.next_below(
+                                   static_cast<std::uint64_t>(chain_len)));
+      coo.add(i, j, 0.0);
+    }
+  }
+  return finalize_structure(std::move(coo), seed);
+}
+
 CscMatrix gen_grid2d_lower(index_t nx, index_t ny) {
   MSPTRSV_REQUIRE(nx > 0 && ny > 0, "grid dimensions must be positive");
   CooMatrix coo;

@@ -47,6 +47,18 @@ CscMatrix gen_random_lower(index_t n, double avg_row_degree,
 CscMatrix gen_layered_dag(index_t n, index_t num_levels, offset_t target_nnz,
                           double locality, std::uint64_t seed);
 
+/// Chain-heavy workload: `num_segments` repetitions of a long width-1
+/// chain (`chain_len` rows, each depending on its predecessor) feeding a
+/// `fan_width`-wide independent fan, with the next segment's chain rooted
+/// in the fan. Produces chain_len narrow levels followed by one wide level
+/// per segment -- the regime where a flat level schedule pays a gang
+/// synchronization per chain row while a coarsened task schedule fuses
+/// each chain into one task. `extra_edges` random fan-to-fan dependencies
+/// per segment add gather work without changing the level structure.
+CscMatrix gen_chain_heavy(index_t num_segments, index_t chain_len,
+                          index_t fan_width, index_t extra_edges,
+                          std::uint64_t seed);
+
 /// Lower factor of the 5-point 2D Poisson stencil on an nx-by-ny grid
 /// (structure of an IC(0)/ILU(0) factor on a structured grid: dependencies
 /// on west and south neighbors; #levels = nx+ny-1 wavefronts).

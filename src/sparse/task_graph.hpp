@@ -1,0 +1,132 @@
+// Coarsened task-DAG schedule over a level analysis.
+//
+// The level-set schedule pays one gang synchronization per level even when
+// hundreds of consecutive levels are nearly serial chains -- exactly the
+// regime the paper's Section VI-D "low parallelism" matrices live in. This
+// pass coarsens a LevelAnalysis into TASKS under a simple cost model:
+//
+//  * runs of consecutive NARROW levels (population <= narrow_width) are
+//    fused into ONE chain task whose rows execute sequentially in level
+//    order. A width-1000-level chain collapses from 1000 barriers to one
+//    task claim; intra-task dependencies are satisfied by the sequential
+//    level-order sweep, so the run needs no synchronization at all.
+//  * WIDE levels are split into cache-sized row blocks (block_rows rows
+//    per task). Rows of one level are mutually independent, so a block
+//    task is a plain parallel slice with no internal ordering.
+//
+// Cross-task dependencies stay explicit: task t carries an in-degree (the
+// number of distinct predecessor tasks) and a deduplicated successor list,
+// which is what the cpu-taskgraph backend's delivery counters run on.
+//
+// Tasks are numbered in level order, so every edge goes from a lower task
+// id to a strictly higher one -- ascending-id claiming is deadlock-free by
+// the same argument as the sync-free row schedule, and ascending task
+// order IS a topological order (the property test pins this down).
+//
+// The pass is structure-only (no values), deterministic in its inputs, and
+// costs O(n + nnz). The thresholds default from a per-process sync-cost
+// measurement (measured_sync_overhead_us) so they track the machine; every
+// caller that must rebuild an IDENTICAL graph later (plan blobs) pins them
+// explicitly through CoarsenOptions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/level_analysis.hpp"
+
+namespace msptrsv::sparse {
+
+enum class TaskKind : std::uint8_t {
+  /// Fused run of narrow levels; rows execute sequentially in level order.
+  kChain = 0,
+  /// Row block of a single wide level; rows are mutually independent.
+  kBlock = 1,
+};
+
+struct TaskGraph {
+  index_t n = 0;
+  index_t num_tasks = 0;
+
+  /// Rows of task t: task_rows[task_ptr[t] .. task_ptr[t+1]) in execution
+  /// order (level order for chains, ascending id within a block). Every
+  /// row appears exactly once across all tasks.
+  std::vector<offset_t> task_ptr;
+  std::vector<index_t> task_rows;
+  /// TaskKind per task.
+  std::vector<std::uint8_t> kind;
+  /// task_of[row]: the task that solves the row.
+  std::vector<index_t> task_of;
+
+  /// Cross-task dependency structure, deduplicated: in_degree[t] distinct
+  /// predecessor tasks must deliver before t may run; the successors of t
+  /// are succ[succ_ptr[t] .. succ_ptr[t+1]), each strictly greater than t.
+  std::vector<index_t> in_degree;
+  std::vector<offset_t> succ_ptr;
+  std::vector<index_t> succ;
+
+  /// Coarsening statistics (observability + the autotuner's features).
+  index_t num_chain_tasks = 0;
+  index_t num_block_tasks = 0;
+  /// Levels fused away: num_levels - (level runs surviving as sync points).
+  index_t levels_fused = 0;
+
+  bool chain(index_t t) const {
+    return kind[static_cast<std::size_t>(t)] ==
+           static_cast<std::uint8_t>(TaskKind::kChain);
+  }
+};
+
+/// Coarsening thresholds. Zero means "derive from the cost model": a level
+/// is narrow when solving it costs less than a synchronization, and blocks
+/// target a fixed working-set size per task.
+struct CoarsenOptions {
+  /// Levels with population <= narrow_width fuse into chain tasks.
+  index_t narrow_width = 0;
+  /// Rows per block task when splitting a wide level.
+  index_t block_rows = 0;
+};
+
+/// Resolves zeroed CoarsenOptions fields against the cost model: the
+/// narrow threshold is the row count whose solve work (estimated from
+/// nnz/row) is dwarfed by one measured gang synchronization, and blocks
+/// size to ~a few hundred KB of gathered structure. Deterministic for
+/// fixed inputs within one process.
+CoarsenOptions resolve_coarsen_options(CoarsenOptions opts,
+                                       const LevelAnalysis& levels);
+
+/// Builds the coarsened task DAG for `lower` (the analyzed factor whose
+/// level sets `levels` describes). Zeroed option fields are resolved via
+/// resolve_coarsen_options first.
+TaskGraph coarsen_levels(const CscMatrix& lower, const LevelAnalysis& levels,
+                         CoarsenOptions opts = {});
+
+/// Per-process cost of one gang synchronization in microseconds, measured
+/// once on first use (a timed burst of contended atomic round-trips --
+/// the same traffic a barrier wave or a delivery hand-off pays). Falls
+/// back to a fixed estimate when the clock is too coarse to resolve it.
+double measured_sync_overhead_us();
+
+/// Structural features of a level analysis, extracted once at analyze time
+/// for the schedule autotuner (and recorded in the plan blob with the
+/// decision they produced).
+struct ScheduleFeatures {
+  double nnz_per_row = 0.0;
+  index_t num_levels = 0;
+  index_t max_level_width = 0;
+  double avg_level_width = 0.0;
+  /// Fraction of levels with population <= narrow_width.
+  double narrow_level_fraction = 0.0;
+  /// Longest / mean run of consecutive narrow levels.
+  index_t longest_narrow_run = 0;
+  double avg_narrow_run = 0.0;
+};
+
+/// Computes the features against an explicit narrow threshold (pass the
+/// resolved CoarsenOptions::narrow_width so the tuner and the coarsener
+/// agree on what "narrow" means).
+ScheduleFeatures schedule_features(const LevelAnalysis& levels, offset_t nnz,
+                                   index_t narrow_width);
+
+}  // namespace msptrsv::sparse

@@ -1,0 +1,229 @@
+// Cross-backend differential harness.
+//
+// One seeded sweep drives every host execution strategy through the same
+// inputs -- {lower, upper} x {serial, cpu-levelset, cpu-syncfree,
+// cpu-taskgraph} x {1, 4 threads} x {column-major, interleaved} x
+// {solve, solve_batch, update_values-then-solve} -- and holds the results
+// to two contracts at once:
+//
+//  * numerics: every configuration reproduces the serial reference to
+//    tight relative tolerance (the serial sweep is PUSH-based, so its
+//    summation order legitimately differs);
+//  * bits: the pull-based host-parallel backends (cpu-levelset,
+//    cpu-syncfree, cpu-taskgraph) gather in ascending-column row order BY
+//    CONSTRUCTION, independent of schedule, thread count, and layout --
+//    so all of them must agree bit for bit, across every configuration.
+//
+// A failing comparison dumps the matrix to a Matrix Market file next to
+// the test binary (name embeds the case tag and seed) so the exact
+// instance can be replayed offline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/msptrsv.hpp"
+#include "sparse/mmio.hpp"
+
+namespace msptrsv {
+namespace {
+
+using core::RhsLayout;
+
+struct MatrixCase {
+  std::string tag;
+  std::uint64_t seed;
+  sparse::CscMatrix lower;
+};
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> out;
+  for (std::uint64_t seed : {7u, 19u}) {
+    out.push_back({"layered", seed,
+                   sparse::gen_layered_dag(300, 24, 1600, 0.5, seed)});
+    out.push_back({"chain_heavy", seed,
+                   sparse::gen_chain_heavy(5, 20, 10, 2, seed)});
+    out.push_back({"random", seed, sparse::gen_random_lower(250, 3.0, seed)});
+    out.push_back({"banded", seed, sparse::gen_banded(220, 5, 0.7, seed)});
+  }
+  return out;
+}
+
+struct Config {
+  const char* backend;
+  int threads;
+  RhsLayout layout;
+  std::string label() const {
+    return std::string(backend) + "/t" + std::to_string(threads) +
+           (layout == RhsLayout::kInterleaved ? "/interleaved" : "/colmajor");
+  }
+};
+
+std::vector<Config> configs() {
+  std::vector<Config> out;
+  for (const char* b :
+       {"serial", "cpu-levelset", "cpu-syncfree", "cpu-taskgraph"}) {
+    for (int t : {1, 4}) {
+      for (RhsLayout l : {RhsLayout::kColumnMajor, RhsLayout::kInterleaved}) {
+        out.push_back({b, t, l});
+      }
+    }
+  }
+  return out;
+}
+
+core::SolveOptions options_of(const Config& c) {
+  core::SolveOptions o = core::registry::options_for(c.backend).value();
+  o.cpu_threads = c.threads;
+  o.rhs_layout = c.layout;
+  return o;
+}
+
+/// The three results one configuration produces from one matrix. The
+/// update op runs LAST on its plan, so solve/batch see original values.
+struct Results {
+  std::vector<value_t> solve;
+  std::vector<value_t> batch;
+  std::vector<value_t> updated;
+};
+
+constexpr index_t kBatchRhs = 3;
+
+Results run_all_ops(const sparse::CscMatrix& factor, bool upper,
+                    const core::SolveOptions& opt,
+                    const std::vector<value_t>& b,
+                    const std::vector<value_t>& batch,
+                    const sparse::CscMatrix& scaled) {
+  auto plan = upper ? core::SolverPlan::analyze_upper(
+                          sparse::CscMatrix(factor), opt)
+                    : core::SolverPlan::analyze(sparse::CscMatrix(factor),
+                                                opt);
+  EXPECT_TRUE(plan.ok()) << plan.message();
+  Results r;
+  const auto rs = plan->solve(b);
+  EXPECT_TRUE(rs.ok()) << rs.message();
+  r.solve = rs.value().x;
+  const auto rb = plan->solve_batch(batch, kBatchRhs);
+  EXPECT_TRUE(rb.ok()) << rb.message();
+  r.batch = rb.value().x;
+  const auto up = plan->update_values(scaled);
+  EXPECT_TRUE(up.ok()) << up.message();
+  const auto ru = plan->solve(b);
+  EXPECT_TRUE(ru.ok()) << ru.message();
+  r.updated = ru.value().x;
+  return r;
+}
+
+/// On mismatch, persists the failing instance as Matrix Market and
+/// returns the artifact path for the failure message.
+std::string dump_artifact(const MatrixCase& m, bool upper,
+                          const sparse::CscMatrix& factor) {
+  const std::string path = "differential_" + m.tag + "_seed" +
+                           std::to_string(m.seed) +
+                           (upper ? "_upper" : "_lower") + ".mtx";
+  sparse::write_matrix_market_file(path, factor);
+  return path;
+}
+
+void expect_close(const std::vector<value_t>& got,
+                  const std::vector<value_t>& want, const char* op,
+                  const std::string& label, const MatrixCase& m, bool upper,
+                  const sparse::CscMatrix& factor) {
+  ASSERT_EQ(got.size(), want.size());
+  if (core::max_relative_difference(got, want) >= 1e-10) {
+    FAIL() << label << " " << op << " diverges from the serial reference on "
+           << m.tag << " seed " << m.seed
+           << "; instance dumped to " << dump_artifact(m, upper, factor);
+  }
+}
+
+void expect_bits(const std::vector<value_t>& got,
+                 const std::vector<value_t>& want, const char* op,
+                 const std::string& label, const MatrixCase& m, bool upper,
+                 const sparse::CscMatrix& factor) {
+  if (got != want) {
+    FAIL() << label << " " << op
+           << " is not bit-identical to cpu-levelset/t1/colmajor on "
+           << m.tag << " seed " << m.seed
+           << "; instance dumped to " << dump_artifact(m, upper, factor);
+  }
+}
+
+TEST(Differential, HostBackendsAgreeAcrossEveryConfiguration) {
+  const std::vector<Config> sweep = configs();
+  for (const MatrixCase& m : matrix_cases()) {
+    for (const bool upper : {false, true}) {
+      const sparse::CscMatrix factor =
+          upper ? sparse::transpose(m.lower) : sparse::CscMatrix(m.lower);
+      const index_t n = factor.rows;
+      SCOPED_TRACE(m.tag + " seed " + std::to_string(m.seed) +
+                   (upper ? " upper" : " lower"));
+
+      const std::vector<value_t> b = sparse::gen_rhs_for_solution(
+          factor, sparse::gen_solution(n, m.seed + 1));
+      std::vector<value_t> batch;
+      for (index_t j = 0; j < kBatchRhs; ++j) {
+        const std::vector<value_t> bj = sparse::gen_rhs_for_solution(
+            factor, sparse::gen_solution(n, m.seed + 10 + j));
+        batch.insert(batch.end(), bj.begin(), bj.end());
+      }
+      // Value refresh under the same sparsity: scale off-diagonals so the
+      // update actually changes every solve.
+      sparse::CscMatrix scaled = factor;
+      for (value_t& v : scaled.val) v *= 1.0 + 1.0 / 64.0;
+
+      // Tolerance reference: serial. Bitwise reference: the narrowest
+      // pull-based configuration.
+      Config serial_ref{"serial", 1, RhsLayout::kColumnMajor};
+      Config bits_ref{"cpu-levelset", 1, RhsLayout::kColumnMajor};
+      const Results ref =
+          run_all_ops(factor, upper, options_of(serial_ref), b, batch, scaled);
+      const Results gold =
+          run_all_ops(factor, upper, options_of(bits_ref), b, batch, scaled);
+
+      for (const Config& c : sweep) {
+        const std::string label = c.label();
+        SCOPED_TRACE(label);
+        const Results r =
+            run_all_ops(factor, upper, options_of(c), b, batch, scaled);
+        expect_close(r.solve, ref.solve, "solve", label, m, upper, factor);
+        expect_close(r.batch, ref.batch, "solve_batch", label, m, upper,
+                     factor);
+        expect_close(r.updated, ref.updated, "update+solve", label, m, upper,
+                     factor);
+        if (std::string(c.backend) != "serial") {
+          expect_bits(r.solve, gold.solve, "solve", label, m, upper, factor);
+          expect_bits(r.batch, gold.batch, "solve_batch", label, m, upper,
+                      factor);
+          expect_bits(r.updated, gold.updated, "update+solve", label, m,
+                      upper, factor);
+        }
+      }
+    }
+  }
+}
+
+TEST(Differential, SerialIsDeterministicAcrossLayouts) {
+  // The serial sweep has one summation order too: its column-major and
+  // (explicitly requested) interleaved paths must agree bit for bit.
+  const sparse::CscMatrix l = sparse::gen_layered_dag(300, 24, 1600, 0.5, 3);
+  std::vector<value_t> batch;
+  for (index_t j = 0; j < kBatchRhs; ++j) {
+    const std::vector<value_t> bj = sparse::gen_rhs_for_solution(
+        l, sparse::gen_solution(l.rows, 40 + static_cast<std::uint64_t>(j)));
+    batch.insert(batch.end(), bj.begin(), bj.end());
+  }
+  core::SolveOptions col = core::registry::options_for("serial").value();
+  col.rhs_layout = RhsLayout::kColumnMajor;
+  core::SolveOptions inter = col;
+  inter.rhs_layout = RhsLayout::kInterleaved;
+  const auto pc = core::SolverPlan::analyze(sparse::CscMatrix(l), col);
+  const auto pi = core::SolverPlan::analyze(sparse::CscMatrix(l), inter);
+  ASSERT_TRUE(pc.ok() && pi.ok());
+  EXPECT_EQ(pc->solve_batch(batch, kBatchRhs).value().x,
+            pi->solve_batch(batch, kBatchRhs).value().x);
+}
+
+}  // namespace
+}  // namespace msptrsv

@@ -134,6 +134,79 @@ TEST(PlanIo, SerializeDeserializeRoundTripsInMemory) {
   EXPECT_EQ(loaded->footprint().total_bytes, fresh->footprint().total_bytes);
 }
 
+TEST(PlanIo, AutotunedDecisionRoundTripsThroughTheBlob) {
+  // The "auto" preset picks a backend at analyze time; the v3 blob must
+  // carry that decision so a fresh process (here: deserialize into a new
+  // plan, the same reader load() uses) reports the SAME backend /
+  // schedule / gang choice instead of re-tuning, and the task graph
+  // rebuilt from the pinned coarsening thresholds solves identically.
+  // Fans wider than the narrow-width ceiling (64) on every machine, so
+  // the decision is the same wherever this runs.
+  const sparse::CscMatrix l = sparse::gen_chain_heavy(4, 120, 256, 2, 11);
+  const core::SolveOptions opt = core::registry::options_for("auto").value();
+  const auto fresh = core::SolverPlan::analyze(l, opt);
+  ASSERT_TRUE(fresh.ok()) << fresh.message();
+
+  const core::TunedDecision* td = fresh->tuned();
+  ASSERT_NE(td, nullptr);
+  EXPECT_TRUE(td->autotuned);
+  // Chain-heavy structure: the rules must land on the coarsened schedule.
+  EXPECT_EQ(td->backend, core::Backend::kCpuTaskGraph);
+  EXPECT_EQ(td->schedule, 1);
+  EXPECT_GT(td->gang_width, 0);
+  EXPECT_GT(td->coarsen.narrow_width, 0);
+  EXPECT_GT(td->coarsen.block_rows, 0);
+  ASSERT_NE(fresh->task_graph(), nullptr);
+
+  const auto blob = fresh->serialize();
+  ASSERT_TRUE(blob.ok());
+  const auto loaded = core::SolverPlan::deserialize(blob.value(), opt);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+
+  const core::TunedDecision* ld = loaded->tuned();
+  ASSERT_NE(ld, nullptr);
+  EXPECT_EQ(ld->autotuned, td->autotuned);
+  EXPECT_EQ(ld->backend, td->backend);
+  EXPECT_EQ(ld->schedule, td->schedule);
+  EXPECT_EQ(ld->gang_width, td->gang_width);
+  // The coarsening thresholds are PINNED in the blob (the sync-cost
+  // measurement on the loading machine may differ); the rebuilt graph
+  // must therefore coarsen identically.
+  EXPECT_EQ(ld->coarsen.narrow_width, td->coarsen.narrow_width);
+  EXPECT_EQ(ld->coarsen.block_rows, td->coarsen.block_rows);
+  ASSERT_NE(loaded->task_graph(), nullptr);
+  EXPECT_EQ(loaded->task_graph()->num_tasks, fresh->task_graph()->num_tasks);
+  EXPECT_EQ(loaded->task_graph()->levels_fused,
+            fresh->task_graph()->levels_fused);
+
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 9));
+  EXPECT_EQ(fresh->solve(b).value().x, loaded->solve(b).value().x);
+}
+
+TEST(PlanIo, AutotunedSerialPickRoundTrips) {
+  // The other side of the decision space: a tiny factor must tune to
+  // serial, and that choice must survive the blob too.
+  const sparse::CscMatrix l = sparse::gen_chain(64);
+  const core::SolveOptions opt = core::registry::options_for("auto").value();
+  const auto fresh = core::SolverPlan::analyze(l, opt);
+  ASSERT_TRUE(fresh.ok()) << fresh.message();
+  ASSERT_NE(fresh->tuned(), nullptr);
+  EXPECT_EQ(fresh->tuned()->backend, core::Backend::kSerial);
+
+  const auto blob = fresh->serialize();
+  ASSERT_TRUE(blob.ok());
+  const auto loaded = core::SolverPlan::deserialize(blob.value(), opt);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  ASSERT_NE(loaded->tuned(), nullptr);
+  EXPECT_EQ(loaded->tuned()->backend, core::Backend::kSerial);
+  EXPECT_EQ(loaded->tuned()->gang_width, fresh->tuned()->gang_width);
+
+  const std::vector<value_t> b =
+      sparse::gen_rhs_for_solution(l, sparse::gen_solution(l.rows, 3));
+  EXPECT_EQ(fresh->solve(b).value().x, loaded->solve(b).value().x);
+}
+
 TEST(PlanIo, EmptyPlanRoundTrips) {
   const sparse::CscMatrix empty;  // 0x0: vacuously solvable
   const core::SolveOptions opt = core::registry::options_for("serial").value();

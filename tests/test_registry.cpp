@@ -15,7 +15,7 @@ namespace {
 namespace registry = core::registry;
 
 TEST(Registry, CatalogueCoversEveryBackendWithUniqueKeys) {
-  ASSERT_EQ(registry::backends().size(), 8u);
+  ASSERT_EQ(registry::backends().size(), 9u);
   std::set<std::string> keys;
   std::set<core::Backend> seen;
   for (const registry::BackendEntry& e : registry::backends()) {

@@ -375,14 +375,16 @@ TEST(SolveServiceScheduling, WeightedAgingLetsBackgroundWinEventually) {
   using service::SolveRequest;
   const auto request = [&](const core::SolverPlan& plan,
                            const std::vector<value_t>& rhs,
-                           service::Priority p) {
+                           service::Priority p,
+                           std::chrono::milliseconds age =
+                               std::chrono::milliseconds(0)) {
     SolveRequest r{plan,
                    rhs,
                    1,
                    p,
                    std::chrono::steady_clock::time_point::max(),
                    {},
-                   std::chrono::steady_clock::now()};
+                   std::chrono::steady_clock::now() - age};
     return r;
   };
 
@@ -391,9 +393,12 @@ TEST(SolveServiceScheduling, WeightedAgingLetsBackgroundWinEventually) {
   qo.pack_max_groups = 1;                    // isolate the selection rule
   {
     RequestQueue q(qo);
-    // Aged background first, fresh high second.
-    q.push(request(*plan_a, rhs_a, service::Priority::kBackground));
-    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    // Aged background first, fresh high second. The age is BACKDATED into
+    // the submit timestamp instead of slept through: the selection rule
+    // reads submitted-at, so the test is instant and immune to scheduler
+    // jitter inflating (or deflating) a real sleep.
+    q.push(request(*plan_a, rhs_a, service::Priority::kBackground,
+                   std::chrono::milliseconds(60)));
     q.push(request(*plan_b, rhs_b, service::Priority::kHigh));
     // 60 ms * weight 1 far exceeds ~0 ms * weight 16: background wins.
     PoppedDispatch d = q.pop_dispatch();
@@ -614,20 +619,30 @@ TEST(SolveServiceScheduling, DeadlineShedsWhenExecutionStartsLate) {
     const std::vector<value_t> b = rhs_for(l, 6);
     const std::vector<value_t> want = plan->solve(b).value().x;
 
-    // Occupy the only dispatch worker well past the deadline -- and WAIT
-    // until it is actually running: an unstarted sleeper still in the
-    // queue would let the (urgent) dispatch overtake it and execute in
-    // time.
-    std::atomic<bool> sleeping{false};
-    pool.submit([&sleeping] {
-      sleeping.store(true);
-      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    // Occupy the only dispatch worker -- and WAIT until it is actually
+    // running: an unstarted blocker still in the queue would let the
+    // (urgent) dispatch overtake it and execute in time. The blocker is
+    // GATED, not slept: it holds the worker until this thread releases it
+    // below, which happens only once the deadline has provably passed --
+    // so the test cannot flake in either direction (a fixed sleep both
+    // wastes wall-clock and loses the race on a stalled machine).
+    std::atomic<bool> blocking{false};
+    std::atomic<bool> release{false};
+    pool.submit([&blocking, &release] {
+      blocking.store(true);
+      while (!release.load()) std::this_thread::yield();
     });
-    while (!sleeping.load()) std::this_thread::yield();
+    while (!blocking.load()) std::this_thread::yield();
     auto doomed = svc.submit(
         *plan, b,
         {.priority = service::Priority::kHigh,
          .deadline = std::chrono::milliseconds(20)});
+    // The service stamped the deadline no earlier than our pre-submit
+    // clock and no later than now; sleeping until now+deadline+margin
+    // therefore provably passes it before the worker frees up.
+    std::this_thread::sleep_until(std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(25));
+    release.store(true);
     SolveService::Reply r = doomed.get();
     EXPECT_FALSE(r.ok());
     EXPECT_EQ(r.status(), core::SolveStatus::kDeadlineExceeded);
